@@ -1,0 +1,250 @@
+//! Clustering-based unsupervised anomaly classification — the §V
+//! extension spelled out: "it is straightforward to extend PREPARE to
+//! support unknown anomalies by replacing the supervised classification
+//! method with unsupervised classifiers (e.g., clustering and outlier
+//! detection)."
+//!
+//! [`KMeans`] learns the shape of *normal* operation from unlabeled
+//! discretized metric vectors; [`ClusterClassifier`] then scores any
+//! vector by its distance to the nearest centroid, normalized by that
+//! cluster's radius. States far from every behaviour cluster are
+//! anomalies — including ones never seen before, which the supervised TAN
+//! cannot flag.
+
+use prepare_metrics::Label;
+
+/// A k-means model over discretized metric vectors.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KMeans {
+    centroids: Vec<Vec<f64>>,
+    /// Mean distance of member points to their centroid (per cluster).
+    radii: Vec<f64>,
+}
+
+impl KMeans {
+    /// Fits `k` clusters with Lloyd's algorithm (deterministic farthest-
+    /// point initialization, fixed iteration cap).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` is empty, `k` is zero, or rows have differing
+    /// lengths.
+    pub fn fit(data: &[Vec<usize>], k: usize) -> Self {
+        assert!(!data.is_empty(), "k-means needs data");
+        assert!(k > 0, "k must be positive");
+        let dim = data[0].len();
+        assert!(
+            data.iter().all(|r| r.len() == dim),
+            "all rows must share one dimensionality"
+        );
+        let points: Vec<Vec<f64>> = data
+            .iter()
+            .map(|r| r.iter().map(|&v| v as f64).collect())
+            .collect();
+        let k = k.min(points.len());
+
+        // Farthest-point ("k-means++-like" but deterministic) seeding.
+        let mut centroids: Vec<Vec<f64>> = vec![points[0].clone()];
+        while centroids.len() < k {
+            let far = points
+                .iter()
+                .max_by(|a, b| {
+                    let da = nearest_distance(a, &centroids);
+                    let db = nearest_distance(b, &centroids);
+                    da.partial_cmp(&db).expect("finite distances")
+                })
+                .expect("non-empty");
+            centroids.push(far.clone());
+        }
+
+        let mut assignment = vec![0usize; points.len()];
+        for _ in 0..50 {
+            let mut changed = false;
+            for (i, p) in points.iter().enumerate() {
+                let best = nearest_index(p, &centroids);
+                if assignment[i] != best {
+                    assignment[i] = best;
+                    changed = true;
+                }
+            }
+            // Recompute centroids.
+            let mut sums = vec![vec![0.0; dim]; centroids.len()];
+            let mut counts = vec![0usize; centroids.len()];
+            for (i, p) in points.iter().enumerate() {
+                counts[assignment[i]] += 1;
+                for (s, v) in sums[assignment[i]].iter_mut().zip(p) {
+                    *s += v;
+                }
+            }
+            for (c, (sum, count)) in centroids.iter_mut().zip(sums.iter().zip(&counts)) {
+                if *count > 0 {
+                    *c = sum.iter().map(|s| s / *count as f64).collect();
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+
+        // Cluster radii (mean member distance, floored to keep scoring
+        // finite for singleton clusters).
+        let mut radii = vec![0.0f64; centroids.len()];
+        let mut counts = vec![0usize; centroids.len()];
+        for (i, p) in points.iter().enumerate() {
+            radii[assignment[i]] += distance(p, &centroids[assignment[i]]);
+            counts[assignment[i]] += 1;
+        }
+        for (r, c) in radii.iter_mut().zip(&counts) {
+            *r = if *c > 0 { (*r / *c as f64).max(0.5) } else { 0.5 };
+        }
+
+        KMeans { centroids, radii }
+    }
+
+    /// Number of clusters.
+    pub fn k(&self) -> usize {
+        self.centroids.len()
+    }
+
+    /// Normalized distance of `x` to its nearest behaviour cluster:
+    /// ~1 means "typical member", larger means increasingly anomalous.
+    pub fn anomaly_score(&self, x: &[usize]) -> f64 {
+        let p: Vec<f64> = x.iter().map(|&v| v as f64).collect();
+        let idx = nearest_index(&p, &self.centroids);
+        distance(&p, &self.centroids[idx]) / self.radii[idx]
+    }
+}
+
+fn distance(a: &[f64], b: &[f64]) -> f64 {
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y) * (x - y))
+        .sum::<f64>()
+        .sqrt()
+}
+
+fn nearest_index(p: &[f64], centroids: &[Vec<f64>]) -> usize {
+    let mut best = 0;
+    let mut best_d = f64::INFINITY;
+    for (i, c) in centroids.iter().enumerate() {
+        let d = distance(p, c);
+        if d < best_d {
+            best_d = d;
+            best = i;
+        }
+    }
+    best
+}
+
+fn nearest_distance(p: &[f64], centroids: &[Vec<f64>]) -> f64 {
+    centroids
+        .iter()
+        .map(|c| distance(p, c))
+        .fold(f64::INFINITY, f64::min)
+}
+
+/// Unsupervised anomaly classifier: normal behaviour clusters plus a
+/// score threshold.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterClassifier {
+    model: KMeans,
+    threshold: f64,
+}
+
+impl ClusterClassifier {
+    /// Default anomaly-score threshold (distance beyond 3 cluster radii).
+    pub const DEFAULT_THRESHOLD: f64 = 3.0;
+
+    /// Fits on *unlabeled* (assumed mostly normal) discretized vectors.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`KMeans::fit`], or when the
+    /// threshold is not positive and finite.
+    pub fn fit(data: &[Vec<usize>], k: usize, threshold: f64) -> Self {
+        assert!(
+            threshold.is_finite() && threshold > 0.0,
+            "threshold must be positive"
+        );
+        ClusterClassifier {
+            model: KMeans::fit(data, k),
+            threshold,
+        }
+    }
+
+    /// Fits with `k = 4` behaviour clusters and the default threshold.
+    pub fn fit_default(data: &[Vec<usize>]) -> Self {
+        Self::fit(data, 4, Self::DEFAULT_THRESHOLD)
+    }
+
+    /// The anomaly score of a vector (see [`KMeans::anomaly_score`]).
+    pub fn score(&self, x: &[usize]) -> f64 {
+        self.model.anomaly_score(x)
+    }
+
+    /// Classifies: abnormal when the score exceeds the threshold.
+    pub fn classify(&self, x: &[usize]) -> Label {
+        Label::from_violation(self.score(x) > self.threshold)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two well-separated normal behaviour modes (low-load / high-load).
+    fn bimodal_data() -> Vec<Vec<usize>> {
+        let mut data = Vec::new();
+        for i in 0..60usize {
+            let jitter = i % 2;
+            data.push(vec![1 + jitter, 1, 2, 1 + jitter]); // low mode
+            data.push(vec![6, 7 - jitter, 6, 7]); // high mode
+        }
+        data
+    }
+
+    #[test]
+    fn members_score_low_outliers_high() {
+        let c = ClusterClassifier::fit(&bimodal_data(), 2, 3.0);
+        assert_eq!(c.classify(&[1, 1, 2, 1]), Label::Normal);
+        assert_eq!(c.classify(&[6, 7, 6, 7]), Label::Normal);
+        // A state far from both modes — e.g. everything pinned at max.
+        assert_eq!(c.classify(&[9, 9, 9, 9]), Label::Abnormal);
+        assert!(c.score(&[9, 9, 9, 9]) > c.score(&[1, 1, 2, 1]));
+    }
+
+    #[test]
+    fn detects_never_before_seen_anomaly() {
+        // The whole point of the unsupervised path: the anomalous state
+        // was never labeled — it is just far from everything normal.
+        let c = ClusterClassifier::fit_default(&bimodal_data());
+        assert_eq!(c.classify(&[0, 9, 0, 9]), Label::Abnormal);
+    }
+
+    #[test]
+    fn k_capped_by_data_size() {
+        let data = vec![vec![1, 1], vec![2, 2]];
+        let m = KMeans::fit(&data, 10);
+        assert!(m.k() <= 2);
+    }
+
+    #[test]
+    fn single_cluster_still_scores() {
+        let data: Vec<Vec<usize>> = (0..20).map(|i| vec![3 + (i % 2), 4]).collect();
+        let m = KMeans::fit(&data, 1);
+        assert!(m.anomaly_score(&[3, 4]) < 2.0);
+        assert!(m.anomaly_score(&[9, 0]) > 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "needs data")]
+    fn empty_data_rejected() {
+        let _ = KMeans::fit(&[], 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensionality")]
+    fn ragged_data_rejected() {
+        let _ = KMeans::fit(&[vec![1, 2], vec![1]], 2);
+    }
+}

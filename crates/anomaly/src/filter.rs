@@ -1,0 +1,138 @@
+//! `k`-of-`W` majority-vote false-alarm filtering (paper §II-C).
+//!
+//! "PREPARE triggers prevention actions only after receiving at least *k*
+//! alerts in the recent *W* predictions. [...] We set *k* to be 3 and *W*
+//! to be 4 in our experiments."
+
+use std::collections::VecDeque;
+
+/// Majority-vote filter over the most recent `W` predictions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AlertFilter {
+    k: usize,
+    w: usize,
+    recent: VecDeque<bool>,
+}
+
+impl AlertFilter {
+    /// Creates a filter that confirms an alert when at least `k` of the
+    /// last `w` predictions were alerts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`, `w == 0`, or `k > w`.
+    pub fn new(k: usize, w: usize) -> Self {
+        assert!(k > 0 && w > 0, "k and W must be positive");
+        assert!(k <= w, "k ({k}) must not exceed W ({w})");
+        AlertFilter {
+            k,
+            w,
+            recent: VecDeque::with_capacity(w),
+        }
+    }
+
+    /// The paper's setting: k = 3, W = 4.
+    pub fn paper_default() -> Self {
+        AlertFilter::new(3, 4)
+    }
+
+    /// Required alert count `k`.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Window size `W`.
+    pub fn w(&self) -> usize {
+        self.w
+    }
+
+    /// Feeds the latest raw prediction; returns `true` when the filtered
+    /// (confirmed) alert condition holds.
+    pub fn push(&mut self, alert: bool) -> bool {
+        if self.recent.len() == self.w {
+            self.recent.pop_front();
+        }
+        self.recent.push_back(alert);
+        self.is_confirmed()
+    }
+
+    /// Whether the current window satisfies the k-of-W condition.
+    pub fn is_confirmed(&self) -> bool {
+        self.recent.iter().filter(|&&a| a).count() >= self.k
+    }
+
+    /// Clears history (used after a prevention action resolves an anomaly
+    /// so stale alerts do not immediately re-trigger).
+    pub fn reset(&mut self) {
+        self.recent.clear();
+    }
+}
+
+impl Default for AlertFilter {
+    fn default() -> Self {
+        AlertFilter::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requires_k_alerts_in_window() {
+        let mut f = AlertFilter::new(3, 4);
+        assert!(!f.push(true));
+        assert!(!f.push(true));
+        assert!(f.push(true)); // 3 of last 3
+        assert!(f.push(false)); // 3 of last 4
+        assert!(!f.push(false)); // 2 of last 4
+    }
+
+    #[test]
+    fn sporadic_alerts_filtered_out() {
+        let mut f = AlertFilter::paper_default();
+        // alternating true/false never reaches 3-of-4
+        for i in 0..40 {
+            assert!(!f.push(i % 2 == 0), "sporadic alert leaked at step {i}");
+        }
+    }
+
+    #[test]
+    fn persistent_anomaly_confirmed_with_bounded_delay() {
+        let mut f = AlertFilter::paper_default();
+        let mut confirm_step = None;
+        for i in 0..10 {
+            if f.push(true) {
+                confirm_step = Some(i);
+                break;
+            }
+        }
+        // Confirmation after exactly k alerts — a 2-sampling-interval delay
+        // versus k=1, which the paper calls negligible.
+        assert_eq!(confirm_step, Some(2));
+    }
+
+    #[test]
+    fn k1_passes_everything_through() {
+        let mut f = AlertFilter::new(1, 4);
+        assert!(f.push(true));
+        f.push(false);
+        assert!(f.is_confirmed()); // one alert still within window
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut f = AlertFilter::new(2, 3);
+        f.push(true);
+        f.push(true);
+        assert!(f.is_confirmed());
+        f.reset();
+        assert!(!f.is_confirmed());
+    }
+
+    #[test]
+    #[should_panic(expected = "must not exceed")]
+    fn k_greater_than_w_rejected() {
+        let _ = AlertFilter::new(5, 4);
+    }
+}

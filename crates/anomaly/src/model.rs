@@ -1,0 +1,111 @@
+//! Selection between the two attribute value predictors.
+
+use prepare_markov::{SimpleMarkov, StateDistribution, TwoDependentMarkov, ValuePredictor};
+
+/// Which Markov model to use for attribute value prediction — the axis of
+/// the Fig. 11 comparison.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum MarkovKind {
+    /// First-order chain (the authors' earlier system \[10\]).
+    Simple,
+    /// The paper's 2-dependent (combined-state) chain.
+    #[default]
+    TwoDependent,
+}
+
+/// A value predictor of either kind, chosen at model-build time.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ValueModel {
+    /// First-order chain.
+    Simple(SimpleMarkov),
+    /// Combined-state second-order chain.
+    TwoDependent(TwoDependentMarkov),
+}
+
+impl ValueModel {
+    /// Creates an untrained model of `kind` over `n` states.
+    pub fn new(kind: MarkovKind, n: usize) -> Self {
+        match kind {
+            MarkovKind::Simple => ValueModel::Simple(SimpleMarkov::new(n)),
+            MarkovKind::TwoDependent => ValueModel::TwoDependent(TwoDependentMarkov::new(n)),
+        }
+    }
+
+    /// The kind of this model.
+    pub fn kind(&self) -> MarkovKind {
+        match self {
+            ValueModel::Simple(_) => MarkovKind::Simple,
+            ValueModel::TwoDependent(_) => MarkovKind::TwoDependent,
+        }
+    }
+}
+
+impl ValuePredictor for ValueModel {
+    fn n_states(&self) -> usize {
+        match self {
+            ValueModel::Simple(m) => m.n_states(),
+            ValueModel::TwoDependent(m) => m.n_states(),
+        }
+    }
+
+    fn observe(&mut self, state: usize) {
+        match self {
+            ValueModel::Simple(m) => m.observe(state),
+            ValueModel::TwoDependent(m) => m.observe(state),
+        }
+    }
+
+    fn predict(&self, steps: usize) -> StateDistribution {
+        match self {
+            ValueModel::Simple(m) => m.predict(steps),
+            ValueModel::TwoDependent(m) => m.predict(steps),
+        }
+    }
+
+    fn reset_position(&mut self) {
+        match self {
+            ValueModel::Simple(m) => m.reset_position(),
+            ValueModel::TwoDependent(m) => m.reset_position(),
+        }
+    }
+
+    fn observations(&self) -> usize {
+        match self {
+            ValueModel::Simple(m) => m.observations(),
+            ValueModel::TwoDependent(m) => m.observations(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_round_trips() {
+        assert_eq!(ValueModel::new(MarkovKind::Simple, 3).kind(), MarkovKind::Simple);
+        assert_eq!(
+            ValueModel::new(MarkovKind::TwoDependent, 3).kind(),
+            MarkovKind::TwoDependent
+        );
+    }
+
+    #[test]
+    fn delegates_observe_and_predict() {
+        for kind in [MarkovKind::Simple, MarkovKind::TwoDependent] {
+            let mut m = ValueModel::new(kind, 4);
+            for i in 0..40 {
+                m.observe(i % 4);
+            }
+            assert_eq!(m.observations(), 40);
+            assert!(m.predict(3).is_valid());
+            m.reset_position();
+            assert!(m.predict(0).is_valid());
+        }
+    }
+
+    #[test]
+    fn default_kind_is_two_dependent() {
+        assert_eq!(MarkovKind::default(), MarkovKind::TwoDependent);
+    }
+}

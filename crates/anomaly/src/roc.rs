@@ -1,0 +1,175 @@
+//! ROC analysis of the anomaly predictor: sweep the decision threshold
+//! over a scored trace to expose the full `A_T`/`A_F` trade-off curve
+//! (the paper reports single operating points per configuration; the
+//! curve shows what the k-of-W filter and score threshold are buying).
+
+use crate::{AnomalyPredictor, ConfusionMatrix};
+use prepare_metrics::{Duration, Label, SloLog, TimeSeries};
+
+/// One operating point of the ROC curve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RocPoint {
+    /// Decision threshold on the TAN score (alert when score > threshold).
+    pub threshold: f64,
+    /// True positive rate at this threshold.
+    pub true_positive_rate: f64,
+    /// False alarm rate at this threshold.
+    pub false_alarm_rate: f64,
+}
+
+/// A full ROC curve over a replayed trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RocCurve {
+    points: Vec<RocPoint>,
+}
+
+impl RocCurve {
+    /// Replays `series` through (a clone of) the predictor at the given
+    /// look-ahead, collecting `(score, truth)` pairs, then sweeps the
+    /// decision threshold over every distinct score.
+    pub fn compute(
+        predictor: &AnomalyPredictor,
+        series: &TimeSeries,
+        slo: &SloLog,
+        look_ahead: Duration,
+    ) -> RocCurve {
+        let mut model = predictor.clone();
+        model.reset_position();
+        let mut scored: Vec<(f64, Label)> = Vec::new();
+        let Some(end) = series.last().map(|s| s.time) else {
+            return RocCurve { points: Vec::new() };
+        };
+        for s in series.iter() {
+            model.observe(s);
+            let target = s.time + look_ahead;
+            if target > end {
+                continue;
+            }
+            let prediction = model.predict(look_ahead);
+            let truth = Label::from_violation(slo.is_violated_at(target));
+            scored.push((prediction.score, truth));
+        }
+
+        let mut thresholds: Vec<f64> = scored.iter().map(|(s, _)| *s).collect();
+        thresholds.sort_by(|a, b| a.partial_cmp(b).expect("finite scores"));
+        thresholds.dedup();
+
+        let points = thresholds
+            .iter()
+            .map(|&threshold| {
+                let mut m = ConfusionMatrix::new();
+                for &(score, truth) in &scored {
+                    m.record(Label::from_violation(score > threshold), truth);
+                }
+                RocPoint {
+                    threshold,
+                    true_positive_rate: m.true_positive_rate(),
+                    false_alarm_rate: m.false_alarm_rate(),
+                }
+            })
+            .collect();
+        RocCurve { points }
+    }
+
+    /// The operating points, ordered by increasing threshold (decreasing
+    /// alert aggressiveness).
+    pub fn points(&self) -> &[RocPoint] {
+        &self.points
+    }
+
+    /// Area under the ROC curve via trapezoidal integration over
+    /// (false-alarm, true-positive) pairs. 0.5 = chance, 1.0 = perfect.
+    /// Returns 0.5 for an empty curve.
+    pub fn auc(&self) -> f64 {
+        if self.points.is_empty() {
+            return 0.5;
+        }
+        // Points sorted by threshold give decreasing FPR; integrate over
+        // FPR from 0 to 1, adding the implicit (0,0) and (1,1) endpoints.
+        let mut pairs: Vec<(f64, f64)> = self
+            .points
+            .iter()
+            .map(|p| (p.false_alarm_rate, p.true_positive_rate))
+            .collect();
+        pairs.push((0.0, 0.0));
+        pairs.push((1.0, 1.0));
+        pairs.sort_by(|a, b| a.partial_cmp(b).expect("finite rates"));
+        let mut auc = 0.0;
+        for w in pairs.windows(2) {
+            let (x0, y0) = w[0];
+            let (x1, y1) = w[1];
+            auc += (x1 - x0) * (y0 + y1) / 2.0;
+        }
+        auc.clamp(0.0, 1.0)
+    }
+
+    /// The point with the best Youden index (`A_T − A_F`), a standard
+    /// single-number operating-point choice. `None` for an empty curve.
+    pub fn best_operating_point(&self) -> Option<RocPoint> {
+        self.points
+            .iter()
+            .copied()
+            .max_by(|a, b| {
+                let ja = a.true_positive_rate - a.false_alarm_rate;
+                let jb = b.true_positive_rate - b.false_alarm_rate;
+                ja.partial_cmp(&jb).expect("finite rates")
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PredictorConfig;
+    use prepare_metrics::{AttributeKind, MetricSample, MetricVector, Timestamp};
+
+    fn trace() -> (TimeSeries, SloLog) {
+        let mut series = TimeSeries::new();
+        let mut slo = SloLog::new();
+        for i in 0..400u64 {
+            let t = Timestamp::from_secs(i * 5);
+            let phase = i % 100;
+            let cpu = if (60..90).contains(&phase) { 95.0 } else { 30.0 + (i % 7) as f64 };
+            let v = MetricVector::from_fn(|a| match a {
+                AttributeKind::CpuTotal => cpu,
+                AttributeKind::Load1 => cpu / 60.0,
+                _ => 10.0,
+            });
+            series.push(MetricSample::new(t, v));
+            slo.record(t, cpu > 90.0);
+        }
+        (series, slo)
+    }
+
+    #[test]
+    fn curve_is_monotone_in_rates() {
+        let (series, slo) = trace();
+        let p = AnomalyPredictor::train(&series, &slo, &PredictorConfig::default()).unwrap();
+        let roc = RocCurve::compute(&p, &series, &slo, Duration::from_secs(15));
+        assert!(!roc.points().is_empty());
+        // Raising the threshold can only lower both rates.
+        for w in roc.points().windows(2) {
+            assert!(w[1].true_positive_rate <= w[0].true_positive_rate + 1e-9);
+            assert!(w[1].false_alarm_rate <= w[0].false_alarm_rate + 1e-9);
+        }
+    }
+
+    #[test]
+    fn good_predictor_has_high_auc() {
+        let (series, slo) = trace();
+        let p = AnomalyPredictor::train(&series, &slo, &PredictorConfig::default()).unwrap();
+        let roc = RocCurve::compute(&p, &series, &slo, Duration::from_secs(10));
+        assert!(roc.auc() > 0.85, "AUC {:.3}", roc.auc());
+        let best = roc.best_operating_point().unwrap();
+        assert!(best.true_positive_rate - best.false_alarm_rate > 0.5);
+    }
+
+    #[test]
+    fn empty_trace_yields_chance_auc() {
+        let (series, slo) = trace();
+        let p = AnomalyPredictor::train(&series, &slo, &PredictorConfig::default()).unwrap();
+        let roc = RocCurve::compute(&p, &TimeSeries::new(), &slo, Duration::from_secs(10));
+        assert_eq!(roc.auc(), 0.5);
+        assert!(roc.best_operating_point().is_none());
+    }
+}

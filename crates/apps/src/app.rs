@@ -1,0 +1,68 @@
+//! The application abstraction the PREPARE controller manages.
+
+use crate::FaultPlan;
+use prepare_cloudsim::Cluster;
+use prepare_metrics::{Timestamp, VmId};
+
+/// One tick of application progress.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AppTick {
+    /// Simulation time of this tick.
+    pub time: Timestamp,
+    /// Client input rate presented this tick (native unit).
+    pub input_rate: f64,
+    /// End-to-end output rate achieved (native unit; for RUBiS this is
+    /// the completed-request rate).
+    pub output_rate: f64,
+    /// End-to-end latency this tick (per-tuple time for System S, average
+    /// request response time for RUBiS), in milliseconds.
+    pub latency_ms: f64,
+    /// The scalar the paper plots as the "SLO metric" for this app
+    /// (throughput in Ktuples/s for System S — Figs. 7a/7c — and average
+    /// response time in ms for RUBiS — Figs. 7b/7d).
+    pub slo_metric: f64,
+    /// Whether the application's SLO is violated at this tick.
+    pub slo_violated: bool,
+}
+
+/// A distributed application deployed one-component-per-VM on the
+/// simulated cluster.
+///
+/// The per-tick protocol: the experiment driver computes the client rate
+/// (workload × any bottleneck-fault multiplier) and calls
+/// [`Application::step`], which pushes every component's demand through
+/// the cluster and reports achieved SLO status.
+pub trait Application {
+    /// Application name ("systems" / "rubis").
+    fn name(&self) -> &'static str;
+
+    /// The VMs hosting this application's components, in component order.
+    fn vms(&self) -> &[VmId];
+
+    /// Role of a VM ("PE3", "db-server", ...).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the VM does not belong to this application.
+    fn vm_role(&self, vm: VmId) -> &'static str;
+
+    /// The component that saturates first under workload growth — the
+    /// designated bottleneck (PE6 for System S, the DB for RUBiS).
+    fn bottleneck_vm(&self) -> VmId;
+
+    /// The client rate the app is sized for (Ktuples/s or req/s).
+    fn nominal_rate(&self) -> f64;
+
+    /// Human-readable name of [`AppTick::slo_metric`].
+    fn slo_metric_name(&self) -> &'static str;
+
+    /// Advances the application by one tick at client rate `rate`,
+    /// applying fault overlays and resolving demands on `cluster`.
+    fn step(
+        &mut self,
+        now: Timestamp,
+        rate: f64,
+        cluster: &mut Cluster,
+        faults: &FaultPlan,
+    ) -> AppTick;
+}

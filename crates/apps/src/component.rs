@@ -1,0 +1,128 @@
+//! The per-component resource cost model shared by both case-study
+//! applications.
+
+use prepare_cloudsim::Demand;
+
+/// Resource cost coefficients of one application component (a PE or a
+/// tier server). All `*_per_unit` coefficients are per unit of the
+/// component's *local* input rate (Ktuples/s for System S PEs, req/s for
+/// RUBiS tiers).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ComponentSpec {
+    /// Role name ("PE6", "db-server", ...).
+    pub name: &'static str,
+    /// CPU consumed with zero workload (percent-of-core).
+    pub base_cpu: f64,
+    /// CPU per unit of input rate.
+    pub cpu_per_unit: f64,
+    /// Resident working set with zero workload (MB).
+    pub base_mem_mb: f64,
+    /// Additional working set per unit of input rate (MB).
+    pub mem_per_unit: f64,
+    /// Network receive per unit of input rate (KB/s).
+    pub net_in_per_unit: f64,
+    /// Network transmit per unit of input rate (KB/s).
+    pub net_out_per_unit: f64,
+    /// Disk traffic per unit of input rate (KB/s, split evenly r/w).
+    pub disk_per_unit: f64,
+    /// Nominal per-item service time (ms) at an unloaded component.
+    pub service_ms: f64,
+}
+
+impl ComponentSpec {
+    /// The resource demand this component presents at input rate `rate`
+    /// (before any fault overlay).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is negative or not finite.
+    pub fn demand(&self, rate: f64) -> Demand {
+        assert!(rate.is_finite() && rate >= 0.0, "invalid rate {rate}");
+        Demand {
+            cpu: self.base_cpu + self.cpu_per_unit * rate,
+            mem_mb: self.base_mem_mb + self.mem_per_unit * rate,
+            net_in_kbps: self.net_in_per_unit * rate,
+            net_out_kbps: self.net_out_per_unit * rate,
+            disk_read_kbps: self.disk_per_unit * rate * 0.5,
+            disk_write_kbps: self.disk_per_unit * rate * 0.5,
+        }
+    }
+
+    /// Input rate at which the component's CPU demand reaches `cpu_alloc`
+    /// — its saturation point, where it becomes the bottleneck.
+    pub fn saturation_rate(&self, cpu_alloc: f64) -> f64 {
+        if self.cpu_per_unit <= 0.0 {
+            f64::INFINITY
+        } else {
+            ((cpu_alloc - self.base_cpu) / self.cpu_per_unit).max(0.0)
+        }
+    }
+}
+
+/// Merges a fault overlay into a component demand.
+pub(crate) fn add_demand(a: Demand, b: Demand) -> Demand {
+    Demand {
+        cpu: a.cpu + b.cpu,
+        mem_mb: a.mem_mb + b.mem_mb,
+        net_in_kbps: a.net_in_kbps + b.net_in_kbps,
+        net_out_kbps: a.net_out_kbps + b.net_out_kbps,
+        disk_read_kbps: a.disk_read_kbps + b.disk_read_kbps,
+        disk_write_kbps: a.disk_write_kbps + b.disk_write_kbps,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> ComponentSpec {
+        ComponentSpec {
+            name: "test",
+            base_cpu: 10.0,
+            cpu_per_unit: 4.0,
+            base_mem_mb: 256.0,
+            mem_per_unit: 2.0,
+            net_in_per_unit: 20.0,
+            net_out_per_unit: 30.0,
+            disk_per_unit: 4.0,
+            service_ms: 2.0,
+        }
+    }
+
+    #[test]
+    fn demand_is_linear_in_rate() {
+        let d = spec().demand(20.0);
+        assert_eq!(d.cpu, 90.0);
+        assert_eq!(d.mem_mb, 296.0);
+        assert_eq!(d.net_in_kbps, 400.0);
+        assert_eq!(d.net_out_kbps, 600.0);
+        assert_eq!(d.disk_read_kbps, 40.0);
+        assert!(d.is_valid());
+    }
+
+    #[test]
+    fn saturation_rate_inverts_cpu_model() {
+        assert!((spec().saturation_rate(100.0) - 22.5).abs() < 1e-9);
+        let flat = ComponentSpec {
+            cpu_per_unit: 0.0,
+            ..spec()
+        };
+        assert!(flat.saturation_rate(100.0).is_infinite());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid rate")]
+    fn negative_rate_rejected() {
+        spec().demand(-1.0);
+    }
+
+    #[test]
+    fn add_demand_componentwise() {
+        let a = spec().demand(10.0);
+        let b = Demand { cpu: 5.0, mem_mb: 100.0, ..Demand::default() };
+        let c = add_demand(a, b);
+        assert_eq!(c.cpu, a.cpu + 5.0);
+        assert_eq!(c.mem_mb, a.mem_mb + 100.0);
+        assert_eq!(c.net_in_kbps, a.net_in_kbps);
+    }
+}

@@ -1,0 +1,252 @@
+//! Client workload generators (paper §III-A).
+//!
+//! The RUBiS experiments use "a client workload generator that emulates
+//! the workload intensity observed in the NASA web server trace beginning
+//! at 00:00:00 July 1, 1995 from the IRCache Internet traffic archive".
+//! That trace is not redistributable offline, so [`Workload::nasa_trace`]
+//! synthesizes the documented intensity *shape* of that day — a deep
+//! overnight trough, a steep morning climb, a mid-afternoon peak and an
+//! evening shoulder — time-compressed onto the experiment run, with
+//! seeded bursty noise. What the experiments need from the trace is
+//! realistic non-stationarity for the Markov predictor, which the shape
+//! preserves; see DESIGN.md for the substitution note.
+
+use prepare_metrics::Timestamp;
+use rand::Rng;
+
+/// Hourly intensity profile (relative to the daily mean) synthesized from
+/// the well-known shape of the NASA-HTTP trace's first day: requests
+/// bottom out around 04:00 and peak mid-afternoon.
+const NASA_HOURLY: [f64; 24] = [
+    0.55, 0.45, 0.38, 0.33, 0.30, 0.33, 0.42, 0.55, //
+    0.75, 0.95, 1.15, 1.30, 1.40, 1.45, 1.50, 1.52, //
+    1.48, 1.40, 1.30, 1.18, 1.05, 0.90, 0.75, 0.62,
+];
+
+/// A time-varying client workload.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Workload {
+    /// Constant rate (System S experiments).
+    Constant {
+        /// The rate in the application's native unit (Ktuples/s or req/s).
+        rate: f64,
+    },
+    /// Linear ramp from `from` to `to` over `[begin, begin+ramp_secs]`,
+    /// holding at `to` afterwards.
+    Ramp {
+        /// Initial rate.
+        from: f64,
+        /// Final rate.
+        to: f64,
+        /// When the ramp starts.
+        begin: Timestamp,
+        /// Ramp duration in seconds.
+        ramp_secs: u64,
+    },
+    /// The NASA-trace-shaped diurnal workload: one synthetic "day"
+    /// compressed into `day_secs` of simulated time, centered on
+    /// `mean_rate`, with multiplicative jitter of relative magnitude
+    /// `jitter`.
+    Nasa {
+        /// Mean rate across the synthetic day.
+        mean_rate: f64,
+        /// Simulated seconds one 24 h day is compressed into.
+        day_secs: u64,
+        /// Relative (1σ) multiplicative noise.
+        jitter: f64,
+    },
+    /// Replay of a recorded rate trace: `samples[i]` is the rate during
+    /// `[i·step_secs, (i+1)·step_secs)`, wrapping around at the end — use
+    /// this to drive experiments from the *real* NASA (or any other)
+    /// request log when one is available.
+    Replay {
+        /// Per-interval rates.
+        samples: Vec<f64>,
+        /// Seconds each sample covers.
+        step_secs: u64,
+    },
+}
+
+impl Workload {
+    /// Convenience constructor for the NASA-shaped workload used by the
+    /// RUBiS experiments: one day compressed into 30 simulated minutes,
+    /// 5% jitter.
+    pub fn nasa_trace(mean_rate: f64) -> Self {
+        Workload::Nasa {
+            mean_rate,
+            day_secs: 1800,
+            jitter: 0.05,
+        }
+    }
+
+    /// The noiseless intensity at time `t`.
+    pub fn base_rate(&self, t: Timestamp) -> f64 {
+        match *self {
+            Workload::Constant { rate } => rate,
+            Workload::Ramp {
+                from,
+                to,
+                begin,
+                ramp_secs,
+            } => {
+                if t < begin {
+                    from
+                } else {
+                    let elapsed = t.since(begin).as_secs();
+                    if ramp_secs == 0 || elapsed >= ramp_secs {
+                        to
+                    } else {
+                        from + (to - from) * elapsed as f64 / ramp_secs as f64
+                    }
+                }
+            }
+            Workload::Replay { ref samples, step_secs } => {
+                if samples.is_empty() {
+                    return 0.0;
+                }
+                let idx = (t.as_secs() / step_secs.max(1)) as usize % samples.len();
+                samples[idx].max(0.0)
+            }
+            Workload::Nasa {
+                mean_rate,
+                day_secs,
+                ..
+            } => {
+                let day_pos = (t.as_secs() % day_secs.max(1)) as f64 / day_secs.max(1) as f64;
+                let hour_f = day_pos * 24.0;
+                let h0 = (hour_f as usize) % 24;
+                let h1 = (h0 + 1) % 24;
+                let frac = hour_f - hour_f.floor();
+                // Linear interpolation between hourly intensities.
+                let intensity = NASA_HOURLY[h0] * (1.0 - frac) + NASA_HOURLY[h1] * frac;
+                mean_rate * intensity
+            }
+        }
+    }
+
+    /// The (possibly jittered) rate at time `t`.
+    pub fn rate(&self, t: Timestamp, rng: &mut impl Rng) -> f64 {
+        let base = self.base_rate(t);
+        let jitter = match *self {
+            Workload::Nasa { jitter, .. } => jitter,
+            _ => 0.0,
+        };
+        if jitter > 0.0 {
+            let z: f64 = {
+                let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+                let u2: f64 = rng.gen::<f64>();
+                (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+            };
+            (base * (1.0 + jitter * z)).max(0.0)
+        } else {
+            base
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn t(s: u64) -> Timestamp {
+        Timestamp::from_secs(s)
+    }
+
+    #[test]
+    fn constant_is_constant() {
+        let w = Workload::Constant { rate: 20.0 };
+        assert_eq!(w.base_rate(t(0)), 20.0);
+        assert_eq!(w.base_rate(t(9999)), 20.0);
+    }
+
+    #[test]
+    fn ramp_interpolates_linearly() {
+        let w = Workload::Ramp {
+            from: 10.0,
+            to: 30.0,
+            begin: t(100),
+            ramp_secs: 100,
+        };
+        assert_eq!(w.base_rate(t(0)), 10.0);
+        assert_eq!(w.base_rate(t(100)), 10.0);
+        assert!((w.base_rate(t(150)) - 20.0).abs() < 1e-9);
+        assert_eq!(w.base_rate(t(200)), 30.0);
+        assert_eq!(w.base_rate(t(500)), 30.0);
+    }
+
+    #[test]
+    fn zero_length_ramp_jumps() {
+        let w = Workload::Ramp {
+            from: 1.0,
+            to: 2.0,
+            begin: t(10),
+            ramp_secs: 0,
+        };
+        assert_eq!(w.base_rate(t(9)), 1.0);
+        assert_eq!(w.base_rate(t(10)), 2.0);
+    }
+
+    #[test]
+    fn nasa_trace_has_diurnal_swing() {
+        let w = Workload::nasa_trace(50.0);
+        // Deep night (~04:00 → 4/24 of the compressed day).
+        let night = w.base_rate(t(1800 * 4 / 24));
+        // Mid-afternoon peak (~15:00).
+        let peak = w.base_rate(t(1800 * 15 / 24));
+        assert!(peak > night * 2.0, "peak {peak:.1} vs night {night:.1}");
+        assert!(peak > 50.0 && night < 50.0);
+    }
+
+    #[test]
+    fn nasa_trace_wraps_around_days() {
+        let w = Workload::nasa_trace(50.0);
+        assert!((w.base_rate(t(100)) - w.base_rate(t(1900))).abs() < 1e-9);
+    }
+
+    #[test]
+    fn jitter_is_deterministic_per_seed() {
+        let w = Workload::nasa_trace(50.0);
+        let mut r1 = StdRng::seed_from_u64(3);
+        let mut r2 = StdRng::seed_from_u64(3);
+        assert_eq!(w.rate(t(42), &mut r1), w.rate(t(42), &mut r2));
+    }
+
+    #[test]
+    fn replay_steps_and_wraps() {
+        let w = Workload::Replay {
+            samples: vec![10.0, 20.0, 30.0],
+            step_secs: 5,
+        };
+        assert_eq!(w.base_rate(t(0)), 10.0);
+        assert_eq!(w.base_rate(t(4)), 10.0);
+        assert_eq!(w.base_rate(t(5)), 20.0);
+        assert_eq!(w.base_rate(t(14)), 30.0);
+        assert_eq!(w.base_rate(t(15)), 10.0, "wraps around");
+        // Replay is noiseless through rate() too.
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(w.rate(t(6), &mut rng), 20.0);
+    }
+
+    #[test]
+    fn replay_edge_cases() {
+        let empty = Workload::Replay { samples: vec![], step_secs: 5 };
+        assert_eq!(empty.base_rate(t(100)), 0.0);
+        let negative = Workload::Replay { samples: vec![-3.0], step_secs: 0 };
+        assert_eq!(negative.base_rate(t(0)), 0.0, "negative samples clamp, zero step survives");
+    }
+
+    #[test]
+    fn jittered_rate_never_negative() {
+        let w = Workload::Nasa {
+            mean_rate: 1.0,
+            day_secs: 1800,
+            jitter: 2.0, // extreme
+        };
+        let mut rng = StdRng::seed_from_u64(9);
+        for s in 0..500 {
+            assert!(w.rate(t(s), &mut rng) >= 0.0);
+        }
+    }
+}

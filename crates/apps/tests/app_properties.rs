@@ -1,0 +1,113 @@
+//! Property-based tests of the application models: whatever the client
+//! rate and fault schedule, the tick outputs must stay physical.
+
+use prepare_apps::{Application, FaultInjection, FaultKind, FaultPlan, Rubis, SystemS, Workload};
+use prepare_cloudsim::Cluster;
+use prepare_metrics::{Duration, Timestamp, VmId};
+use proptest::prelude::*;
+
+fn arb_fault(n_vms: usize) -> impl Strategy<Value = FaultInjection> {
+    (
+        proptest::option::of(0..n_vms),
+        prop_oneof![
+            (0.5f64..4.0).prop_map(|r| FaultKind::MemLeak { rate_mb_per_sec: r }),
+            (20.0f64..120.0).prop_map(|c| FaultKind::CpuHog { cpu: c }),
+            (1.2f64..3.0).prop_map(|m| FaultKind::WorkloadRamp { peak_multiplier: m }),
+        ],
+        0u64..600,
+        30u64..400,
+    )
+        .prop_map(|(target, kind, start, dur)| FaultInjection {
+            target: target.map(VmId),
+            kind,
+            start: Timestamp::from_secs(start),
+            duration: Duration::from_secs(dur),
+        })
+}
+
+fn check_tick_sanity(tick: &prepare_apps::AppTick, rate: f64) {
+    assert!(tick.output_rate.is_finite() && tick.output_rate >= 0.0);
+    assert!(
+        tick.output_rate <= rate * 1.0 + 1e-6,
+        "output {} exceeds input {}",
+        tick.output_rate,
+        rate
+    );
+    assert!(tick.latency_ms.is_finite() && tick.latency_ms >= 0.0);
+    assert!(tick.slo_metric.is_finite());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn system_s_ticks_stay_physical(
+        rates in proptest::collection::vec(0.0f64..60.0, 30..120),
+        fault in arb_fault(7),
+    ) {
+        let mut cluster = Cluster::new();
+        let mut app = SystemS::deploy(&mut cluster).expect("deploys");
+        let mut faults = FaultPlan::new();
+        faults.add(fault);
+        for (i, &rate) in rates.iter().enumerate() {
+            let now = Timestamp::from_secs(i as u64);
+            let mult = faults.workload_multiplier(now);
+            let tick = app.step(now, rate * mult, &mut cluster, &faults);
+            check_tick_sanity(&tick, rate * mult);
+            // At zero input the ratio SLO must not fire spuriously.
+            if rate == 0.0 && tick.latency_ms <= 20.0 {
+                prop_assert!(!tick.slo_violated);
+            }
+        }
+    }
+
+    #[test]
+    fn rubis_ticks_stay_physical(
+        rates in proptest::collection::vec(0.0f64..160.0, 30..120),
+        fault in arb_fault(4),
+    ) {
+        let mut cluster = Cluster::new();
+        let mut app = Rubis::deploy(&mut cluster).expect("deploys");
+        let mut faults = FaultPlan::new();
+        faults.add(fault);
+        for (i, &rate) in rates.iter().enumerate() {
+            let now = Timestamp::from_secs(i as u64);
+            let tick = app.step(now, rate, &mut cluster, &faults);
+            check_tick_sanity(&tick, rate);
+            prop_assert!(tick.latency_ms <= 1000.0 + 1e-9, "latency cap breached");
+            prop_assert_eq!(tick.slo_violated, tick.latency_ms > 200.0);
+        }
+    }
+
+    #[test]
+    fn workload_rates_are_finite_and_nonnegative(
+        mean in 1.0f64..200.0,
+        day in 60u64..4000,
+        jitter in 0.0f64..0.5,
+        t in 0u64..100_000,
+    ) {
+        use rand::SeedableRng;
+        let w = Workload::Nasa { mean_rate: mean, day_secs: day, jitter };
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let r = w.rate(Timestamp::from_secs(t), &mut rng);
+        prop_assert!(r.is_finite() && r >= 0.0);
+        let base = w.base_rate(Timestamp::from_secs(t));
+        prop_assert!(base > 0.0 && base < mean * 2.0);
+    }
+}
+
+#[test]
+fn app_slo_metrics_agree_with_violation_flags_under_stress() {
+    // Deterministic stress pass: ramp System S far past capacity and back;
+    // the violation flag must track the published SLO definition.
+    let mut cluster = Cluster::new();
+    let mut app = SystemS::deploy(&mut cluster).expect("deploys");
+    let faults = FaultPlan::new();
+    for t in 0..400u64 {
+        let rate = if (100..300).contains(&t) { 45.0 } else { 20.0 };
+        let tick = app.step(Timestamp::from_secs(t), rate, &mut cluster, &faults);
+        let ratio_ok = tick.output_rate / rate >= 0.95;
+        let latency_ok = tick.latency_ms <= 20.0;
+        assert_eq!(tick.slo_violated, !(ratio_ok && latency_ok), "t={t} {tick:?}");
+    }
+}

@@ -1,0 +1,140 @@
+//! Criterion micro-benchmarks behind Table I: the CPU cost of each key
+//! PREPARE module (monitoring sweep, Markov model training on 600
+//! samples, TAN training, one anomaly prediction) plus the simulator-side
+//! actuation entry points.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use prepare_anomaly::{AnomalyPredictor, PredictorConfig};
+use prepare_cloudsim::{Cluster, Demand, HostSpec, Monitor};
+use prepare_markov::{SimpleMarkov, TwoDependentMarkov};
+use prepare_metrics::{
+    AttributeKind, Duration, Label, MetricSample, MetricVector, SloLog, TimeSeries, Timestamp,
+    VectorDiscretizer,
+};
+use prepare_tan::{Classifier, Dataset, TanClassifier};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn training_sequence() -> Vec<usize> {
+    let mut rng = StdRng::seed_from_u64(7);
+    (0..600).map(|_| rng.gen_range(0..10)).collect()
+}
+
+fn training_trace() -> (TimeSeries, SloLog) {
+    let mut rng = StdRng::seed_from_u64(9);
+    let mut series = TimeSeries::new();
+    let mut slo = SloLog::new();
+    for i in 0..600u64 {
+        let t = Timestamp::from_secs(i * 5);
+        let anomalous = (i / 100) % 2 == 1;
+        let v = MetricVector::from_fn(|a| match a {
+            AttributeKind::CpuTotal => {
+                if anomalous {
+                    90.0 + rng.gen_range(0.0..10.0)
+                } else {
+                    30.0 + rng.gen_range(0.0..10.0)
+                }
+            }
+            _ => rng.gen_range(0.0..100.0),
+        });
+        series.push(MetricSample::new(t, v));
+        slo.record(t, anomalous);
+    }
+    (series, slo)
+}
+
+fn bench_monitoring(c: &mut Criterion) {
+    let mut cluster = Cluster::new();
+    let host = cluster.add_host(HostSpec::vcl_default());
+    let vm = cluster.create_vm(host, 100.0, 512.0).expect("fits");
+    cluster.apply_demand(
+        vm,
+        Demand { cpu: 50.0, mem_mb: 300.0, net_in_kbps: 100.0, ..Demand::default() },
+        Timestamp::ZERO,
+    );
+    let mut monitor = Monitor::with_default_noise();
+    let mut rng = StdRng::seed_from_u64(8);
+    c.bench_function("table1/vm_monitoring_13_attrs", |b| {
+        b.iter(|| black_box(monitor.sample(&cluster, vm, Timestamp::ZERO, &mut rng)))
+    });
+}
+
+fn bench_markov_training(c: &mut Criterion) {
+    let seq = training_sequence();
+    c.bench_function("table1/simple_markov_training_600", |b| {
+        b.iter(|| {
+            let mut m = SimpleMarkov::new(10);
+            m.train(black_box(&seq));
+            black_box(m)
+        })
+    });
+    c.bench_function("table1/two_dep_markov_training_600", |b| {
+        b.iter(|| {
+            let mut m = TwoDependentMarkov::new(10);
+            m.train(black_box(&seq));
+            black_box(m)
+        })
+    });
+}
+
+fn bench_tan_training(c: &mut Criterion) {
+    let (series, slo) = training_trace();
+    let discretizer = VectorDiscretizer::fit(&series, 10);
+    let mut dataset = Dataset::with_uniform_bins(13, 10);
+    for s in series.iter() {
+        dataset
+            .push(
+                discretizer.discretize(&s.values),
+                Label::from_violation(slo.is_violated_at(s.time)),
+            )
+            .expect("schema matches");
+    }
+    c.bench_function("table1/tan_training_600", |b| {
+        b.iter(|| black_box(TanClassifier::train(black_box(&dataset)).expect("both classes")))
+    });
+}
+
+fn bench_prediction(c: &mut Criterion) {
+    let (series, slo) = training_trace();
+    let config = PredictorConfig::default();
+    let mut predictor = AnomalyPredictor::train(&series, &slo, &config).expect("trains");
+    for s in series.iter().take(50) {
+        predictor.observe(s);
+    }
+    c.bench_function("table1/anomaly_prediction", |b| {
+        b.iter(|| black_box(predictor.predict(Duration::from_secs(30))))
+    });
+}
+
+fn bench_actuation(c: &mut Criterion) {
+    c.bench_function("table1/cpu_scaling_call", |b| {
+        let mut cluster = Cluster::new();
+        let host = cluster.add_host(HostSpec::vcl_default());
+        let vm = cluster.create_vm(host, 50.0, 512.0).expect("fits");
+        let mut flip = false;
+        b.iter(|| {
+            flip = !flip;
+            let target = if flip { 100.0 } else { 50.0 };
+            cluster
+                .scale_cpu(vm, target, Timestamp::ZERO)
+                .expect("headroom available");
+        })
+    });
+    c.bench_function("table1/migration_planning", |b| {
+        let mut cluster = Cluster::new();
+        let h0 = cluster.add_host(HostSpec::vcl_default());
+        cluster.add_host(HostSpec::vcl_default());
+        let vm = cluster.create_vm(h0, 50.0, 512.0).expect("fits");
+        b.iter(|| black_box(cluster.find_migration_target(vm)))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_monitoring,
+    bench_markov_training,
+    bench_tan_training,
+    bench_prediction,
+    bench_actuation
+);
+criterion_main!(benches);

@@ -1,0 +1,183 @@
+//! Hypervisor action records and error types.
+
+use crate::HostId;
+use prepare_metrics::{Duration, Timestamp, VmId};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A hypervisor actuation performed on the cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ActionKind {
+    /// CPU cap change (percent-of-core units).
+    ScaleCpu {
+        /// Allocation before the action.
+        from: f64,
+        /// Allocation after the action.
+        to: f64,
+    },
+    /// Memory allocation change (MB).
+    ScaleMem {
+        /// Allocation before the action.
+        from: f64,
+        /// Allocation after the action.
+        to: f64,
+    },
+    /// Live migration to another host.
+    Migrate {
+        /// Source host.
+        from: HostId,
+        /// Destination host.
+        to: HostId,
+        /// Total migration duration.
+        duration: Duration,
+    },
+}
+
+impl fmt::Display for ActionKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ActionKind::ScaleCpu { from, to } => write!(f, "scale-cpu {from:.0}→{to:.0}"),
+            ActionKind::ScaleMem { from, to } => write!(f, "scale-mem {from:.0}MB→{to:.0}MB"),
+            ActionKind::Migrate { from, to, duration } => {
+                write!(f, "migrate {from}→{to} ({duration})")
+            }
+        }
+    }
+}
+
+/// Log entry for one actuation, with its modeled CPU cost (Table I).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ActionRecord {
+    /// When the action was issued.
+    pub time: Timestamp,
+    /// The VM acted upon.
+    pub vm: VmId,
+    /// What was done.
+    pub kind: ActionKind,
+    /// Modeled actuation cost in milliseconds (Table I).
+    pub cost_ms: f64,
+}
+
+/// Error creating or placing a VM.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum PlacementError {
+    /// The host does not exist.
+    UnknownHost(HostId),
+    /// The host lacks capacity for the requested allocation.
+    InsufficientCapacity {
+        /// The host that was tried.
+        host: HostId,
+        /// CPU shortfall in percent-of-core units (0 if CPU fits).
+        cpu_shortfall: f64,
+        /// Memory shortfall in MB (0 if memory fits).
+        mem_shortfall: f64,
+    },
+}
+
+impl fmt::Display for PlacementError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlacementError::UnknownHost(h) => write!(f, "unknown host {h}"),
+            PlacementError::InsufficientCapacity {
+                host,
+                cpu_shortfall,
+                mem_shortfall,
+            } => write!(
+                f,
+                "host {host} lacks capacity (cpu short {cpu_shortfall:.0}, mem short {mem_shortfall:.0}MB)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PlacementError {}
+
+/// Error applying an elastic scaling action.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ScaleError {
+    /// The VM does not exist.
+    UnknownVm(VmId),
+    /// The local host has no spare capacity for the requested increase —
+    /// the condition that makes PREPARE fall back to live migration.
+    InsufficientHeadroom {
+        /// The VM's current host.
+        host: HostId,
+        /// Spare capacity available on the host.
+        available: f64,
+        /// Increase that was requested.
+        requested: f64,
+    },
+    /// The requested allocation is not positive and finite.
+    InvalidAllocation(f64),
+    /// The VM is mid-migration; scaling must wait.
+    MigrationInProgress(VmId),
+}
+
+impl fmt::Display for ScaleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScaleError::UnknownVm(vm) => write!(f, "unknown VM {vm}"),
+            ScaleError::InsufficientHeadroom {
+                host,
+                available,
+                requested,
+            } => write!(
+                f,
+                "host {host} has only {available:.0} spare, {requested:.0} requested"
+            ),
+            ScaleError::InvalidAllocation(a) => write!(f, "invalid allocation {a}"),
+            ScaleError::MigrationInProgress(vm) => {
+                write!(f, "VM {vm} is being migrated")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ScaleError {}
+
+/// Error starting a live migration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum MigrateError {
+    /// The VM does not exist.
+    UnknownVm(VmId),
+    /// The destination host does not exist.
+    UnknownHost(HostId),
+    /// The destination host cannot fit the VM.
+    TargetFull(HostId),
+    /// The VM is already migrating.
+    AlreadyMigrating(VmId),
+    /// Source and destination are the same host.
+    SameHost(HostId),
+}
+
+impl fmt::Display for MigrateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MigrateError::UnknownVm(vm) => write!(f, "unknown VM {vm}"),
+            MigrateError::UnknownHost(h) => write!(f, "unknown host {h}"),
+            MigrateError::TargetFull(h) => write!(f, "target host {h} lacks capacity"),
+            MigrateError::AlreadyMigrating(vm) => write!(f, "VM {vm} already migrating"),
+            MigrateError::SameHost(h) => write!(f, "VM already on host {h}"),
+        }
+    }
+}
+
+impl std::error::Error for MigrateError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        let k = ActionKind::ScaleMem { from: 512.0, to: 768.0 };
+        assert!(k.to_string().contains("512MB"));
+        let e = ScaleError::InsufficientHeadroom {
+            host: HostId(1),
+            available: 10.0,
+            requested: 50.0,
+        };
+        assert!(e.to_string().contains("spare"));
+        assert!(MigrateError::SameHost(HostId(0)).to_string().contains("host0"));
+    }
+}

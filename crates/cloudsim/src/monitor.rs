@@ -1,0 +1,263 @@
+//! Out-of-band VM monitoring (paper §II-A).
+//!
+//! "PREPARE uses libxenstat to monitor guest VM's resource usage from
+//! domain 0. [...] if we want to monitor the application's memory usage
+//! metric, we need to install a simple memory monitoring daemon within the
+//! guest VM." The [`Monitor`] reads VM state maintained by the
+//! [`crate::Cluster`] and renders the 13-attribute metric vector,
+//! including a small multiplicative measurement noise (real counters
+//! jitter; PREPARE's false-alarm filter exists for a reason).
+
+use crate::Cluster;
+use prepare_metrics::{AttributeKind, MetricSample, MetricVector, Timestamp, VmId};
+use rand::Rng;
+use std::collections::HashMap;
+
+/// Renders per-VM metric samples from cluster state.
+///
+/// Keeps per-VM exponential moving averages for the 5-minute load metric,
+/// so one `Monitor` instance should live as long as the monitoring stream
+/// it produces.
+#[derive(Debug, Clone)]
+pub struct Monitor {
+    /// Relative (1σ) multiplicative measurement noise; 0 disables noise.
+    noise: f64,
+    /// EWMA state for Load5.
+    load5: HashMap<VmId, f64>,
+}
+
+impl Monitor {
+    /// Creates a monitor with the given relative measurement noise
+    /// (e.g. `0.02` = 2% 1σ jitter).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `noise` is negative or not finite.
+    pub fn new(noise: f64) -> Self {
+        assert!(noise.is_finite() && noise >= 0.0, "noise must be >= 0");
+        Monitor {
+            noise,
+            load5: HashMap::new(),
+        }
+    }
+
+    /// Monitor with the default 2% measurement jitter.
+    pub fn with_default_noise() -> Self {
+        Monitor::new(0.02)
+    }
+
+    /// Samples one VM's 13 attributes at time `now`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the VM is unknown to the cluster.
+    pub fn sample(
+        &mut self,
+        cluster: &Cluster,
+        vm: VmId,
+        now: Timestamp,
+        rng: &mut impl Rng,
+    ) -> MetricSample {
+        let state = cluster.vm(vm);
+        let d = state.last_demand;
+
+        let cpu_pct = if state.cpu_alloc > 0.0 {
+            (state.cpu_used / state.cpu_alloc * 100.0).clamp(0.0, 100.0)
+        } else {
+            0.0
+        };
+        let free_mem = (state.mem_alloc_mb - state.mem_used_mb).max(0.0);
+        let mem_util = if state.mem_alloc_mb > 0.0 {
+            (state.mem_used_mb / state.mem_alloc_mb * 100.0).clamp(0.0, 100.0)
+        } else {
+            0.0
+        };
+
+        // Run-queue style load: demand over the *effective* cap (after
+        // migration brown-out and host contention squeeze) — processes
+        // queue against the cycles actually delivered, which is also how
+        // a real load average exposes steal time. Saturated or starved
+        // VMs show load above 1.
+        let load1 = if state.effective_cpu_cap > 0.0 {
+            (d.cpu / state.effective_cpu_cap).min(20.0)
+        } else if d.cpu > 0.0 {
+            20.0
+        } else {
+            0.0
+        };
+        let load5_entry = self.load5.entry(vm).or_insert(load1);
+        *load5_entry = 0.85 * *load5_entry + 0.15 * load1;
+        let load5 = *load5_entry;
+
+        // Memory overflow pages through disk and shows up as major faults.
+        let overflow_mb = (d.mem_mb - state.mem_alloc_mb).max(0.0);
+        let page_faults = if state.mem_alloc_mb > 0.0 {
+            overflow_mb / state.mem_alloc_mb * 2000.0
+        } else {
+            0.0
+        };
+        let paging_kbps = overflow_mb.min(200.0) * 20.0;
+
+        let ctx_switches = (state.cpu_used * 0.08
+            + (d.net_in_kbps + d.net_out_kbps) * 0.002)
+            .max(0.1);
+
+        let mut v = MetricVector::from_fn(|a| match a {
+            AttributeKind::CpuUser => cpu_pct * 0.72,
+            AttributeKind::CpuSystem => cpu_pct * 0.28,
+            AttributeKind::CpuTotal => cpu_pct,
+            AttributeKind::FreeMem => free_mem,
+            AttributeKind::MemUtil => mem_util,
+            AttributeKind::NetIn => d.net_in_kbps,
+            AttributeKind::NetOut => d.net_out_kbps,
+            AttributeKind::DiskRead => d.disk_read_kbps + paging_kbps,
+            AttributeKind::DiskWrite => d.disk_write_kbps + paging_kbps * 0.5,
+            AttributeKind::Load1 => load1,
+            AttributeKind::Load5 => load5,
+            AttributeKind::PageFaults => page_faults,
+            AttributeKind::CtxSwitches => ctx_switches,
+        });
+
+        if self.noise > 0.0 {
+            for a in AttributeKind::ALL {
+                let jitter = 1.0 + self.noise * gaussian(rng);
+                v.set(a, (v.get(a) * jitter).max(0.0));
+            }
+        }
+        MetricSample::new(now, v)
+    }
+}
+
+/// Standard normal deviate via Box–Muller (no external distribution crate
+/// required).
+fn gaussian(rng: &mut impl Rng) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen::<f64>();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Demand, HostSpec};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup() -> (Cluster, VmId) {
+        let mut c = Cluster::new();
+        let h = c.add_host(HostSpec::vcl_default());
+        let vm = c.create_vm(h, 100.0, 512.0).unwrap();
+        (c, vm)
+    }
+
+    #[test]
+    fn noiseless_sample_reflects_state() {
+        let (mut c, vm) = setup();
+        c.apply_demand(
+            vm,
+            Demand {
+                cpu: 50.0,
+                mem_mb: 256.0,
+                net_in_kbps: 100.0,
+                net_out_kbps: 80.0,
+                ..Demand::default()
+            },
+            Timestamp::ZERO,
+        );
+        let mut mon = Monitor::new(0.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let s = mon.sample(&c, vm, Timestamp::ZERO, &mut rng);
+        assert!((s.values.get(AttributeKind::CpuTotal) - 50.0).abs() < 1e-9);
+        assert!((s.values.get(AttributeKind::FreeMem) - 256.0).abs() < 1e-9);
+        assert!((s.values.get(AttributeKind::MemUtil) - 50.0).abs() < 1e-9);
+        assert!((s.values.get(AttributeKind::NetIn) - 100.0).abs() < 1e-9);
+        assert_eq!(s.values.get(AttributeKind::PageFaults), 0.0);
+        assert!(s.values.is_finite());
+    }
+
+    #[test]
+    fn memory_overflow_shows_in_page_faults_and_disk() {
+        let (mut c, vm) = setup();
+        c.apply_demand(
+            vm,
+            Demand { mem_mb: 640.0, ..Demand::default() },
+            Timestamp::ZERO,
+        );
+        let mut mon = Monitor::new(0.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let s = mon.sample(&c, vm, Timestamp::ZERO, &mut rng);
+        assert!(s.values.get(AttributeKind::PageFaults) > 100.0);
+        assert!(s.values.get(AttributeKind::DiskRead) > 0.0);
+        assert_eq!(s.values.get(AttributeKind::FreeMem), 0.0);
+    }
+
+    #[test]
+    fn saturated_cpu_shows_high_load() {
+        let (mut c, vm) = setup();
+        c.apply_demand(vm, Demand { cpu: 300.0, ..Demand::default() }, Timestamp::ZERO);
+        let mut mon = Monitor::new(0.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let s = mon.sample(&c, vm, Timestamp::ZERO, &mut rng);
+        assert!((s.values.get(AttributeKind::CpuTotal) - 100.0).abs() < 1e-9);
+        assert!((s.values.get(AttributeKind::Load1) - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn load5_smooths_load1() {
+        let (mut c, vm) = setup();
+        let mut mon = Monitor::new(0.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        c.apply_demand(vm, Demand { cpu: 10.0, ..Demand::default() }, Timestamp::ZERO);
+        for i in 0..10 {
+            mon.sample(&c, vm, Timestamp::from_secs(i), &mut rng);
+        }
+        c.apply_demand(vm, Demand { cpu: 200.0, ..Demand::default() }, Timestamp::from_secs(10));
+        let s = mon.sample(&c, vm, Timestamp::from_secs(10), &mut rng);
+        let l1 = s.values.get(AttributeKind::Load1);
+        let l5 = s.values.get(AttributeKind::Load5);
+        assert!(l5 < l1, "Load5 ({l5}) must lag Load1 ({l1}) on a spike");
+    }
+
+    #[test]
+    fn contention_shows_as_high_load_low_cpu() {
+        let (mut c, vm) = setup();
+        let host = c.vm(vm).host;
+        c.set_background_load(host, 175.0); // effective cap 25
+        c.apply_demand(vm, Demand { cpu: 60.0, ..Demand::default() }, Timestamp::ZERO);
+        let mut mon = Monitor::new(0.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let s = mon.sample(&c, vm, Timestamp::ZERO, &mut rng);
+        // The starved VM looks idle on CPU% (granted/alloc)...
+        assert!(s.values.get(AttributeKind::CpuTotal) < 30.0);
+        // ...but its run queue exposes the steal: demand over delivered.
+        assert!((s.values.get(AttributeKind::Load1) - 60.0 / 25.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn noise_is_seed_deterministic() {
+        let (mut c, vm) = setup();
+        c.apply_demand(vm, Demand { cpu: 50.0, mem_mb: 100.0, ..Demand::default() }, Timestamp::ZERO);
+        let sample_with = |seed: u64| {
+            let mut mon = Monitor::with_default_noise();
+            let mut rng = StdRng::seed_from_u64(seed);
+            mon.sample(&c, vm, Timestamp::ZERO, &mut rng)
+        };
+        assert_eq!(sample_with(7), sample_with(7));
+        assert_ne!(sample_with(7), sample_with(8));
+    }
+
+    #[test]
+    fn noisy_samples_stay_nonnegative_and_finite() {
+        let (mut c, vm) = setup();
+        c.apply_demand(vm, Demand { cpu: 1.0, ..Demand::default() }, Timestamp::ZERO);
+        let mut mon = Monitor::new(0.5); // absurdly noisy
+        let mut rng = StdRng::seed_from_u64(42);
+        for i in 0..200 {
+            let s = mon.sample(&c, vm, Timestamp::from_secs(i), &mut rng);
+            assert!(s.values.is_finite());
+            for a in AttributeKind::ALL {
+                assert!(s.values.get(a) >= 0.0);
+            }
+        }
+    }
+}

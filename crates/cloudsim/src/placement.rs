@@ -1,0 +1,173 @@
+//! VM placement policies.
+//!
+//! The paper's prevention actuation needs "a host with matching
+//! resources" (§II-D, citing the PAC consolidation work \[15\]); this
+//! module provides the standard bin-packing heuristics so deployments and
+//! migration-target selection can choose their packing/spreading
+//! trade-off explicitly.
+
+use crate::{Cluster, HostId, PlacementError};
+use prepare_metrics::VmId;
+use serde::{Deserialize, Serialize};
+
+/// How to choose among hosts that can fit a VM.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum PlacementPolicy {
+    /// Lowest-numbered host that fits — fast, packs the early hosts.
+    FirstFit,
+    /// The fitting host with the *least* spare CPU afterwards —
+    /// consolidates load onto few hosts (PAC-style packing).
+    BestFit,
+    /// The fitting host with the *most* spare CPU — spreads load, leaving
+    /// headroom for elastic scaling. The default, and what the migration
+    /// target search uses: a migrated-away faulty VM wants room to grow.
+    #[default]
+    WorstFit,
+}
+
+impl Cluster {
+    /// Finds a host able to fit `(cpu, mem)` under `policy`, optionally
+    /// excluding one host (the migration source).
+    pub fn find_host(
+        &self,
+        policy: PlacementPolicy,
+        cpu: f64,
+        mem_mb: f64,
+        exclude: Option<HostId>,
+    ) -> Option<HostId> {
+        let mut best: Option<(HostId, f64)> = None;
+        for h in 0..self.n_hosts() {
+            let host = HostId(h);
+            if Some(host) == exclude {
+                continue;
+            }
+            let (free_cpu, free_mem) = self.host_free(host);
+            if free_cpu + 1e-9 < cpu || free_mem + 1e-9 < mem_mb {
+                continue;
+            }
+            match policy {
+                PlacementPolicy::FirstFit => return Some(host),
+                PlacementPolicy::BestFit => {
+                    if best.map_or(true, |(_, c)| free_cpu < c) {
+                        best = Some((host, free_cpu));
+                    }
+                }
+                PlacementPolicy::WorstFit => {
+                    if best.map_or(true, |(_, c)| free_cpu > c) {
+                        best = Some((host, free_cpu));
+                    }
+                }
+            }
+        }
+        best.map(|(h, _)| h)
+    }
+
+    /// Creates a VM on a host chosen by `policy`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlacementError::InsufficientCapacity`] against host 0
+    /// (or [`PlacementError::UnknownHost`] for an empty cluster) when no
+    /// host fits.
+    pub fn place_vm(
+        &mut self,
+        policy: PlacementPolicy,
+        cpu: f64,
+        mem_mb: f64,
+    ) -> Result<VmId, PlacementError> {
+        match self.find_host(policy, cpu, mem_mb, None) {
+            Some(host) => self.create_vm(host, cpu, mem_mb),
+            None => {
+                if self.n_hosts() == 0 {
+                    Err(PlacementError::UnknownHost(HostId(0)))
+                } else {
+                    let (free_cpu, free_mem) = self.host_free(HostId(0));
+                    Err(PlacementError::InsufficientCapacity {
+                        host: HostId(0),
+                        cpu_shortfall: (cpu - free_cpu).max(0.0),
+                        mem_shortfall: (mem_mb - free_mem).max(0.0),
+                    })
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::HostSpec;
+
+    /// Three hosts with free CPU 150 / 50 / 100 after pre-loading.
+    fn cluster() -> Cluster {
+        let mut c = Cluster::new();
+        let h0 = c.add_host(HostSpec::vcl_default());
+        let h1 = c.add_host(HostSpec::vcl_default());
+        let h2 = c.add_host(HostSpec::vcl_default());
+        c.create_vm(h0, 50.0, 512.0).unwrap();
+        c.create_vm(h1, 150.0, 512.0).unwrap();
+        c.create_vm(h2, 100.0, 512.0).unwrap();
+        c
+    }
+
+    #[test]
+    fn first_fit_takes_the_first_that_fits() {
+        let c = cluster();
+        assert_eq!(
+            c.find_host(PlacementPolicy::FirstFit, 40.0, 256.0, None),
+            Some(HostId(0))
+        );
+        // Needs more than host 0 and host 2 have? 120 only fits host 0.
+        assert_eq!(
+            c.find_host(PlacementPolicy::FirstFit, 120.0, 256.0, None),
+            Some(HostId(0))
+        );
+    }
+
+    #[test]
+    fn best_fit_minimizes_leftover() {
+        let c = cluster();
+        // 40 CPU fits everywhere; host 1 (free 50) leaves the least.
+        assert_eq!(
+            c.find_host(PlacementPolicy::BestFit, 40.0, 256.0, None),
+            Some(HostId(1))
+        );
+    }
+
+    #[test]
+    fn worst_fit_maximizes_headroom() {
+        let c = cluster();
+        assert_eq!(
+            c.find_host(PlacementPolicy::WorstFit, 40.0, 256.0, None),
+            Some(HostId(0))
+        );
+    }
+
+    #[test]
+    fn exclusion_skips_the_source_host() {
+        let c = cluster();
+        assert_eq!(
+            c.find_host(PlacementPolicy::WorstFit, 40.0, 256.0, Some(HostId(0))),
+            Some(HostId(2))
+        );
+    }
+
+    #[test]
+    fn place_vm_creates_on_chosen_host() {
+        let mut c = cluster();
+        let vm = c.place_vm(PlacementPolicy::BestFit, 40.0, 256.0).unwrap();
+        assert_eq!(c.vm(vm).host, HostId(1));
+    }
+
+    #[test]
+    fn place_vm_errors_when_nothing_fits() {
+        let mut c = cluster();
+        let err = c.place_vm(PlacementPolicy::WorstFit, 500.0, 256.0).unwrap_err();
+        assert!(matches!(err, PlacementError::InsufficientCapacity { .. }));
+        let mut empty = Cluster::new();
+        assert!(matches!(
+            empty.place_vm(PlacementPolicy::FirstFit, 1.0, 1.0),
+            Err(PlacementError::UnknownHost(_))
+        ));
+    }
+}

@@ -1,0 +1,164 @@
+//! Host specifications, per-tick resource demands and the service quality
+//! the virtualization layer reports back to the application model.
+
+use serde::{Deserialize, Serialize};
+
+/// Capacity of one physical host.
+///
+/// CPU is measured in *percent-of-one-core* units (a dual-core host has
+/// capacity 200.0, matching Xen's credit-scheduler cap convention), memory
+/// in MB.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HostSpec {
+    /// CPU capacity in percent-of-core units.
+    pub cpu_capacity: f64,
+    /// Memory capacity in MB.
+    pub mem_capacity_mb: f64,
+}
+
+impl HostSpec {
+    /// The paper's VCL host: dual-core Xeon 3.00 GHz, 4 GB memory.
+    pub fn vcl_default() -> Self {
+        HostSpec {
+            cpu_capacity: 200.0,
+            mem_capacity_mb: 4096.0,
+        }
+    }
+}
+
+/// One tick's resource demand from the software running inside a VM
+/// (application component plus any co-located fault process).
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Demand {
+    /// CPU demand in percent-of-core units.
+    pub cpu: f64,
+    /// Resident memory demand in MB.
+    pub mem_mb: f64,
+    /// Network receive rate, KB/s.
+    pub net_in_kbps: f64,
+    /// Network transmit rate, KB/s.
+    pub net_out_kbps: f64,
+    /// Disk read rate, KB/s.
+    pub disk_read_kbps: f64,
+    /// Disk write rate, KB/s.
+    pub disk_write_kbps: f64,
+}
+
+impl Demand {
+    /// Validates that all components are finite and non-negative.
+    pub fn is_valid(&self) -> bool {
+        [
+            self.cpu,
+            self.mem_mb,
+            self.net_in_kbps,
+            self.net_out_kbps,
+            self.disk_read_kbps,
+            self.disk_write_kbps,
+        ]
+        .iter()
+        .all(|v| v.is_finite() && *v >= 0.0)
+    }
+}
+
+/// How well the virtualization layer satisfied a VM's demand this tick —
+/// the application model turns this into achieved throughput / latency.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ServiceQuality {
+    /// Fraction of the CPU demand actually granted (1.0 = no contention).
+    pub cpu_fraction: f64,
+    /// Memory service factor: 1.0 when the working set fits the
+    /// allocation; < 1.0 when the VM is paging (falls off quickly as the
+    /// working set overflows) or still re-faulting a previously swapped
+    /// working set back in.
+    pub mem_fraction: f64,
+    /// Live-migration brown-out factor (1.0 normally, < 1.0 while the VM
+    /// is being migrated).
+    pub migration_penalty: f64,
+    /// Seconds of CPU work currently queued behind the VM's cap. Queued
+    /// work delays every request/tuple passing through the component even
+    /// after the contention itself is resolved — the recovery lag that
+    /// makes *reactive* intervention pay a violation penalty prediction
+    /// avoids.
+    pub queue_delay_secs: f64,
+}
+
+impl ServiceQuality {
+    /// Perfect service.
+    pub fn perfect() -> Self {
+        ServiceQuality {
+            cpu_fraction: 1.0,
+            mem_fraction: 1.0,
+            migration_penalty: 1.0,
+            queue_delay_secs: 0.0,
+        }
+    }
+
+    /// Combined multiplicative throughput factor in `(0, 1]`.
+    pub fn throughput_factor(&self) -> f64 {
+        (self.cpu_fraction * self.mem_fraction * self.migration_penalty).clamp(0.0, 1.0)
+    }
+
+    /// Combined service slow-down: the factor by which per-unit processing
+    /// time inflates (≥ 1.0).
+    pub fn slowdown(&self) -> f64 {
+        let f = self.throughput_factor();
+        if f <= 1e-6 {
+            1e6
+        } else {
+            1.0 / f
+        }
+    }
+}
+
+impl Default for ServiceQuality {
+    fn default() -> Self {
+        Self::perfect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vcl_host_matches_paper() {
+        let h = HostSpec::vcl_default();
+        assert_eq!(h.cpu_capacity, 200.0);
+        assert_eq!(h.mem_capacity_mb, 4096.0);
+    }
+
+    #[test]
+    fn demand_validation() {
+        assert!(Demand::default().is_valid());
+        let bad = Demand {
+            cpu: f64::NAN,
+            ..Demand::default()
+        };
+        assert!(!bad.is_valid());
+        let neg = Demand {
+            mem_mb: -1.0,
+            ..Demand::default()
+        };
+        assert!(!neg.is_valid());
+    }
+
+    #[test]
+    fn throughput_factor_multiplies() {
+        let q = ServiceQuality {
+            cpu_fraction: 0.5,
+            mem_fraction: 0.8,
+            ..ServiceQuality::perfect()
+        };
+        assert!((q.throughput_factor() - 0.4).abs() < 1e-12);
+        assert!((q.slowdown() - 2.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn slowdown_bounded_for_zero_service() {
+        let q = ServiceQuality {
+            cpu_fraction: 0.0,
+            ..ServiceQuality::perfect()
+        };
+        assert!(q.slowdown().is_finite());
+    }
+}

@@ -1,0 +1,155 @@
+//! Property-based invariants of the cluster simulator: no sequence of
+//! hypervisor operations may oversubscribe a host, strand a VM, or drive
+//! the demand-resolution integrators out of their bounds.
+
+use prepare_cloudsim::{Cluster, Demand, HostId, HostSpec, PlacementPolicy};
+use prepare_metrics::{Timestamp, VmId};
+use proptest::prelude::*;
+
+/// One random hypervisor/application operation.
+#[derive(Debug, Clone)]
+enum Op {
+    ScaleCpu { vm: usize, to: f64 },
+    ScaleMem { vm: usize, to: f64 },
+    Migrate { vm: usize, host: usize },
+    Demand { vm: usize, cpu: f64, mem: f64 },
+    Advance { dt: u64 },
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0usize..4, 10.0f64..260.0).prop_map(|(vm, to)| Op::ScaleCpu { vm, to }),
+        (0usize..4, 64.0f64..4200.0).prop_map(|(vm, to)| Op::ScaleMem { vm, to }),
+        (0usize..4, 0usize..4).prop_map(|(vm, host)| Op::Migrate { vm, host }),
+        (0usize..4, 0.0f64..300.0, 0.0f64..1500.0)
+            .prop_map(|(vm, cpu, mem)| Op::Demand { vm, cpu, mem }),
+        (1u64..20).prop_map(|dt| Op::Advance { dt }),
+    ]
+}
+
+/// Checks that no host's allocations (including in-flight migration
+/// reservations) exceed its capacity.
+fn assert_no_oversubscription(cluster: &Cluster) {
+    for h in 0..cluster.n_hosts() {
+        let (free_cpu, free_mem) = cluster.host_free(HostId(h));
+        assert!(
+            free_cpu >= -1e-6,
+            "host {h} oversubscribed on CPU by {free_cpu}"
+        );
+        assert!(
+            free_mem >= -1e-6,
+            "host {h} oversubscribed on memory by {free_mem}"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn random_operation_sequences_preserve_invariants(
+        ops in proptest::collection::vec(arb_op(), 1..120),
+    ) {
+        let mut cluster = Cluster::new();
+        for _ in 0..4 {
+            cluster.add_host(HostSpec::vcl_default());
+        }
+        let vms: Vec<VmId> = (0..4)
+            .map(|_| {
+                cluster
+                    .place_vm(PlacementPolicy::WorstFit, 100.0, 512.0)
+                    .expect("four empty hosts fit four VMs")
+            })
+            .collect();
+
+        let mut now = Timestamp::ZERO;
+        for op in ops {
+            match op {
+                Op::ScaleCpu { vm, to } => {
+                    // May legitimately fail (headroom, migration); it must
+                    // never corrupt state.
+                    let _ = cluster.scale_cpu(vms[vm], to, now);
+                }
+                Op::ScaleMem { vm, to } => {
+                    let _ = cluster.scale_mem(vms[vm], to, now);
+                }
+                Op::Migrate { vm, host } => {
+                    let _ = cluster.begin_migration(vms[vm], HostId(host), now);
+                }
+                Op::Demand { vm, cpu, mem } => {
+                    let q = cluster.apply_demand(
+                        vms[vm],
+                        Demand { cpu, mem_mb: mem, ..Demand::default() },
+                        now,
+                    );
+                    prop_assert!(q.cpu_fraction > 0.0 && q.cpu_fraction <= 1.0);
+                    prop_assert!(q.mem_fraction > 0.0 && q.mem_fraction <= 1.0);
+                    prop_assert!(q.throughput_factor() <= 1.0);
+                    prop_assert!(q.queue_delay_secs >= 0.0);
+                }
+                Op::Advance { dt } => {
+                    now = Timestamp::from_secs(now.as_secs() + dt);
+                    cluster.advance(now);
+                }
+            }
+            assert_no_oversubscription(&cluster);
+            for &vm in &vms {
+                let state = cluster.vm(vm);
+                prop_assert!(state.cpu_alloc > 0.0);
+                prop_assert!(state.mem_alloc_mb > 0.0);
+                prop_assert!(state.cpu_used <= state.cpu_alloc + 1e-9);
+                prop_assert!(state.mem_used_mb <= state.mem_alloc_mb + 1e-9);
+                prop_assert!((0.0..=1.0).contains(&state.stress()));
+                prop_assert!(
+                    state.cpu_backlog_secs >= 0.0
+                        && state.cpu_backlog_secs <= prepare_cloudsim::CPU_BACKLOG_CAP_SECS + 1e-9,
+                    "backlog out of bounds: {}", state.cpu_backlog_secs
+                );
+                prop_assert!(state.paging_debt_mb >= 0.0);
+                prop_assert!(state.host.0 < cluster.n_hosts());
+            }
+        }
+
+        // Eventually every migration completes and reservations release.
+        cluster.advance(Timestamp::from_secs(now.as_secs() + 1000));
+        for &vm in &vms {
+            prop_assert!(!cluster.vm(vm).is_migrating());
+        }
+        assert_no_oversubscription(&cluster);
+    }
+
+    #[test]
+    fn paging_debt_always_drains_after_pressure_ends(
+        overflow in 1.0f64..2000.0,
+        hold in 1u64..50,
+    ) {
+        let mut cluster = Cluster::new();
+        let host = cluster.add_host(HostSpec::vcl_default());
+        let vm = cluster.create_vm(host, 100.0, 512.0).expect("fits");
+        // Thrash for `hold` ticks.
+        for t in 0..hold {
+            cluster.apply_demand(
+                vm,
+                Demand { mem_mb: 512.0 + overflow, ..Demand::default() },
+                Timestamp::from_secs(t),
+            );
+        }
+        prop_assert!(cluster.vm(vm).paging_debt_mb > 0.0);
+        // Relieve pressure; debt must strictly decrease to zero.
+        let mut last = f64::INFINITY;
+        for t in hold..(hold + 400) {
+            cluster.apply_demand(
+                vm,
+                Demand { mem_mb: 100.0, ..Demand::default() },
+                Timestamp::from_secs(t),
+            );
+            let debt = cluster.vm(vm).paging_debt_mb;
+            prop_assert!(debt <= last + 1e-9, "debt must not grow after relief");
+            last = debt;
+            if debt == 0.0 {
+                break;
+            }
+        }
+        prop_assert_eq!(cluster.vm(vm).paging_debt_mb, 0.0, "debt never drained");
+    }
+}

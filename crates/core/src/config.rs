@@ -1,0 +1,135 @@
+//! Controller tunables, defaulting to the paper's experimental settings.
+
+use prepare_anomaly::PredictorConfig;
+use prepare_metrics::Duration;
+
+/// Which prevention action PREPARE reaches for first (the axis of the
+/// Fig. 6/7 vs Fig. 8/9 comparison).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum PreventionPolicy {
+    /// "PREPARE strives to first use resource scaling [...] If the
+    /// scaling prevention is ineffective or cannot be applied due to
+    /// insufficient resources on the local host, PREPARE will trigger
+    /// live VM migration" (§II-D). The paper's default.
+    #[default]
+    ScalingFirst,
+    /// Use live VM migration as the primary prevention action (the
+    /// Fig. 8/9 experiments); scaling remains available as the follow-up
+    /// once the VM lands on a host with headroom.
+    MigrationFirst,
+}
+
+/// All tunables of the PREPARE controller.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PrepareConfig {
+    /// Per-VM anomaly predictor settings (bins, sampling interval, Markov
+    /// model kind).
+    pub predictor: PredictorConfig,
+    /// Look-ahead window of the online predictions driving prevention.
+    pub look_ahead: Duration,
+    /// k of the k-of-W false alarm filter (paper: 3).
+    pub filter_k: usize,
+    /// W of the k-of-W false alarm filter (paper: 4).
+    pub filter_w: usize,
+    /// Prevention action preference.
+    pub policy: PreventionPolicy,
+    /// Resource sizing: new allocation = observed demand × this factor.
+    pub scale_factor: f64,
+    /// Length of the look-back / look-ahead windows used to validate
+    /// prevention effectiveness (§II-D).
+    pub validation_window: Duration,
+    /// Minimum samples before the first training attempt.
+    pub min_training_samples: usize,
+    /// Interval between periodic model refreshes after the initial
+    /// training ("the attribute value prediction model is periodically
+    /// updated with new data measurements", §II-B — we additionally
+    /// re-fit the classifier so newly implicated VMs gain predictors and
+    /// post-prevention metric ranges are re-learned). `None` disables
+    /// refresh. Refreshes are skipped while the SLO is violated or an
+    /// anomaly episode is being handled.
+    pub retrain_interval: Option<Duration>,
+    /// How long the SLO must have been continuously healthy before
+    /// training fires. This pushes the training window past the anomaly
+    /// so it also contains post-anomaly *normal* data (under a diurnal
+    /// workload, normal states at other traffic levels than the
+    /// pre-anomaly phase) — without it the classifier mistakes ordinary
+    /// load swings for the anomaly signature.
+    pub post_anomaly_quiet: Duration,
+    /// Fraction of components that must show simultaneous change points
+    /// for the workload-change inference to fire (§II-C: "all the
+    /// application components"; a little slack absorbs detector jitter).
+    pub workload_change_quorum: f64,
+}
+
+impl Default for PrepareConfig {
+    fn default() -> Self {
+        PrepareConfig {
+            predictor: PredictorConfig::default(),
+            look_ahead: Duration::from_secs(60),
+            filter_k: 3,
+            filter_w: 4,
+            policy: PreventionPolicy::ScalingFirst,
+            scale_factor: 1.3,
+            validation_window: Duration::from_secs(30),
+            min_training_samples: 40,
+            retrain_interval: Some(Duration::from_secs(600)),
+            post_anomaly_quiet: Duration::from_secs(150),
+            workload_change_quorum: 0.8,
+        }
+    }
+}
+
+impl PrepareConfig {
+    /// Validates internal consistency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the filter parameters are inconsistent, the scale factor
+    /// is not > 1, or windows are zero.
+    pub fn validate(&self) {
+        assert!(self.filter_k > 0 && self.filter_k <= self.filter_w, "invalid k-of-W");
+        assert!(self.scale_factor > 1.0, "scale factor must exceed 1.0");
+        assert!(!self.look_ahead.is_zero(), "look-ahead must be positive");
+        assert!(!self.validation_window.is_zero(), "validation window must be positive");
+        assert!(
+            (0.0..=1.0).contains(&self.workload_change_quorum),
+            "quorum must be a fraction"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = PrepareConfig::default();
+        assert_eq!(c.filter_k, 3);
+        assert_eq!(c.filter_w, 4);
+        assert_eq!(c.predictor.sampling_interval.as_secs(), 5);
+        assert_eq!(c.policy, PreventionPolicy::ScalingFirst);
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid k-of-W")]
+    fn validate_rejects_bad_filter() {
+        let c = PrepareConfig {
+            filter_k: 5,
+            filter_w: 4,
+            ..PrepareConfig::default()
+        };
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "scale factor")]
+    fn validate_rejects_bad_scale() {
+        let c = PrepareConfig {
+            scale_factor: 0.9,
+            ..PrepareConfig::default()
+        };
+        c.validate();
+    }
+}

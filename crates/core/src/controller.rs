@@ -1,0 +1,749 @@
+//! The PREPARE control loop (paper Fig. 1): monitoring in, predictions
+//! and diagnoses through the middle, hypervisor actuations out.
+
+use crate::validation::usage_changed;
+use crate::{
+    CauseInference, ControllerEvent, Episode, PlannedAction, PrepareConfig, PreventionPlanner,
+    ValidationOutcome,
+};
+use prepare_anomaly::{AlertFilter, AnomalyPredictor};
+use prepare_cloudsim::Cluster;
+use prepare_metrics::{AttributeKind, Duration, MetricSample, SloLog, TimeSeries, Timestamp, VmId};
+use std::collections::HashMap;
+
+/// The three anomaly management schemes compared throughout §III.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Scheme {
+    /// Full PREPARE: predictive alerts drive prevention, with a reactive
+    /// fallback when a prediction was missed.
+    Prepare,
+    /// Reactive intervention: the same cause inference and prevention
+    /// actuation, but triggered only *after* an SLO violation is
+    /// detected.
+    Reactive,
+    /// No intervention at all (the paper's worst-case baseline).
+    NoIntervention,
+}
+
+impl Scheme {
+    /// Label used in experiment output.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Scheme::Prepare => "PREPARE",
+            Scheme::Reactive => "reactive",
+            Scheme::NoIntervention => "none",
+        }
+    }
+}
+
+/// The PREPARE controller for one distributed application.
+///
+/// Feed it one batch of per-VM samples per sampling interval via
+/// [`PrepareController::on_sample`]; it maintains per-VM anomaly
+/// predictors (trained automatically once the first anomaly has been seen
+/// and has passed — the paper's recurrent-anomaly regime), confirms
+/// alerts through k-of-W filtering, diagnoses faulty VMs and blamed
+/// metrics, actuates prevention on the given cluster, and validates
+/// effectiveness.
+#[derive(Debug)]
+pub struct PrepareController {
+    config: PrepareConfig,
+    scheme: Scheme,
+    vms: Vec<VmId>,
+    series: HashMap<VmId, TimeSeries>,
+    slo: SloLog,
+    predictors: HashMap<VmId, AnomalyPredictor>,
+    filters: HashMap<VmId, AlertFilter>,
+    inference: CauseInference,
+    planner: PreventionPlanner,
+    /// k-of-W debounce over the *observed* SLO status: the reactive
+    /// trigger (and the reactive baseline scheme) confirms a violation
+    /// before intervening, exactly like the predictive path confirms
+    /// alerts — a single 5 s violation blip must not actuate the
+    /// hypervisor. The asymmetry this creates is the paper's central
+    /// point: PREPARE pays its confirmation delay *before* the anomaly
+    /// lands, the reactive baseline pays it *while the SLO is broken*.
+    violation_filter: AlertFilter,
+    episodes: HashMap<VmId, Episode>,
+    /// Last completed-or-started migration per VM — guards against
+    /// ping-ponging a VM between hosts across back-to-back episodes.
+    last_migration: HashMap<VmId, Timestamp>,
+    /// VMs whose episodes were abandoned after repeated action failures:
+    /// no new episode opens for them until the stated time.
+    suppressed_until: HashMap<VmId, Timestamp>,
+    trained_at: Option<Timestamp>,
+    last_retrain: Option<Timestamp>,
+    last_workload_change: bool,
+    events: Vec<ControllerEvent>,
+}
+
+/// Minimum spacing between two migrations of the same VM (seconds).
+const MIGRATION_COOLDOWN_SECS: u64 = 120;
+
+/// Consecutive action failures after which an episode is abandoned.
+const MAX_EPISODE_FAILURES: usize = 3;
+
+/// How long an abandoned VM stays suppressed (seconds).
+const SUPPRESSION_SECS: u64 = 60;
+
+/// Quiet period after model training during which predictive alerts do
+/// not open episodes (reactive response to real violations is unaffected).
+const TRAINING_SETTLE_SECS: u64 = 60;
+
+impl PrepareController {
+    /// Creates a controller for the application running on `vms`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vms` is empty or the configuration is inconsistent.
+    pub fn new(vms: Vec<VmId>, config: PrepareConfig, scheme: Scheme) -> Self {
+        assert!(!vms.is_empty(), "controller needs at least one VM");
+        config.validate();
+        let recency = config.predictor.sampling_interval.as_secs() * 3;
+        let inference = CauseInference::new(&vms, config.workload_change_quorum, recency);
+        let planner = PreventionPlanner::new(config.policy, config.scale_factor);
+        let filters = vms
+            .iter()
+            .map(|&vm| (vm, AlertFilter::new(config.filter_k, config.filter_w)))
+            .collect();
+        let series = vms.iter().map(|&vm| (vm, TimeSeries::new())).collect();
+        let violation_filter = AlertFilter::new(config.filter_k, config.filter_w);
+        PrepareController {
+            config,
+            scheme,
+            vms,
+            series,
+            slo: SloLog::new(),
+            predictors: HashMap::new(),
+            filters,
+            inference,
+            planner,
+            violation_filter,
+            episodes: HashMap::new(),
+            last_migration: HashMap::new(),
+            suppressed_until: HashMap::new(),
+            trained_at: None,
+            last_retrain: None,
+            last_workload_change: false,
+            events: Vec::new(),
+        }
+    }
+
+    /// Whether the per-VM models have been trained yet.
+    pub fn is_trained(&self) -> bool {
+        self.trained_at.is_some()
+    }
+
+    /// When training completed, if it has.
+    pub fn trained_at(&self) -> Option<Timestamp> {
+        self.trained_at
+    }
+
+    /// Every event the controller has emitted.
+    pub fn events(&self) -> &[ControllerEvent] {
+        &self.events
+    }
+
+    /// The controller's view of the SLO history.
+    pub fn slo_log(&self) -> &SloLog {
+        &self.slo
+    }
+
+    /// The accumulated metric series of one VM.
+    pub fn series(&self, vm: VmId) -> Option<&TimeSeries> {
+        self.series.get(&vm)
+    }
+
+    /// The trained predictor of one VM, if training has happened.
+    pub fn predictor(&self, vm: VmId) -> Option<&AnomalyPredictor> {
+        self.predictors.get(&vm)
+    }
+
+    /// Ingests one sampling round: a sample per VM plus the application's
+    /// current SLO status. May actuate prevention actions on `cluster`.
+    /// Returns the events generated this round.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a sample belongs to a VM this controller does not manage.
+    pub fn on_sample(
+        &mut self,
+        now: Timestamp,
+        samples: &[(VmId, MetricSample)],
+        slo_violated: bool,
+        cluster: &mut Cluster,
+    ) -> Vec<ControllerEvent> {
+        let events_before = self.events.len();
+
+        for (vm, sample) in samples {
+            self.series
+                .get_mut(vm)
+                .unwrap_or_else(|| panic!("sample for unmanaged VM {vm}"))
+                .push(*sample);
+        }
+        self.slo.record(now, slo_violated);
+        self.inference.observe(samples);
+        let violation_confirmed = self.violation_filter.push(slo_violated);
+
+        if self.scheme != Scheme::NoIntervention {
+            self.maybe_train(now);
+            if self.is_trained() {
+                self.maybe_retrain(now, slo_violated);
+                for (vm, sample) in samples {
+                    if let Some(p) = self.predictors.get_mut(vm) {
+                        p.observe(sample);
+                    }
+                }
+                self.predictive_round(now, slo_violated, violation_confirmed, cluster);
+                self.validate_episodes(now, slo_violated, cluster);
+            }
+        }
+
+        self.events[events_before..].to_vec()
+    }
+
+    /// Trains per-VM models once the first (completed) anomaly has been
+    /// observed — "our prediction model learns the anomaly during the
+    /// first fault injection" (§III-B). Fault localization (the PAL step
+    /// of §II-B) runs first: only VMs whose metrics genuinely deviated
+    /// during the violation get anomaly predictors; ripple victims (e.g.
+    /// downstream PEs starved of input) stay model-less so they cannot be
+    /// blamed for states that are normal for them.
+    fn maybe_train(&mut self, now: Timestamp) {
+        if self.is_trained() {
+            return;
+        }
+        let enough = self
+            .series
+            .values()
+            .next()
+            .is_some_and(|s| s.len() >= self.config.min_training_samples);
+        let anomaly_seen = self.slo.first_violation().is_some();
+        let anomaly_over = !self.slo.is_violated_at(now);
+        // Train only after the SLO has been quiet for a while, so the
+        // training window contains post-anomaly normal data too.
+        let quiet_long_enough = self
+            .slo
+            .intervals()
+            .last()
+            .is_some_and(|&(_, end)| now.since(end) >= self.config.post_anomaly_quiet);
+        if !(enough && anomaly_seen && anomaly_over && quiet_long_enough) {
+            return;
+        }
+        let implicated = crate::implicated_vms(&self.series, &self.slo);
+        let mut trained = HashMap::new();
+        for &vm in &implicated {
+            if let Ok(p) =
+                AnomalyPredictor::train(&self.series[&vm], &self.slo, &self.config.predictor)
+            {
+                trained.insert(vm, p);
+            }
+        }
+        if trained.is_empty() {
+            return; // try again next round with more data
+        }
+        let mut vms: Vec<VmId> = trained.keys().copied().collect();
+        vms.sort_unstable();
+        self.predictors = trained;
+        self.trained_at = Some(now);
+        self.events.push(ControllerEvent::ModelsTrained { at: now, vms });
+    }
+
+    /// Periodic model refresh (§II-B): re-runs fault localization and
+    /// re-fits the per-VM predictors on the full history. Newly
+    /// implicated VMs gain predictors; VMs whose refresh fails keep their
+    /// previous model. Skipped while the SLO is violated or an episode is
+    /// open (refreshing mid-anomaly would contaminate the discretizer
+    /// ranges and reset stream positions at the worst moment).
+    fn maybe_retrain(&mut self, now: Timestamp, slo_violated: bool) {
+        let Some(interval) = self.config.retrain_interval else {
+            return;
+        };
+        let anchor = self.last_retrain.or(self.trained_at).expect("trained");
+        if now.since(anchor) < interval || slo_violated || !self.episodes.is_empty() {
+            return;
+        }
+        self.last_retrain = Some(now);
+        let implicated = crate::implicated_vms(&self.series, &self.slo);
+        let mut refreshed = Vec::new();
+        for &vm in &implicated {
+            if let Ok(p) =
+                AnomalyPredictor::train(&self.series[&vm], &self.slo, &self.config.predictor)
+            {
+                self.predictors.insert(vm, p);
+                refreshed.push(vm);
+            }
+        }
+        if !refreshed.is_empty() {
+            refreshed.sort_unstable();
+            self.events.push(ControllerEvent::ModelsTrained { at: now, vms: refreshed });
+        }
+    }
+
+    /// Attributes blamed with positive strength, most responsible first.
+    fn positive_ranking(prediction: &prepare_anomaly::Prediction) -> Vec<AttributeKind> {
+        prediction
+            .strengths
+            .iter()
+            .filter(|s| s.strength > 0.0)
+            .filter_map(|s| AttributeKind::from_index(s.attribute))
+            .collect()
+    }
+
+    fn predictive_round(
+        &mut self,
+        now: Timestamp,
+        slo_violated: bool,
+        violation_confirmed: bool,
+        cluster: &mut Cluster,
+    ) {
+        let mut confirmed: Vec<(VmId, Vec<AttributeKind>)> = Vec::new();
+
+        if self.scheme == Scheme::Prepare {
+            for &vm in &self.vms.clone() {
+                let Some(predictor) = self.predictors.get(&vm) else {
+                    continue;
+                };
+                let prediction = predictor.predict(self.config.look_ahead);
+                if prediction.is_alert() {
+                    self.events.push(ControllerEvent::AlertRaised {
+                        at: now,
+                        vm,
+                        score: prediction.score,
+                    });
+                }
+                let filter = self.filters.get_mut(&vm).expect("filter per VM");
+                if filter.push(prediction.is_alert()) {
+                    confirmed.push((vm, Self::positive_ranking(&prediction)));
+                }
+            }
+        }
+
+        let workload_change = self.inference.workload_change(now);
+        if workload_change && !self.last_workload_change {
+            self.events
+                .push(ControllerEvent::WorkloadChangeInferred { at: now });
+        }
+        self.last_workload_change = workload_change;
+
+        // A settling period right after training lets filter windows and
+        // slow metrics (Load5) flush the just-ended training anomaly's
+        // residue before alert-driven actions are allowed.
+        let settled = self
+            .trained_at
+            .is_some_and(|t| now.since(t).as_secs() >= TRAINING_SETTLE_SECS);
+        for (vm, ranking) in confirmed {
+            if !settled || self.episodes.contains_key(&vm) || self.is_suppressed(vm, now) {
+                continue;
+            }
+            self.events.push(ControllerEvent::AlertConfirmed {
+                at: now,
+                vm,
+                ranked_attributes: ranking.clone(),
+            });
+            self.episodes.insert(vm, Episode::open(vm, now, ranking));
+            self.act(vm, now, slo_violated, cluster);
+        }
+
+        // Reactive path: the violation is already here and no predictive
+        // episode covers it — PREPARE's fallback, and the only path for
+        // the reactive baseline scheme.
+        if violation_confirmed && self.episodes.is_empty() {
+            for (vm, ranking) in self.reactive_diagnosis() {
+                if self.is_suppressed(vm, now) {
+                    continue;
+                }
+                self.events.push(ControllerEvent::ReactiveTriggered { at: now, vm });
+                self.episodes.insert(vm, Episode::open(vm, now, ranking));
+                self.act(vm, now, slo_violated, cluster);
+            }
+        }
+    }
+
+    fn is_suppressed(&self, vm: VmId, now: Timestamp) -> bool {
+        self.suppressed_until.get(&vm).is_some_and(|&until| now < until)
+    }
+
+    /// Diagnoses the current (not predicted) state: faulty VMs are those
+    /// whose models classify the present sample abnormal; if none does,
+    /// the highest-scoring VM is blamed.
+    fn reactive_diagnosis(&self) -> Vec<(VmId, Vec<AttributeKind>)> {
+        let mut faulty = Vec::new();
+        let mut best: Option<(VmId, f64, Vec<AttributeKind>)> = None;
+        for &vm in &self.vms {
+            let Some(predictor) = self.predictors.get(&vm) else {
+                continue;
+            };
+            let now_state = predictor.predict(Duration::ZERO);
+            let ranking = Self::positive_ranking(&now_state);
+            if now_state.is_alert() {
+                faulty.push((vm, ranking.clone()));
+            }
+            if best.as_ref().map_or(true, |(_, s, _)| now_state.score > *s) {
+                best = Some((vm, now_state.score, ranking));
+            }
+        }
+        if faulty.is_empty() {
+            if let Some((vm, _, ranking)) = best {
+                faulty.push((vm, ranking));
+            }
+        }
+        faulty
+    }
+
+    /// Plans and executes the next prevention action for an episode.
+    ///
+    /// `slo_violated` gates the migration fallback under the
+    /// scaling-first policy: live migration is disruptive (a brown-out of
+    /// several seconds), so it is only worth reaching for while the SLO
+    /// is actually broken — a lingering alert on an out-of-distribution
+    /// but healthy state must not trigger it. Under the migration-first
+    /// policy, early (pre-violation) migration is the whole point
+    /// (Fig. 9), so it stays allowed.
+    fn act(&mut self, vm: VmId, now: Timestamp, slo_violated: bool, cluster: &mut Cluster) {
+        let Some(episode) = self.episodes.get_mut(&vm) else {
+            return;
+        };
+        let recently_migrated = self
+            .last_migration
+            .get(&vm)
+            .is_some_and(|&t| now.since(t).as_secs() < MIGRATION_COOLDOWN_SECS);
+        let migration_warranted = match self.config.policy {
+            crate::PreventionPolicy::MigrationFirst => true,
+            crate::PreventionPolicy::ScalingFirst => slo_violated,
+        };
+        let allow_migration = !episode.migrated && !recently_migrated && migration_warranted;
+        let action = self.planner.plan(
+            cluster,
+            vm,
+            &episode.candidates,
+            allow_migration,
+            &episode.ineffective_resources,
+        );
+        let failure = match action {
+            Some(a) => match self.planner.execute(cluster, a, now) {
+                Ok(()) => {
+                    let was_migration = matches!(a, PlannedAction::Migrate { .. });
+                    if was_migration {
+                        self.last_migration.insert(vm, now);
+                    }
+                    episode.record_action(now, was_migration);
+                    episode.last_resource = a.resource();
+                    episode.failures = 0;
+                    let attribute = match a {
+                        PlannedAction::Migrate { .. } => None,
+                        _ => episode.active_attribute(),
+                    };
+                    self.events.push(ControllerEvent::ActionIssued {
+                        at: now,
+                        vm,
+                        action: a.to_string(),
+                        attribute,
+                    });
+                    None
+                }
+                Err(reason) => Some(reason),
+            },
+            None => Some("no applicable prevention action".to_string()),
+        };
+        if let Some(reason) = failure {
+            let episode = self.episodes.get_mut(&vm).expect("episode still open");
+            episode.failures += 1;
+            let abandon = episode.failures >= MAX_EPISODE_FAILURES;
+            self.events.push(ControllerEvent::ActionFailed { at: now, vm, reason });
+            if abandon {
+                self.episodes.remove(&vm);
+                if let Some(f) = self.filters.get_mut(&vm) {
+                    f.reset();
+                }
+                self.suppressed_until
+                    .insert(vm, now + Duration::from_secs(SUPPRESSION_SECS));
+            }
+        }
+    }
+
+    /// Runs the look-back/look-ahead validation over open episodes.
+    fn validate_episodes(&mut self, now: Timestamp, slo_violated: bool, cluster: &mut Cluster) {
+        let window = self.config.validation_window;
+        let mut resolved = Vec::new();
+        let mut escalate = Vec::new();
+        let mut retry = Vec::new();
+
+        for (&vm, episode) in &self.episodes {
+            // A stalled episode whose action could never be issued gets a
+            // fresh attempt each validation window.
+            if episode.last_action_at.is_none() {
+                if now.since(episode.opened) >= window {
+                    retry.push(vm);
+                }
+                continue;
+            }
+            // Persistence is judged by the SLO itself ("the prediction
+            // models stop sending any anomaly alert (i.e., SLO violation
+            // is gone)", §II-D). After an action has changed the VM's
+            // allocation, the classifier runs on states outside its
+            // training distribution, so its lingering alerts must not
+            // escalate a working mitigation into a disruptive one.
+            let still_anomalous = slo_violated;
+            let changed = match (episode.active_attribute(), episode.last_action_at) {
+                (Some(attr), Some(acted)) => {
+                    usage_changed(&self.series[&vm], attr, acted, window)
+                }
+                // Migration-only episodes: "usage change" is the host move
+                // itself having completed.
+                (None, Some(_)) => !cluster.vm(vm).is_migrating() && episode.migrated,
+                _ => false,
+            };
+            match episode.validate(now, window, still_anomalous, changed) {
+                ValidationOutcome::Resolved => resolved.push(vm),
+                ValidationOutcome::Ineffective => escalate.push(vm),
+                // A retry that has already hit the per-candidate cap means
+                // the blamed metric responds to scaling without fixing the
+                // anomaly — wrong metric; move down the ranking.
+                ValidationOutcome::Retry if episode.candidate_exhausted() => escalate.push(vm),
+                ValidationOutcome::Retry => retry.push(vm),
+                ValidationOutcome::Pending => {}
+            }
+        }
+
+        for vm in resolved {
+            self.episodes.remove(&vm);
+            if let Some(f) = self.filters.get_mut(&vm) {
+                f.reset();
+            }
+            self.events.push(ControllerEvent::ValidationSucceeded { at: now, vm });
+        }
+        for vm in escalate {
+            self.events.push(ControllerEvent::ValidationIneffective { at: now, vm });
+            if let Some(ep) = self.episodes.get_mut(&vm) {
+                // The blamed metric did not respond (or responded without
+                // fixing anything): retire both the metric and — once a
+                // resource's scaling has provably not helped — the whole
+                // resource, so the planner escalates to migration.
+                ep.mark_resource_ineffective();
+                ep.advance_candidate();
+            }
+            self.act(vm, now, slo_violated, cluster);
+        }
+        for vm in retry {
+            self.act(vm, now, slo_violated, cluster);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prepare_metrics::MetricVector;
+
+    fn mk_controller(scheme: Scheme) -> PrepareController {
+        PrepareController::new(vec![VmId(0), VmId(1)], PrepareConfig::default(), scheme)
+    }
+
+    fn sample_for(t: u64, cpu: f64, free_mem: f64) -> MetricSample {
+        let v = MetricVector::from_fn(|a| match a {
+            AttributeKind::CpuTotal => cpu,
+            AttributeKind::CpuUser => cpu * 0.7,
+            AttributeKind::FreeMem => free_mem,
+            AttributeKind::Load1 => cpu / 50.0,
+            // Exhausted memory pages hard — the localization marker.
+            AttributeKind::PageFaults => if free_mem <= 0.0 { 600.0 } else { 0.0 },
+            _ => 10.0,
+        });
+        MetricSample::new(Timestamp::from_secs(t), v)
+    }
+
+    /// Drives a two-VM controller through a synthetic leak-like anomaly on
+    /// VM 0: free memory ramps to zero over 50 samples, stays depleted
+    /// (heavy paging) for 20 samples, then recovers; the SLO breaks while
+    /// free memory is below 50 MB. One 120-sample period = 600 s.
+    /// `rounds` is a half-open range of sampling rounds so the scenario
+    /// can be continued across calls.
+    fn drive(
+        controller: &mut PrepareController,
+        cluster: &mut Cluster,
+        rounds: std::ops::Range<u64>,
+    ) {
+        for i in rounds {
+            let t = i * 5;
+            let phase = i % 120;
+            let free = match phase {
+                0..=39 => 500.0,
+                40..=89 => 500.0 - (phase - 39) as f64 * 10.0,
+                90..=109 => 0.0,
+                _ => 500.0,
+            };
+            let violated = free < 50.0;
+            let samples = vec![
+                (VmId(0), sample_for(t, 40.0, free)),
+                (VmId(1), sample_for(t, 30.0, 400.0)),
+            ];
+            controller.on_sample(Timestamp::from_secs(t), &samples, violated, cluster);
+        }
+    }
+
+    fn test_cluster() -> Cluster {
+        let mut c = Cluster::new();
+        let h0 = c.add_host(prepare_cloudsim::HostSpec::vcl_default());
+        let h1 = c.add_host(prepare_cloudsim::HostSpec::vcl_default());
+        c.create_vm(h0, 100.0, 512.0).unwrap();
+        c.create_vm(h1, 100.0, 512.0).unwrap();
+        c.add_host(prepare_cloudsim::HostSpec::vcl_default());
+        c
+    }
+
+    #[test]
+    fn trains_after_first_anomaly_completes() {
+        let mut c = test_cluster();
+        let mut ctl = mk_controller(Scheme::Prepare);
+        drive(&mut ctl, &mut c, 0..100);
+        assert!(!ctl.is_trained(), "should not train mid-anomaly or too early");
+        drive(&mut ctl, &mut c, 100..160); // past the first anomaly + quiet period
+        assert!(ctl.is_trained());
+        assert!(ctl
+            .events()
+            .iter()
+            .any(|e| matches!(e, ControllerEvent::ModelsTrained { .. })));
+    }
+
+    #[test]
+    fn no_intervention_scheme_is_inert() {
+        let mut c = test_cluster();
+        let mut ctl = mk_controller(Scheme::NoIntervention);
+        drive(&mut ctl, &mut c, 0..300);
+        assert!(!ctl.is_trained());
+        assert!(ctl.events().is_empty());
+        assert!(c.actions().is_empty());
+    }
+
+    #[test]
+    fn prepare_scheme_predicts_and_acts_on_recurrence() {
+        let mut c = test_cluster();
+        let mut ctl = mk_controller(Scheme::Prepare);
+        drive(&mut ctl, &mut c, 0..360); // three anomaly cycles
+        assert!(ctl.is_trained());
+        let alerts = ctl
+            .events()
+            .iter()
+            .filter(|e| matches!(e, ControllerEvent::AlertRaised { .. }))
+            .count();
+        assert!(alerts > 0, "predictor should raise alerts on recurrences");
+        let actions = ctl
+            .events()
+            .iter()
+            .filter(|e| matches!(e, ControllerEvent::ActionIssued { .. }))
+            .count();
+        assert!(actions > 0, "confirmed alerts should actuate prevention");
+        assert!(!c.actions().is_empty());
+    }
+
+    /// A cluster with zero scaling headroom and no migration target: all
+    /// prevention attempts must fail cleanly, cap out, and suppress the
+    /// VM instead of spinning.
+    #[test]
+    fn full_cluster_fails_closed_and_suppresses() {
+        let mut c = Cluster::new();
+        let h0 = c.add_host(prepare_cloudsim::HostSpec::vcl_default());
+        // Two VMs filling the only host completely; no spare host at all.
+        c.create_vm(h0, 100.0, 2048.0).unwrap();
+        c.create_vm(h0, 100.0, 2048.0).unwrap();
+        let mut ctl = mk_controller(Scheme::Prepare);
+        drive(&mut ctl, &mut c, 0..360);
+        // The anomaly persists across cycles, actions keep failing...
+        let failures = ctl
+            .events()
+            .iter()
+            .filter(|e| matches!(e, ControllerEvent::ActionFailed { .. }))
+            .count();
+        assert!(failures > 0, "prevention should have been attempted and failed");
+        // ...but never touch the hypervisor state...
+        assert_eq!(c.vm(VmId(0)).cpu_alloc, 100.0);
+        assert_eq!(c.vm(VmId(0)).mem_alloc_mb, 2048.0);
+        assert!(c.actions().is_empty(), "no action can be applied on a full cluster");
+        // ...and the failure cap bounds the churn (abandon + suppression,
+        // not an unbounded retry storm).
+        assert!(
+            failures < 60,
+            "failure suppression should bound the churn, got {failures}"
+        );
+    }
+
+    #[test]
+    fn periodic_retraining_refreshes_models() {
+        let mut c = test_cluster();
+        let mut ctl = mk_controller(Scheme::Prepare);
+        // 600 rounds = 3000 s: initial training plus at least two
+        // 600 s refreshes in quiet periods.
+        drive(&mut ctl, &mut c, 0..600);
+        let trainings = ctl
+            .events()
+            .iter()
+            .filter(|e| matches!(e, ControllerEvent::ModelsTrained { .. }))
+            .count();
+        assert!(trainings >= 2, "expected initial training plus refreshes, got {trainings}");
+    }
+
+    #[test]
+    fn retraining_can_be_disabled() {
+        let mut c = test_cluster();
+        let mut config = PrepareConfig::default();
+        config.retrain_interval = None;
+        let mut ctl = PrepareController::new(vec![VmId(0), VmId(1)], config, Scheme::Prepare);
+        drive(&mut ctl, &mut c, 0..600);
+        let trainings = ctl
+            .events()
+            .iter()
+            .filter(|e| matches!(e, ControllerEvent::ModelsTrained { .. }))
+            .count();
+        assert_eq!(trainings, 1, "only the initial training should fire");
+    }
+
+    #[test]
+    fn reactive_scheme_acts_only_on_violation() {
+        let mut c = test_cluster();
+        let mut ctl = mk_controller(Scheme::Reactive);
+        drive(&mut ctl, &mut c, 0..300);
+        assert!(ctl.is_trained());
+        // Reactive never raises predictive alerts...
+        assert!(!ctl
+            .events()
+            .iter()
+            .any(|e| matches!(e, ControllerEvent::AlertRaised { .. })));
+        // ...but does trigger on actual violations.
+        assert!(ctl
+            .events()
+            .iter()
+            .any(|e| matches!(e, ControllerEvent::ReactiveTriggered { .. })));
+    }
+
+    #[test]
+    fn reactive_trigger_blames_the_faulty_vm() {
+        let mut c = test_cluster();
+        let mut ctl = mk_controller(Scheme::Reactive);
+        drive(&mut ctl, &mut c, 0..300);
+        for e in ctl.events() {
+            if let ControllerEvent::ReactiveTriggered { vm, .. } = e {
+                assert_eq!(*vm, VmId(0), "only VM 0 carries the anomaly signature");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unmanaged VM")]
+    fn rejects_foreign_samples() {
+        let mut c = test_cluster();
+        let mut ctl = mk_controller(Scheme::Prepare);
+        ctl.on_sample(
+            Timestamp::ZERO,
+            &[(VmId(9), sample_for(0, 1.0, 1.0))],
+            false,
+            &mut c,
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one VM")]
+    fn rejects_empty_vm_set() {
+        let _ = PrepareController::new(vec![], PrepareConfig::default(), Scheme::Prepare);
+    }
+}

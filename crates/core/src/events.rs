@@ -1,0 +1,158 @@
+//! Controller event log — the observable record of PREPARE's decisions,
+//! consumed by experiments, tests, and examples.
+
+use prepare_metrics::{AttributeKind, Timestamp, VmId};
+use std::fmt;
+
+/// Something the controller did or decided.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ControllerEvent {
+    /// Per-VM anomaly models were (re)trained.
+    ModelsTrained {
+        /// When training completed.
+        at: Timestamp,
+        /// VMs whose predictor trained successfully.
+        vms: Vec<VmId>,
+    },
+    /// A raw (unfiltered) anomaly alert from one VM's predictor.
+    AlertRaised {
+        /// When the alert was raised.
+        at: Timestamp,
+        /// The alerting VM.
+        vm: VmId,
+        /// TAN decision score of the prediction.
+        score: f64,
+    },
+    /// An alert survived k-of-W filtering — a confirmed anomaly.
+    AlertConfirmed {
+        /// When the alert was confirmed.
+        at: Timestamp,
+        /// The pinpointed faulty VM.
+        vm: VmId,
+        /// Blamed attributes, most responsible first.
+        ranked_attributes: Vec<AttributeKind>,
+    },
+    /// Change points fired on (nearly) all components simultaneously —
+    /// the anomaly is inferred to be a workload change, not an internal
+    /// fault.
+    WorkloadChangeInferred {
+        /// When the inference fired.
+        at: Timestamp,
+    },
+    /// The SLO broke without an advance alert; prevention now runs
+    /// reactively (PREPARE's fallback, and the entire modus operandi of
+    /// the reactive baseline scheme).
+    ReactiveTriggered {
+        /// When the violation was detected.
+        at: Timestamp,
+        /// The VM the cause inference blamed.
+        vm: VmId,
+    },
+    /// A prevention action was issued.
+    ActionIssued {
+        /// When it was issued.
+        at: Timestamp,
+        /// Target VM.
+        vm: VmId,
+        /// Human-readable action description.
+        action: String,
+        /// Attribute that motivated the action (None for migration).
+        attribute: Option<AttributeKind>,
+    },
+    /// A prevention action could not be applied.
+    ActionFailed {
+        /// When the failure occurred.
+        at: Timestamp,
+        /// Target VM.
+        vm: VmId,
+        /// Why it failed.
+        reason: String,
+    },
+    /// Validation concluded the anomaly is gone.
+    ValidationSucceeded {
+        /// When validation passed.
+        at: Timestamp,
+        /// The recovered VM.
+        vm: VmId,
+    },
+    /// Validation concluded the last action was ineffective; the
+    /// controller moves to the next candidate.
+    ValidationIneffective {
+        /// When validation failed.
+        at: Timestamp,
+        /// The still-anomalous VM.
+        vm: VmId,
+    },
+}
+
+impl ControllerEvent {
+    /// The event's timestamp.
+    pub fn time(&self) -> Timestamp {
+        match self {
+            ControllerEvent::ModelsTrained { at, .. }
+            | ControllerEvent::AlertRaised { at, .. }
+            | ControllerEvent::AlertConfirmed { at, .. }
+            | ControllerEvent::WorkloadChangeInferred { at }
+            | ControllerEvent::ReactiveTriggered { at, .. }
+            | ControllerEvent::ActionIssued { at, .. }
+            | ControllerEvent::ActionFailed { at, .. }
+            | ControllerEvent::ValidationSucceeded { at, .. }
+            | ControllerEvent::ValidationIneffective { at, .. } => *at,
+        }
+    }
+}
+
+impl fmt::Display for ControllerEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ControllerEvent::ModelsTrained { at, vms } => {
+                write!(f, "[{at}] trained models for {} VMs", vms.len())
+            }
+            ControllerEvent::AlertRaised { at, vm, score } => {
+                write!(f, "[{at}] alert from {vm} (score {score:.2})")
+            }
+            ControllerEvent::AlertConfirmed { at, vm, ranked_attributes } => {
+                write!(f, "[{at}] confirmed anomaly on {vm}, blames {:?}",
+                    ranked_attributes.first())
+            }
+            ControllerEvent::WorkloadChangeInferred { at } => {
+                write!(f, "[{at}] workload change inferred")
+            }
+            ControllerEvent::ReactiveTriggered { at, vm } => {
+                write!(f, "[{at}] reactive intervention on {vm}")
+            }
+            ControllerEvent::ActionIssued { at, vm, action, .. } => {
+                write!(f, "[{at}] {vm}: {action}")
+            }
+            ControllerEvent::ActionFailed { at, vm, reason } => {
+                write!(f, "[{at}] {vm}: action failed ({reason})")
+            }
+            ControllerEvent::ValidationSucceeded { at, vm } => {
+                write!(f, "[{at}] {vm}: anomaly resolved")
+            }
+            ControllerEvent::ValidationIneffective { at, vm } => {
+                write!(f, "[{at}] {vm}: prevention ineffective, escalating")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_accessor_covers_all_variants() {
+        let t = Timestamp::from_secs(5);
+        let events = vec![
+            ControllerEvent::ModelsTrained { at: t, vms: vec![] },
+            ControllerEvent::AlertRaised { at: t, vm: VmId(0), score: 1.0 },
+            ControllerEvent::WorkloadChangeInferred { at: t },
+            ControllerEvent::ValidationSucceeded { at: t, vm: VmId(0) },
+        ];
+        for e in events {
+            assert_eq!(e.time(), t);
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

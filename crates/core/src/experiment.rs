@@ -1,0 +1,445 @@
+//! The experiment runner reproducing §III: deploy an application on the
+//! simulated cluster, inject recurrent faults, run one of the three
+//! management schemes, and measure SLO violation time plus everything the
+//! figures need (metric traces, labeled per-VM series, action logs).
+
+pub use crate::controller::Scheme;
+use crate::{ControllerEvent, PrepareConfig, PrepareController, PreventionPolicy};
+use prepare_apps::{Application, AppTick, FaultKind, FaultPlan, Rubis, SystemS, Workload};
+use prepare_cloudsim::{ActionRecord, Cluster, Monitor};
+use prepare_metrics::{
+    mean_std, Duration, MetricSample, SloLog, TimeSeries, Timestamp, VmId,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Which case-study application to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AppKind {
+    /// IBM System S tax-calculation dataflow (7 PEs, Fig. 4).
+    SystemS,
+    /// RUBiS 3-tier auction benchmark (Fig. 5).
+    Rubis,
+}
+
+impl AppKind {
+    /// Application label used in experiment output.
+    pub fn name(&self) -> &'static str {
+        match self {
+            AppKind::SystemS => "System S",
+            AppKind::Rubis => "RUBiS",
+        }
+    }
+}
+
+/// Which of the paper's three faults to inject.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultChoice {
+    /// Continuous memory allocation in one component VM.
+    MemLeak,
+    /// CPU-bound competitor inside one component VM.
+    CpuHog,
+    /// Workload ramp past the bottleneck component's capacity.
+    Bottleneck,
+    /// A noisy co-tenant on the faulty VM's host squeezes every cap on
+    /// it — the "resource contentions" cause from the paper's intro
+    /// (extension; not part of the paper's evaluation). Scaling cannot
+    /// fix it; PREPARE must escalate to migration via validation.
+    Contention,
+}
+
+impl FaultChoice {
+    /// Fault label used in experiment output.
+    pub fn name(&self) -> &'static str {
+        match self {
+            FaultChoice::MemLeak => "memleak",
+            FaultChoice::CpuHog => "cpuhog",
+            FaultChoice::Bottleneck => "bottleneck",
+            FaultChoice::Contention => "contention",
+        }
+    }
+}
+
+/// Full specification of one experiment run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExperimentSpec {
+    /// The application under test.
+    pub app: AppKind,
+    /// The injected fault class.
+    pub fault: FaultChoice,
+    /// The anomaly management scheme.
+    pub scheme: Scheme,
+    /// Controller configuration (including the prevention policy).
+    pub config: PrepareConfig,
+    /// Total run length (the paper uses 1200–1800 s).
+    pub duration: Duration,
+    /// Start of the first (training) injection.
+    pub first_injection: Timestamp,
+    /// Start of the second (evaluated) injection.
+    pub second_injection: Timestamp,
+    /// Length of each injection (~300 s in the paper).
+    pub injection_duration: Duration,
+    /// Relative measurement noise of the monitor.
+    pub monitor_noise: f64,
+}
+
+impl ExperimentSpec {
+    /// The paper's standard schedule: a 1500 s run with 300 s injections
+    /// at t=150 (training) and t=800 (evaluated), 2% monitor noise.
+    pub fn paper_default(app: AppKind, fault: FaultChoice, scheme: Scheme) -> Self {
+        ExperimentSpec {
+            app,
+            fault,
+            scheme,
+            config: PrepareConfig::default(),
+            duration: Duration::from_secs(1500),
+            first_injection: Timestamp::from_secs(150),
+            second_injection: Timestamp::from_secs(800),
+            injection_duration: Duration::from_secs(300),
+            monitor_noise: 0.02,
+        }
+    }
+
+    /// Sets the prevention policy (scaling-first for Figs. 6/7,
+    /// migration-first for Figs. 8/9).
+    #[must_use]
+    pub fn with_policy(mut self, policy: PreventionPolicy) -> Self {
+        self.config.policy = policy;
+        self
+    }
+}
+
+/// Everything one run produces.
+#[derive(Debug, Clone)]
+pub struct ExperimentResult {
+    /// The application that ran.
+    pub app: AppKind,
+    /// The fault that was injected.
+    pub fault: FaultChoice,
+    /// The scheme that managed it.
+    pub scheme: Scheme,
+    /// SLO violation time over the whole run.
+    pub total_violation_time: Duration,
+    /// SLO violation time from the second injection onward — the paper's
+    /// reported metric (the first injection trains the model, so every
+    /// scheme suffers it equally).
+    pub eval_violation_time: Duration,
+    /// One [`AppTick`] per simulated second — the Figs. 7/9 traces.
+    pub ticks: Vec<AppTick>,
+    /// Controller event log.
+    pub events: Vec<ControllerEvent>,
+    /// Hypervisor actuation records.
+    pub actions: Vec<ActionRecord>,
+    /// Per-VM metric traces captured by the monitor (for the trace-driven
+    /// accuracy studies, Figs. 10–13).
+    pub vm_series: Vec<(VmId, TimeSeries)>,
+    /// The run's SLO log (labels for the accuracy studies).
+    pub slo_log: SloLog,
+    /// When the evaluated injection began.
+    pub second_injection: Timestamp,
+    /// Advance notice achieved on the evaluated anomaly: time from the
+    /// first prevention action (at/after the second injection) to the
+    /// first SLO violation of the evaluation window. `None` when no
+    /// violation occurred (fully prevented) or no action preceded one.
+    pub lead_time: Option<Duration>,
+}
+
+impl ExperimentResult {
+    /// Violated seconds inside `[from, to)` computed from the per-tick
+    /// record.
+    pub fn violation_in(&self, from: Timestamp, to: Timestamp) -> Duration {
+        let secs = self
+            .ticks
+            .iter()
+            .filter(|t| t.slo_violated && t.time >= from && t.time < to)
+            .count() as u64;
+        Duration::from_secs(secs)
+    }
+}
+
+/// One experiment: a spec plus a seed.
+#[derive(Debug, Clone)]
+pub struct Experiment {
+    spec: ExperimentSpec,
+    seed: u64,
+}
+
+impl Experiment {
+    /// Creates the experiment.
+    pub fn new(spec: ExperimentSpec, seed: u64) -> Self {
+        Experiment { spec, seed }
+    }
+
+    fn build_fault_plan(
+        spec: &ExperimentSpec,
+        app: &dyn Application,
+        rng: &mut StdRng,
+    ) -> FaultPlan {
+        let kind = match spec.fault {
+            FaultChoice::MemLeak => FaultKind::MemLeak { rate_mb_per_sec: 2.0 },
+            FaultChoice::CpuHog => FaultKind::CpuHog { cpu: 85.0 },
+            FaultChoice::Bottleneck => {
+                let peak = match spec.app {
+                    AppKind::SystemS => 1.8,
+                    AppKind::Rubis => 2.5,
+                };
+                FaultKind::WorkloadRamp { peak_multiplier: peak }
+            }
+            // Heavy enough that even the lightest component is starved
+            // (hosts have 200 CPU; a single 100-CPU VM gets squeezed to
+            // 25 effective).
+            FaultChoice::Contention => FaultKind::NeighborInterference { host_cpu: 175.0 },
+        };
+        let target = match (spec.fault, spec.app) {
+            (FaultChoice::Bottleneck, _) => None,
+            // "a randomly selected PE" (§III-A).
+            (_, AppKind::SystemS) => {
+                let vms = app.vms();
+                Some(vms[rng.gen_range(0..vms.len())])
+            }
+            // RUBiS faults target the database server VM (§III-A).
+            (_, AppKind::Rubis) => Some(app.bottleneck_vm()),
+        };
+        FaultPlan::recurrent(
+            target,
+            kind,
+            spec.first_injection,
+            spec.second_injection,
+            spec.injection_duration,
+        )
+    }
+
+    fn build_workload(spec: &ExperimentSpec) -> Workload {
+        match spec.app {
+            AppKind::SystemS => Workload::Constant {
+                rate: SystemS::NOMINAL_RATE,
+            },
+            AppKind::Rubis => match spec.fault {
+                // The bottleneck fault *is* a controlled workload ramp, so
+                // it rides on a flat baseline; the other RUBiS faults run
+                // under the NASA-trace diurnal workload (§III-A). The
+                // synthetic day is compressed to the injection spacing so
+                // both injections recur at the same time-of-day — the
+                // recurrent-anomaly regime the paper's supervised model
+                // assumes.
+                FaultChoice::Bottleneck => Workload::Constant {
+                    rate: Rubis::NOMINAL_RATE,
+                },
+                _ => Workload::Nasa {
+                    mean_rate: Rubis::NOMINAL_RATE,
+                    day_secs: spec
+                        .second_injection
+                        .since(spec.first_injection)
+                        .as_secs()
+                        .max(1),
+                    jitter: 0.05,
+                },
+            },
+        }
+    }
+
+    /// Runs the experiment to completion.
+    pub fn run(self) -> ExperimentResult {
+        let spec = self.spec;
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut cluster = Cluster::new();
+        let mut app: Box<dyn Application> = match spec.app {
+            AppKind::SystemS => {
+                Box::new(SystemS::deploy(&mut cluster).expect("fresh hosts fit the PEs"))
+            }
+            AppKind::Rubis => {
+                Box::new(Rubis::deploy(&mut cluster).expect("fresh hosts fit the tiers"))
+            }
+        };
+        let faults = Self::build_fault_plan(&spec, app.as_ref(), &mut rng);
+        let workload = Self::build_workload(&spec);
+        let vms: Vec<VmId> = app.vms().to_vec();
+        let mut controller = PrepareController::new(vms.clone(), spec.config.clone(), spec.scheme);
+        let mut monitor = Monitor::new(spec.monitor_noise);
+        let sampling = spec.config.predictor.sampling_interval.as_secs().max(1);
+
+        let mut ticks = Vec::with_capacity(spec.duration.as_secs() as usize);
+        let mut slo_log = SloLog::new();
+        let mut vm_series: Vec<(VmId, TimeSeries)> =
+            vms.iter().map(|&vm| (vm, TimeSeries::new())).collect();
+
+        // Hosts contended by active neighbor-interference injections,
+        // pinned to wherever the target VM lived when the injection began.
+        let mut pinned_hosts: Vec<Option<prepare_cloudsim::HostId>> =
+            vec![None; faults.injections().len()];
+
+        for t in 0..spec.duration.as_secs() {
+            let now = Timestamp::from_secs(t);
+            cluster.advance(now);
+            cluster.clear_background_loads();
+            for (idx, target_vm, host_cpu) in faults.interference(now) {
+                let host = *pinned_hosts[idx].get_or_insert_with(|| cluster.vm(target_vm).host);
+                cluster.set_background_load(host, host_cpu);
+            }
+            let rate = workload.rate(now, &mut rng) * faults.workload_multiplier(now);
+            let tick = app.step(now, rate, &mut cluster, &faults);
+            slo_log.record(now, tick.slo_violated);
+            if t % sampling == 0 {
+                let samples: Vec<(VmId, MetricSample)> = vms
+                    .iter()
+                    .map(|&vm| (vm, monitor.sample(&cluster, vm, now, &mut rng)))
+                    .collect();
+                for ((_, series), (_, sample)) in vm_series.iter_mut().zip(&samples) {
+                    series.push(*sample);
+                }
+                controller.on_sample(now, &samples, tick.slo_violated, &mut cluster);
+            }
+            ticks.push(tick);
+        }
+
+        let eval_violation_time = Duration::from_secs(
+            ticks
+                .iter()
+                .filter(|t| t.slo_violated && t.time >= spec.second_injection)
+                .count() as u64,
+        );
+        let total_violation_time = slo_log.total_violation_time();
+
+        // Lead time: first action at/after the second injection vs the
+        // first violation after it.
+        let first_violation = ticks
+            .iter()
+            .find(|t| t.slo_violated && t.time >= spec.second_injection)
+            .map(|t| t.time);
+        let first_action = controller
+            .events()
+            .iter()
+            .filter_map(|e| match e {
+                ControllerEvent::ActionIssued { at, .. } if *at >= spec.second_injection => {
+                    Some(*at)
+                }
+                _ => None,
+            })
+            .next();
+        let lead_time = match (first_action, first_violation) {
+            (Some(a), Some(v)) if a < v => Some(v.since(a)),
+            _ => None,
+        };
+
+        ExperimentResult {
+            app: spec.app,
+            fault: spec.fault,
+            scheme: spec.scheme,
+            total_violation_time,
+            eval_violation_time,
+            ticks,
+            events: controller.events().to_vec(),
+            actions: cluster.actions().to_vec(),
+            vm_series,
+            slo_log,
+            second_injection: spec.second_injection,
+            lead_time,
+        }
+    }
+}
+
+/// Mean ± standard deviation of the evaluated SLO violation time over
+/// repeated trials (the error bars of Figs. 6 and 8).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrialSummary {
+    /// Per-trial evaluated violation times (seconds).
+    pub runs: Vec<f64>,
+    /// Mean violation time (seconds).
+    pub mean_secs: f64,
+    /// Standard deviation (seconds).
+    pub std_secs: f64,
+}
+
+impl TrialSummary {
+    /// Runs the spec once per seed and summarizes.
+    pub fn collect(spec: &ExperimentSpec, seeds: &[u64]) -> TrialSummary {
+        let runs: Vec<f64> = seeds
+            .iter()
+            .map(|&seed| {
+                Experiment::new(spec.clone(), seed)
+                    .run()
+                    .eval_violation_time
+                    .as_secs() as f64
+            })
+            .collect();
+        let (mean_secs, std_secs) = mean_std(&runs);
+        TrialSummary {
+            runs,
+            mean_secs,
+            std_secs,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_spec(app: AppKind, fault: FaultChoice, scheme: Scheme) -> ExperimentSpec {
+        ExperimentSpec::paper_default(app, fault, scheme)
+    }
+
+    #[test]
+    fn no_intervention_suffers_the_fault() {
+        let r = Experiment::new(
+            quick_spec(AppKind::Rubis, FaultChoice::CpuHog, Scheme::NoIntervention),
+            1,
+        )
+        .run();
+        assert!(
+            r.eval_violation_time.as_secs() > 200,
+            "an unmanaged 300 s CPU hog must violate for most of its window, got {}",
+            r.eval_violation_time
+        );
+        assert!(r.actions.is_empty());
+    }
+
+    #[test]
+    fn prepare_beats_no_intervention_on_memleak() {
+        let spec = |s| quick_spec(AppKind::SystemS, FaultChoice::MemLeak, s);
+        let none = Experiment::new(spec(Scheme::NoIntervention), 2).run();
+        let prep = Experiment::new(spec(Scheme::Prepare), 2).run();
+        assert!(
+            prep.eval_violation_time.as_secs() * 3 < none.eval_violation_time.as_secs(),
+            "PREPARE ({}) should cut violation time vs none ({})",
+            prep.eval_violation_time,
+            none.eval_violation_time
+        );
+        assert!(!prep.actions.is_empty(), "PREPARE must have actuated");
+    }
+
+    #[test]
+    fn reactive_beats_no_intervention_on_cpuhog() {
+        let spec = |s| quick_spec(AppKind::Rubis, FaultChoice::CpuHog, s);
+        let none = Experiment::new(spec(Scheme::NoIntervention), 3).run();
+        let reactive = Experiment::new(spec(Scheme::Reactive), 3).run();
+        assert!(
+            reactive.eval_violation_time.as_secs() * 2 < none.eval_violation_time.as_secs(),
+            "reactive ({}) should cut violation time vs none ({})",
+            reactive.eval_violation_time,
+            none.eval_violation_time
+        );
+    }
+
+    #[test]
+    fn trial_summary_is_deterministic_per_seed_set() {
+        let spec = quick_spec(AppKind::Rubis, FaultChoice::Bottleneck, Scheme::NoIntervention);
+        let a = TrialSummary::collect(&spec, &[1, 2]);
+        let b = TrialSummary::collect(&spec, &[1, 2]);
+        assert_eq!(a, b);
+        assert_eq!(a.runs.len(), 2);
+    }
+
+    #[test]
+    fn result_window_accounting_is_consistent() {
+        let r = Experiment::new(
+            quick_spec(AppKind::SystemS, FaultChoice::Bottleneck, Scheme::NoIntervention),
+            5,
+        )
+        .run();
+        let whole = r.violation_in(Timestamp::ZERO, Timestamp::from_secs(1500));
+        assert_eq!(whole, r.total_violation_time);
+        assert!(r.eval_violation_time <= r.total_violation_time);
+        assert_eq!(r.ticks.len(), 1500);
+    }
+}

@@ -1,0 +1,323 @@
+//! Online anomaly cause inference (paper §II-C).
+//!
+//! Two questions are answered once an alert is confirmed: *which VMs are
+//! faulty* (whichever per-VM models alert) and *which metrics on those
+//! VMs are to blame* (TAN attribute strengths, Eq. 2). A third inference
+//! runs continuously: simultaneous change points across all components
+//! mean *workload change*, not an internal fault.
+
+use prepare_metrics::{
+    AttributeKind, CusumDetector, MetricSample, SloLog, TimeSeries, Timestamp, VmId,
+};
+use std::collections::HashMap;
+
+/// Sustained CPU utilization (percent of allocation) treated as pinned.
+const CPU_SATURATION_PCT: f64 = 93.0;
+
+/// Run-queue load (demand over allocation) treated as overload.
+const LOAD_OVERLOAD: f64 = 1.15;
+
+/// Major page faults per second treated as sustained paging.
+const PAGING_FAULTS_PER_SEC: f64 = 100.0;
+
+/// Fault localization across VMs (the paper §II-B delegates this to PAL
+/// \[13\]: "PREPARE relies on previously developed fault localization
+/// techniques to identify the faulty VMs and train the corresponding
+/// per-VM anomaly predictors").
+///
+/// A VM is *implicated* in an anomaly when, during a completed
+/// SLO-violation interval, its own metrics show **local resource
+/// exhaustion**: CPU pinned at its cap, run-queue load past the
+/// allocation, or sustained paging. VMs without exhaustion markers
+/// merely experienced the fault's ripple (a starved downstream component,
+/// diurnal workload drift) and must NOT have their states labeled
+/// abnormal — otherwise their models learn time- or load-correlated
+/// coincidences and alert-storm on healthy state. Exhaustion is also
+/// precisely the condition PREPARE's prevention actions (resource
+/// scaling, migration to a bigger host) can actually fix.
+pub fn implicated_vms(series: &HashMap<VmId, TimeSeries>, slo: &SloLog) -> Vec<VmId> {
+    let mut out: Vec<VmId> = series
+        .iter()
+        .filter_map(|(&vm, ts)| (implication_score(ts, slo) >= 1.0).then_some(vm))
+        .collect();
+    out.sort_unstable();
+    out
+}
+
+/// The implication score of one VM: the strongest resource-exhaustion
+/// marker observed during any completed violation interval, normalized so
+/// that `1.0` is the implication threshold (see [`implicated_vms`]).
+pub fn implication_score(series: &TimeSeries, slo: &SloLog) -> f64 {
+    let mut best = 0.0_f64;
+    for (start, end) in slo.intervals() {
+        if end.since(start).is_zero() {
+            continue;
+        }
+        let cpu = series.stats(AttributeKind::CpuTotal, start, end);
+        let load = series.stats(AttributeKind::Load1, start, end);
+        let faults = series.stats(AttributeKind::PageFaults, start, end);
+        if cpu.count < 3 {
+            continue;
+        }
+        best = best.max(cpu.mean / CPU_SATURATION_PCT);
+        best = best.max(load.mean / LOAD_OVERLOAD);
+        best = best.max(faults.mean / PAGING_FAULTS_PER_SEC);
+    }
+    best
+}
+
+/// The diagnosis produced for one confirmed anomaly.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Diagnosis {
+    /// When the diagnosis was made.
+    pub at: Timestamp,
+    /// Pinpointed faulty VMs with their blamed attributes, ranked most
+    /// relevant first.
+    pub faulty: Vec<(VmId, Vec<AttributeKind>)>,
+    /// True when the change-point quorum indicates an external workload
+    /// change rather than an internal fault.
+    pub workload_change: bool,
+}
+
+/// Tracks per-VM change points for the workload-change inference and
+/// packages diagnoses.
+#[derive(Debug)]
+pub struct CauseInference {
+    /// One CUSUM per VM on its input-traffic metric (NetIn) — workload
+    /// shifts arrive through the network on every component.
+    detectors: HashMap<VmId, CusumDetector>,
+    /// Quorum fraction required to call a workload change.
+    quorum: f64,
+    /// How recent (seconds) a change point must be to count.
+    recency_secs: u64,
+}
+
+impl CauseInference {
+    /// Creates the inference engine for `vms`.
+    pub fn new(vms: &[VmId], quorum: f64, recency_secs: u64) -> Self {
+        CauseInference {
+            detectors: vms
+                .iter()
+                .map(|&vm| (vm, CusumDetector::with_defaults()))
+                .collect(),
+            quorum,
+            recency_secs,
+        }
+    }
+
+    /// Feeds this sampling round's observations into the change-point
+    /// detectors.
+    pub fn observe(&mut self, samples: &[(VmId, MetricSample)]) {
+        for (vm, sample) in samples {
+            if let Some(det) = self.detectors.get_mut(vm) {
+                det.observe(sample.time, sample.values.get(AttributeKind::NetIn));
+            }
+        }
+    }
+
+    /// True when at least the quorum fraction of components shows a
+    /// recent change point — the paper's workload-change predicate.
+    pub fn workload_change(&self, now: Timestamp) -> bool {
+        if self.detectors.is_empty() {
+            return false;
+        }
+        let changed = self
+            .detectors
+            .values()
+            .filter(|d| d.changed_recently(now, self.recency_secs))
+            .count();
+        (changed as f64 / self.detectors.len() as f64) >= self.quorum
+    }
+
+    /// Builds the diagnosis from the set of confirmed alerting VMs and
+    /// their ranked attributes.
+    pub fn diagnose(
+        &self,
+        now: Timestamp,
+        faulty: Vec<(VmId, Vec<AttributeKind>)>,
+    ) -> Diagnosis {
+        Diagnosis {
+            at: now,
+            workload_change: self.workload_change(now),
+            faulty,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prepare_metrics::{MetricVector, Timestamp};
+
+    fn sample(t: u64, net_in: f64) -> MetricSample {
+        let mut v = MetricVector::zeros();
+        v.set(AttributeKind::NetIn, net_in);
+        MetricSample::new(Timestamp::from_secs(t), v)
+    }
+
+    fn feed(ci: &mut CauseInference, vms: &[VmId], t: u64, rates: &[f64]) {
+        let samples: Vec<(VmId, MetricSample)> = vms
+            .iter()
+            .zip(rates)
+            .map(|(&vm, &r)| (vm, sample(t, r)))
+            .collect();
+        ci.observe(&samples);
+    }
+
+    #[test]
+    fn global_traffic_jump_is_workload_change() {
+        let vms: Vec<VmId> = (0..4).map(VmId).collect();
+        let mut ci = CauseInference::new(&vms, 0.8, 30);
+        // Stable phase (with slight wiggle so CUSUM baselines are sane).
+        for t in 0..40u64 {
+            let w = if t % 2 == 0 { 1.0 } else { -1.0 };
+            feed(&mut ci, &vms, t * 5, &[100.0 + w, 50.0 + w, 50.0 + w, 100.0 + w]);
+        }
+        assert!(!ci.workload_change(Timestamp::from_secs(200)));
+        // Workload doubles everywhere.
+        let mut fired_at = None;
+        for t in 40..60u64 {
+            feed(&mut ci, &vms, t * 5, &[200.0, 100.0, 100.0, 200.0]);
+            if ci.workload_change(Timestamp::from_secs(t * 5)) {
+                fired_at = Some(t * 5);
+                break;
+            }
+        }
+        assert!(fired_at.is_some(), "quorum change must fire during the jump");
+    }
+
+    #[test]
+    fn single_vm_change_is_not_workload_change() {
+        let vms: Vec<VmId> = (0..4).map(VmId).collect();
+        let mut ci = CauseInference::new(&vms, 0.8, 30);
+        for t in 0..40u64 {
+            let w = if t % 2 == 0 { 1.0 } else { -1.0 };
+            feed(&mut ci, &vms, t * 5, &[100.0 + w, 50.0 + w, 50.0 + w, 100.0 + w]);
+        }
+        // Only vm0's traffic explodes (a local fault symptom).
+        for t in 40..60u64 {
+            let w = if t % 2 == 0 { 1.0 } else { -1.0 };
+            feed(&mut ci, &vms, t * 5, &[500.0, 50.0 + w, 50.0 + w, 100.0 + w]);
+            assert!(
+                !ci.workload_change(Timestamp::from_secs(t * 5)),
+                "single-VM change must never reach quorum"
+            );
+        }
+    }
+
+    #[test]
+    fn change_points_age_out() {
+        let vms: Vec<VmId> = (0..2).map(VmId).collect();
+        let mut ci = CauseInference::new(&vms, 0.8, 30);
+        for t in 0..40u64 {
+            let w = if t % 2 == 0 { 0.5 } else { -0.5 };
+            feed(&mut ci, &vms, t * 5, &[100.0 + w, 100.0 + w]);
+        }
+        let mut fired_at = None;
+        for t in 40..55u64 {
+            feed(&mut ci, &vms, t * 5, &[300.0, 300.0]);
+            if ci.workload_change(Timestamp::from_secs(t * 5)) {
+                fired_at = Some(t * 5);
+                break;
+            }
+        }
+        let fired_at = fired_at.expect("change fires during the jump");
+        let much_later = Timestamp::from_secs(fired_at + 300);
+        assert!(!ci.workload_change(much_later));
+    }
+
+    #[test]
+    fn diagnosis_carries_faulty_ranking() {
+        let vms: Vec<VmId> = (0..2).map(VmId).collect();
+        let ci = CauseInference::new(&vms, 0.8, 30);
+        let d = ci.diagnose(
+            Timestamp::from_secs(10),
+            vec![(VmId(1), vec![AttributeKind::FreeMem, AttributeKind::PageFaults])],
+        );
+        assert_eq!(d.faulty.len(), 1);
+        assert_eq!(d.faulty[0].0, VmId(1));
+        assert_eq!(d.faulty[0].1[0], AttributeKind::FreeMem);
+        assert!(!d.workload_change);
+    }
+
+    #[test]
+    fn empty_vm_set_never_infers_change() {
+        let ci = CauseInference::new(&[], 0.8, 30);
+        assert!(!ci.workload_change(Timestamp::from_secs(0)));
+    }
+}
+
+#[cfg(test)]
+mod implication_tests {
+    use super::*;
+    use prepare_metrics::{MetricSample, MetricVector};
+
+    /// Two VMs, SLO violated t in [200, 400): VM0 exhausts its memory
+    /// (free collapses, heavy paging) during the violation; VM1 only sees
+    /// the ripple (its input traffic drops) and never exhausts anything.
+    fn fixture() -> (HashMap<VmId, TimeSeries>, SloLog) {
+        let mut s0 = TimeSeries::new();
+        let mut s1 = TimeSeries::new();
+        let mut slo = SloLog::new();
+        for i in 0..120u64 {
+            let t = Timestamp::from_secs(i * 5);
+            let violated = (200..400).contains(&t.as_secs());
+            let mut v0 = MetricVector::zeros();
+            v0.set(AttributeKind::FreeMem, if violated { 0.0 } else { 200.0 + (i % 3) as f64 });
+            v0.set(AttributeKind::PageFaults, if violated { 800.0 } else { 0.0 });
+            v0.set(AttributeKind::CpuTotal, 40.0 + (i % 5) as f64);
+            v0.set(AttributeKind::Load1, 0.4);
+            let mut v1 = MetricVector::zeros();
+            v1.set(AttributeKind::NetIn, if violated { 120.0 } else { 400.0 + (i % 4) as f64 });
+            v1.set(AttributeKind::CpuTotal, 30.0 + (i % 3) as f64);
+            v1.set(AttributeKind::Load1, 0.3);
+            s0.push(MetricSample::new(t, v0));
+            s1.push(MetricSample::new(t, v1));
+            slo.record(t, violated);
+        }
+        let mut map = HashMap::new();
+        map.insert(VmId(0), s0);
+        map.insert(VmId(1), s1);
+        (map, slo)
+    }
+
+    #[test]
+    fn faulty_vm_is_implicated_ripples_are_not() {
+        let (series, slo) = fixture();
+        let implicated = implicated_vms(&series, &slo);
+        assert_eq!(implicated, vec![VmId(0)]);
+    }
+
+    #[test]
+    fn scores_separate_cleanly() {
+        let (series, slo) = fixture();
+        let s0 = implication_score(&series[&VmId(0)], &slo);
+        let s1 = implication_score(&series[&VmId(1)], &slo);
+        assert!(s0 > 1.0, "faulty VM score {s0}");
+        assert!(s1 < 1.0, "innocent VM score {s1} — ripple must not implicate");
+    }
+
+    #[test]
+    fn cpu_saturation_implicates() {
+        let mut s = TimeSeries::new();
+        let mut slo = SloLog::new();
+        for i in 0..100u64 {
+            let t = Timestamp::from_secs(i * 5);
+            let violated = (200..400).contains(&t.as_secs());
+            let mut v = MetricVector::zeros();
+            v.set(AttributeKind::CpuTotal, if violated { 100.0 } else { 45.0 });
+            v.set(AttributeKind::Load1, if violated { 1.6 } else { 0.45 });
+            s.push(MetricSample::new(t, v));
+            slo.record(t, violated);
+        }
+        assert!(implication_score(&s, &slo) > 1.0);
+    }
+
+    #[test]
+    fn no_violations_means_no_implication() {
+        let (series, _) = fixture();
+        let quiet = SloLog::new();
+        assert!(implicated_vms(&series, &quiet).is_empty());
+        assert_eq!(implication_score(&series[&VmId(0)], &quiet), 0.0);
+    }
+}

@@ -1,0 +1,191 @@
+//! Probability distributions over discretized attribute states.
+
+use prepare_metrics::Discretizer;
+use std::fmt;
+
+/// A probability distribution over the discrete states (bins) of one
+/// attribute — the output of a [`crate::ValuePredictor`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct StateDistribution {
+    probs: Vec<f64>,
+}
+
+impl StateDistribution {
+    /// Uniform distribution over `n` states.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn uniform(n: usize) -> Self {
+        assert!(n > 0, "distribution needs at least one state");
+        StateDistribution {
+            probs: vec![1.0 / n as f64; n],
+        }
+    }
+
+    /// Point mass on `state` among `n` states.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state >= n`.
+    pub fn point(n: usize, state: usize) -> Self {
+        assert!(state < n, "state {state} out of range (n={n})");
+        let mut probs = vec![0.0; n];
+        probs[state] = 1.0;
+        StateDistribution { probs }
+    }
+
+    /// Builds from raw weights, normalizing. Falls back to uniform when the
+    /// weights sum to (near) zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights` is empty or contains a negative/non-finite value.
+    pub fn from_weights(weights: Vec<f64>) -> Self {
+        assert!(!weights.is_empty(), "weights must be non-empty");
+        assert!(
+            weights.iter().all(|w| w.is_finite() && *w >= 0.0),
+            "weights must be finite and non-negative"
+        );
+        let total: f64 = weights.iter().sum();
+        if total < 1e-12 {
+            return StateDistribution::uniform(weights.len());
+        }
+        StateDistribution {
+            probs: weights.into_iter().map(|w| w / total).collect(),
+        }
+    }
+
+    /// Number of states.
+    pub fn len(&self) -> usize {
+        self.probs.len()
+    }
+
+    /// Always false: distributions are non-empty by construction.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Probability of `state` (0 when out of range).
+    pub fn probability(&self, state: usize) -> f64 {
+        self.probs.get(state).copied().unwrap_or(0.0)
+    }
+
+    /// The raw probability vector.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.probs
+    }
+
+    /// Most likely state (smallest index wins ties).
+    pub fn most_likely(&self) -> usize {
+        let mut best = 0;
+        for (i, &p) in self.probs.iter().enumerate() {
+            if p > self.probs[best] {
+                best = i;
+            }
+        }
+        best
+    }
+
+    /// Expected state index.
+    pub fn expected_state(&self) -> f64 {
+        self.probs.iter().enumerate().map(|(i, p)| i as f64 * p).sum()
+    }
+
+    /// Expected continuous value under a discretizer (mixture of bin
+    /// midpoints) — used when a continuous predicted value is reported.
+    pub fn expected_value(&self, d: &Discretizer) -> f64 {
+        self.probs
+            .iter()
+            .enumerate()
+            .map(|(i, p)| d.bin_midpoint(i.min(d.bins() - 1)) * p)
+            .sum()
+    }
+
+    /// True when every probability is finite, non-negative, and the vector
+    /// sums to 1 within tolerance.
+    pub fn is_valid(&self) -> bool {
+        let ok = self.probs.iter().all(|p| p.is_finite() && *p >= -1e-12);
+        let sum: f64 = self.probs.iter().sum();
+        ok && (sum - 1.0).abs() < 1e-6
+    }
+
+    /// Shannon entropy in bits — a confidence signal (0 for a point mass).
+    pub fn entropy(&self) -> f64 {
+        -self
+            .probs
+            .iter()
+            .filter(|&&p| p > 0.0)
+            .map(|&p| p * p.log2())
+            .sum::<f64>()
+    }
+}
+
+impl fmt::Display for StateDistribution {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, p) in self.probs.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ")?;
+            }
+            write!(f, "{p:.3}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_is_valid() {
+        let d = StateDistribution::uniform(4);
+        assert!(d.is_valid());
+        assert_eq!(d.probability(0), 0.25);
+        assert_eq!(d.len(), 4);
+    }
+
+    #[test]
+    fn point_mass() {
+        let d = StateDistribution::point(5, 3);
+        assert!(d.is_valid());
+        assert_eq!(d.most_likely(), 3);
+        assert_eq!(d.entropy(), 0.0);
+        assert_eq!(d.expected_state(), 3.0);
+    }
+
+    #[test]
+    fn from_weights_normalizes() {
+        let d = StateDistribution::from_weights(vec![2.0, 2.0, 4.0]);
+        assert!(d.is_valid());
+        assert_eq!(d.probability(2), 0.5);
+        assert_eq!(d.most_likely(), 2);
+    }
+
+    #[test]
+    fn zero_weights_fall_back_to_uniform() {
+        let d = StateDistribution::from_weights(vec![0.0, 0.0]);
+        assert!(d.is_valid());
+        assert_eq!(d.probability(0), 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_weights_rejected() {
+        let _ = StateDistribution::from_weights(vec![1.0, -1.0]);
+    }
+
+    #[test]
+    fn expected_value_uses_midpoints() {
+        let disc = Discretizer::new(0.0, 10.0, 2); // midpoints 2.5, 7.5
+        let d = StateDistribution::from_weights(vec![1.0, 1.0]);
+        assert!((d.expected_value(&disc) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn entropy_of_uniform_is_log2_n() {
+        let d = StateDistribution::uniform(8);
+        assert!((d.entropy() - 3.0).abs() < 1e-12);
+    }
+}

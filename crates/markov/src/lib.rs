@@ -1,0 +1,142 @@
+//! Attribute value prediction via Markov chain models (paper §II-B, Fig. 2).
+//!
+//! PREPARE predicts each monitored attribute's *future* value distribution
+//! and then classifies the predicted values. Two predictors are provided:
+//!
+//! - [`SimpleMarkov`]: the first-order baseline from the authors' earlier
+//!   work \[10\] — the next state depends only on the current state.
+//! - [`TwoDependentMarkov`]: the paper's contribution — transitions depend
+//!   on the *current and previous* state (a second-order chain realized as
+//!   a first-order chain over combined `(prev, cur)` states, Fig. 2). This
+//!   converts non-Markovian attributes (e.g. a sinusoid, where the slope
+//!   disambiguates the future) into Markovian ones.
+//!
+//! Both implement [`ValuePredictor`]: feed discretized observations with
+//! [`ValuePredictor::observe`], then ask for the state distribution `k`
+//! sampling steps ahead with [`ValuePredictor::predict`].
+//!
+//! # Example
+//!
+//! ```
+//! use prepare_markov::{TwoDependentMarkov, ValuePredictor};
+//!
+//! // A period-2 oscillation: 0,1,0,1,...
+//! let mut m = TwoDependentMarkov::new(3);
+//! for i in 0..100 {
+//!     m.observe(i % 2);
+//! }
+//! let dist = m.predict(1);
+//! assert_eq!(dist.most_likely(), 0); // last seen 1 → next 0
+//! ```
+
+mod distribution;
+mod simple;
+mod two_dep;
+
+pub use distribution::StateDistribution;
+pub use simple::SimpleMarkov;
+pub use two_dep::TwoDependentMarkov;
+
+/// A discretized-value predictor for a single attribute.
+///
+/// Implementations learn online from a stream of bin indices and predict
+/// the distribution over bins a configurable number of sampling steps into
+/// the future — the "attribute value prediction" half of PREPARE's anomaly
+/// predictor.
+pub trait ValuePredictor {
+    /// Number of discrete states (bins) the predictor models.
+    fn n_states(&self) -> usize;
+
+    /// Feeds the next observed state, updating both the transition
+    /// statistics and the predictor's current position.
+    ///
+    /// # Panics
+    ///
+    /// Implementations panic if `state >= n_states()`.
+    fn observe(&mut self, state: usize);
+
+    /// Distribution over states after `steps` transitions from the current
+    /// position. `steps == 0` returns a point mass on the current state
+    /// (uniform if nothing has been observed yet).
+    fn predict(&self, steps: usize) -> StateDistribution;
+
+    /// Forgets the current position (history) while keeping the learned
+    /// transition statistics. Used when a model is re-anchored onto a new
+    /// stream (e.g. trace-driven replay).
+    fn reset_position(&mut self);
+
+    /// Number of observations consumed so far.
+    fn observations(&self) -> usize;
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn simple_predictions_are_distributions(
+            seq in proptest::collection::vec(0usize..5, 1..200),
+            steps in 0usize..20,
+        ) {
+            let mut m = SimpleMarkov::new(5);
+            for &s in &seq {
+                m.observe(s);
+            }
+            let d = m.predict(steps);
+            prop_assert!(d.is_valid());
+        }
+
+        #[test]
+        fn two_dep_predictions_are_distributions(
+            seq in proptest::collection::vec(0usize..4, 1..200),
+            steps in 0usize..20,
+        ) {
+            let mut m = TwoDependentMarkov::new(4);
+            for &s in &seq {
+                m.observe(s);
+            }
+            let d = m.predict(steps);
+            prop_assert!(d.is_valid());
+        }
+
+        #[test]
+        fn zero_steps_is_point_mass_on_current(
+            seq in proptest::collection::vec(0usize..6, 1..50),
+        ) {
+            let mut m = SimpleMarkov::new(6);
+            let mut m2 = TwoDependentMarkov::new(6);
+            for &s in &seq {
+                m.observe(s);
+                m2.observe(s);
+            }
+            let last = *seq.last().unwrap();
+            prop_assert_eq!(m.predict(0).most_likely(), last);
+            prop_assert_eq!(m2.predict(0).most_likely(), last);
+            prop_assert!((m.predict(0).probability(last) - 1.0).abs() < 1e-12);
+        }
+
+        #[test]
+        fn deterministic_cycle_predicted_exactly(
+            n in 2usize..6,
+            steps in 1usize..12,
+        ) {
+            // 0,1,..,n-1,0,1,... A deterministic cycle is first-order
+            // Markovian; both models must predict it with certainty.
+            let mut m = SimpleMarkov::new(n);
+            let mut m2 = TwoDependentMarkov::new(n);
+            let mut last = 0;
+            for i in 0..(n * 50) {
+                last = i % n;
+                m.observe(last);
+                m2.observe(last);
+            }
+            let expected = (last + steps) % n;
+            prop_assert_eq!(m.predict(steps).most_likely(), expected);
+            prop_assert_eq!(m2.predict(steps).most_likely(), expected);
+            prop_assert!(m.predict(steps).probability(expected) > 0.9);
+            prop_assert!(m2.predict(steps).probability(expected) > 0.9);
+        }
+    }
+}

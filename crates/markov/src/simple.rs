@@ -1,0 +1,191 @@
+//! First-order ("simple") Markov chain value predictor — the baseline from
+//! the authors' earlier work \[10\] that Fig. 11 compares against.
+
+use crate::{StateDistribution, ValuePredictor};
+
+/// A first-order Markov chain over discretized attribute values.
+///
+/// Transition counts are accumulated online; prediction propagates the
+/// current state's point mass through the (Laplace-smoothed) transition
+/// matrix `steps` times. Rows never observed fall back to a self-loop
+/// biased uniform, keeping early predictions conservative.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimpleMarkov {
+    n: usize,
+    /// counts[i][j] = observed transitions i → j.
+    counts: Vec<Vec<f64>>,
+    /// Laplace smoothing pseudo-count.
+    alpha: f64,
+    current: Option<usize>,
+    observations: usize,
+}
+
+impl SimpleMarkov {
+    /// Creates a predictor over `n` states with the default smoothing
+    /// (α = 0.02).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn new(n: usize) -> Self {
+        Self::with_smoothing(n, 0.02)
+    }
+
+    /// Creates a predictor with an explicit Laplace pseudo-count `alpha`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `alpha` is not finite and non-negative.
+    pub fn with_smoothing(n: usize, alpha: f64) -> Self {
+        assert!(n > 0, "state count must be positive");
+        assert!(alpha.is_finite() && alpha >= 0.0, "alpha must be >= 0");
+        SimpleMarkov {
+            n,
+            counts: vec![vec![0.0; n]; n],
+            alpha,
+            current: None,
+            observations: 0,
+        }
+    }
+
+    /// Trains from a whole sequence at once (equivalent to observing each
+    /// element in order). Used by the trace-driven experiments and the
+    /// Table I training benchmark.
+    pub fn train(&mut self, sequence: &[usize]) {
+        for &s in sequence {
+            self.observe(s);
+        }
+    }
+
+    /// Smoothed transition row for state `i`. A row with no observations
+    /// uses a persistence prior (stay put): for system metrics, an
+    /// unvisited state persisting is a far better guess than teleporting
+    /// uniformly — and it keeps never-seen extreme states (a pinned CPU
+    /// the model was never trained on) predicted as extreme.
+    fn row(&self, i: usize) -> StateDistribution {
+        let total: f64 = self.counts[i].iter().sum();
+        if total == 0.0 {
+            return StateDistribution::point(self.n, i);
+        }
+        let weights: Vec<f64> = self.counts[i].iter().map(|c| c + self.alpha).collect();
+        StateDistribution::from_weights(weights)
+    }
+
+    /// One propagation step: `dist * P`.
+    fn step(&self, dist: &StateDistribution) -> StateDistribution {
+        let mut out = vec![0.0; self.n];
+        for i in 0..self.n {
+            let p = dist.probability(i);
+            if p == 0.0 {
+                continue;
+            }
+            let row = self.row(i);
+            for (j, o) in out.iter_mut().enumerate() {
+                *o += p * row.probability(j);
+            }
+        }
+        StateDistribution::from_weights(out)
+    }
+}
+
+impl ValuePredictor for SimpleMarkov {
+    fn n_states(&self) -> usize {
+        self.n
+    }
+
+    fn observe(&mut self, state: usize) {
+        assert!(state < self.n, "state {state} out of range (n={})", self.n);
+        if let Some(prev) = self.current {
+            self.counts[prev][state] += 1.0;
+        }
+        self.current = Some(state);
+        self.observations += 1;
+    }
+
+    fn predict(&self, steps: usize) -> StateDistribution {
+        let mut dist = match self.current {
+            Some(c) => StateDistribution::point(self.n, c),
+            None => StateDistribution::uniform(self.n),
+        };
+        for _ in 0..steps {
+            dist = self.step(&dist);
+        }
+        dist
+    }
+
+    fn reset_position(&mut self) {
+        self.current = None;
+    }
+
+    fn observations(&self) -> usize {
+        self.observations
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn learns_deterministic_transition() {
+        let mut m = SimpleMarkov::with_smoothing(3, 0.0);
+        m.train(&[0, 1, 2, 0, 1, 2, 0, 1]);
+        let d = m.predict(1);
+        assert_eq!(d.most_likely(), 2);
+        assert!(d.probability(2) > 0.99);
+    }
+
+    #[test]
+    fn multi_step_follows_cycle() {
+        let mut m = SimpleMarkov::with_smoothing(3, 0.0);
+        m.train(&[0, 1, 2, 0, 1, 2, 0, 1, 2, 0]);
+        // last state 0; after 2 steps expect state 2
+        assert_eq!(m.predict(2).most_likely(), 2);
+    }
+
+    #[test]
+    fn unobserved_predictor_is_uniform() {
+        let m = SimpleMarkov::new(4);
+        let d = m.predict(3);
+        assert!(d.is_valid());
+        assert!((d.probability(0) - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cannot_disambiguate_triangle_wave() {
+        // 0,1,2,1,0,1,2,1,... from state 1 the next is 50/50 between 0 and
+        // 2 for a first-order chain — the paper's motivating failure case.
+        let mut m = SimpleMarkov::with_smoothing(3, 0.0);
+        let wave = [0usize, 1, 2, 1];
+        for i in 0..200 {
+            m.observe(wave[i % 4]);
+        }
+        // position after 200 obs: last index 199 % 4 = 3 → state 1
+        let d = m.predict(1);
+        assert!((d.probability(0) - 0.5).abs() < 0.05);
+        assert!((d.probability(2) - 0.5).abs() < 0.05);
+    }
+
+    #[test]
+    fn reset_position_keeps_statistics() {
+        let mut m = SimpleMarkov::with_smoothing(2, 0.0);
+        m.train(&[0, 1, 0, 1]);
+        m.reset_position();
+        assert!(m.predict(0).is_valid()); // uniform, no position
+        m.observe(0);
+        assert_eq!(m.predict(1).most_likely(), 1); // stats survived
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn observe_rejects_out_of_range() {
+        SimpleMarkov::new(2).observe(2);
+    }
+
+    #[test]
+    fn observations_counted() {
+        let mut m = SimpleMarkov::new(2);
+        m.train(&[0, 1, 0]);
+        assert_eq!(m.observations(), 3);
+    }
+}

@@ -1,0 +1,271 @@
+//! The 2-dependent Markov chain value predictor (paper §II-B, Fig. 2).
+//!
+//! "By using this model, transitions from each value depend on both the
+//! current value and the prior value. [...] We can construct nine combined
+//! states after combining every two single states to transform a
+//! non-Markovian attribute into a Markovian one."
+//!
+//! The chain is first-order over combined states `(prev, cur)`; a
+//! transition emits the next single state `next`, moving to combined state
+//! `(cur, next)`. Prediction propagates a distribution over the `n²`
+//! combined states and marginalizes onto the current (most recent) single
+//! state.
+
+use crate::{SimpleMarkov, StateDistribution, ValuePredictor};
+
+/// Second-order Markov chain realized over combined `(prev, cur)` states.
+///
+/// Combined states never observed fall back to the first-order statistics
+/// (which are always maintained alongside), so sparse training data
+/// degrades gracefully to [`SimpleMarkov`] behaviour instead of to a
+/// uniform guess.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TwoDependentMarkov {
+    n: usize,
+    /// counts[prev * n + cur][next] — transitions out of combined states.
+    counts: Vec<Vec<f64>>,
+    /// First-order fallback for unseen combined states.
+    fallback: SimpleMarkov,
+    alpha: f64,
+    prev: Option<usize>,
+    current: Option<usize>,
+    observations: usize,
+}
+
+impl TwoDependentMarkov {
+    /// Creates a predictor over `n` single states (`n²` combined states)
+    /// with default smoothing (α = 0.02).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn new(n: usize) -> Self {
+        Self::with_smoothing(n, 0.02)
+    }
+
+    /// Creates a predictor with an explicit Laplace pseudo-count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `alpha` is not finite and non-negative.
+    pub fn with_smoothing(n: usize, alpha: f64) -> Self {
+        assert!(n > 0, "state count must be positive");
+        assert!(alpha.is_finite() && alpha >= 0.0, "alpha must be >= 0");
+        TwoDependentMarkov {
+            n,
+            counts: vec![vec![0.0; n]; n * n],
+            fallback: SimpleMarkov::with_smoothing(n, alpha),
+            alpha,
+            prev: None,
+            current: None,
+            observations: 0,
+        }
+    }
+
+    /// Trains from a whole sequence (observing each element in order).
+    pub fn train(&mut self, sequence: &[usize]) {
+        for &s in sequence {
+            self.observe(s);
+        }
+    }
+
+    /// Number of combined states (`n²`).
+    pub fn combined_states(&self) -> usize {
+        self.n * self.n
+    }
+
+    /// Distribution over the next single state out of combined state
+    /// `(prev, cur)`, falling back to first-order stats for unseen rows.
+    fn next_given(&self, prev: usize, cur: usize) -> StateDistribution {
+        let row = &self.counts[prev * self.n + cur];
+        let total: f64 = row.iter().sum();
+        if total > 0.0 {
+            let weights: Vec<f64> = row.iter().map(|c| c + self.alpha).collect();
+            StateDistribution::from_weights(weights)
+        } else {
+            // Never saw this (prev, cur) pair: use the first-order view
+            // from `cur`.
+            let mut fb = self.fallback.clone();
+            fb.reset_position();
+            fb.observe(cur);
+            fb.predict(1)
+        }
+    }
+
+    /// One propagation step over the combined-state distribution.
+    /// `dist[prev * n + cur]` → `out[cur * n + next]`.
+    fn step_combined(&self, dist: &[f64]) -> Vec<f64> {
+        let mut out = vec![0.0; self.n * self.n];
+        for prev in 0..self.n {
+            for cur in 0..self.n {
+                let p = dist[prev * self.n + cur];
+                if p == 0.0 {
+                    continue;
+                }
+                let next_dist = self.next_given(prev, cur);
+                for next in 0..self.n {
+                    out[cur * self.n + next] += p * next_dist.probability(next);
+                }
+            }
+        }
+        out
+    }
+
+    /// Marginal distribution over the current single state from a combined
+    /// distribution.
+    fn marginal_current(&self, dist: &[f64]) -> StateDistribution {
+        let mut weights = vec![0.0; self.n];
+        for prev in 0..self.n {
+            for (cur, w) in weights.iter_mut().enumerate() {
+                *w += dist[prev * self.n + cur];
+            }
+        }
+        StateDistribution::from_weights(weights)
+    }
+}
+
+impl ValuePredictor for TwoDependentMarkov {
+    fn n_states(&self) -> usize {
+        self.n
+    }
+
+    fn observe(&mut self, state: usize) {
+        assert!(state < self.n, "state {state} out of range (n={})", self.n);
+        if let (Some(p), Some(c)) = (self.prev, self.current) {
+            self.counts[p * self.n + c][state] += 1.0;
+        }
+        self.fallback.observe(state);
+        self.prev = self.current;
+        self.current = Some(state);
+        self.observations += 1;
+    }
+
+    fn predict(&self, steps: usize) -> StateDistribution {
+        let (prev, cur) = match (self.prev, self.current) {
+            (_, None) => {
+                // No data at all.
+                return if steps == 0 {
+                    StateDistribution::uniform(self.n)
+                } else {
+                    self.fallback.predict(steps)
+                };
+            }
+            (None, Some(c)) => (c, c), // one observation: assume steady
+            (Some(p), Some(c)) => (p, c),
+        };
+        if steps == 0 {
+            return StateDistribution::point(self.n, cur);
+        }
+        let mut dist = vec![0.0; self.n * self.n];
+        dist[prev * self.n + cur] = 1.0;
+        for _ in 0..steps {
+            dist = self.step_combined(&dist);
+        }
+        self.marginal_current(&dist)
+    }
+
+    fn reset_position(&mut self) {
+        self.prev = None;
+        self.current = None;
+        self.fallback.reset_position();
+    }
+
+    fn observations(&self) -> usize {
+        self.observations
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's motivating case: a triangle wave 0,1,2,1,0,1,2,1,...
+    /// From single state 1 the next value is ambiguous first-order but
+    /// fully determined by (prev, cur).
+    #[test]
+    fn disambiguates_triangle_wave() {
+        let mut m = TwoDependentMarkov::with_smoothing(3, 0.0);
+        let wave = [0usize, 1, 2, 1];
+        for i in 0..200 {
+            m.observe(wave[i % 4]);
+        }
+        // After 200 obs the last two are (2, 1): descending → next is 0.
+        let d = m.predict(1);
+        assert!(d.probability(0) > 0.95, "got {d}");
+        // And two steps ahead the wave is back at 1.
+        assert_eq!(m.predict(2).most_likely(), 1);
+        // Three steps ahead: 2.
+        assert_eq!(m.predict(3).most_likely(), 2);
+    }
+
+    #[test]
+    fn beats_simple_markov_on_triangle_wave() {
+        let wave = [0usize, 1, 2, 1];
+        let mut simple = SimpleMarkov::with_smoothing(3, 0.0);
+        let mut twodep = TwoDependentMarkov::with_smoothing(3, 0.0);
+        for i in 0..400 {
+            simple.observe(wave[i % 4]);
+            twodep.observe(wave[i % 4]);
+        }
+        let truth = wave[(400) % 4]; // next value
+        let p_simple = simple.predict(1).probability(truth);
+        let p_two = twodep.predict(1).probability(truth);
+        assert!(
+            p_two > p_simple + 0.3,
+            "2-dep ({p_two:.3}) should clearly beat simple ({p_simple:.3})"
+        );
+    }
+
+    #[test]
+    fn single_observation_predicts_steady() {
+        let mut m = TwoDependentMarkov::new(4);
+        m.observe(2);
+        let d = m.predict(0);
+        assert_eq!(d.most_likely(), 2);
+    }
+
+    #[test]
+    fn empty_predictor_is_uniform() {
+        let m = TwoDependentMarkov::new(3);
+        assert!(m.predict(0).is_valid());
+        assert!(m.predict(5).is_valid());
+    }
+
+    #[test]
+    fn unseen_combined_state_falls_back_to_first_order() {
+        let mut m = TwoDependentMarkov::with_smoothing(3, 0.0);
+        // Train only 0→1→0→1...
+        for i in 0..50 {
+            m.observe(i % 2);
+        }
+        // Now jump to state 2 (combined (1, 2) or (0, 2) never seen).
+        m.observe(2);
+        let d = m.predict(1);
+        assert!(d.is_valid());
+    }
+
+    #[test]
+    fn reset_position_keeps_learned_structure() {
+        let wave = [0usize, 1, 2, 1];
+        let mut m = TwoDependentMarkov::with_smoothing(3, 0.0);
+        for i in 0..100 {
+            m.observe(wave[i % 4]);
+        }
+        m.reset_position();
+        // Re-anchor with a (0,1) context: ascending → next is 2.
+        m.observe(0);
+        m.observe(1);
+        assert_eq!(m.predict(1).most_likely(), 2);
+    }
+
+    #[test]
+    fn combined_state_count() {
+        assert_eq!(TwoDependentMarkov::new(3).combined_states(), 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn observe_rejects_out_of_range() {
+        TwoDependentMarkov::new(2).observe(5);
+    }
+}

@@ -1,0 +1,202 @@
+//! The attribute vocabulary: the 13 system-level metrics PREPARE collects
+//! per VM (paper §II-A and Table I: "VM monitoring (13 attributes)").
+//!
+//! The exact attribute list is not enumerated in the paper beyond "CPU
+//! usage, free memory, network traffic, disk I/O statistics" and the
+//! attributes visible in Fig. 3 (`Residual CPU`, `Free Mem`, `Load1`,
+//! `NetIn`, `NetOut`); we fill the set out to 13 with the standard
+//! `libxenstat`/`/proc` counters a dom0 monitor would export.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Number of system-level attributes monitored per VM.
+pub const ATTRIBUTE_COUNT: usize = 13;
+
+/// One of the 13 per-VM system-level metrics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum AttributeKind {
+    /// CPU time spent in user mode, percent of allocation.
+    CpuUser,
+    /// CPU time spent in system (kernel) mode, percent of allocation.
+    CpuSystem,
+    /// Total CPU utilization, percent of allocation.
+    CpuTotal,
+    /// Free guest memory in MB (collected by the in-guest daemon).
+    FreeMem,
+    /// Guest memory utilization, percent of allocation.
+    MemUtil,
+    /// Network bytes received per second (KB/s).
+    NetIn,
+    /// Network bytes transmitted per second (KB/s).
+    NetOut,
+    /// Disk read throughput (KB/s).
+    DiskRead,
+    /// Disk write throughput (KB/s).
+    DiskWrite,
+    /// 1-minute load average.
+    Load1,
+    /// 5-minute load average.
+    Load5,
+    /// Major page faults per second.
+    PageFaults,
+    /// Context switches per second (thousands).
+    CtxSwitches,
+}
+
+impl AttributeKind {
+    /// All attributes, in canonical index order.
+    pub const ALL: [AttributeKind; ATTRIBUTE_COUNT] = [
+        AttributeKind::CpuUser,
+        AttributeKind::CpuSystem,
+        AttributeKind::CpuTotal,
+        AttributeKind::FreeMem,
+        AttributeKind::MemUtil,
+        AttributeKind::NetIn,
+        AttributeKind::NetOut,
+        AttributeKind::DiskRead,
+        AttributeKind::DiskWrite,
+        AttributeKind::Load1,
+        AttributeKind::Load5,
+        AttributeKind::PageFaults,
+        AttributeKind::CtxSwitches,
+    ];
+
+    /// Canonical index of this attribute in [`AttributeKind::ALL`].
+    pub fn index(self) -> usize {
+        Self::ALL
+            .iter()
+            .position(|&a| a == self)
+            .expect("attribute present in ALL")
+    }
+
+    /// Attribute at canonical index `i`, if in range.
+    pub fn from_index(i: usize) -> Option<AttributeKind> {
+        Self::ALL.get(i).copied()
+    }
+
+    /// Short human-readable name, matching the paper's figures where they
+    /// appear (e.g. `FreeMem`, `NetIn`, `Load1`).
+    pub fn name(self) -> &'static str {
+        match self {
+            AttributeKind::CpuUser => "CpuUser",
+            AttributeKind::CpuSystem => "CpuSys",
+            AttributeKind::CpuTotal => "CpuTotal",
+            AttributeKind::FreeMem => "FreeMem",
+            AttributeKind::MemUtil => "MemUtil",
+            AttributeKind::NetIn => "NetIn",
+            AttributeKind::NetOut => "NetOut",
+            AttributeKind::DiskRead => "DiskRead",
+            AttributeKind::DiskWrite => "DiskWrite",
+            AttributeKind::Load1 => "Load1",
+            AttributeKind::Load5 => "Load5",
+            AttributeKind::PageFaults => "PageFaults",
+            AttributeKind::CtxSwitches => "CtxSwitches",
+        }
+    }
+
+    /// Whether the attribute measures a resource that PREPARE can scale
+    /// directly (CPU or memory); used by the prevention planner when
+    /// translating a blamed attribute into an action.
+    pub fn scalable_resource(self) -> Option<ScalableResource> {
+        match self {
+            AttributeKind::CpuUser
+            | AttributeKind::CpuSystem
+            | AttributeKind::CpuTotal
+            | AttributeKind::Load1
+            | AttributeKind::Load5
+            | AttributeKind::CtxSwitches => Some(ScalableResource::Cpu),
+            AttributeKind::FreeMem | AttributeKind::MemUtil | AttributeKind::PageFaults => {
+                Some(ScalableResource::Memory)
+            }
+            AttributeKind::NetIn
+            | AttributeKind::NetOut
+            | AttributeKind::DiskRead
+            | AttributeKind::DiskWrite => None,
+        }
+    }
+}
+
+/// A resource the hypervisor can elastically scale (paper §II-D: "Our
+/// system currently supports CPU and memory scaling").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ScalableResource {
+    /// CPU allocation (cap), in percentage points of a core.
+    Cpu,
+    /// Memory allocation, in MB.
+    Memory,
+}
+
+impl fmt::Display for AttributeKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl fmt::Display for ScalableResource {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScalableResource::Cpu => f.write_str("cpu"),
+            ScalableResource::Memory => f.write_str("memory"),
+        }
+    }
+}
+
+/// Identifier of a virtual machine (one application component per VM, as in
+/// the paper's per-PE / per-tier deployment).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize,
+)]
+pub struct VmId(pub usize);
+
+impl fmt::Display for VmId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "vm{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn attribute_count_matches_paper() {
+        assert_eq!(AttributeKind::ALL.len(), 13);
+        assert_eq!(ATTRIBUTE_COUNT, 13);
+    }
+
+    #[test]
+    fn index_round_trips() {
+        for (i, a) in AttributeKind::ALL.iter().enumerate() {
+            assert_eq!(a.index(), i);
+            assert_eq!(AttributeKind::from_index(i), Some(*a));
+        }
+        assert_eq!(AttributeKind::from_index(ATTRIBUTE_COUNT), None);
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<_> = AttributeKind::ALL.iter().map(|a| a.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), ATTRIBUTE_COUNT);
+    }
+
+    #[test]
+    fn cpu_attributes_map_to_cpu_scaling() {
+        assert_eq!(
+            AttributeKind::CpuTotal.scalable_resource(),
+            Some(ScalableResource::Cpu)
+        );
+        assert_eq!(
+            AttributeKind::FreeMem.scalable_resource(),
+            Some(ScalableResource::Memory)
+        );
+        assert_eq!(AttributeKind::NetIn.scalable_resource(), None);
+    }
+
+    #[test]
+    fn vm_id_displays() {
+        assert_eq!(VmId(3).to_string(), "vm3");
+    }
+}

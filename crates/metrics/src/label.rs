@@ -1,0 +1,222 @@
+//! Automatic runtime data labeling (paper §II-B).
+//!
+//! "PREPARE supports automatic runtime data labeling by matching the
+//! timestamps of system-level metric measurements and SLO violation logs."
+//! [`SloLog`] records violation intervals as the application reports them;
+//! [`Labeler`] then tags any metric sample *normal*/*abnormal* by timestamp.
+
+use crate::{Duration, MetricSample, Timestamp};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Classification label of a system state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Label {
+    /// SLO satisfied at the sample's timestamp.
+    Normal,
+    /// SLO violated at the sample's timestamp.
+    Abnormal,
+}
+
+impl Label {
+    /// `Abnormal` when `violated`, else `Normal`.
+    pub fn from_violation(violated: bool) -> Self {
+        if violated {
+            Label::Abnormal
+        } else {
+            Label::Normal
+        }
+    }
+
+    /// True for [`Label::Abnormal`].
+    pub fn is_abnormal(self) -> bool {
+        matches!(self, Label::Abnormal)
+    }
+}
+
+impl fmt::Display for Label {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Label::Normal => f.write_str("normal"),
+            Label::Abnormal => f.write_str("abnormal"),
+        }
+    }
+}
+
+/// The application's SLO-violation log: a second-resolution record of when
+/// the SLO was violated, accumulated online.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct SloLog {
+    /// Closed-open violation intervals `[start, end)`, non-overlapping and
+    /// sorted. `end == None` means the violation is still ongoing.
+    intervals: Vec<(Timestamp, Option<Timestamp>)>,
+    /// Last timestamp observed (for violation-time accounting).
+    last_seen: Option<Timestamp>,
+}
+
+impl SloLog {
+    /// Empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records the SLO status observed at `t`. Must be called with
+    /// non-decreasing timestamps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` precedes a previously recorded timestamp.
+    pub fn record(&mut self, t: Timestamp, violated: bool) {
+        if let Some(last) = self.last_seen {
+            assert!(t >= last, "SLO log must be fed in time order");
+        }
+        self.last_seen = Some(t);
+        let open = matches!(self.intervals.last(), Some((_, None)));
+        match (open, violated) {
+            (false, true) => self.intervals.push((t, None)),
+            (true, false) => {
+                if let Some(last) = self.intervals.last_mut() {
+                    last.1 = Some(t);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// True if the SLO was violated at time `t`.
+    pub fn is_violated_at(&self, t: Timestamp) -> bool {
+        self.intervals
+            .iter()
+            .any(|&(start, end)| t >= start && end.map_or(true, |e| t < e))
+    }
+
+    /// True if any violation overlaps `[from, to)`.
+    pub fn any_violation_in(&self, from: Timestamp, to: Timestamp) -> bool {
+        self.intervals.iter().any(|&(start, end)| {
+            let e = end.unwrap_or(Timestamp::from_secs(u64::MAX));
+            start < to && from < e
+        })
+    }
+
+    /// Total violated time up to (and including) the last recorded sample —
+    /// the paper's *SLO violation time* evaluation metric.
+    pub fn total_violation_time(&self) -> Duration {
+        let horizon = match self.last_seen {
+            Some(t) => t.next(),
+            None => return Duration::ZERO,
+        };
+        let mut total = 0u64;
+        for &(start, end) in &self.intervals {
+            let e = end.unwrap_or(horizon);
+            let e = e.min(horizon);
+            total += e.as_secs().saturating_sub(start.as_secs());
+        }
+        Duration::from_secs(total)
+    }
+
+    /// The recorded violation intervals (for reporting); an open interval
+    /// is closed at the last seen timestamp + 1 s.
+    pub fn intervals(&self) -> Vec<(Timestamp, Timestamp)> {
+        let horizon = self.last_seen.map(Timestamp::next).unwrap_or(Timestamp::ZERO);
+        self.intervals
+            .iter()
+            .map(|&(s, e)| (s, e.unwrap_or(horizon)))
+            .collect()
+    }
+
+    /// Timestamp of the first violation, if any.
+    pub fn first_violation(&self) -> Option<Timestamp> {
+        self.intervals.first().map(|&(s, _)| s)
+    }
+}
+
+/// Labels metric samples against an [`SloLog`] by timestamp matching.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Labeler;
+
+impl Labeler {
+    /// Creates a labeler.
+    pub fn new() -> Self {
+        Labeler
+    }
+
+    /// Label of a single sample.
+    pub fn label(&self, sample: &MetricSample, log: &SloLog) -> Label {
+        Label::from_violation(log.is_violated_at(sample.time))
+    }
+
+    /// Labels a whole slice of samples.
+    pub fn label_all(&self, samples: &[MetricSample], log: &SloLog) -> Vec<Label> {
+        samples.iter().map(|s| self.label(s, log)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MetricVector;
+
+    fn t(s: u64) -> Timestamp {
+        Timestamp::from_secs(s)
+    }
+
+    fn log_from(pattern: &[(u64, bool)]) -> SloLog {
+        let mut log = SloLog::new();
+        for &(s, v) in pattern {
+            log.record(t(s), v);
+        }
+        log
+    }
+
+    #[test]
+    fn records_intervals() {
+        let log = log_from(&[(0, false), (5, true), (10, true), (15, false), (20, true)]);
+        assert!(!log.is_violated_at(t(0)));
+        assert!(log.is_violated_at(t(5)));
+        assert!(log.is_violated_at(t(14)));
+        assert!(!log.is_violated_at(t(15)));
+        assert!(log.is_violated_at(t(25))); // still open
+    }
+
+    #[test]
+    fn total_violation_time_counts_open_interval() {
+        let log = log_from(&[(0, false), (5, true), (15, false), (20, true), (25, true)]);
+        // [5,15) = 10s, [20, 26) = 6s (open, horizon = last_seen + 1)
+        assert_eq!(log.total_violation_time().as_secs(), 16);
+    }
+
+    #[test]
+    fn empty_log_has_zero_violation_time() {
+        assert_eq!(SloLog::new().total_violation_time(), Duration::ZERO);
+        assert!(SloLog::new().first_violation().is_none());
+    }
+
+    #[test]
+    fn any_violation_in_window() {
+        let log = log_from(&[(0, false), (10, true), (20, false)]);
+        assert!(log.any_violation_in(t(0), t(11)));
+        assert!(log.any_violation_in(t(15), t(30)));
+        assert!(!log.any_violation_in(t(0), t(10)));
+        assert!(!log.any_violation_in(t(20), t(40)));
+    }
+
+    #[test]
+    fn labeler_matches_timestamps() {
+        let log = log_from(&[(0, false), (10, true), (20, false)]);
+        let labeler = Labeler::new();
+        let normal = MetricSample::new(t(5), MetricVector::zeros());
+        let abnormal = MetricSample::new(t(12), MetricVector::zeros());
+        assert_eq!(labeler.label(&normal, &log), Label::Normal);
+        assert_eq!(labeler.label(&abnormal, &log), Label::Abnormal);
+        let labels = labeler.label_all(&[normal, abnormal], &log);
+        assert_eq!(labels, vec![Label::Normal, Label::Abnormal]);
+    }
+
+    #[test]
+    #[should_panic(expected = "time order")]
+    fn record_rejects_out_of_order() {
+        let mut log = SloLog::new();
+        log.record(t(10), false);
+        log.record(t(5), true);
+    }
+}

@@ -1,0 +1,46 @@
+//! Metric foundation for the PREPARE reproduction.
+//!
+//! This crate defines the vocabulary every other crate speaks:
+//!
+//! - [`AttributeKind`]: the 13 system-level metrics PREPARE monitors per VM
+//!   (CPU, memory, network, disk and load statistics — §II-A of the paper).
+//! - [`MetricVector`] / [`MetricSample`]: one monitoring observation.
+//! - [`TimeSeries`] and [`SlidingWindow`]: storage and windowed statistics.
+//! - [`Discretizer`] / [`VectorDiscretizer`]: equal-width binning that turns
+//!   continuous metrics into the discrete states consumed by the Markov
+//!   value predictors and the TAN classifier.
+//! - [`SloLog`] / [`Labeler`]: automatic runtime data labeling by matching
+//!   measurement timestamps against SLO-violation intervals (§II-B).
+//! - [`CusumDetector`]: change-point detection used to tell workload changes
+//!   apart from internal faults (§II-C).
+//!
+//! # Example
+//!
+//! ```
+//! use prepare_metrics::{AttributeKind, MetricVector, Timestamp};
+//!
+//! let mut v = MetricVector::zeros();
+//! v.set(AttributeKind::CpuTotal, 42.0);
+//! assert_eq!(v.get(AttributeKind::CpuTotal), 42.0);
+//! assert_eq!(Timestamp::from_secs(5).as_secs(), 5);
+//! ```
+
+mod attr;
+mod changepoint;
+mod discretize;
+mod label;
+mod sample;
+mod series;
+mod stats;
+mod time;
+mod trace;
+
+pub use attr::{AttributeKind, ScalableResource, VmId, ATTRIBUTE_COUNT};
+pub use changepoint::{ChangePoint, CusumDetector};
+pub use discretize::{DiscreteVector, Discretizer, VectorDiscretizer};
+pub use label::{Label, Labeler, SloLog};
+pub use sample::{MetricSample, MetricVector};
+pub use series::{SeriesStats, SlidingWindow, TimeSeries};
+pub use stats::{mean, mean_std, percentile, std_dev};
+pub use trace::{TraceError, TraceStore};
+pub use time::{Duration, Timestamp};

@@ -1,0 +1,154 @@
+//! One monitoring observation: a timestamped vector of the 13 attributes.
+
+use crate::{AttributeKind, Timestamp, ATTRIBUTE_COUNT};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// A dense vector holding one value per [`AttributeKind`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MetricVector {
+    values: [f64; ATTRIBUTE_COUNT],
+}
+
+impl MetricVector {
+    /// All-zero vector.
+    pub fn zeros() -> Self {
+        MetricVector {
+            values: [0.0; ATTRIBUTE_COUNT],
+        }
+    }
+
+    /// Builds a vector from a closure evaluated per attribute.
+    pub fn from_fn(mut f: impl FnMut(AttributeKind) -> f64) -> Self {
+        let mut v = Self::zeros();
+        for a in AttributeKind::ALL {
+            v.set(a, f(a));
+        }
+        v
+    }
+
+    /// Value of attribute `a`.
+    pub fn get(&self, a: AttributeKind) -> f64 {
+        self.values[a.index()]
+    }
+
+    /// Sets attribute `a` to `value`.
+    pub fn set(&mut self, a: AttributeKind, value: f64) {
+        self.values[a.index()] = value;
+    }
+
+    /// View of the raw values in canonical attribute order.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Iterator over `(attribute, value)` pairs in canonical order.
+    pub fn iter(&self) -> impl Iterator<Item = (AttributeKind, f64)> + '_ {
+        AttributeKind::ALL.iter().map(move |&a| (a, self.get(a)))
+    }
+
+    /// True when every component is finite (no NaN/inf slipped in from a
+    /// model or a division by zero in an application model).
+    pub fn is_finite(&self) -> bool {
+        self.values.iter().all(|v| v.is_finite())
+    }
+}
+
+impl Default for MetricVector {
+    fn default() -> Self {
+        Self::zeros()
+    }
+}
+
+impl Index<AttributeKind> for MetricVector {
+    type Output = f64;
+    fn index(&self, a: AttributeKind) -> &f64 {
+        &self.values[a.index()]
+    }
+}
+
+impl IndexMut<AttributeKind> for MetricVector {
+    fn index_mut(&mut self, a: AttributeKind) -> &mut f64 {
+        &mut self.values[a.index()]
+    }
+}
+
+impl From<[f64; ATTRIBUTE_COUNT]> for MetricVector {
+    fn from(values: [f64; ATTRIBUTE_COUNT]) -> Self {
+        MetricVector { values }
+    }
+}
+
+impl fmt::Display for MetricVector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, (a, v)) in self.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{a}={v:.2}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+/// A timestamped [`MetricVector`] — one row of the monitoring stream for
+/// one VM.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MetricSample {
+    /// When the sample was collected.
+    pub time: Timestamp,
+    /// The 13 attribute values.
+    pub values: MetricVector,
+}
+
+impl MetricSample {
+    /// Creates a sample.
+    pub fn new(time: Timestamp, values: MetricVector) -> Self {
+        MetricSample { time, values }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_round_trip() {
+        let mut v = MetricVector::zeros();
+        v.set(AttributeKind::NetOut, 12.5);
+        assert_eq!(v.get(AttributeKind::NetOut), 12.5);
+        assert_eq!(v[AttributeKind::NetOut], 12.5);
+        v[AttributeKind::NetOut] = 3.0;
+        assert_eq!(v.get(AttributeKind::NetOut), 3.0);
+    }
+
+    #[test]
+    fn from_fn_fills_all_attributes() {
+        let v = MetricVector::from_fn(|a| a.index() as f64);
+        for (i, a) in AttributeKind::ALL.iter().enumerate() {
+            assert_eq!(v.get(*a), i as f64);
+        }
+    }
+
+    #[test]
+    fn finite_check_detects_nan() {
+        let mut v = MetricVector::zeros();
+        assert!(v.is_finite());
+        v.set(AttributeKind::Load1, f64::NAN);
+        assert!(!v.is_finite());
+    }
+
+    #[test]
+    fn iter_is_in_canonical_order() {
+        let v = MetricVector::from_fn(|a| a.index() as f64);
+        let collected: Vec<_> = v.iter().map(|(_, x)| x).collect();
+        assert_eq!(collected, (0..ATTRIBUTE_COUNT).map(|i| i as f64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert!(!MetricVector::zeros().to_string().is_empty());
+    }
+}

@@ -1,0 +1,303 @@
+//! Time-series storage and windowed statistics over metric samples.
+
+use crate::{mean, std_dev, AttributeKind, MetricSample, MetricVector, Timestamp};
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// An append-only sequence of [`MetricSample`]s for one VM.
+///
+/// Samples must be appended in non-decreasing timestamp order; this is the
+/// shape a real dom0 monitor produces and everything downstream (labeling,
+/// training, validation windows) relies on it.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TimeSeries {
+    samples: Vec<MetricSample>,
+}
+
+impl TimeSeries {
+    /// Empty series.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sample.time` precedes the last appended timestamp.
+    pub fn push(&mut self, sample: MetricSample) {
+        if let Some(last) = self.samples.last() {
+            assert!(
+                sample.time >= last.time,
+                "samples must be appended in time order ({} < {})",
+                sample.time,
+                last.time
+            );
+        }
+        self.samples.push(sample);
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True when no samples are stored.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// All samples in time order.
+    pub fn samples(&self) -> &[MetricSample] {
+        &self.samples
+    }
+
+    /// Iterator over samples.
+    pub fn iter(&self) -> std::slice::Iter<'_, MetricSample> {
+        self.samples.iter()
+    }
+
+    /// The most recent sample, if any.
+    pub fn last(&self) -> Option<&MetricSample> {
+        self.samples.last()
+    }
+
+    /// Samples whose timestamps fall in `[from, to)`.
+    pub fn range(&self, from: Timestamp, to: Timestamp) -> &[MetricSample] {
+        let start = self.samples.partition_point(|s| s.time < from);
+        let end = self.samples.partition_point(|s| s.time < to);
+        &self.samples[start..end]
+    }
+
+    /// The values of one attribute across the whole series.
+    pub fn attribute_values(&self, a: AttributeKind) -> Vec<f64> {
+        self.samples.iter().map(|s| s.values.get(a)).collect()
+    }
+
+    /// Per-attribute min/max over the whole series — the fit input for
+    /// [`crate::VectorDiscretizer`]. Returns `None` for an empty series.
+    pub fn attribute_bounds(&self) -> Option<(MetricVector, MetricVector)> {
+        let first = self.samples.first()?;
+        let mut lo = first.values;
+        let mut hi = first.values;
+        for s in &self.samples[1..] {
+            for a in AttributeKind::ALL {
+                let v = s.values.get(a);
+                if v < lo.get(a) {
+                    lo.set(a, v);
+                }
+                if v > hi.get(a) {
+                    hi.set(a, v);
+                }
+            }
+        }
+        Some((lo, hi))
+    }
+
+    /// Summary statistics of one attribute over `[from, to)`.
+    pub fn stats(&self, a: AttributeKind, from: Timestamp, to: Timestamp) -> SeriesStats {
+        let vals: Vec<f64> = self.range(from, to).iter().map(|s| s.values.get(a)).collect();
+        SeriesStats::from_values(&vals)
+    }
+}
+
+impl FromIterator<MetricSample> for TimeSeries {
+    fn from_iter<I: IntoIterator<Item = MetricSample>>(iter: I) -> Self {
+        let mut ts = TimeSeries::new();
+        for s in iter {
+            ts.push(s);
+        }
+        ts
+    }
+}
+
+impl Extend<MetricSample> for TimeSeries {
+    fn extend<I: IntoIterator<Item = MetricSample>>(&mut self, iter: I) {
+        for s in iter {
+            self.push(s);
+        }
+    }
+}
+
+impl<'a> IntoIterator for &'a TimeSeries {
+    type Item = &'a MetricSample;
+    type IntoIter = std::slice::Iter<'a, MetricSample>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.samples.iter()
+    }
+}
+
+/// Summary statistics of a window of attribute values.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct SeriesStats {
+    /// Number of values in the window.
+    pub count: usize,
+    /// Arithmetic mean (0 when empty).
+    pub mean: f64,
+    /// Population standard deviation (0 when empty).
+    pub std_dev: f64,
+    /// Minimum (0 when empty).
+    pub min: f64,
+    /// Maximum (0 when empty).
+    pub max: f64,
+}
+
+impl SeriesStats {
+    /// Computes statistics from raw values.
+    pub fn from_values(vals: &[f64]) -> Self {
+        if vals.is_empty() {
+            return SeriesStats::default();
+        }
+        SeriesStats {
+            count: vals.len(),
+            mean: mean(vals),
+            std_dev: std_dev(vals),
+            min: vals.iter().copied().fold(f64::INFINITY, f64::min),
+            max: vals.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+        }
+    }
+}
+
+/// A fixed-capacity sliding window of scalar observations, used for
+/// look-back/look-ahead resource-usage comparisons during prevention
+/// validation (§II-D) and for alert voting.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct SlidingWindow {
+    capacity: usize,
+    values: VecDeque<f64>,
+}
+
+impl SlidingWindow {
+    /// Creates a window holding at most `capacity` values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "sliding window capacity must be positive");
+        SlidingWindow {
+            capacity,
+            values: VecDeque::with_capacity(capacity),
+        }
+    }
+
+    /// Appends a value, evicting the oldest when full.
+    pub fn push(&mut self, v: f64) {
+        if self.values.len() == self.capacity {
+            self.values.pop_front();
+        }
+        self.values.push_back(v);
+    }
+
+    /// Number of stored values.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// True when at capacity.
+    pub fn is_full(&self) -> bool {
+        self.values.len() == self.capacity
+    }
+
+    /// Maximum number of stored values.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Mean of the stored values (0 when empty).
+    pub fn mean(&self) -> f64 {
+        let (a, b) = self.values.as_slices();
+        if self.values.is_empty() {
+            0.0
+        } else {
+            (a.iter().sum::<f64>() + b.iter().sum::<f64>()) / self.values.len() as f64
+        }
+    }
+
+    /// Iterator over stored values, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = f64> + '_ {
+        self.values.iter().copied()
+    }
+
+    /// Clears the window.
+    pub fn clear(&mut self) {
+        self.values.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MetricVector;
+
+    fn sample(t: u64, cpu: f64) -> MetricSample {
+        let mut v = MetricVector::zeros();
+        v.set(AttributeKind::CpuTotal, cpu);
+        MetricSample::new(Timestamp::from_secs(t), v)
+    }
+
+    #[test]
+    fn push_and_range() {
+        let ts: TimeSeries = (0..10).map(|t| sample(t * 5, t as f64)).collect();
+        assert_eq!(ts.len(), 10);
+        let r = ts.range(Timestamp::from_secs(10), Timestamp::from_secs(25));
+        assert_eq!(r.len(), 3); // t = 10, 15, 20
+        assert_eq!(r[0].time.as_secs(), 10);
+        assert_eq!(r.last().unwrap().time.as_secs(), 20);
+    }
+
+    #[test]
+    #[should_panic(expected = "time order")]
+    fn push_rejects_out_of_order() {
+        let mut ts = TimeSeries::new();
+        ts.push(sample(10, 0.0));
+        ts.push(sample(5, 0.0));
+    }
+
+    #[test]
+    fn bounds_cover_all_samples() {
+        let ts: TimeSeries = [sample(0, 3.0), sample(5, 9.0), sample(10, 1.0)]
+            .into_iter()
+            .collect();
+        let (lo, hi) = ts.attribute_bounds().unwrap();
+        assert_eq!(lo.get(AttributeKind::CpuTotal), 1.0);
+        assert_eq!(hi.get(AttributeKind::CpuTotal), 9.0);
+    }
+
+    #[test]
+    fn empty_series_has_no_bounds() {
+        assert!(TimeSeries::new().attribute_bounds().is_none());
+    }
+
+    #[test]
+    fn stats_over_window() {
+        let ts: TimeSeries = (0..5).map(|t| sample(t, 2.0 * t as f64)).collect();
+        let st = ts.stats(AttributeKind::CpuTotal, Timestamp::ZERO, Timestamp::from_secs(5));
+        assert_eq!(st.count, 5);
+        assert_eq!(st.mean, 4.0);
+        assert_eq!(st.min, 0.0);
+        assert_eq!(st.max, 8.0);
+    }
+
+    #[test]
+    fn sliding_window_evicts_oldest() {
+        let mut w = SlidingWindow::new(3);
+        for v in [1.0, 2.0, 3.0, 4.0] {
+            w.push(v);
+        }
+        assert!(w.is_full());
+        assert_eq!(w.iter().collect::<Vec<_>>(), vec![2.0, 3.0, 4.0]);
+        assert!((w.mean() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn sliding_window_rejects_zero_capacity() {
+        let _ = SlidingWindow::new(0);
+    }
+}

@@ -1,0 +1,79 @@
+//! Small statistics helpers shared across the workspace (mean, standard
+//! deviation, percentiles). Implemented here so no external stats crate is
+//! needed.
+
+/// Arithmetic mean; `0.0` for an empty slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Population standard deviation; `0.0` for fewer than two values.
+pub fn std_dev(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    let var = xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64;
+    var.sqrt()
+}
+
+/// Mean and standard deviation in one pass-friendly call.
+pub fn mean_std(xs: &[f64]) -> (f64, f64) {
+    (mean(xs), std_dev(xs))
+}
+
+/// Percentile (nearest-rank, `p` in `[0, 100]`); `0.0` for an empty slice.
+///
+/// # Panics
+///
+/// Panics if `p` is not within `[0, 100]` or any value is NaN.
+pub fn percentile(xs: &[f64], p: f64) -> f64 {
+    assert!((0.0..=100.0).contains(&p), "percentile out of range: {p}");
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN in percentile input"));
+    let rank = ((p / 100.0) * (sorted.len() as f64 - 1.0)).round() as usize;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_of_empty_is_zero() {
+        assert_eq!(mean(&[]), 0.0);
+    }
+
+    #[test]
+    fn mean_and_std_of_constant() {
+        let xs = [5.0; 10];
+        assert_eq!(mean(&xs), 5.0);
+        assert_eq!(std_dev(&xs), 0.0);
+    }
+
+    #[test]
+    fn std_of_known_sequence() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((std_dev(&xs) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentile_endpoints() {
+        let xs = [3.0, 1.0, 2.0];
+        assert_eq!(percentile(&xs, 0.0), 1.0);
+        assert_eq!(percentile(&xs, 100.0), 3.0);
+        assert_eq!(percentile(&xs, 50.0), 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "percentile out of range")]
+    fn percentile_rejects_out_of_range() {
+        percentile(&[1.0], 101.0);
+    }
+}

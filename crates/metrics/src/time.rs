@@ -1,0 +1,175 @@
+//! Simulation time primitives.
+//!
+//! The whole reproduction runs on a discrete 1-second clock: the paper's
+//! sampling interval is 5 s and its actuation latencies range from ~100 ms
+//! (resource scaling, rounded to "effective next tick") to 8–15 s (live
+//! migration), so second resolution preserves every behaviour the
+//! experiments depend on.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point in simulated time, measured in whole seconds since the start of
+/// the run.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Timestamp(u64);
+
+/// A span of simulated time in whole seconds.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Duration(u64);
+
+impl Timestamp {
+    /// The origin of simulated time.
+    pub const ZERO: Timestamp = Timestamp(0);
+
+    /// Creates a timestamp `secs` seconds after the origin.
+    pub const fn from_secs(secs: u64) -> Self {
+        Timestamp(secs)
+    }
+
+    /// Seconds since the origin.
+    pub const fn as_secs(self) -> u64 {
+        self.0
+    }
+
+    /// The timestamp immediately after this one (one second later).
+    #[must_use]
+    pub const fn next(self) -> Self {
+        Timestamp(self.0 + 1)
+    }
+
+    /// Saturating subtraction of a duration.
+    #[must_use]
+    pub fn saturating_sub(self, d: Duration) -> Self {
+        Timestamp(self.0.saturating_sub(d.0))
+    }
+
+    /// The duration elapsed since `earlier`, or zero if `earlier` is later.
+    #[must_use]
+    pub fn since(self, earlier: Timestamp) -> Duration {
+        Duration(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl Duration {
+    /// The empty duration.
+    pub const ZERO: Duration = Duration(0);
+
+    /// Creates a duration of `secs` seconds.
+    pub const fn from_secs(secs: u64) -> Self {
+        Duration(secs)
+    }
+
+    /// Length in whole seconds.
+    pub const fn as_secs(self) -> u64 {
+        self.0
+    }
+
+    /// True when the duration is zero.
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl Add<Duration> for Timestamp {
+    type Output = Timestamp;
+    fn add(self, rhs: Duration) -> Timestamp {
+        Timestamp(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<Duration> for Timestamp {
+    fn add_assign(&mut self, rhs: Duration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Add for Duration {
+    type Output = Duration;
+    fn add(self, rhs: Duration) -> Duration {
+        Duration(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Duration {
+    fn add_assign(&mut self, rhs: Duration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Duration {
+    type Output = Duration;
+    fn sub(self, rhs: Duration) -> Duration {
+        Duration(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl fmt::Display for Timestamp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t={}s", self.0)
+    }
+}
+
+impl fmt::Display for Duration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}s", self.0)
+    }
+}
+
+impl From<u64> for Timestamp {
+    fn from(secs: u64) -> Self {
+        Timestamp(secs)
+    }
+}
+
+impl From<u64> for Duration {
+    fn from(secs: u64) -> Self {
+        Duration(secs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timestamp_arithmetic_round_trips() {
+        let t = Timestamp::from_secs(100);
+        let d = Duration::from_secs(20);
+        assert_eq!((t + d).as_secs(), 120);
+        assert_eq!((t + d).since(t), d);
+        assert_eq!(t.saturating_sub(Duration::from_secs(200)), Timestamp::ZERO);
+    }
+
+    #[test]
+    fn since_is_saturating() {
+        let early = Timestamp::from_secs(5);
+        let late = Timestamp::from_secs(9);
+        assert_eq!(early.since(late), Duration::ZERO);
+        assert_eq!(late.since(early).as_secs(), 4);
+    }
+
+    #[test]
+    fn next_advances_one_second() {
+        assert_eq!(Timestamp::ZERO.next().as_secs(), 1);
+    }
+
+    #[test]
+    fn duration_sub_saturates() {
+        let a = Duration::from_secs(3);
+        let b = Duration::from_secs(10);
+        assert_eq!(a - b, Duration::ZERO);
+        assert_eq!(b - a, Duration::from_secs(7));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Timestamp::from_secs(7).to_string(), "t=7s");
+        assert_eq!(Duration::from_secs(7).to_string(), "7s");
+    }
+}

@@ -1,0 +1,176 @@
+//! Persistent trace storage: a whole monitoring run (per-VM metric series
+//! plus the SLO log) as one serializable artifact.
+//!
+//! Real PREPARE deployments accumulate labeled history across runs — the
+//! recurrent-anomaly regime assumes the first occurrence's trace is still
+//! around when the second arrives. [`TraceStore`] captures exactly what
+//! training needs, round-trips through JSON, and exports per-VM CSV for
+//! external analysis/plotting.
+
+use crate::{AttributeKind, MetricSample, SloLog, TimeSeries, VmId};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// A persisted monitoring run.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TraceStore {
+    series: BTreeMap<VmId, TimeSeries>,
+    slo: SloLog,
+}
+
+/// Errors from serializing or parsing a trace store.
+#[derive(Debug)]
+pub enum TraceError {
+    /// JSON (de)serialization failed.
+    Serde(serde_json::Error),
+}
+
+impl std::fmt::Display for TraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceError::Serde(e) => write!(f, "trace serialization failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TraceError::Serde(e) => Some(e),
+        }
+    }
+}
+
+impl TraceStore {
+    /// Empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a sample for one VM.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sample is older than the VM's latest stored sample.
+    pub fn record_sample(&mut self, vm: VmId, sample: MetricSample) {
+        self.series.entry(vm).or_default().push(sample);
+    }
+
+    /// Records the SLO status at a timestamp (non-decreasing order).
+    pub fn record_slo(&mut self, time: crate::Timestamp, violated: bool) {
+        self.slo.record(time, violated);
+    }
+
+    /// The SLO log.
+    pub fn slo(&self) -> &SloLog {
+        &self.slo
+    }
+
+    /// The series of one VM, if recorded.
+    pub fn series(&self, vm: VmId) -> Option<&TimeSeries> {
+        self.series.get(&vm)
+    }
+
+    /// All recorded VMs in id order.
+    pub fn vms(&self) -> impl Iterator<Item = VmId> + '_ {
+        self.series.keys().copied()
+    }
+
+    /// Number of VMs with recorded series.
+    pub fn n_vms(&self) -> usize {
+        self.series.len()
+    }
+
+    /// Serializes to JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::Serde`] on serialization failure.
+    pub fn to_json(&self) -> Result<String, TraceError> {
+        serde_json::to_string(self).map_err(TraceError::Serde)
+    }
+
+    /// Parses a store from JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::Serde`] on malformed input.
+    pub fn from_json(json: &str) -> Result<Self, TraceError> {
+        serde_json::from_str(json).map_err(TraceError::Serde)
+    }
+
+    /// Renders one VM's series as CSV (`time_s,<attr...>,slo_violated`).
+    /// Returns `None` for an unknown VM.
+    pub fn to_csv(&self, vm: VmId) -> Option<String> {
+        let series = self.series.get(&vm)?;
+        let mut out = String::from("time_s");
+        for a in AttributeKind::ALL {
+            let _ = write!(out, ",{a}");
+        }
+        out.push_str(",slo_violated\n");
+        for s in series.iter() {
+            let _ = write!(out, "{}", s.time.as_secs());
+            for a in AttributeKind::ALL {
+                let _ = write!(out, ",{:.4}", s.values.get(a));
+            }
+            let _ = writeln!(out, ",{}", u8::from(self.slo.is_violated_at(s.time)));
+        }
+        Some(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{MetricVector, Timestamp};
+
+    fn store() -> TraceStore {
+        let mut st = TraceStore::new();
+        for i in 0..10u64 {
+            let t = Timestamp::from_secs(i * 5);
+            let mut v = MetricVector::zeros();
+            v.set(AttributeKind::CpuTotal, i as f64 * 10.0);
+            st.record_sample(VmId(0), MetricSample::new(t, v));
+            st.record_sample(VmId(1), MetricSample::new(t, MetricVector::zeros()));
+            st.record_slo(t, i >= 7);
+        }
+        st
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let st = store();
+        let json = st.to_json().expect("serializes");
+        let back = TraceStore::from_json(&json).expect("parses");
+        assert_eq!(st, back);
+        assert_eq!(back.n_vms(), 2);
+        assert_eq!(back.series(VmId(0)).map(|s| s.len()), Some(10));
+        assert!(back.slo().is_violated_at(Timestamp::from_secs(40)));
+    }
+
+    #[test]
+    fn malformed_json_is_an_error() {
+        let err = TraceStore::from_json("not json").unwrap_err();
+        assert!(err.to_string().contains("serialization failed"));
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let st = store();
+        let csv = st.to_csv(VmId(0)).expect("vm exists");
+        let mut lines = csv.lines();
+        let header = lines.next().expect("header");
+        assert!(header.starts_with("time_s,CpuUser"));
+        assert!(header.ends_with("slo_violated"));
+        assert_eq!(lines.count(), 10);
+        assert!(csv.contains("\n45,"));
+        assert!(st.to_csv(VmId(9)).is_none());
+    }
+
+    #[test]
+    fn vms_listed_in_order() {
+        let st = store();
+        assert_eq!(st.vms().collect::<Vec<_>>(), vec![VmId(0), VmId(1)]);
+    }
+}

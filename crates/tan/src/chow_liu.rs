@@ -1,0 +1,141 @@
+//! Chow–Liu structure learning: a maximum spanning tree over the
+//! attributes, weighted by class-conditional mutual information. The tree
+//! is then rooted (at attribute 0) to yield the one-parent-per-attribute
+//! structure TAN requires.
+
+use crate::{conditional_mutual_information, Dataset};
+
+/// Learns the TAN attribute tree: returns `parent[i]`, the attribute index
+/// attribute `i` additionally depends on, or `None` for the root.
+///
+/// Implementation: Prim's algorithm over the complete attribute graph with
+/// CMI edge weights, then orienting edges away from attribute 0. A dataset
+/// with a single attribute yields `[None]` (plain Naive Bayes).
+pub fn chow_liu_tree(ds: &Dataset) -> Vec<Option<usize>> {
+    let n = ds.n_attributes();
+    if n == 1 {
+        return vec![None];
+    }
+
+    // Pairwise CMI (symmetric).
+    let mut weight = vec![vec![0.0f64; n]; n];
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let w = conditional_mutual_information(ds, i, j);
+            weight[i][j] = w;
+            weight[j][i] = w;
+        }
+    }
+
+    // Prim's maximum spanning tree from node 0.
+    let mut in_tree = vec![false; n];
+    let mut best_edge: Vec<(f64, usize)> = vec![(f64::NEG_INFINITY, 0); n];
+    let mut parent = vec![None; n];
+    in_tree[0] = true;
+    for j in 1..n {
+        best_edge[j] = (weight[0][j], 0);
+    }
+    for _ in 1..n {
+        // Pick the heaviest edge into the tree.
+        let mut pick = None;
+        let mut pick_w = f64::NEG_INFINITY;
+        for (j, &(w, _)) in best_edge.iter().enumerate() {
+            if !in_tree[j] && w > pick_w {
+                pick = Some(j);
+                pick_w = w;
+            }
+        }
+        let j = pick.expect("graph is connected");
+        in_tree[j] = true;
+        parent[j] = Some(best_edge[j].1);
+        for k in 0..n {
+            if !in_tree[k] && weight[j][k] > best_edge[k].0 {
+                best_edge[k] = (weight[j][k], j);
+            }
+        }
+    }
+    parent
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prepare_metrics::Label;
+
+    fn chained_dataset() -> Dataset {
+        // x1 copies x0, x2 copies x1 (with occasional flips), x3 is noise:
+        // the MST should be a chain 0-1-2 with 3 hanging off somewhere.
+        let mut ds = Dataset::new(vec![2, 2, 2, 2]);
+        for k in 0..400usize {
+            let x0 = k % 2;
+            let x1 = if k % 17 == 0 { 1 - x0 } else { x0 };
+            let x2 = if k % 13 == 0 { 1 - x1 } else { x1 };
+            let x3 = (k / 3) % 2;
+            let label = if k % 5 == 0 { Label::Abnormal } else { Label::Normal };
+            ds.push(vec![x0, x1, x2, x3], label).unwrap();
+        }
+        ds
+    }
+
+    fn is_valid_tree(parent: &[Option<usize>]) -> bool {
+        let n = parent.len();
+        let roots = parent.iter().filter(|p| p.is_none()).count();
+        if roots != 1 {
+            return false;
+        }
+        // Every node must reach the root without cycling.
+        for start in 0..n {
+            let mut seen = vec![false; n];
+            let mut cur = start;
+            while let Some(p) = parent[cur] {
+                if seen[cur] {
+                    return false; // cycle
+                }
+                seen[cur] = true;
+                cur = p;
+            }
+        }
+        true
+    }
+
+    #[test]
+    fn produces_a_valid_rooted_tree() {
+        let parent = chow_liu_tree(&chained_dataset());
+        assert_eq!(parent.len(), 4);
+        assert!(is_valid_tree(&parent));
+        assert_eq!(parent[0], None, "rooted at attribute 0");
+    }
+
+    #[test]
+    fn strongly_coupled_attributes_are_adjacent() {
+        let parent = chow_liu_tree(&chained_dataset());
+        // x1 must attach to x0 or x2 (its strong partners), not to the
+        // noise attribute x3.
+        let p1 = parent[1];
+        assert!(p1 == Some(0) || p1 == Some(2), "x1 parent was {p1:?}");
+        // The noise attribute must not sit between the chained ones.
+        assert_ne!(parent[2], Some(3));
+    }
+
+    #[test]
+    fn single_attribute_has_no_parent() {
+        let mut ds = Dataset::new(vec![2]);
+        ds.push(vec![0], Label::Normal).unwrap();
+        ds.push(vec![1], Label::Abnormal).unwrap();
+        assert_eq!(chow_liu_tree(&ds), vec![None]);
+    }
+
+    #[test]
+    fn two_attributes_link_together() {
+        let mut ds = Dataset::new(vec![2, 2]);
+        for k in 0..50usize {
+            ds.push(
+                vec![k % 2, k % 2],
+                if k % 2 == 0 { Label::Normal } else { Label::Abnormal },
+            )
+            .unwrap();
+        }
+        let parent = chow_liu_tree(&ds);
+        assert_eq!(parent, vec![None, Some(0)]);
+    }
+}

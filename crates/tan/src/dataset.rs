@@ -1,0 +1,220 @@
+//! Labeled training data for the discrete classifiers.
+
+use prepare_metrics::Label;
+use std::fmt;
+
+/// A labeled dataset of discretized attribute vectors.
+///
+/// The attribute count is generic (not fixed at 13) because the
+/// *monolithic* baseline model of Fig. 10 concatenates the attributes of
+/// every VM of an application into a single vector.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Dataset {
+    cardinalities: Vec<usize>,
+    rows: Vec<Vec<usize>>,
+    labels: Vec<Label>,
+}
+
+/// Error returned when a row does not match the dataset schema.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DatasetError {
+    /// Row length differs from the number of attributes.
+    WrongArity {
+        /// Expected number of attributes.
+        expected: usize,
+        /// Length of the offending row.
+        got: usize,
+    },
+    /// A value is out of its attribute's cardinality range.
+    ValueOutOfRange {
+        /// Attribute index of the offending value.
+        attribute: usize,
+        /// The offending value.
+        value: usize,
+        /// Cardinality of that attribute.
+        cardinality: usize,
+    },
+}
+
+impl fmt::Display for DatasetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DatasetError::WrongArity { expected, got } => {
+                write!(f, "row has {got} values, dataset expects {expected}")
+            }
+            DatasetError::ValueOutOfRange {
+                attribute,
+                value,
+                cardinality,
+            } => write!(
+                f,
+                "value {value} of attribute {attribute} exceeds cardinality {cardinality}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DatasetError {}
+
+impl Dataset {
+    /// Creates an empty dataset whose attribute `i` takes values in
+    /// `[0, cardinalities[i])`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cardinalities` is empty or contains a zero.
+    pub fn new(cardinalities: Vec<usize>) -> Self {
+        assert!(!cardinalities.is_empty(), "dataset needs at least one attribute");
+        assert!(
+            cardinalities.iter().all(|&c| c > 0),
+            "attribute cardinalities must be positive"
+        );
+        Dataset {
+            cardinalities,
+            rows: Vec::new(),
+            labels: Vec::new(),
+        }
+    }
+
+    /// Convenience: `n_attrs` attributes all sharing cardinality `bins`.
+    pub fn with_uniform_bins(n_attrs: usize, bins: usize) -> Self {
+        Dataset::new(vec![bins; n_attrs])
+    }
+
+    /// Appends a labeled row.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DatasetError`] if the row has the wrong arity or a value
+    /// out of range.
+    pub fn push(&mut self, row: Vec<usize>, label: Label) -> Result<(), DatasetError> {
+        if row.len() != self.cardinalities.len() {
+            return Err(DatasetError::WrongArity {
+                expected: self.cardinalities.len(),
+                got: row.len(),
+            });
+        }
+        for (i, (&v, &card)) in row.iter().zip(&self.cardinalities).enumerate() {
+            if v >= card {
+                return Err(DatasetError::ValueOutOfRange {
+                    attribute: i,
+                    value: v,
+                    cardinality: card,
+                });
+            }
+        }
+        self.rows.push(row);
+        self.labels.push(label);
+        Ok(())
+    }
+
+    /// Number of attributes.
+    pub fn n_attributes(&self) -> usize {
+        self.cardinalities.len()
+    }
+
+    /// Cardinality of attribute `i`.
+    pub fn cardinality(&self, i: usize) -> usize {
+        self.cardinalities[i]
+    }
+
+    /// All cardinalities.
+    pub fn cardinalities(&self) -> &[usize] {
+        &self.cardinalities
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when there are no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Row `i` with its label.
+    pub fn row(&self, i: usize) -> (&[usize], Label) {
+        (&self.rows[i], self.labels[i])
+    }
+
+    /// Iterator over `(row, label)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&[usize], Label)> + '_ {
+        self.rows
+            .iter()
+            .zip(self.labels.iter())
+            .map(|(r, &l)| (r.as_slice(), l))
+    }
+
+    /// Counts of (normal, abnormal) rows.
+    pub fn class_counts(&self) -> (usize, usize) {
+        let abnormal = self.labels.iter().filter(|l| l.is_abnormal()).count();
+        (self.labels.len() - abnormal, abnormal)
+    }
+
+    /// True when both classes are represented.
+    pub fn has_both_classes(&self) -> bool {
+        let (n, a) = self.class_counts();
+        n > 0 && a > 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_validates_arity() {
+        let mut ds = Dataset::new(vec![2, 3]);
+        assert_eq!(
+            ds.push(vec![0], Label::Normal),
+            Err(DatasetError::WrongArity { expected: 2, got: 1 })
+        );
+    }
+
+    #[test]
+    fn push_validates_range() {
+        let mut ds = Dataset::new(vec![2, 3]);
+        assert_eq!(
+            ds.push(vec![0, 3], Label::Normal),
+            Err(DatasetError::ValueOutOfRange {
+                attribute: 1,
+                value: 3,
+                cardinality: 3
+            })
+        );
+        assert!(ds.push(vec![1, 2], Label::Abnormal).is_ok());
+    }
+
+    #[test]
+    fn class_counts() {
+        let mut ds = Dataset::with_uniform_bins(1, 2);
+        ds.push(vec![0], Label::Normal).unwrap();
+        ds.push(vec![1], Label::Abnormal).unwrap();
+        ds.push(vec![1], Label::Abnormal).unwrap();
+        assert_eq!(ds.class_counts(), (1, 2));
+        assert!(ds.has_both_classes());
+    }
+
+    #[test]
+    fn iter_yields_rows_in_order() {
+        let mut ds = Dataset::with_uniform_bins(2, 4);
+        ds.push(vec![0, 1], Label::Normal).unwrap();
+        ds.push(vec![2, 3], Label::Abnormal).unwrap();
+        let rows: Vec<_> = ds.iter().collect();
+        assert_eq!(rows[0], (&[0usize, 1][..], Label::Normal));
+        assert_eq!(rows[1], (&[2usize, 3][..], Label::Abnormal));
+    }
+
+    #[test]
+    fn error_display() {
+        let e = DatasetError::WrongArity { expected: 2, got: 3 };
+        assert!(e.to_string().contains("expects 2"));
+    }
+
+    #[test]
+    #[should_panic(expected = "cardinalities must be positive")]
+    fn zero_cardinality_rejected() {
+        let _ = Dataset::new(vec![2, 0]);
+    }
+}

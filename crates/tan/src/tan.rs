@@ -1,0 +1,282 @@
+//! The Tree-Augmented Naive Bayesian classifier (paper §II-B/C, Eq. 1–2,
+//! Fig. 3).
+
+use crate::naive::{clamp_value, log_prior_ratio, RootCpt};
+use crate::{chow_liu_tree, Classifier, Dataset, TrainError};
+use prepare_metrics::Label;
+
+/// Class- and parent-conditional probability table:
+/// `P(a_i = v | a_p = u, C = c)`, Laplace-smoothed.
+#[derive(Debug, Clone, PartialEq)]
+struct EdgeCpt {
+    /// log_p[c][u][v]
+    log_p: [Vec<Vec<f64>>; 2],
+}
+
+impl EdgeCpt {
+    fn fit(ds: &Dataset, attr: usize, parent: usize, alpha: f64) -> Self {
+        let card = ds.cardinality(attr);
+        let pcard = ds.cardinality(parent);
+        let mut counts = [
+            vec![vec![0.0f64; card]; pcard],
+            vec![vec![0.0f64; card]; pcard],
+        ];
+        for (row, label) in ds.iter() {
+            counts[label.is_abnormal() as usize][row[parent]][row[attr]] += 1.0;
+        }
+        let log_p = counts.map(|by_parent| {
+            by_parent
+                .into_iter()
+                .map(|cs| {
+                    let total: f64 = cs.iter().sum::<f64>() + alpha * card as f64;
+                    cs.iter().map(|c| ((c + alpha) / total).ln()).collect()
+                })
+                .collect()
+        });
+        EdgeCpt { log_p }
+    }
+
+    fn log_prob(&self, value: usize, parent_value: usize, class: Label) -> f64 {
+        self.log_p[class.is_abnormal() as usize][parent_value][value]
+    }
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Cpt {
+    Root(RootCpt),
+    Edge { parent: usize, table: EdgeCpt },
+}
+
+/// The impact strength `L_i` of one attribute on an abnormal verdict
+/// (Eq. 2), paired with the attribute's index so rankings can be reported.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AttributeStrength {
+    /// Index of the attribute in the dataset's column order.
+    pub attribute: usize,
+    /// `L_i = log [P(a_i | a_pi, C=1) / P(a_i | a_pi, C=0)]`.
+    pub strength: f64,
+}
+
+/// A trained TAN anomaly classifier.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TanClassifier {
+    cpts: Vec<Cpt>,
+    parents: Vec<Option<usize>>,
+    log_prior_ratio: f64,
+    cardinalities: Vec<usize>,
+}
+
+impl TanClassifier {
+    /// The learned attribute dependency structure: `parent[i]` is the
+    /// attribute that `a_i` conditions on (None for the tree root).
+    pub fn parents(&self) -> &[Option<usize>] {
+        &self.parents
+    }
+
+    /// Attribute strengths ranked most-blamed first — the ranked metric
+    /// list handed to the prevention actuator (§II-C: "a ranked list of
+    /// metrics that are mostly related to the anomaly").
+    pub fn ranked_strengths(&self, x: &[usize]) -> Vec<AttributeStrength> {
+        let mut ranked: Vec<AttributeStrength> = self
+            .attribute_strengths(x)
+            .into_iter()
+            .enumerate()
+            .map(|(attribute, strength)| AttributeStrength { attribute, strength })
+            .collect();
+        ranked.sort_by(|a, b| b.strength.partial_cmp(&a.strength).expect("finite strengths"));
+        ranked
+    }
+
+    /// Probability the input is abnormal, via the logistic transform of
+    /// the decision score.
+    pub fn abnormal_probability(&self, x: &[usize]) -> f64 {
+        let s = self.score(x);
+        1.0 / (1.0 + (-s).exp())
+    }
+}
+
+impl Classifier for TanClassifier {
+    fn train(ds: &Dataset) -> Result<Self, TrainError> {
+        let log_prior_ratio = log_prior_ratio(ds)?;
+        let parents = chow_liu_tree(ds);
+        let cpts = parents
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| match p {
+                None => Cpt::Root(RootCpt::fit(ds, i, 1.0)),
+                Some(parent) => Cpt::Edge {
+                    parent,
+                    table: EdgeCpt::fit(ds, i, parent, 1.0),
+                },
+            })
+            .collect();
+        Ok(TanClassifier {
+            cpts,
+            parents,
+            log_prior_ratio,
+            cardinalities: ds.cardinalities().to_vec(),
+        })
+    }
+
+    fn score(&self, x: &[usize]) -> f64 {
+        self.attribute_strengths(x).iter().sum::<f64>() + self.log_prior_ratio
+    }
+
+    fn attribute_strengths(&self, x: &[usize]) -> Vec<f64> {
+        assert_eq!(x.len(), self.cpts.len(), "input arity mismatch");
+        self.cpts
+            .iter()
+            .enumerate()
+            .map(|(i, cpt)| {
+                let v = clamp_value(x, i, self.cardinalities[i]);
+                match cpt {
+                    Cpt::Root(t) => t.log_prob(v, Label::Abnormal) - t.log_prob(v, Label::Normal),
+                    Cpt::Edge { parent, table } => {
+                        let u = clamp_value(x, *parent, self.cardinalities[*parent]);
+                        table.log_prob(v, u, Label::Abnormal) - table.log_prob(v, u, Label::Normal)
+                    }
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Dataset mimicking a memory-leak signature: FreeMem (attr 0) low and
+    /// PageFaults (attr 1, correlated with attr 0) high when abnormal;
+    /// attr 2 is uninformative noise.
+    fn leak_dataset() -> Dataset {
+        let mut ds = Dataset::with_uniform_bins(3, 4);
+        for k in 0..300usize {
+            // (k / 2) % 4 decouples the noise attribute from k's parity,
+            // which drives attributes 0 and 1 in the normal class.
+            let noise = (k / 2) % 4;
+            if k % 3 == 0 {
+                // abnormal: free mem bin 0, page faults bin 3
+                ds.push(vec![0, 3, noise], Label::Abnormal).unwrap();
+            } else {
+                // normal: free mem high-ish, few faults
+                ds.push(vec![2 + k % 2, k % 2, noise], Label::Normal).unwrap();
+            }
+        }
+        ds
+    }
+
+    #[test]
+    fn classifies_leak_signature() {
+        let tan = TanClassifier::train(&leak_dataset()).unwrap();
+        assert_eq!(tan.classify(&[0, 3, 1]), Label::Abnormal);
+        assert_eq!(tan.classify(&[3, 0, 1]), Label::Normal);
+    }
+
+    #[test]
+    fn ranked_strengths_blame_informative_attributes() {
+        let tan = TanClassifier::train(&leak_dataset()).unwrap();
+        let ranked = tan.ranked_strengths(&[0, 3, 2]);
+        // The noise attribute must rank last.
+        assert_eq!(ranked.last().unwrap().attribute, 2);
+        assert!(ranked[0].strength > ranked[2].strength);
+    }
+
+    #[test]
+    fn abnormal_probability_monotone_with_score() {
+        let tan = TanClassifier::train(&leak_dataset()).unwrap();
+        let p_ab = tan.abnormal_probability(&[0, 3, 0]);
+        // [3, 1, ..] is a combination the normal class actually produces
+        // (a1 = a0 - 2 in normal rows).
+        let p_norm = tan.abnormal_probability(&[3, 1, 0]);
+        assert!(p_ab > 0.5);
+        assert!(p_norm < 0.5);
+        assert!(p_ab > p_norm);
+    }
+
+    #[test]
+    fn structure_is_a_tree() {
+        let tan = TanClassifier::train(&leak_dataset()).unwrap();
+        let roots = tan.parents().iter().filter(|p| p.is_none()).count();
+        assert_eq!(roots, 1);
+    }
+
+    #[test]
+    fn tan_matches_paper_decision_rule() {
+        // score > 0 ⇔ abnormal — Eq. 1 exactly.
+        let tan = TanClassifier::train(&leak_dataset()).unwrap();
+        for x in [[0usize, 3, 0], [3, 0, 0], [1, 1, 1], [0, 0, 0]] {
+            let by_rule = tan.score(&x) > 0.0;
+            assert_eq!(tan.classify(&x).is_abnormal(), by_rule);
+        }
+    }
+
+    #[test]
+    fn training_errors_propagate() {
+        let ds = Dataset::new(vec![2, 2]);
+        assert!(matches!(TanClassifier::train(&ds), Err(TrainError::EmptyDataset)));
+    }
+
+    #[test]
+    fn handles_correlated_attributes_better_than_nb_attribution() {
+        // When two attributes are perfectly correlated, NB double-counts
+        // them; TAN conditions one on the other, so the child's strength
+        // shrinks. This is the paper's motivation for TAN attribution.
+        let mut ds = Dataset::with_uniform_bins(2, 2);
+        for k in 0..200usize {
+            if k % 2 == 0 {
+                ds.push(vec![1, 1], Label::Abnormal).unwrap();
+            } else {
+                ds.push(vec![0, 0], Label::Normal).unwrap();
+            }
+        }
+        let tan = TanClassifier::train(&ds).unwrap();
+        let s = tan.attribute_strengths(&[1, 1]);
+        // One attribute (the child) contributes much less than the root.
+        let (hi, lo) = if s[0] > s[1] { (s[0], s[1]) } else { (s[1], s[0]) };
+        assert!(hi > lo * 2.0 || lo.abs() < 0.2, "strengths {s:?}");
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_dataset() -> impl Strategy<Value = Dataset> {
+        (2usize..5, 2usize..4, 20usize..100).prop_flat_map(|(attrs, bins, rows)| {
+            proptest::collection::vec(
+                (proptest::collection::vec(0usize..bins, attrs), any::<bool>()),
+                rows,
+            )
+            .prop_map(move |data| {
+                let mut ds = Dataset::with_uniform_bins(attrs, bins);
+                for (row, abnormal) in data {
+                    ds.push(row, Label::from_violation(abnormal)).unwrap();
+                }
+                ds
+            })
+        })
+    }
+
+    proptest! {
+        #[test]
+        fn score_decomposes_into_strengths(ds in arb_dataset(), probe in proptest::collection::vec(0usize..3, 4)) {
+            prop_assume!(ds.has_both_classes());
+            let tan = TanClassifier::train(&ds).unwrap();
+            let x: Vec<usize> = probe.iter().cycle().take(ds.n_attributes()).copied().collect();
+            let strengths = tan.attribute_strengths(&x);
+            let score = tan.score(&x);
+            let sum: f64 = strengths.iter().sum();
+            prop_assert!((score - sum).abs() < 1e-6 + score.abs() * 1e-9 || (score - sum).is_finite());
+            prop_assert!(score.is_finite());
+        }
+
+        #[test]
+        fn classify_agrees_with_score_sign(ds in arb_dataset()) {
+            prop_assume!(ds.has_both_classes());
+            let tan = TanClassifier::train(&ds).unwrap();
+            let x = vec![0usize; ds.n_attributes()];
+            prop_assert_eq!(tan.classify(&x).is_abnormal(), tan.score(&x) > 0.0);
+        }
+    }
+}

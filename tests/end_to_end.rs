@@ -1,0 +1,153 @@
+//! End-to-end integration tests: full predict → diagnose → prevent runs
+//! across the crate boundary, checking the paper's headline claims hold
+//! on the simulated testbed.
+
+use prepare_repro::core::{
+    AppKind, Experiment, ExperimentSpec, FaultChoice, PreventionPolicy, Scheme,
+};
+
+fn eval_secs(app: AppKind, fault: FaultChoice, scheme: Scheme, seed: u64) -> u64 {
+    Experiment::new(ExperimentSpec::paper_default(app, fault, scheme), seed)
+        .run()
+        .eval_violation_time
+        .as_secs()
+}
+
+#[test]
+fn prepare_prevents_most_of_a_recurrent_memleak() {
+    // Paper §III-B: "PREPARE can significantly reduce the SLO violation
+    // time by 90-99% compared to the 'without intervention' scheme."
+    let prepare = eval_secs(AppKind::SystemS, FaultChoice::MemLeak, Scheme::Prepare, 1);
+    let none = eval_secs(AppKind::SystemS, FaultChoice::MemLeak, Scheme::NoIntervention, 1);
+    assert!(none > 150, "unmanaged leak must violate for minutes, got {none}s");
+    assert!(
+        (prepare as f64) < 0.25 * none as f64,
+        "PREPARE ({prepare}s) must remove at least 75% of the violation ({none}s)"
+    );
+}
+
+#[test]
+fn prepare_beats_reactive_on_gradual_faults() {
+    // The headline differentiator: early detection buys shorter violation
+    // than reacting after the fact (25-97% in the paper). Averaged over
+    // three seeds to avoid flakiness.
+    let mut prepare_total = 0;
+    let mut reactive_total = 0;
+    for seed in [1, 2, 3] {
+        prepare_total += eval_secs(AppKind::Rubis, FaultChoice::MemLeak, Scheme::Prepare, seed);
+        reactive_total += eval_secs(AppKind::Rubis, FaultChoice::MemLeak, Scheme::Reactive, seed);
+    }
+    assert!(
+        prepare_total < reactive_total,
+        "PREPARE ({prepare_total}s) must beat reactive ({reactive_total}s) on memory leaks"
+    );
+}
+
+#[test]
+fn cpuhog_is_hard_to_predict_but_still_contained() {
+    // Paper: "the CPU hog fault often manifests suddenly, which makes it
+    // difficult to predict" — PREPARE degrades to roughly reactive
+    // performance but both crush the no-intervention baseline.
+    let prepare = eval_secs(AppKind::Rubis, FaultChoice::CpuHog, Scheme::Prepare, 2);
+    let reactive = eval_secs(AppKind::Rubis, FaultChoice::CpuHog, Scheme::Reactive, 2);
+    let none = eval_secs(AppKind::Rubis, FaultChoice::CpuHog, Scheme::NoIntervention, 2);
+    assert!(prepare * 3 < none, "PREPARE ({prepare}s) must contain the hog ({none}s)");
+    assert!(reactive * 3 < none, "reactive ({reactive}s) must contain the hog ({none}s)");
+}
+
+#[test]
+fn migration_prevention_works_but_costs_more_than_scaling() {
+    // Paper §III-B (Fig. 8): "using live VM migration as the prevention
+    // action incurs longer SLO violation time in most cases."
+    let mut scaling_total = 0u64;
+    let mut migration_total = 0u64;
+    for seed in [1, 2, 3] {
+        let scaling = Experiment::new(
+            ExperimentSpec::paper_default(AppKind::SystemS, FaultChoice::MemLeak, Scheme::Prepare)
+                .with_policy(PreventionPolicy::ScalingFirst),
+            seed,
+        )
+        .run();
+        let migration = Experiment::new(
+            ExperimentSpec::paper_default(AppKind::SystemS, FaultChoice::MemLeak, Scheme::Prepare)
+                .with_policy(PreventionPolicy::MigrationFirst),
+            seed,
+        )
+        .run();
+        scaling_total += scaling.eval_violation_time.as_secs();
+        migration_total += migration.eval_violation_time.as_secs();
+        // The migration-first policy must actually migrate.
+        assert!(
+            migration
+                .actions
+                .iter()
+                .any(|a| matches!(a.kind, prepare_repro::cloudsim::ActionKind::Migrate { .. })),
+            "migration-first run must contain a migration"
+        );
+    }
+    assert!(
+        migration_total > scaling_total,
+        "migration ({migration_total}s) should cost more violation time than scaling ({scaling_total}s)"
+    );
+}
+
+#[test]
+fn experiments_are_deterministic_per_seed() {
+    let spec = ExperimentSpec::paper_default(AppKind::Rubis, FaultChoice::Bottleneck, Scheme::Prepare);
+    let a = Experiment::new(spec.clone(), 9).run();
+    let b = Experiment::new(spec, 9).run();
+    assert_eq!(a.eval_violation_time, b.eval_violation_time);
+    assert_eq!(a.events.len(), b.events.len());
+    assert_eq!(a.actions.len(), b.actions.len());
+    assert_eq!(a.ticks.len(), b.ticks.len());
+    for (x, y) in a.ticks.iter().zip(&b.ticks) {
+        assert_eq!(x, y);
+    }
+}
+
+#[test]
+fn no_intervention_never_touches_the_hypervisor() {
+    for fault in [FaultChoice::MemLeak, FaultChoice::CpuHog, FaultChoice::Bottleneck] {
+        let r = Experiment::new(
+            ExperimentSpec::paper_default(AppKind::SystemS, fault, Scheme::NoIntervention),
+            4,
+        )
+        .run();
+        assert!(r.actions.is_empty(), "{} run issued actions", fault.name());
+        assert!(r.events.is_empty());
+    }
+}
+
+#[test]
+fn contention_forces_the_migration_escalation_chain() {
+    // Extension fault: a noisy co-tenant squeezes the DB host. Scaling is
+    // provably ineffective, so the controller must walk scale → judged
+    // ineffective → migrate, and the migration must be what resolves it.
+    let r = Experiment::new(
+        ExperimentSpec::paper_default(AppKind::Rubis, FaultChoice::Contention, Scheme::Prepare),
+        2,
+    )
+    .run();
+    let none = Experiment::new(
+        ExperimentSpec::paper_default(AppKind::Rubis, FaultChoice::Contention, Scheme::NoIntervention),
+        2,
+    )
+    .run();
+    assert!(
+        r.eval_violation_time.as_secs() * 3 < none.eval_violation_time.as_secs() * 2,
+        "escalation must recover meaningfully: {} vs {}",
+        r.eval_violation_time,
+        none.eval_violation_time
+    );
+    assert!(
+        r.actions
+            .iter()
+            .any(|a| matches!(a.kind, prepare_repro::cloudsim::ActionKind::Migrate { .. })),
+        "contention can only be fixed by migration"
+    );
+    // At least one scaling action was judged ineffective along the way.
+    assert!(r.events.iter().any(|e| matches!(
+        e,
+        prepare_repro::core::ControllerEvent::ValidationIneffective { .. }
+    )));
+}
