@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Local mirror of the CI pipeline (.github/workflows/ci.yml).
+# All steps run offline: every dependency is vendored in shims/.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy (deny warnings)"
+cargo clippy --offline --workspace --all-targets -- -D warnings
+
+echo "==> cargo xtask lint"
+cargo run --offline --quiet --package xtask -- lint
+
+echo "==> cargo test"
+cargo test --offline --quiet --workspace
+
+echo "ci.sh: all checks passed"

@@ -84,9 +84,7 @@ impl std::fmt::Display for ConfusionMatrix {
 }
 
 /// Scores a sequence of `(predicted, truth)` label pairs.
-pub fn evaluate_predictions(
-    pairs: impl IntoIterator<Item = (Label, Label)>,
-) -> ConfusionMatrix {
+pub fn evaluate_predictions(pairs: impl IntoIterator<Item = (Label, Label)>) -> ConfusionMatrix {
     let mut m = ConfusionMatrix::new();
     for (p, t) in pairs {
         m.record(p, t);

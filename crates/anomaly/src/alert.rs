@@ -77,9 +77,18 @@ mod tests {
             score: if label.is_abnormal() { 1.0 } else { -1.0 },
             probability: 0.5,
             strengths: vec![
-                AttributeStrength { attribute: 3, strength: 2.0 },
-                AttributeStrength { attribute: 0, strength: 0.5 },
-                AttributeStrength { attribute: 99, strength: 0.1 },
+                AttributeStrength {
+                    attribute: 3,
+                    strength: 2.0,
+                },
+                AttributeStrength {
+                    attribute: 0,
+                    strength: 0.5,
+                },
+                AttributeStrength {
+                    attribute: 99,
+                    strength: 0.1,
+                },
             ],
             predicted_states: vec![0; 13],
         }

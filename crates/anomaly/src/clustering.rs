@@ -51,7 +51,7 @@ impl KMeans {
                 .max_by(|a, b| {
                     let da = nearest_distance(a, &centroids);
                     let db = nearest_distance(b, &centroids);
-                    da.partial_cmp(&db).expect("finite distances")
+                    da.total_cmp(&db)
                 })
                 .expect("non-empty");
             centroids.push(far.clone());
@@ -60,20 +60,22 @@ impl KMeans {
         let mut assignment = vec![0usize; points.len()];
         for _ in 0..50 {
             let mut changed = false;
-            for (i, p) in points.iter().enumerate() {
+            for (a, p) in assignment.iter_mut().zip(&points) {
                 let best = nearest_index(p, &centroids);
-                if assignment[i] != best {
-                    assignment[i] = best;
+                if *a != best {
+                    *a = best;
                     changed = true;
                 }
             }
             // Recompute centroids.
             let mut sums = vec![vec![0.0; dim]; centroids.len()];
             let mut counts = vec![0usize; centroids.len()];
-            for (i, p) in points.iter().enumerate() {
-                counts[assignment[i]] += 1;
-                for (s, v) in sums[assignment[i]].iter_mut().zip(p) {
-                    *s += v;
+            for (&a, p) in assignment.iter().zip(&points) {
+                if let (Some(count), Some(sum)) = (counts.get_mut(a), sums.get_mut(a)) {
+                    *count += 1;
+                    for (s, v) in sum.iter_mut().zip(p) {
+                        *s += v;
+                    }
                 }
             }
             for (c, (sum, count)) in centroids.iter_mut().zip(sums.iter().zip(&counts)) {
@@ -90,12 +92,20 @@ impl KMeans {
         // finite for singleton clusters).
         let mut radii = vec![0.0f64; centroids.len()];
         let mut counts = vec![0usize; centroids.len()];
-        for (i, p) in points.iter().enumerate() {
-            radii[assignment[i]] += distance(p, &centroids[assignment[i]]);
-            counts[assignment[i]] += 1;
+        for (&a, p) in assignment.iter().zip(&points) {
+            if let (Some(r), Some(count), Some(c)) =
+                (radii.get_mut(a), counts.get_mut(a), centroids.get(a))
+            {
+                *r += distance(p, c);
+                *count += 1;
+            }
         }
         for (r, c) in radii.iter_mut().zip(&counts) {
-            *r = if *c > 0 { (*r / *c as f64).max(0.5) } else { 0.5 };
+            *r = if *c > 0 {
+                (*r / *c as f64).max(0.5)
+            } else {
+                0.5
+            };
         }
 
         KMeans { centroids, radii }

@@ -46,6 +46,9 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 mod accuracy;
 mod alert;
 mod clustering;

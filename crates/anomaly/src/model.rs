@@ -83,7 +83,10 @@ mod tests {
 
     #[test]
     fn kind_round_trips() {
-        assert_eq!(ValueModel::new(MarkovKind::Simple, 3).kind(), MarkovKind::Simple);
+        assert_eq!(
+            ValueModel::new(MarkovKind::Simple, 3).kind(),
+            MarkovKind::Simple
+        );
         assert_eq!(
             ValueModel::new(MarkovKind::TwoDependent, 3).kind(),
             MarkovKind::TwoDependent

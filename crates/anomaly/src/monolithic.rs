@@ -43,7 +43,10 @@ impl MonolithicPredictor {
         slo: &SloLog,
         config: &PredictorConfig,
     ) -> Result<Self, TrainError> {
-        assert!(!series.is_empty(), "monolithic model needs at least one VM trace");
+        assert!(
+            !series.is_empty(),
+            "monolithic model needs at least one VM trace"
+        );
         let len = series[0].len();
         assert!(
             series.iter().all(|s| s.len() == len),
@@ -156,7 +159,10 @@ impl MonolithicPredictor {
     ) -> ConfusionMatrix {
         assert_eq!(series.len(), self.n_vms(), "one trace per VM required");
         let len = series[0].len();
-        assert!(series.iter().all(|s| s.len() == len), "traces must be aligned");
+        assert!(
+            series.iter().all(|s| s.len() == len),
+            "traces must be aligned"
+        );
         let mut model = self.clone();
         model.reset_position();
         let mut matrix = ConfusionMatrix::new();

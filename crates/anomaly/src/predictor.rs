@@ -3,11 +3,11 @@
 
 use crate::{ConfusionMatrix, MarkovKind, Prediction, ValueModel};
 use prepare_markov::ValuePredictor;
+#[cfg(test)]
+use prepare_metrics::AttributeKind;
 use prepare_metrics::{
     Duration, Label, MetricSample, SloLog, TimeSeries, Timestamp, ATTRIBUTE_COUNT,
 };
-#[cfg(test)]
-use prepare_metrics::AttributeKind;
 use prepare_tan::{Classifier, Dataset, TanClassifier, TrainError};
 
 /// Tunables of the anomaly prediction model.
@@ -163,8 +163,7 @@ impl AnomalyPredictor {
             .map(|d| (d.expected_state().round() as usize).min(bins - 1))
             .collect();
         let modal: Vec<usize> = dists.iter().map(|d| d.most_likely()).collect();
-        let predicted_states = if self.classifier.score(&expected)
-            >= self.classifier.score(&modal)
+        let predicted_states = if self.classifier.score(&expected) >= self.classifier.score(&modal)
         {
             expected
         } else {
@@ -379,7 +378,11 @@ mod tests {
         for s in series.iter().take(30) {
             p.observe(s);
         }
-        let horizons = [Duration::from_secs(5), Duration::from_secs(20), Duration::from_secs(45)];
+        let horizons = [
+            Duration::from_secs(5),
+            Duration::from_secs(20),
+            Duration::from_secs(45),
+        ];
         let batch = p.predict_horizons(&horizons);
         assert_eq!(batch.len(), 3);
         for (pred, &h) in batch.iter().zip(&horizons) {
@@ -387,7 +390,10 @@ mod tests {
         }
         // earliest_alert_horizon agrees with the batch.
         let earliest = p.earliest_alert_horizon(&horizons);
-        let expected = batch.iter().find(|pr| pr.is_alert()).map(|pr| pr.look_ahead);
+        let expected = batch
+            .iter()
+            .find(|pr| pr.is_alert())
+            .map(|pr| pr.look_ahead);
         assert_eq!(earliest, expected);
     }
 

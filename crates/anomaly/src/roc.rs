@@ -51,7 +51,7 @@ impl RocCurve {
         }
 
         let mut thresholds: Vec<f64> = scored.iter().map(|(s, _)| *s).collect();
-        thresholds.sort_by(|a, b| a.partial_cmp(b).expect("finite scores"));
+        thresholds.sort_by(f64::total_cmp);
         thresholds.dedup();
 
         let points = thresholds
@@ -93,7 +93,7 @@ impl RocCurve {
             .collect();
         pairs.push((0.0, 0.0));
         pairs.push((1.0, 1.0));
-        pairs.sort_by(|a, b| a.partial_cmp(b).expect("finite rates"));
+        pairs.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.total_cmp(&b.1)));
         let mut auc = 0.0;
         for w in pairs.windows(2) {
             let (x0, y0) = w[0];
@@ -106,14 +106,11 @@ impl RocCurve {
     /// The point with the best Youden index (`A_T − A_F`), a standard
     /// single-number operating-point choice. `None` for an empty curve.
     pub fn best_operating_point(&self) -> Option<RocPoint> {
-        self.points
-            .iter()
-            .copied()
-            .max_by(|a, b| {
-                let ja = a.true_positive_rate - a.false_alarm_rate;
-                let jb = b.true_positive_rate - b.false_alarm_rate;
-                ja.partial_cmp(&jb).expect("finite rates")
-            })
+        self.points.iter().copied().max_by(|a, b| {
+            let ja = a.true_positive_rate - a.false_alarm_rate;
+            let jb = b.true_positive_rate - b.false_alarm_rate;
+            ja.total_cmp(&jb)
+        })
     }
 }
 
@@ -129,7 +126,11 @@ mod tests {
         for i in 0..400u64 {
             let t = Timestamp::from_secs(i * 5);
             let phase = i % 100;
-            let cpu = if (60..90).contains(&phase) { 95.0 } else { 30.0 + (i % 7) as f64 };
+            let cpu = if (60..90).contains(&phase) {
+                95.0
+            } else {
+                30.0 + (i % 7) as f64
+            };
             let v = MetricVector::from_fn(|a| match a {
                 AttributeKind::CpuTotal => cpu,
                 AttributeKind::Load1 => cpu / 60.0,

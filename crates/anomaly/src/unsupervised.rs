@@ -45,7 +45,10 @@ impl UnsupervisedPredictor {
     ///
     /// Panics if `series` is empty.
     pub fn fit(series: &TimeSeries, config: &PredictorConfig) -> Self {
-        assert!(!series.is_empty(), "unsupervised predictor needs training data");
+        assert!(
+            !series.is_empty(),
+            "unsupervised predictor needs training data"
+        );
         // Widen each attribute's range 2x beyond the observed span so
         // never-seen extremes land in outer bins no normal sample
         // occupies — with a tight fit they would clamp into normal bins
@@ -104,9 +107,7 @@ impl UnsupervisedPredictor {
         let predicted_states: Vec<usize> = self
             .value_models
             .iter()
-            .map(|m| {
-                (m.predict(steps).expected_state().round() as usize).min(bins - 1)
-            })
+            .map(|m| (m.predict(steps).expected_state().round() as usize).min(bins - 1))
             .collect();
         let score = self.classifier.score(&predicted_states);
         UnsupervisedPrediction {

@@ -119,7 +119,11 @@ mod tests {
     #[test]
     fn add_demand_componentwise() {
         let a = spec().demand(10.0);
-        let b = Demand { cpu: 5.0, mem_mb: 100.0, ..Demand::default() };
+        let b = Demand {
+            cpu: 5.0,
+            mem_mb: 100.0,
+            ..Demand::default()
+        };
         let c = add_demand(a, b);
         assert_eq!(c.cpu, a.cpu + 5.0);
         assert_eq!(c.mem_mb, a.mem_mb + 100.0);

@@ -174,9 +174,7 @@ impl FaultPlan {
             .iter()
             .enumerate()
             .filter_map(|(i, inj)| match (inj.kind, inj.target) {
-                (FaultKind::NeighborInterference { host_cpu }, Some(vm))
-                    if inj.is_active(now) =>
-                {
+                (FaultKind::NeighborInterference { host_cpu }, Some(vm)) if inj.is_active(now) => {
                     Some((i, vm, host_cpu))
                 }
                 _ => None,
@@ -223,7 +221,9 @@ mod tests {
     fn leak_grows_linearly_then_stops() {
         let plan = FaultPlan::recurrent(
             Some(VmId(2)),
-            FaultKind::MemLeak { rate_mb_per_sec: 2.0 },
+            FaultKind::MemLeak {
+                rate_mb_per_sec: 2.0,
+            },
             t(100),
             t(600),
             d(300),
@@ -241,7 +241,9 @@ mod tests {
     fn leak_only_hits_target_vm() {
         let plan = FaultPlan::recurrent(
             Some(VmId(2)),
-            FaultKind::MemLeak { rate_mb_per_sec: 2.0 },
+            FaultKind::MemLeak {
+                rate_mb_per_sec: 2.0,
+            },
             t(0),
             t(500),
             d(300),
@@ -268,7 +270,9 @@ mod tests {
     fn workload_ramp_multiplier() {
         let plan = FaultPlan::recurrent(
             None,
-            FaultKind::WorkloadRamp { peak_multiplier: 2.0 },
+            FaultKind::WorkloadRamp {
+                peak_multiplier: 2.0,
+            },
             t(0),
             t(600),
             d(300),
@@ -298,10 +302,19 @@ mod tests {
 
     #[test]
     fn fault_names_match_paper() {
-        assert_eq!(FaultKind::MemLeak { rate_mb_per_sec: 1.0 }.name(), "memleak");
+        assert_eq!(
+            FaultKind::MemLeak {
+                rate_mb_per_sec: 1.0
+            }
+            .name(),
+            "memleak"
+        );
         assert_eq!(FaultKind::CpuHog { cpu: 1.0 }.name(), "cpuhog");
         assert_eq!(
-            FaultKind::WorkloadRamp { peak_multiplier: 2.0 }.name(),
+            FaultKind::WorkloadRamp {
+                peak_multiplier: 2.0
+            }
+            .name(),
             "bottleneck"
         );
     }

@@ -186,8 +186,8 @@ impl Application for Rubis {
             tf[i] = quality.throughput_factor();
         }
 
-        let response_ms =
-            (latency[WEB] + 0.5 * (latency[APP1] + latency[APP2]) + latency[DB]).min(MAX_RESPONSE_MS);
+        let response_ms = (latency[WEB] + 0.5 * (latency[APP1] + latency[APP2]) + latency[DB])
+            .min(MAX_RESPONSE_MS);
         let output_rate = rate * tf[WEB] * (0.5 * (tf[APP1] + tf[APP2])) * tf[DB];
         let slo_violated = response_ms > 200.0;
         AppTick {
@@ -231,8 +231,15 @@ mod tests {
             &mut cluster,
             &FaultPlan::new(),
         );
-        assert!(!tick.slo_violated, "nominal load must satisfy SLO: {tick:?}");
-        assert!(tick.latency_ms < 100.0, "nominal response {:.1}ms", tick.latency_ms);
+        assert!(
+            !tick.slo_violated,
+            "nominal load must satisfy SLO: {tick:?}"
+        );
+        assert!(
+            tick.latency_ms < 100.0,
+            "nominal response {:.1}ms",
+            tick.latency_ms
+        );
     }
 
     #[test]
@@ -275,13 +282,25 @@ mod tests {
         let mut faults = FaultPlan::new();
         faults.add(FaultInjection {
             target: Some(app.db_vm()),
-            kind: FaultKind::MemLeak { rate_mb_per_sec: 2.0 },
+            kind: FaultKind::MemLeak {
+                rate_mb_per_sec: 2.0,
+            },
             start: Timestamp::ZERO,
             duration: Duration::from_secs(300),
         });
-        let early = app.step(Timestamp::from_secs(20), Rubis::NOMINAL_RATE, &mut cluster, &faults);
+        let early = app.step(
+            Timestamp::from_secs(20),
+            Rubis::NOMINAL_RATE,
+            &mut cluster,
+            &faults,
+        );
         assert!(!early.slo_violated, "early leak fine: {early:?}");
-        let late = app.step(Timestamp::from_secs(280), Rubis::NOMINAL_RATE, &mut cluster, &faults);
+        let late = app.step(
+            Timestamp::from_secs(280),
+            Rubis::NOMINAL_RATE,
+            &mut cluster,
+            &faults,
+        );
         assert!(late.slo_violated, "late leak violates: {late:?}");
         assert!(late.latency_ms > early.latency_ms);
     }
@@ -290,7 +309,10 @@ mod tests {
     fn bottleneck_ramp_saturates_db_first() {
         let (mut cluster, mut app) = deploy();
         let tick = app.step(Timestamp::ZERO, 125.0, &mut cluster, &FaultPlan::new());
-        assert!(tick.slo_violated, "125 req/s must exceed DB capacity: {tick:?}");
+        assert!(
+            tick.slo_violated,
+            "125 req/s must exceed DB capacity: {tick:?}"
+        );
         // web and app tiers still have CPU headroom
         let web = cluster.vm(app.vms()[0]);
         assert!(web.cpu_used < web.cpu_alloc * 0.95);

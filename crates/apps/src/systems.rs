@@ -33,13 +33,13 @@ const BOTTLENECK: usize = 5;
 /// Fan-in edges: `UPSTREAM[i]` lists (upstream index, share of its output)
 /// feeding PE `i+1`. PE1 (index 0) is fed by the client source.
 const UPSTREAM: [&[(usize, f64)]; N_PES] = [
-    &[],                      // PE1 <- source
-    &[(0, 0.5)],              // PE2 <- half of PE1
-    &[(0, 0.5)],              // PE3 <- half of PE1
-    &[(1, 1.0)],              // PE4 <- PE2
-    &[(2, 1.0)],              // PE5 <- PE3
-    &[(3, 1.0), (4, 1.0)],    // PE6 <- PE4 + PE5
-    &[(5, 1.0)],              // PE7 <- PE6
+    &[],                   // PE1 <- source
+    &[(0, 0.5)],           // PE2 <- half of PE1
+    &[(0, 0.5)],           // PE3 <- half of PE1
+    &[(1, 1.0)],           // PE4 <- PE2
+    &[(2, 1.0)],           // PE5 <- PE3
+    &[(3, 1.0), (4, 1.0)], // PE6 <- PE4 + PE5
+    &[(5, 1.0)],           // PE7 <- PE6
 ];
 
 fn pe_specs() -> [ComponentSpec; N_PES] {
@@ -170,7 +170,10 @@ impl Application for SystemS {
                     .map(|&(u, share)| out_rate[u] * share)
                     .sum()
             };
-            let demand = add_demand(self.specs[i].demand(in_rate), faults.overlay(self.vms[i], now));
+            let demand = add_demand(
+                self.specs[i].demand(in_rate),
+                faults.overlay(self.vms[i], now),
+            );
             let quality = cluster.apply_demand(self.vms[i], demand, now);
             out_rate[i] = in_rate * quality.throughput_factor();
             slowdown[i] = quality.slowdown();
@@ -232,7 +235,10 @@ mod tests {
             &mut cluster,
             &FaultPlan::new(),
         );
-        assert!(!tick.slo_violated, "nominal load must satisfy the SLO: {tick:?}");
+        assert!(
+            !tick.slo_violated,
+            "nominal load must satisfy the SLO: {tick:?}"
+        );
         assert!((tick.output_rate - SystemS::NOMINAL_RATE).abs() < 0.2);
         assert!(tick.latency_ms < 20.0);
     }
@@ -247,7 +253,7 @@ mod tests {
             .map(|(i, s)| {
                 // Local rate relative to client rate: PE2..PE5 see half.
                 let share = match i {
-                    1 | 2 | 3 | 4 => 0.5,
+                    1..=4 => 0.5,
                     _ => 1.0,
                 };
                 (
@@ -295,7 +301,9 @@ mod tests {
         let mut faults = FaultPlan::new();
         faults.add(FaultInjection {
             target: Some(app.vms()[2]), // PE3
-            kind: FaultKind::MemLeak { rate_mb_per_sec: 2.0 },
+            kind: FaultKind::MemLeak {
+                rate_mb_per_sec: 2.0,
+            },
             start: Timestamp::ZERO,
             duration: Duration::from_secs(400),
         });
@@ -306,7 +314,10 @@ mod tests {
             &mut cluster,
             &faults,
         );
-        assert!(!early.slo_violated, "early leak phase should be fine: {early:?}");
+        assert!(
+            !early.slo_violated,
+            "early leak phase should be fine: {early:?}"
+        );
         // Deep into the leak: working set far beyond the allocation.
         let late = app.step(
             Timestamp::from_secs(350),

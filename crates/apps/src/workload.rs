@@ -100,7 +100,10 @@ impl Workload {
                     }
                 }
             }
-            Workload::Replay { ref samples, step_secs } => {
+            Workload::Replay {
+                ref samples,
+                step_secs,
+            } => {
                 if samples.is_empty() {
                     return 0.0;
                 }
@@ -231,10 +234,20 @@ mod tests {
 
     #[test]
     fn replay_edge_cases() {
-        let empty = Workload::Replay { samples: vec![], step_secs: 5 };
+        let empty = Workload::Replay {
+            samples: vec![],
+            step_secs: 5,
+        };
         assert_eq!(empty.base_rate(t(100)), 0.0);
-        let negative = Workload::Replay { samples: vec![-3.0], step_secs: 0 };
-        assert_eq!(negative.base_rate(t(0)), 0.0, "negative samples clamp, zero step survives");
+        let negative = Workload::Replay {
+            samples: vec![-3.0],
+            step_secs: 0,
+        };
+        assert_eq!(
+            negative.base_rate(t(0)),
+            0.0,
+            "negative samples clamp, zero step survives"
+        );
     }
 
     #[test]

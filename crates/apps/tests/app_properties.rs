@@ -108,6 +108,10 @@ fn app_slo_metrics_agree_with_violation_flags_under_stress() {
         let tick = app.step(Timestamp::from_secs(t), rate, &mut cluster, &faults);
         let ratio_ok = tick.output_rate / rate >= 0.95;
         let latency_ok = tick.latency_ms <= 20.0;
-        assert_eq!(tick.slo_violated, !(ratio_ok && latency_ok), "t={t} {tick:?}");
+        assert_eq!(
+            tick.slo_violated,
+            !(ratio_ok && latency_ok),
+            "t={t} {tick:?}"
+        );
     }
 }

@@ -49,7 +49,12 @@ fn bench_monitoring(c: &mut Criterion) {
     let vm = cluster.create_vm(host, 100.0, 512.0).expect("fits");
     cluster.apply_demand(
         vm,
-        Demand { cpu: 50.0, mem_mb: 300.0, net_in_kbps: 100.0, ..Demand::default() },
+        Demand {
+            cpu: 50.0,
+            mem_mb: 300.0,
+            net_in_kbps: 100.0,
+            ..Demand::default()
+        },
         Timestamp::ZERO,
     );
     let mut monitor = Monitor::with_default_noise();

@@ -9,6 +9,8 @@
 //! Each sweep reports the evaluated SLO violation time (mean over three
 //! seeds) on the System S memory-leak scenario.
 
+#![forbid(unsafe_code)]
+
 use prepare_anomaly::MarkovKind;
 use prepare_core::{AppKind, ExperimentSpec, FaultChoice, PrepareConfig, Scheme, TrialSummary};
 use prepare_metrics::Duration;
@@ -30,7 +32,10 @@ fn main() {
         let mut config = PrepareConfig::default();
         config.predictor.bins = bins;
         let s = run_with(config);
-        println!("  bins={bins:<3} violation {:6.1} ± {:5.1} s", s.mean_secs, s.std_secs);
+        println!(
+            "  bins={bins:<3} violation {:6.1} ± {:5.1} s",
+            s.mean_secs, s.std_secs
+        );
     }
 
     println!("\nlook-ahead window:");
@@ -40,7 +45,10 @@ fn main() {
             ..PrepareConfig::default()
         };
         let s = run_with(config);
-        println!("  look_ahead={la:<4}s violation {:6.1} ± {:5.1} s", s.mean_secs, s.std_secs);
+        println!(
+            "  look_ahead={la:<4}s violation {:6.1} ± {:5.1} s",
+            s.mean_secs, s.std_secs
+        );
     }
 
     println!("\nscaling headroom factor:");
@@ -50,15 +58,24 @@ fn main() {
             ..PrepareConfig::default()
         };
         let s = run_with(config);
-        println!("  factor={factor:<4} violation {:6.1} ± {:5.1} s", s.mean_secs, s.std_secs);
+        println!(
+            "  factor={factor:<4} violation {:6.1} ± {:5.1} s",
+            s.mean_secs, s.std_secs
+        );
     }
 
     println!("\nMarkov model order in the closed loop:");
-    for (name, kind) in [("simple", MarkovKind::Simple), ("2-dep", MarkovKind::TwoDependent)] {
+    for (name, kind) in [
+        ("simple", MarkovKind::Simple),
+        ("2-dep", MarkovKind::TwoDependent),
+    ] {
         let mut config = PrepareConfig::default();
         config.predictor.markov = kind;
         let s = run_with(config);
-        println!("  {name:<7} violation {:6.1} ± {:5.1} s", s.mean_secs, s.std_secs);
+        println!(
+            "  {name:<7} violation {:6.1} ± {:5.1} s",
+            s.mean_secs, s.std_secs
+        );
     }
 
     println!("\nk-of-W filter in the closed loop:");
@@ -69,6 +86,9 @@ fn main() {
             ..PrepareConfig::default()
         };
         let s = run_with(config);
-        println!("  k={k},W={w} violation {:6.1} ± {:5.1} s", s.mean_secs, s.std_secs);
+        println!(
+            "  k={k},W={w} violation {:6.1} ± {:5.1} s",
+            s.mean_secs, s.std_secs
+        );
     }
 }

@@ -6,10 +6,12 @@
 //! scale → validate (no effect) → retire the resource → live-migrate off
 //! the contended host.
 
+#![forbid(unsafe_code)]
+
+use prepare_cloudsim::ActionKind;
 use prepare_core::{
     AppKind, ControllerEvent, Experiment, ExperimentSpec, FaultChoice, Scheme, TrialSummary,
 };
-use prepare_cloudsim::ActionKind;
 
 fn main() {
     println!("== Extension: noisy-neighbor contention (scaling cannot help) ==\n");
@@ -24,12 +26,19 @@ fn main() {
             let s = TrialSummary::collect(&spec, &[1, 2, 3, 4, 5]);
             cells.push(format!("{:6.1}±{:5.1}", s.mean_secs, s.std_secs));
         }
-        println!("{:10} {:>14} {:>14} {:>14}", app.name(), cells[0], cells[1], cells[2]);
+        println!(
+            "{:10} {:>14} {:>14} {:>14}",
+            app.name(),
+            cells[0],
+            cells[1],
+            cells[2]
+        );
     }
 
     // Show the escalation chain once, explicitly.
     println!("\nescalation chain (RUBiS, seed 2):");
-    let spec = ExperimentSpec::paper_default(AppKind::Rubis, FaultChoice::Contention, Scheme::Prepare);
+    let spec =
+        ExperimentSpec::paper_default(AppKind::Rubis, FaultChoice::Contention, Scheme::Prepare);
     let r = Experiment::new(spec, 2).run();
     for e in &r.events {
         match e {

@@ -2,12 +2,16 @@
 //! model** (all VMs' attributes in one model) across look-ahead windows —
 //! (a) memleak / System S, (b) cpuhog / RUBiS.
 
+#![forbid(unsafe_code)]
+
 use prepare_anomaly::{MonolithicPredictor, PredictorConfig};
-use prepare_bench::harness::{accuracy_sweep, print_accuracy_table, AccuracyTrace, LOOK_AHEADS};
+use prepare_bench::harness::{
+    accuracy_sweep, print_accuracy_table, AccuracyRows, AccuracyTrace, LOOK_AHEADS,
+};
 use prepare_core::{AppKind, FaultChoice};
 use prepare_metrics::{Duration, TimeSeries};
 
-fn monolithic_sweep(trace: &AccuracyTrace, config: &PredictorConfig) -> Vec<(u64, f64, f64)> {
+fn monolithic_sweep(trace: &AccuracyTrace, config: &PredictorConfig) -> AccuracyRows {
     let train: Vec<TimeSeries> = trace
         .vm_series
         .iter()
@@ -33,7 +37,11 @@ fn main() {
     println!("== Figure 10: per-VM vs monolithic prediction model ==");
     let config = PredictorConfig::default();
     for (panel, app, fault) in [
-        ("(a) memleak / System S", AppKind::SystemS, FaultChoice::MemLeak),
+        (
+            "(a) memleak / System S",
+            AppKind::SystemS,
+            FaultChoice::MemLeak,
+        ),
         ("(b) cpuhog / RUBiS", AppKind::Rubis, FaultChoice::CpuHog),
     ] {
         let trace = AccuracyTrace::generate(app, fault, 1, Duration::from_secs(5));

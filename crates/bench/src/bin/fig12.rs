@@ -2,16 +2,25 @@
 //! false-alarm filter (k ∈ {1,2,3}, W = 4) for a bottleneck fault in
 //! RUBiS.
 
+#![forbid(unsafe_code)]
+
 use prepare_anomaly::PredictorConfig;
-use prepare_bench::harness::{filtered_accuracy_sweep, print_accuracy_table, AccuracyTrace, LOOK_AHEADS};
+use prepare_bench::harness::{
+    filtered_accuracy_sweep, print_accuracy_table, AccuracyRows, AccuracyTrace, LOOK_AHEADS,
+};
 use prepare_core::{AppKind, FaultChoice};
 use prepare_metrics::Duration;
 
 fn main() {
     println!("== Figure 12: k-of-W alert filtering (bottleneck / RUBiS) ==");
     let config = PredictorConfig::default();
-    let trace = AccuracyTrace::generate(AppKind::Rubis, FaultChoice::Bottleneck, 1, Duration::from_secs(5));
-    let variants: Vec<(String, Vec<(u64, f64, f64)>)> = [1usize, 2, 3]
+    let trace = AccuracyTrace::generate(
+        AppKind::Rubis,
+        FaultChoice::Bottleneck,
+        1,
+        Duration::from_secs(5),
+    );
+    let variants: Vec<(String, AccuracyRows)> = [1usize, 2, 3]
         .iter()
         .map(|&k| {
             (
@@ -20,7 +29,7 @@ fn main() {
             )
         })
         .collect();
-    let view: Vec<(&str, Vec<(u64, f64, f64)>)> = variants
+    let view: Vec<(&str, AccuracyRows)> = variants
         .iter()
         .map(|(n, v)| (n.as_str(), v.clone()))
         .collect();

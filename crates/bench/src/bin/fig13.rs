@@ -2,13 +2,17 @@
 //! intervals (1 s, 5 s, 10 s) for a bottleneck fault in RUBiS. A single
 //! 1-second base trace is downsampled so all variants see the same run.
 
-use prepare_anomaly::PredictorConfig;
-use prepare_bench::harness::{downsample, print_accuracy_table, AccuracyTrace, LOOK_AHEADS};
+#![forbid(unsafe_code)]
+
 use prepare_anomaly::AnomalyPredictor;
+use prepare_anomaly::PredictorConfig;
+use prepare_bench::harness::{
+    downsample, print_accuracy_table, AccuracyRows, AccuracyTrace, LOOK_AHEADS,
+};
 use prepare_core::{AppKind, FaultChoice};
 use prepare_metrics::Duration;
 
-fn sweep_at_interval(trace: &AccuracyTrace, factor: usize) -> Vec<(u64, f64, f64)> {
+fn sweep_at_interval(trace: &AccuracyTrace, factor: usize) -> AccuracyRows {
     let config = PredictorConfig {
         sampling_interval: Duration::from_secs(factor as u64),
         ..PredictorConfig::default()
@@ -37,7 +41,7 @@ fn sweep_at_interval(trace: &AccuracyTrace, factor: usize) -> Vec<(u64, f64, f64
 }
 
 /// Element-wise mean of per-seed sweeps.
-fn average(sweeps: Vec<Vec<(u64, f64, f64)>>) -> Vec<(u64, f64, f64)> {
+fn average(sweeps: Vec<Vec<(u64, f64, f64)>>) -> AccuracyRows {
     let n = sweeps.len() as f64;
     let rows = sweeps[0].len();
     (0..rows)
@@ -56,7 +60,12 @@ fn main() {
     let traces: Vec<AccuracyTrace> = [1u64, 2, 3]
         .iter()
         .map(|&seed| {
-            AccuracyTrace::generate(AppKind::Rubis, FaultChoice::Bottleneck, seed, Duration::from_secs(1))
+            AccuracyTrace::generate(
+                AppKind::Rubis,
+                FaultChoice::Bottleneck,
+                seed,
+                Duration::from_secs(1),
+            )
         })
         .collect();
     let one = average(traces.iter().map(|t| sweep_at_interval(t, 1)).collect());

@@ -7,6 +7,8 @@
 //! prepare-bench` runs the Criterion versions of the same measurements
 //! with proper statistics.
 
+#![forbid(unsafe_code)]
+
 use prepare_anomaly::{AnomalyPredictor, PredictorConfig};
 use prepare_cloudsim::{Cluster, Demand, HostSpec, Monitor, TABLE1_COSTS};
 use prepare_markov::{SimpleMarkov, TwoDependentMarkov};
@@ -65,7 +67,12 @@ fn main() {
     let vm = cluster.create_vm(host, 100.0, 512.0).expect("fits");
     cluster.apply_demand(
         vm,
-        Demand { cpu: 50.0, mem_mb: 300.0, net_in_kbps: 100.0, ..Demand::default() },
+        Demand {
+            cpu: 50.0,
+            mem_mb: 300.0,
+            net_in_kbps: 100.0,
+            ..Demand::default()
+        },
         Timestamp::ZERO,
     );
     let mut monitor = Monitor::with_default_noise();

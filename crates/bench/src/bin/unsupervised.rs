@@ -10,6 +10,8 @@
 //! first injection window, false-alarm rate outside it, and detection
 //! delay from injection start.
 
+#![forbid(unsafe_code)]
+
 use prepare_anomaly::{PredictorConfig, UnsupervisedPredictor};
 use prepare_bench::harness::AccuracyTrace;
 use prepare_core::{AppKind, FaultChoice};
@@ -70,7 +72,11 @@ fn main() {
         "app", "fault", "coverage", "false-alarm", "delay"
     );
     for app in [AppKind::SystemS, AppKind::Rubis] {
-        for fault in [FaultChoice::MemLeak, FaultChoice::CpuHog, FaultChoice::Bottleneck] {
+        for fault in [
+            FaultChoice::MemLeak,
+            FaultChoice::CpuHog,
+            FaultChoice::Bottleneck,
+        ] {
             let trace = AccuracyTrace::generate(app, fault, 1, Duration::from_secs(5));
             // The paper schedule injects first at t=150 for 300 s.
             let outcome = evaluate(&trace, (150, 450));

@@ -22,7 +22,11 @@ pub fn print_violation_summary(policy: PreventionPolicy) {
         "app", "fault", "PREPARE (s)", "reactive (s)", "none (s)"
     );
     for app in [AppKind::SystemS, AppKind::Rubis] {
-        for fault in [FaultChoice::MemLeak, FaultChoice::CpuHog, FaultChoice::Bottleneck] {
+        for fault in [
+            FaultChoice::MemLeak,
+            FaultChoice::CpuHog,
+            FaultChoice::Bottleneck,
+        ] {
             let mut cells = Vec::new();
             for scheme in [Scheme::Prepare, Scheme::Reactive, Scheme::NoIntervention] {
                 let spec = ExperimentSpec::paper_default(app, fault, scheme).with_policy(policy);
@@ -55,7 +59,11 @@ pub fn print_trace_panel(app: AppKind, fault: FaultChoice, policy: PreventionPol
         AppKind::SystemS => "throughput (Ktuples/s)",
         AppKind::Rubis => "avg response time (ms)",
     };
-    println!("# {} / {} — {metric_name}, t=0 at injection start", app.name(), fault.name());
+    println!(
+        "# {} / {} — {metric_name}, t=0 at injection start",
+        app.name(),
+        fault.name()
+    );
     println!(
         "{:>6} {:>16} {:>16} {:>16}",
         "t(s)", "no-intervention", "reactive", "PREPARE"
@@ -63,7 +71,10 @@ pub fn print_trace_panel(app: AppKind, fault: FaultChoice, policy: PreventionPol
     let window = 420u64.min(results[0].1.ticks.len() as u64 - start);
     for dt in (0..window).step_by(10) {
         let idx = (start + dt) as usize;
-        let row: Vec<f64> = results.iter().map(|(_, r)| r.ticks[idx].slo_metric).collect();
+        let row: Vec<f64> = results
+            .iter()
+            .map(|(_, r)| r.ticks[idx].slo_metric)
+            .collect();
         println!(
             "{:>6} {:>16.2} {:>16.2} {:>16.2}",
             dt, row[0], row[1], row[2]
@@ -148,6 +159,9 @@ impl AccuracyTrace {
     }
 }
 
+/// One accuracy-sweep series: `(look_ahead_secs, A_T, A_F)` per row.
+pub type AccuracyRows = Vec<(u64, f64, f64)>;
+
 /// Trains a per-VM predictor on the trace's training slice and scores it
 /// on the test slice for each look-ahead. Returns `(look_ahead_secs,
 /// A_T, A_F)` rows.
@@ -155,7 +169,7 @@ pub fn accuracy_sweep(
     trace: &AccuracyTrace,
     config: &PredictorConfig,
     look_aheads: &[u64],
-) -> Vec<(u64, f64, f64)> {
+) -> AccuracyRows {
     let train = trace.training_slice(trace.faulty_series());
     let test = trace.test_slice(trace.faulty_series());
     let predictor = AnomalyPredictor::train(&train, &trace.slo, config)
@@ -177,7 +191,7 @@ pub fn filtered_accuracy_sweep(
     k: usize,
     w: usize,
     look_aheads: &[u64],
-) -> Vec<(u64, f64, f64)> {
+) -> AccuracyRows {
     let train = trace.training_slice(trace.faulty_series());
     let test = trace.test_slice(trace.faulty_series());
     let predictor = AnomalyPredictor::train(&train, &trace.slo, config)
@@ -219,10 +233,7 @@ pub fn downsample(series: &TimeSeries, factor: usize) -> TimeSeries {
 }
 
 /// Formats an accuracy table with one `A_T`/`A_F` pair per variant.
-pub fn print_accuracy_table(
-    title: &str,
-    variants: &[(&str, Vec<(u64, f64, f64)>)],
-) {
+pub fn print_accuracy_table(title: &str, variants: &[(&str, AccuracyRows)]) {
     println!("# {title}");
     print!("{:>10}", "lookahead");
     for (name, _) in variants {
@@ -233,7 +244,11 @@ pub fn print_accuracy_table(
     for i in 0..rows {
         print!("{:>9}s", variants[0].1[i].0);
         for (_, series) in variants {
-            print!(" {:>8.1}% {:>8.1}%", series[i].1 * 100.0, series[i].2 * 100.0);
+            print!(
+                " {:>8.1}% {:>8.1}%",
+                series[i].1 * 100.0,
+                series[i].2 * 100.0
+            );
         }
         println!();
     }

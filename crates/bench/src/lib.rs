@@ -18,4 +18,7 @@
 //! cargo bench -p prepare-bench                        # Criterion micro-benchmarks
 //! ```
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 pub mod harness;

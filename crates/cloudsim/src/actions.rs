@@ -2,11 +2,10 @@
 
 use crate::HostId;
 use prepare_metrics::{Duration, Timestamp, VmId};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A hypervisor actuation performed on the cluster.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum ActionKind {
     /// CPU cap change (percent-of-core units).
     ScaleCpu {
@@ -46,7 +45,7 @@ impl fmt::Display for ActionKind {
 }
 
 /// Log entry for one actuation, with its modeled CPU cost (Table I).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ActionRecord {
     /// When the action was issued.
     pub time: Timestamp,
@@ -59,7 +58,7 @@ pub struct ActionRecord {
 }
 
 /// Error creating or placing a VM.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum PlacementError {
     /// The host does not exist.
     UnknownHost(HostId),
@@ -93,7 +92,7 @@ impl fmt::Display for PlacementError {
 impl std::error::Error for PlacementError {}
 
 /// Error applying an elastic scaling action.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum ScaleError {
     /// The VM does not exist.
     UnknownVm(VmId),
@@ -136,7 +135,7 @@ impl fmt::Display for ScaleError {
 impl std::error::Error for ScaleError {}
 
 /// Error starting a live migration.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum MigrateError {
     /// The VM does not exist.
     UnknownVm(VmId),
@@ -170,7 +169,10 @@ mod tests {
 
     #[test]
     fn displays_are_informative() {
-        let k = ActionKind::ScaleMem { from: 512.0, to: 768.0 };
+        let k = ActionKind::ScaleMem {
+            from: 512.0,
+            to: 768.0,
+        };
         assert!(k.to_string().contains("512MB"));
         let e = ScaleError::InsufficientHeadroom {
             host: HostId(1),
@@ -178,6 +180,8 @@ mod tests {
             requested: 50.0,
         };
         assert!(e.to_string().contains("spare"));
-        assert!(MigrateError::SameHost(HostId(0)).to_string().contains("host0"));
+        assert!(MigrateError::SameHost(HostId(0))
+            .to_string()
+            .contains("host0"));
     }
 }

@@ -6,13 +6,10 @@ use crate::{
     ScaleError, ServiceQuality,
 };
 use prepare_metrics::{Duration, Timestamp, VmId};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Identifier of a physical host.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
 pub struct HostId(pub usize);
 
 impl fmt::Display for HostId {
@@ -22,7 +19,7 @@ impl fmt::Display for HostId {
 }
 
 /// An in-flight live migration.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MigrationState {
     /// Destination host (capacity already reserved there).
     pub target: HostId,
@@ -33,7 +30,7 @@ pub struct MigrationState {
 }
 
 /// Full state of one VM.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct VmState {
     /// The VM's identifier (index into the cluster).
     pub id: VmId,
@@ -96,7 +93,7 @@ impl VmState {
     }
 }
 
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 struct Host {
     spec: HostSpec,
     /// CPU consumed by co-tenant workloads outside this simulation's
@@ -113,7 +110,7 @@ struct Host {
 /// 1. the application model calls [`Cluster::apply_demand`] for every VM;
 /// 2. the controller issues scaling / migration actions;
 /// 3. [`Cluster::advance`] moves the clock (completing migrations).
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Cluster {
     hosts: Vec<Host>,
     vms: Vec<VmState>,
@@ -147,7 +144,10 @@ impl Cluster {
 
     /// Adds a physical host.
     pub fn add_host(&mut self, spec: HostSpec) -> HostId {
-        self.hosts.push(Host { spec, background_cpu: 0.0 });
+        self.hosts.push(Host {
+            spec,
+            background_cpu: 0.0,
+        });
         HostId(self.hosts.len() - 1)
     }
 
@@ -163,7 +163,10 @@ impl Cluster {
     /// Panics if the host is unknown or the load is negative/non-finite.
     pub fn set_background_load(&mut self, host: HostId, cpu: f64) {
         assert!(host.0 < self.hosts.len(), "unknown host {host}");
-        assert!(cpu.is_finite() && cpu >= 0.0, "invalid background load {cpu}");
+        assert!(
+            cpu.is_finite() && cpu >= 0.0,
+            "invalid background load {cpu}"
+        );
         self.hosts[host.0].background_cpu = cpu;
     }
 
@@ -251,6 +254,7 @@ impl Cluster {
             cpu_backlog_secs: 0.0,
             paging_debt_mb: 0.0,
         });
+        crate::invariants::debug_validate(self);
         Ok(id)
     }
 
@@ -277,8 +281,7 @@ impl Cluster {
         let mut cpu = spec.cpu_capacity;
         let mut mem = spec.mem_capacity_mb;
         for vm in &self.vms {
-            let occupies = vm.host == host
-                || vm.migration.map_or(false, |m| m.target == host);
+            let occupies = vm.host == host || vm.migration.is_some_and(|m| m.target == host);
             if occupies {
                 cpu -= vm.cpu_alloc;
                 mem -= vm.mem_alloc_mb;
@@ -305,7 +308,12 @@ impl Cluster {
     ///
     /// [`ScaleError::InsufficientHeadroom`] when increasing past the local
     /// host's free capacity — PREPARE's cue to fall back to migration.
-    pub fn scale_cpu(&mut self, vm: VmId, new_alloc: f64, now: Timestamp) -> Result<(), ScaleError> {
+    pub fn scale_cpu(
+        &mut self,
+        vm: VmId,
+        new_alloc: f64,
+        now: Timestamp,
+    ) -> Result<(), ScaleError> {
         let state = self.validate_scale_target(vm, new_alloc)?;
         let old = state.cpu_alloc;
         let host = state.host;
@@ -327,9 +335,13 @@ impl Cluster {
         self.actions.push(ActionRecord {
             time: now,
             vm,
-            kind: ActionKind::ScaleCpu { from: old, to: new_alloc },
+            kind: ActionKind::ScaleCpu {
+                from: old,
+                to: new_alloc,
+            },
             cost_ms: self.costs.cpu_scaling_ms,
         });
+        crate::invariants::debug_validate(self);
         Ok(())
     }
 
@@ -339,7 +351,12 @@ impl Cluster {
     /// # Errors
     ///
     /// See [`Cluster::scale_cpu`].
-    pub fn scale_mem(&mut self, vm: VmId, new_alloc_mb: f64, now: Timestamp) -> Result<(), ScaleError> {
+    pub fn scale_mem(
+        &mut self,
+        vm: VmId,
+        new_alloc_mb: f64,
+        now: Timestamp,
+    ) -> Result<(), ScaleError> {
         let state = self.validate_scale_target(vm, new_alloc_mb)?;
         let old = state.mem_alloc_mb;
         let host = state.host;
@@ -361,9 +378,13 @@ impl Cluster {
         self.actions.push(ActionRecord {
             time: now,
             vm,
-            kind: ActionKind::ScaleMem { from: old, to: new_alloc_mb },
+            kind: ActionKind::ScaleMem {
+                from: old,
+                to: new_alloc_mb,
+            },
             cost_ms: self.costs.mem_scaling_ms,
         });
+        crate::invariants::debug_validate(self);
         Ok(())
     }
 
@@ -428,6 +449,7 @@ impl Cluster {
             },
             cost_ms: duration.as_secs() as f64 * 1000.0,
         });
+        crate::invariants::debug_validate(self);
         Ok(duration)
     }
 
@@ -442,6 +464,7 @@ impl Cluster {
                 }
             }
         }
+        crate::invariants::debug_validate(self);
     }
 
     /// Presents one tick of demand for a VM and resolves what the
@@ -521,6 +544,7 @@ impl Cluster {
         state.last_quality = quality;
         state.cpu_used = demand.cpu.min(effective_cap);
         state.mem_used_mb = demand.mem_mb.min(state.mem_alloc_mb);
+        crate::invariants::debug_validate(self);
         quality
     }
 
@@ -626,14 +650,21 @@ mod tests {
         // Saturate the VM first.
         c.apply_demand(
             vm,
-            Demand { cpu: 200.0, mem_mb: 512.0, ..Demand::default() },
+            Demand {
+                cpu: 200.0,
+                mem_mb: 512.0,
+                ..Demand::default()
+            },
             Timestamp::ZERO,
         );
         let stressed = c.begin_migration(vm, h1, Timestamp::ZERO).unwrap();
 
         let (mut c2, _, h1b, vm2) = two_host_cluster();
         let idle = c2.begin_migration(vm2, h1b, Timestamp::ZERO).unwrap();
-        assert!(stressed > idle, "late migration must take longer ({stressed} vs {idle})");
+        assert!(
+            stressed > idle,
+            "late migration must take longer ({stressed} vs {idle})"
+        );
     }
 
     #[test]
@@ -670,7 +701,10 @@ mod tests {
         let (mut c, _, _, vm) = two_host_cluster();
         let q = c.apply_demand(
             vm,
-            Demand { cpu: 200.0, ..Demand::default() },
+            Demand {
+                cpu: 200.0,
+                ..Demand::default()
+            },
             Timestamp::ZERO,
         );
         assert!((q.cpu_fraction - 0.5).abs() < 1e-9);
@@ -682,13 +716,19 @@ mod tests {
         let (mut c, _, _, vm) = two_host_cluster();
         let fits = c.apply_demand(
             vm,
-            Demand { mem_mb: 256.0, ..Demand::default() },
+            Demand {
+                mem_mb: 256.0,
+                ..Demand::default()
+            },
             Timestamp::ZERO,
         );
         assert_eq!(fits.mem_fraction, 1.0);
         let over = c.apply_demand(
             vm,
-            Demand { mem_mb: 768.0, ..Demand::default() },
+            Demand {
+                mem_mb: 768.0,
+                ..Demand::default()
+            },
             Timestamp::ZERO,
         );
         assert!(over.mem_fraction < 0.3, "50% overflow should page hard");
@@ -699,7 +739,14 @@ mod tests {
     fn migrating_vm_pays_brownout() {
         let (mut c, _, h1, vm) = two_host_cluster();
         c.begin_migration(vm, h1, Timestamp::ZERO).unwrap();
-        let q = c.apply_demand(vm, Demand { cpu: 10.0, ..Demand::default() }, Timestamp::ZERO);
+        let q = c.apply_demand(
+            vm,
+            Demand {
+                cpu: 10.0,
+                ..Demand::default()
+            },
+            Timestamp::ZERO,
+        );
         assert!(q.migration_penalty < 1.0);
     }
 
@@ -709,17 +756,41 @@ mod tests {
         // 175 of 200 CPU consumed by a co-tenant: the 100-alloc VM keeps
         // only 25 effective.
         c.set_background_load(h0, 175.0);
-        let q = c.apply_demand(vm, Demand { cpu: 60.0, ..Demand::default() }, Timestamp::ZERO);
+        let q = c.apply_demand(
+            vm,
+            Demand {
+                cpu: 60.0,
+                ..Demand::default()
+            },
+            Timestamp::ZERO,
+        );
         assert!((c.vm(vm).effective_cpu_cap - 25.0).abs() < 1e-9);
         assert!((q.cpu_fraction - 25.0 / 60.0).abs() < 1e-9);
         // Scaling the allocation does NOT restore capacity — the squeeze
         // renormalizes over the bigger allocation.
         c.scale_cpu(vm, 200.0, Timestamp::ZERO).unwrap();
-        c.apply_demand(vm, Demand { cpu: 60.0, ..Demand::default() }, Timestamp::ZERO);
-        assert!((c.vm(vm).effective_cpu_cap - 25.0).abs() < 1e-9, "scaling must not defeat contention");
+        c.apply_demand(
+            vm,
+            Demand {
+                cpu: 60.0,
+                ..Demand::default()
+            },
+            Timestamp::ZERO,
+        );
+        assert!(
+            (c.vm(vm).effective_cpu_cap - 25.0).abs() < 1e-9,
+            "scaling must not defeat contention"
+        );
         // Clearing the load restores the full cap.
         c.clear_background_loads();
-        c.apply_demand(vm, Demand { cpu: 60.0, ..Demand::default() }, Timestamp::ZERO);
+        c.apply_demand(
+            vm,
+            Demand {
+                cpu: 60.0,
+                ..Demand::default()
+            },
+            Timestamp::ZERO,
+        );
         assert!((c.vm(vm).effective_cpu_cap - 200.0).abs() < 1e-9);
     }
 
@@ -727,18 +798,43 @@ mod tests {
     fn migration_escapes_contention() {
         let (mut c, h0, h1, vm) = two_host_cluster();
         c.set_background_load(h0, 180.0);
-        c.apply_demand(vm, Demand { cpu: 50.0, ..Demand::default() }, Timestamp::ZERO);
+        c.apply_demand(
+            vm,
+            Demand {
+                cpu: 50.0,
+                ..Demand::default()
+            },
+            Timestamp::ZERO,
+        );
         assert!(c.vm(vm).effective_cpu_cap < 25.0);
         let d = c.begin_migration(vm, h1, Timestamp::ZERO).unwrap();
         c.advance(Timestamp::from_secs(d.as_secs()));
-        c.apply_demand(vm, Demand { cpu: 50.0, ..Demand::default() }, Timestamp::from_secs(d.as_secs()));
-        assert!((c.vm(vm).effective_cpu_cap - 100.0).abs() < 1e-9, "clean host restores the cap");
+        c.apply_demand(
+            vm,
+            Demand {
+                cpu: 50.0,
+                ..Demand::default()
+            },
+            Timestamp::from_secs(d.as_secs()),
+        );
+        assert!(
+            (c.vm(vm).effective_cpu_cap - 100.0).abs() < 1e-9,
+            "clean host restores the cap"
+        );
     }
 
     #[test]
     fn stress_reflects_utilization() {
         let (mut c, _, _, vm) = two_host_cluster();
-        c.apply_demand(vm, Demand { cpu: 50.0, mem_mb: 100.0, ..Demand::default() }, Timestamp::ZERO);
+        c.apply_demand(
+            vm,
+            Demand {
+                cpu: 50.0,
+                mem_mb: 100.0,
+                ..Demand::default()
+            },
+            Timestamp::ZERO,
+        );
         assert!((c.vm(vm).stress() - 0.5).abs() < 1e-9);
     }
 }

@@ -4,10 +4,9 @@
 //! *algorithmic* costs natively).
 
 use prepare_metrics::Duration;
-use serde::{Deserialize, Serialize};
 
 /// Per-operation cost constants (milliseconds unless noted).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ActuationCosts {
     /// One VM monitoring sweep over 13 attributes.
     pub monitoring_ms: f64,

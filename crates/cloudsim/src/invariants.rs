@@ -1,0 +1,135 @@
+//! Runtime invariant checks for the simulated cluster, compiled to
+//! no-ops in release builds (`debug_assert!`-backed). Tests always run
+//! with `debug_assertions`, so every unit/integration test doubles as an
+//! invariant audit of whatever cluster states it drives through.
+//!
+//! Checked after every mutation of [`Cluster`]:
+//!
+//! 1. **Capacity** — per host, the summed allocations of resident VMs
+//!    (plus reservations for in-bound migrations) never exceed the host's
+//!    CPU/memory capacity.
+//! 2. **Metric sanity** — every per-VM gauge the monitor samples is
+//!    finite and non-negative, usage never exceeds its allocation, and
+//!    the backlog integrator stays within its cap.
+//! 3. **Migration endpoints** — an in-flight migration targets a known
+//!    host that differs from the VM's current one, and its completion
+//!    time does not precede its start.
+
+use crate::cluster::CPU_BACKLOG_CAP_SECS;
+use crate::Cluster;
+
+/// Slack for summed-float capacity comparisons.
+const EPS: f64 = 1e-6;
+
+/// Asserts every structural invariant of the cluster. Debug builds only;
+/// release builds reduce this to an empty function.
+pub(crate) fn debug_validate(c: &Cluster) {
+    if !cfg!(debug_assertions) {
+        return;
+    }
+    for h in 0..c.n_hosts() {
+        let host = crate::HostId(h);
+        let (free_cpu, free_mem) = c.host_free(host);
+        debug_assert!(
+            free_cpu >= -EPS,
+            "invariant: {host} CPU oversubscribed by {} (allocations + migration reservations \
+             exceed capacity)",
+            -free_cpu
+        );
+        debug_assert!(
+            free_mem >= -EPS,
+            "invariant: {host} memory oversubscribed by {} MB",
+            -free_mem
+        );
+        debug_assert!(
+            c.background_load(host).is_finite() && c.background_load(host) >= 0.0,
+            "invariant: {host} background load must be finite and non-negative"
+        );
+    }
+    for id in c.vm_ids() {
+        let vm = c.vm(id);
+        debug_assert!(
+            vm.cpu_alloc.is_finite() && vm.cpu_alloc > 0.0,
+            "invariant: {id} CPU allocation must be positive, got {}",
+            vm.cpu_alloc
+        );
+        debug_assert!(
+            vm.mem_alloc_mb.is_finite() && vm.mem_alloc_mb > 0.0,
+            "invariant: {id} memory allocation must be positive, got {}",
+            vm.mem_alloc_mb
+        );
+        for (name, v) in [
+            ("cpu_used", vm.cpu_used),
+            ("mem_used_mb", vm.mem_used_mb),
+            ("effective_cpu_cap", vm.effective_cpu_cap),
+            ("cpu_backlog_secs", vm.cpu_backlog_secs),
+            ("paging_debt_mb", vm.paging_debt_mb),
+        ] {
+            debug_assert!(
+                v.is_finite() && v >= 0.0,
+                "invariant: {id} metric {name} must be finite and non-negative, got {v}"
+            );
+        }
+        debug_assert!(
+            vm.cpu_used <= vm.cpu_alloc + EPS,
+            "invariant: {id} cpu_used {} exceeds allocation {}",
+            vm.cpu_used,
+            vm.cpu_alloc
+        );
+        debug_assert!(
+            vm.mem_used_mb <= vm.mem_alloc_mb + EPS,
+            "invariant: {id} mem_used_mb {} exceeds allocation {}",
+            vm.mem_used_mb,
+            vm.mem_alloc_mb
+        );
+        debug_assert!(
+            vm.cpu_backlog_secs <= CPU_BACKLOG_CAP_SECS + EPS,
+            "invariant: {id} backlog {} exceeds cap {CPU_BACKLOG_CAP_SECS}",
+            vm.cpu_backlog_secs
+        );
+        if let Some(m) = vm.migration {
+            debug_assert!(
+                m.target.0 < c.n_hosts(),
+                "invariant: {id} migrating to unknown host {}",
+                m.target
+            );
+            debug_assert!(
+                m.target != vm.host,
+                "invariant: {id} migration target equals source host {}",
+                vm.host
+            );
+            debug_assert!(
+                m.completes_at >= m.started_at,
+                "invariant: {id} migration completes before it starts"
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Demand, HostSpec};
+    use prepare_metrics::Timestamp;
+
+    #[test]
+    fn healthy_cluster_validates() {
+        let mut c = Cluster::new();
+        let h0 = c.add_host(HostSpec::vcl_default());
+        let h1 = c.add_host(HostSpec::vcl_default());
+        let vm = c.create_vm(h0, 100.0, 512.0).unwrap();
+        c.apply_demand(
+            vm,
+            Demand {
+                cpu: 150.0,
+                mem_mb: 700.0,
+                ..Demand::default()
+            },
+            Timestamp::ZERO,
+        );
+        c.begin_migration(vm, h1, Timestamp::ZERO).unwrap();
+        debug_validate(&c); // explicit call on a state worth auditing
+        c.advance(Timestamp::from_secs(120));
+        debug_validate(&c);
+    }
+}

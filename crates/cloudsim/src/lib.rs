@@ -32,15 +32,21 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 mod actions;
 mod cluster;
 mod costs;
+mod invariants;
 mod monitor;
 mod placement;
 mod spec;
 
 pub use actions::{ActionKind, ActionRecord, MigrateError, PlacementError, ScaleError};
-pub use cluster::{Cluster, HostId, MigrationState, VmState, CPU_BACKLOG_CAP_SECS, PAGE_IN_RATE_MB_PER_SEC};
+pub use cluster::{
+    Cluster, HostId, MigrationState, VmState, CPU_BACKLOG_CAP_SECS, PAGE_IN_RATE_MB_PER_SEC,
+};
 pub use costs::{ActuationCosts, TABLE1_COSTS};
 pub use monitor::Monitor;
 pub use placement::PlacementPolicy;

@@ -11,7 +11,7 @@
 use crate::Cluster;
 use prepare_metrics::{AttributeKind, MetricSample, MetricVector, Timestamp, VmId};
 use rand::Rng;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Renders per-VM metric samples from cluster state.
 ///
@@ -23,7 +23,7 @@ pub struct Monitor {
     /// Relative (1σ) multiplicative measurement noise; 0 disables noise.
     noise: f64,
     /// EWMA state for Load5.
-    load5: HashMap<VmId, f64>,
+    load5: BTreeMap<VmId, f64>,
 }
 
 impl Monitor {
@@ -37,7 +37,7 @@ impl Monitor {
         assert!(noise.is_finite() && noise >= 0.0, "noise must be >= 0");
         Monitor {
             noise,
-            load5: HashMap::new(),
+            load5: BTreeMap::new(),
         }
     }
 
@@ -98,9 +98,8 @@ impl Monitor {
         };
         let paging_kbps = overflow_mb.min(200.0) * 20.0;
 
-        let ctx_switches = (state.cpu_used * 0.08
-            + (d.net_in_kbps + d.net_out_kbps) * 0.002)
-            .max(0.1);
+        let ctx_switches =
+            (state.cpu_used * 0.08 + (d.net_in_kbps + d.net_out_kbps) * 0.002).max(0.1);
 
         let mut v = MetricVector::from_fn(|a| match a {
             AttributeKind::CpuUser => cpu_pct * 0.72,
@@ -180,7 +179,10 @@ mod tests {
         let (mut c, vm) = setup();
         c.apply_demand(
             vm,
-            Demand { mem_mb: 640.0, ..Demand::default() },
+            Demand {
+                mem_mb: 640.0,
+                ..Demand::default()
+            },
             Timestamp::ZERO,
         );
         let mut mon = Monitor::new(0.0);
@@ -194,7 +196,14 @@ mod tests {
     #[test]
     fn saturated_cpu_shows_high_load() {
         let (mut c, vm) = setup();
-        c.apply_demand(vm, Demand { cpu: 300.0, ..Demand::default() }, Timestamp::ZERO);
+        c.apply_demand(
+            vm,
+            Demand {
+                cpu: 300.0,
+                ..Demand::default()
+            },
+            Timestamp::ZERO,
+        );
         let mut mon = Monitor::new(0.0);
         let mut rng = StdRng::seed_from_u64(1);
         let s = mon.sample(&c, vm, Timestamp::ZERO, &mut rng);
@@ -207,11 +216,25 @@ mod tests {
         let (mut c, vm) = setup();
         let mut mon = Monitor::new(0.0);
         let mut rng = StdRng::seed_from_u64(1);
-        c.apply_demand(vm, Demand { cpu: 10.0, ..Demand::default() }, Timestamp::ZERO);
+        c.apply_demand(
+            vm,
+            Demand {
+                cpu: 10.0,
+                ..Demand::default()
+            },
+            Timestamp::ZERO,
+        );
         for i in 0..10 {
             mon.sample(&c, vm, Timestamp::from_secs(i), &mut rng);
         }
-        c.apply_demand(vm, Demand { cpu: 200.0, ..Demand::default() }, Timestamp::from_secs(10));
+        c.apply_demand(
+            vm,
+            Demand {
+                cpu: 200.0,
+                ..Demand::default()
+            },
+            Timestamp::from_secs(10),
+        );
         let s = mon.sample(&c, vm, Timestamp::from_secs(10), &mut rng);
         let l1 = s.values.get(AttributeKind::Load1);
         let l5 = s.values.get(AttributeKind::Load5);
@@ -223,7 +246,14 @@ mod tests {
         let (mut c, vm) = setup();
         let host = c.vm(vm).host;
         c.set_background_load(host, 175.0); // effective cap 25
-        c.apply_demand(vm, Demand { cpu: 60.0, ..Demand::default() }, Timestamp::ZERO);
+        c.apply_demand(
+            vm,
+            Demand {
+                cpu: 60.0,
+                ..Demand::default()
+            },
+            Timestamp::ZERO,
+        );
         let mut mon = Monitor::new(0.0);
         let mut rng = StdRng::seed_from_u64(1);
         let s = mon.sample(&c, vm, Timestamp::ZERO, &mut rng);
@@ -236,7 +266,15 @@ mod tests {
     #[test]
     fn noise_is_seed_deterministic() {
         let (mut c, vm) = setup();
-        c.apply_demand(vm, Demand { cpu: 50.0, mem_mb: 100.0, ..Demand::default() }, Timestamp::ZERO);
+        c.apply_demand(
+            vm,
+            Demand {
+                cpu: 50.0,
+                mem_mb: 100.0,
+                ..Demand::default()
+            },
+            Timestamp::ZERO,
+        );
         let sample_with = |seed: u64| {
             let mut mon = Monitor::with_default_noise();
             let mut rng = StdRng::seed_from_u64(seed);
@@ -249,7 +287,14 @@ mod tests {
     #[test]
     fn noisy_samples_stay_nonnegative_and_finite() {
         let (mut c, vm) = setup();
-        c.apply_demand(vm, Demand { cpu: 1.0, ..Demand::default() }, Timestamp::ZERO);
+        c.apply_demand(
+            vm,
+            Demand {
+                cpu: 1.0,
+                ..Demand::default()
+            },
+            Timestamp::ZERO,
+        );
         let mut mon = Monitor::new(0.5); // absurdly noisy
         let mut rng = StdRng::seed_from_u64(42);
         for i in 0..200 {

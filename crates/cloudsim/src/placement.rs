@@ -8,10 +8,9 @@
 
 use crate::{Cluster, HostId, PlacementError};
 use prepare_metrics::VmId;
-use serde::{Deserialize, Serialize};
 
 /// How to choose among hosts that can fit a VM.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum PlacementPolicy {
     /// Lowest-numbered host that fits — fast, packs the early hosts.
     FirstFit,
@@ -48,12 +47,12 @@ impl Cluster {
             match policy {
                 PlacementPolicy::FirstFit => return Some(host),
                 PlacementPolicy::BestFit => {
-                    if best.map_or(true, |(_, c)| free_cpu < c) {
+                    if best.is_none_or(|(_, c)| free_cpu < c) {
                         best = Some((host, free_cpu));
                     }
                 }
                 PlacementPolicy::WorstFit => {
-                    if best.map_or(true, |(_, c)| free_cpu > c) {
+                    if best.is_none_or(|(_, c)| free_cpu > c) {
                         best = Some((host, free_cpu));
                     }
                 }
@@ -162,7 +161,9 @@ mod tests {
     #[test]
     fn place_vm_errors_when_nothing_fits() {
         let mut c = cluster();
-        let err = c.place_vm(PlacementPolicy::WorstFit, 500.0, 256.0).unwrap_err();
+        let err = c
+            .place_vm(PlacementPolicy::WorstFit, 500.0, 256.0)
+            .unwrap_err();
         assert!(matches!(err, PlacementError::InsufficientCapacity { .. }));
         let mut empty = Cluster::new();
         assert!(matches!(

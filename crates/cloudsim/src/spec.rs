@@ -1,14 +1,12 @@
 //! Host specifications, per-tick resource demands and the service quality
 //! the virtualization layer reports back to the application model.
 
-use serde::{Deserialize, Serialize};
-
 /// Capacity of one physical host.
 ///
 /// CPU is measured in *percent-of-one-core* units (a dual-core host has
 /// capacity 200.0, matching Xen's credit-scheduler cap convention), memory
 /// in MB.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct HostSpec {
     /// CPU capacity in percent-of-core units.
     pub cpu_capacity: f64,
@@ -28,7 +26,7 @@ impl HostSpec {
 
 /// One tick's resource demand from the software running inside a VM
 /// (application component plus any co-located fault process).
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct Demand {
     /// CPU demand in percent-of-core units.
     pub cpu: f64,
@@ -62,7 +60,7 @@ impl Demand {
 
 /// How well the virtualization layer satisfied a VM's demand this tick —
 /// the application model turns this into achieved throughput / latency.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ServiceQuality {
     /// Fraction of the CPU demand actually granted (1.0 = no contention).
     pub cpu_fraction: f64,

@@ -21,8 +21,11 @@ fn arb_op() -> impl Strategy<Value = Op> {
         (0usize..4, 10.0f64..260.0).prop_map(|(vm, to)| Op::ScaleCpu { vm, to }),
         (0usize..4, 64.0f64..4200.0).prop_map(|(vm, to)| Op::ScaleMem { vm, to }),
         (0usize..4, 0usize..4).prop_map(|(vm, host)| Op::Migrate { vm, host }),
-        (0usize..4, 0.0f64..300.0, 0.0f64..1500.0)
-            .prop_map(|(vm, cpu, mem)| Op::Demand { vm, cpu, mem }),
+        (0usize..4, 0.0f64..300.0, 0.0f64..1500.0).prop_map(|(vm, cpu, mem)| Op::Demand {
+            vm,
+            cpu,
+            mem
+        }),
         (1u64..20).prop_map(|dt| Op::Advance { dt }),
     ]
 }

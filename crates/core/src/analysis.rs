@@ -66,8 +66,7 @@ impl ExperimentReport {
     /// action landed before any violation of the evaluation window (or no
     /// violation happened at all despite actions).
     pub fn acted_proactively(&self) -> bool {
-        self.lead_time.is_some()
-            || (self.eval_violation_secs == 0 && self.actions_issued > 0)
+        self.lead_time.is_some() || (self.eval_violation_secs == 0 && self.actions_issued > 0)
     }
 }
 
@@ -125,7 +124,8 @@ mod tests {
 
     #[test]
     fn report_counts_are_consistent_with_events() {
-        let spec = ExperimentSpec::paper_default(AppKind::Rubis, FaultChoice::MemLeak, Scheme::Prepare);
+        let spec =
+            ExperimentSpec::paper_default(AppKind::Rubis, FaultChoice::MemLeak, Scheme::Prepare);
         let r = Experiment::new(spec, 42).run();
         let report = ExperimentReport::from_result(&r);
         assert_eq!(report.eval_violation_secs, r.eval_violation_time.as_secs());

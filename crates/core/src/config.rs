@@ -87,10 +87,16 @@ impl PrepareConfig {
     /// Panics if the filter parameters are inconsistent, the scale factor
     /// is not > 1, or windows are zero.
     pub fn validate(&self) {
-        assert!(self.filter_k > 0 && self.filter_k <= self.filter_w, "invalid k-of-W");
+        assert!(
+            self.filter_k > 0 && self.filter_k <= self.filter_w,
+            "invalid k-of-W"
+        );
         assert!(self.scale_factor > 1.0, "scale factor must exceed 1.0");
         assert!(!self.look_ahead.is_zero(), "look-ahead must be positive");
-        assert!(!self.validation_window.is_zero(), "validation window must be positive");
+        assert!(
+            !self.validation_window.is_zero(),
+            "validation window must be positive"
+        );
         assert!(
             (0.0..=1.0).contains(&self.workload_change_quorum),
             "quorum must be a fraction"

@@ -9,7 +9,7 @@ use crate::{
 use prepare_anomaly::{AlertFilter, AnomalyPredictor};
 use prepare_cloudsim::Cluster;
 use prepare_metrics::{AttributeKind, Duration, MetricSample, SloLog, TimeSeries, Timestamp, VmId};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// The three anomaly management schemes compared throughout §III.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -50,10 +50,10 @@ pub struct PrepareController {
     config: PrepareConfig,
     scheme: Scheme,
     vms: Vec<VmId>,
-    series: HashMap<VmId, TimeSeries>,
+    series: BTreeMap<VmId, TimeSeries>,
     slo: SloLog,
-    predictors: HashMap<VmId, AnomalyPredictor>,
-    filters: HashMap<VmId, AlertFilter>,
+    predictors: BTreeMap<VmId, AnomalyPredictor>,
+    filters: BTreeMap<VmId, AlertFilter>,
     inference: CauseInference,
     planner: PreventionPlanner,
     /// k-of-W debounce over the *observed* SLO status: the reactive
@@ -64,13 +64,13 @@ pub struct PrepareController {
     /// point: PREPARE pays its confirmation delay *before* the anomaly
     /// lands, the reactive baseline pays it *while the SLO is broken*.
     violation_filter: AlertFilter,
-    episodes: HashMap<VmId, Episode>,
+    episodes: BTreeMap<VmId, Episode>,
     /// Last completed-or-started migration per VM — guards against
     /// ping-ponging a VM between hosts across back-to-back episodes.
-    last_migration: HashMap<VmId, Timestamp>,
+    last_migration: BTreeMap<VmId, Timestamp>,
     /// VMs whose episodes were abandoned after repeated action failures:
     /// no new episode opens for them until the stated time.
-    suppressed_until: HashMap<VmId, Timestamp>,
+    suppressed_until: BTreeMap<VmId, Timestamp>,
     trained_at: Option<Timestamp>,
     last_retrain: Option<Timestamp>,
     last_workload_change: bool,
@@ -114,14 +114,14 @@ impl PrepareController {
             vms,
             series,
             slo: SloLog::new(),
-            predictors: HashMap::new(),
+            predictors: BTreeMap::new(),
             filters,
             inference,
             planner,
             violation_filter,
-            episodes: HashMap::new(),
-            last_migration: HashMap::new(),
-            suppressed_until: HashMap::new(),
+            episodes: BTreeMap::new(),
+            last_migration: BTreeMap::new(),
+            suppressed_until: BTreeMap::new(),
             trained_at: None,
             last_retrain: None,
             last_workload_change: false,
@@ -231,7 +231,7 @@ impl PrepareController {
             return;
         }
         let implicated = crate::implicated_vms(&self.series, &self.slo);
-        let mut trained = HashMap::new();
+        let mut trained = BTreeMap::new();
         for &vm in &implicated {
             if let Ok(p) =
                 AnomalyPredictor::train(&self.series[&vm], &self.slo, &self.config.predictor)
@@ -246,7 +246,8 @@ impl PrepareController {
         vms.sort_unstable();
         self.predictors = trained;
         self.trained_at = Some(now);
-        self.events.push(ControllerEvent::ModelsTrained { at: now, vms });
+        self.events
+            .push(ControllerEvent::ModelsTrained { at: now, vms });
     }
 
     /// Periodic model refresh (§II-B): re-runs fault localization and
@@ -276,7 +277,10 @@ impl PrepareController {
         }
         if !refreshed.is_empty() {
             refreshed.sort_unstable();
-            self.events.push(ControllerEvent::ModelsTrained { at: now, vms: refreshed });
+            self.events.push(ControllerEvent::ModelsTrained {
+                at: now,
+                vms: refreshed,
+            });
         }
     }
 
@@ -353,7 +357,8 @@ impl PrepareController {
                 if self.is_suppressed(vm, now) {
                     continue;
                 }
-                self.events.push(ControllerEvent::ReactiveTriggered { at: now, vm });
+                self.events
+                    .push(ControllerEvent::ReactiveTriggered { at: now, vm });
                 self.episodes.insert(vm, Episode::open(vm, now, ranking));
                 self.act(vm, now, slo_violated, cluster);
             }
@@ -361,7 +366,9 @@ impl PrepareController {
     }
 
     fn is_suppressed(&self, vm: VmId, now: Timestamp) -> bool {
-        self.suppressed_until.get(&vm).is_some_and(|&until| now < until)
+        self.suppressed_until
+            .get(&vm)
+            .is_some_and(|&until| now < until)
     }
 
     /// Diagnoses the current (not predicted) state: faulty VMs are those
@@ -379,7 +386,7 @@ impl PrepareController {
             if now_state.is_alert() {
                 faulty.push((vm, ranking.clone()));
             }
-            if best.as_ref().map_or(true, |(_, s, _)| now_state.score > *s) {
+            if best.as_ref().is_none_or(|(_, s, _)| now_state.score > *s) {
                 best = Some((vm, now_state.score, ranking));
             }
         }
@@ -450,7 +457,11 @@ impl PrepareController {
             let episode = self.episodes.get_mut(&vm).expect("episode still open");
             episode.failures += 1;
             let abandon = episode.failures >= MAX_EPISODE_FAILURES;
-            self.events.push(ControllerEvent::ActionFailed { at: now, vm, reason });
+            self.events.push(ControllerEvent::ActionFailed {
+                at: now,
+                vm,
+                reason,
+            });
             if abandon {
                 self.episodes.remove(&vm);
                 if let Some(f) = self.filters.get_mut(&vm) {
@@ -486,9 +497,7 @@ impl PrepareController {
             // escalate a working mitigation into a disruptive one.
             let still_anomalous = slo_violated;
             let changed = match (episode.active_attribute(), episode.last_action_at) {
-                (Some(attr), Some(acted)) => {
-                    usage_changed(&self.series[&vm], attr, acted, window)
-                }
+                (Some(attr), Some(acted)) => usage_changed(&self.series[&vm], attr, acted, window),
                 // Migration-only episodes: "usage change" is the host move
                 // itself having completed.
                 (None, Some(_)) => !cluster.vm(vm).is_migrating() && episode.migrated,
@@ -511,10 +520,12 @@ impl PrepareController {
             if let Some(f) = self.filters.get_mut(&vm) {
                 f.reset();
             }
-            self.events.push(ControllerEvent::ValidationSucceeded { at: now, vm });
+            self.events
+                .push(ControllerEvent::ValidationSucceeded { at: now, vm });
         }
         for vm in escalate {
-            self.events.push(ControllerEvent::ValidationIneffective { at: now, vm });
+            self.events
+                .push(ControllerEvent::ValidationIneffective { at: now, vm });
             if let Some(ep) = self.episodes.get_mut(&vm) {
                 // The blamed metric did not respond (or responded without
                 // fixing anything): retire both the metric and — once a
@@ -547,7 +558,13 @@ mod tests {
             AttributeKind::FreeMem => free_mem,
             AttributeKind::Load1 => cpu / 50.0,
             // Exhausted memory pages hard — the localization marker.
-            AttributeKind::PageFaults => if free_mem <= 0.0 { 600.0 } else { 0.0 },
+            AttributeKind::PageFaults => {
+                if free_mem <= 0.0 {
+                    600.0
+                } else {
+                    0.0
+                }
+            }
             _ => 10.0,
         });
         MetricSample::new(Timestamp::from_secs(t), v)
@@ -597,7 +614,10 @@ mod tests {
         let mut c = test_cluster();
         let mut ctl = mk_controller(Scheme::Prepare);
         drive(&mut ctl, &mut c, 0..100);
-        assert!(!ctl.is_trained(), "should not train mid-anomaly or too early");
+        assert!(
+            !ctl.is_trained(),
+            "should not train mid-anomaly or too early"
+        );
         drive(&mut ctl, &mut c, 100..160); // past the first anomaly + quiet period
         assert!(ctl.is_trained());
         assert!(ctl
@@ -655,11 +675,17 @@ mod tests {
             .iter()
             .filter(|e| matches!(e, ControllerEvent::ActionFailed { .. }))
             .count();
-        assert!(failures > 0, "prevention should have been attempted and failed");
+        assert!(
+            failures > 0,
+            "prevention should have been attempted and failed"
+        );
         // ...but never touch the hypervisor state...
         assert_eq!(c.vm(VmId(0)).cpu_alloc, 100.0);
         assert_eq!(c.vm(VmId(0)).mem_alloc_mb, 2048.0);
-        assert!(c.actions().is_empty(), "no action can be applied on a full cluster");
+        assert!(
+            c.actions().is_empty(),
+            "no action can be applied on a full cluster"
+        );
         // ...and the failure cap bounds the churn (abandon + suppression,
         // not an unbounded retry storm).
         assert!(
@@ -680,14 +706,19 @@ mod tests {
             .iter()
             .filter(|e| matches!(e, ControllerEvent::ModelsTrained { .. }))
             .count();
-        assert!(trainings >= 2, "expected initial training plus refreshes, got {trainings}");
+        assert!(
+            trainings >= 2,
+            "expected initial training plus refreshes, got {trainings}"
+        );
     }
 
     #[test]
     fn retraining_can_be_disabled() {
         let mut c = test_cluster();
-        let mut config = PrepareConfig::default();
-        config.retrain_interval = None;
+        let config = PrepareConfig {
+            retrain_interval: None,
+            ..PrepareConfig::default()
+        };
         let mut ctl = PrepareController::new(vec![VmId(0), VmId(1)], config, Scheme::Prepare);
         drive(&mut ctl, &mut c, 0..600);
         let trainings = ctl

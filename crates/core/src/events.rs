@@ -111,9 +111,16 @@ impl fmt::Display for ControllerEvent {
             ControllerEvent::AlertRaised { at, vm, score } => {
                 write!(f, "[{at}] alert from {vm} (score {score:.2})")
             }
-            ControllerEvent::AlertConfirmed { at, vm, ranked_attributes } => {
-                write!(f, "[{at}] confirmed anomaly on {vm}, blames {:?}",
-                    ranked_attributes.first())
+            ControllerEvent::AlertConfirmed {
+                at,
+                vm,
+                ranked_attributes,
+            } => {
+                write!(
+                    f,
+                    "[{at}] confirmed anomaly on {vm}, blames {:?}",
+                    ranked_attributes.first()
+                )
             }
             ControllerEvent::WorkloadChangeInferred { at } => {
                 write!(f, "[{at}] workload change inferred")
@@ -146,7 +153,11 @@ mod tests {
         let t = Timestamp::from_secs(5);
         let events = vec![
             ControllerEvent::ModelsTrained { at: t, vms: vec![] },
-            ControllerEvent::AlertRaised { at: t, vm: VmId(0), score: 1.0 },
+            ControllerEvent::AlertRaised {
+                at: t,
+                vm: VmId(0),
+                score: 1.0,
+            },
             ControllerEvent::WorkloadChangeInferred { at: t },
             ControllerEvent::ValidationSucceeded { at: t, vm: VmId(0) },
         ];

@@ -5,11 +5,9 @@
 
 pub use crate::controller::Scheme;
 use crate::{ControllerEvent, PrepareConfig, PrepareController, PreventionPolicy};
-use prepare_apps::{Application, AppTick, FaultKind, FaultPlan, Rubis, SystemS, Workload};
+use prepare_apps::{AppTick, Application, FaultKind, FaultPlan, Rubis, SystemS, Workload};
 use prepare_cloudsim::{ActionRecord, Cluster, Monitor};
-use prepare_metrics::{
-    mean_std, Duration, MetricSample, SloLog, TimeSeries, Timestamp, VmId,
-};
+use prepare_metrics::{mean_std, Duration, MetricSample, SloLog, TimeSeries, Timestamp, VmId};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -176,14 +174,18 @@ impl Experiment {
         rng: &mut StdRng,
     ) -> FaultPlan {
         let kind = match spec.fault {
-            FaultChoice::MemLeak => FaultKind::MemLeak { rate_mb_per_sec: 2.0 },
+            FaultChoice::MemLeak => FaultKind::MemLeak {
+                rate_mb_per_sec: 2.0,
+            },
             FaultChoice::CpuHog => FaultKind::CpuHog { cpu: 85.0 },
             FaultChoice::Bottleneck => {
                 let peak = match spec.app {
                     AppKind::SystemS => 1.8,
                     AppKind::Rubis => 2.5,
                 };
-                FaultKind::WorkloadRamp { peak_multiplier: peak }
+                FaultKind::WorkloadRamp {
+                    peak_multiplier: peak,
+                }
             }
             // Heavy enough that even the lightest component is starved
             // (hosts have 200 CPU; a single 100-CPU VM gets squeezed to
@@ -423,7 +425,11 @@ mod tests {
 
     #[test]
     fn trial_summary_is_deterministic_per_seed_set() {
-        let spec = quick_spec(AppKind::Rubis, FaultChoice::Bottleneck, Scheme::NoIntervention);
+        let spec = quick_spec(
+            AppKind::Rubis,
+            FaultChoice::Bottleneck,
+            Scheme::NoIntervention,
+        );
         let a = TrialSummary::collect(&spec, &[1, 2]);
         let b = TrialSummary::collect(&spec, &[1, 2]);
         assert_eq!(a, b);
@@ -433,7 +439,11 @@ mod tests {
     #[test]
     fn result_window_accounting_is_consistent() {
         let r = Experiment::new(
-            quick_spec(AppKind::SystemS, FaultChoice::Bottleneck, Scheme::NoIntervention),
+            quick_spec(
+                AppKind::SystemS,
+                FaultChoice::Bottleneck,
+                Scheme::NoIntervention,
+            ),
             5,
         )
         .run();

@@ -9,7 +9,7 @@
 use prepare_metrics::{
     AttributeKind, CusumDetector, MetricSample, SloLog, TimeSeries, Timestamp, VmId,
 };
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Sustained CPU utilization (percent of allocation) treated as pinned.
 const CPU_SATURATION_PCT: f64 = 93.0;
@@ -35,7 +35,7 @@ const PAGING_FAULTS_PER_SEC: f64 = 100.0;
 /// coincidences and alert-storm on healthy state. Exhaustion is also
 /// precisely the condition PREPARE's prevention actions (resource
 /// scaling, migration to a bigger host) can actually fix.
-pub fn implicated_vms(series: &HashMap<VmId, TimeSeries>, slo: &SloLog) -> Vec<VmId> {
+pub fn implicated_vms(series: &BTreeMap<VmId, TimeSeries>, slo: &SloLog) -> Vec<VmId> {
     let mut out: Vec<VmId> = series
         .iter()
         .filter_map(|(&vm, ts)| (implication_score(ts, slo) >= 1.0).then_some(vm))
@@ -85,7 +85,7 @@ pub struct Diagnosis {
 pub struct CauseInference {
     /// One CUSUM per VM on its input-traffic metric (NetIn) — workload
     /// shifts arrive through the network on every component.
-    detectors: HashMap<VmId, CusumDetector>,
+    detectors: BTreeMap<VmId, CusumDetector>,
     /// Quorum fraction required to call a workload change.
     quorum: f64,
     /// How recent (seconds) a change point must be to count.
@@ -131,11 +131,7 @@ impl CauseInference {
 
     /// Builds the diagnosis from the set of confirmed alerting VMs and
     /// their ranked attributes.
-    pub fn diagnose(
-        &self,
-        now: Timestamp,
-        faulty: Vec<(VmId, Vec<AttributeKind>)>,
-    ) -> Diagnosis {
+    pub fn diagnose(&self, now: Timestamp, faulty: Vec<(VmId, Vec<AttributeKind>)>) -> Diagnosis {
         Diagnosis {
             at: now,
             workload_change: self.workload_change(now),
@@ -171,7 +167,12 @@ mod tests {
         // Stable phase (with slight wiggle so CUSUM baselines are sane).
         for t in 0..40u64 {
             let w = if t % 2 == 0 { 1.0 } else { -1.0 };
-            feed(&mut ci, &vms, t * 5, &[100.0 + w, 50.0 + w, 50.0 + w, 100.0 + w]);
+            feed(
+                &mut ci,
+                &vms,
+                t * 5,
+                &[100.0 + w, 50.0 + w, 50.0 + w, 100.0 + w],
+            );
         }
         assert!(!ci.workload_change(Timestamp::from_secs(200)));
         // Workload doubles everywhere.
@@ -183,7 +184,10 @@ mod tests {
                 break;
             }
         }
-        assert!(fired_at.is_some(), "quorum change must fire during the jump");
+        assert!(
+            fired_at.is_some(),
+            "quorum change must fire during the jump"
+        );
     }
 
     #[test]
@@ -192,12 +196,22 @@ mod tests {
         let mut ci = CauseInference::new(&vms, 0.8, 30);
         for t in 0..40u64 {
             let w = if t % 2 == 0 { 1.0 } else { -1.0 };
-            feed(&mut ci, &vms, t * 5, &[100.0 + w, 50.0 + w, 50.0 + w, 100.0 + w]);
+            feed(
+                &mut ci,
+                &vms,
+                t * 5,
+                &[100.0 + w, 50.0 + w, 50.0 + w, 100.0 + w],
+            );
         }
         // Only vm0's traffic explodes (a local fault symptom).
         for t in 40..60u64 {
             let w = if t % 2 == 0 { 1.0 } else { -1.0 };
-            feed(&mut ci, &vms, t * 5, &[500.0, 50.0 + w, 50.0 + w, 100.0 + w]);
+            feed(
+                &mut ci,
+                &vms,
+                t * 5,
+                &[500.0, 50.0 + w, 50.0 + w, 100.0 + w],
+            );
             assert!(
                 !ci.workload_change(Timestamp::from_secs(t * 5)),
                 "single-VM change must never reach quorum"
@@ -232,7 +246,10 @@ mod tests {
         let ci = CauseInference::new(&vms, 0.8, 30);
         let d = ci.diagnose(
             Timestamp::from_secs(10),
-            vec![(VmId(1), vec![AttributeKind::FreeMem, AttributeKind::PageFaults])],
+            vec![(
+                VmId(1),
+                vec![AttributeKind::FreeMem, AttributeKind::PageFaults],
+            )],
         );
         assert_eq!(d.faulty.len(), 1);
         assert_eq!(d.faulty[0].0, VmId(1));
@@ -255,7 +272,7 @@ mod implication_tests {
     /// Two VMs, SLO violated t in [200, 400): VM0 exhausts its memory
     /// (free collapses, heavy paging) during the violation; VM1 only sees
     /// the ripple (its input traffic drops) and never exhausts anything.
-    fn fixture() -> (HashMap<VmId, TimeSeries>, SloLog) {
+    fn fixture() -> (BTreeMap<VmId, TimeSeries>, SloLog) {
         let mut s0 = TimeSeries::new();
         let mut s1 = TimeSeries::new();
         let mut slo = SloLog::new();
@@ -263,19 +280,36 @@ mod implication_tests {
             let t = Timestamp::from_secs(i * 5);
             let violated = (200..400).contains(&t.as_secs());
             let mut v0 = MetricVector::zeros();
-            v0.set(AttributeKind::FreeMem, if violated { 0.0 } else { 200.0 + (i % 3) as f64 });
-            v0.set(AttributeKind::PageFaults, if violated { 800.0 } else { 0.0 });
+            v0.set(
+                AttributeKind::FreeMem,
+                if violated {
+                    0.0
+                } else {
+                    200.0 + (i % 3) as f64
+                },
+            );
+            v0.set(
+                AttributeKind::PageFaults,
+                if violated { 800.0 } else { 0.0 },
+            );
             v0.set(AttributeKind::CpuTotal, 40.0 + (i % 5) as f64);
             v0.set(AttributeKind::Load1, 0.4);
             let mut v1 = MetricVector::zeros();
-            v1.set(AttributeKind::NetIn, if violated { 120.0 } else { 400.0 + (i % 4) as f64 });
+            v1.set(
+                AttributeKind::NetIn,
+                if violated {
+                    120.0
+                } else {
+                    400.0 + (i % 4) as f64
+                },
+            );
             v1.set(AttributeKind::CpuTotal, 30.0 + (i % 3) as f64);
             v1.set(AttributeKind::Load1, 0.3);
             s0.push(MetricSample::new(t, v0));
             s1.push(MetricSample::new(t, v1));
             slo.record(t, violated);
         }
-        let mut map = HashMap::new();
+        let mut map = BTreeMap::new();
         map.insert(VmId(0), s0);
         map.insert(VmId(1), s1);
         (map, slo)
@@ -294,7 +328,10 @@ mod implication_tests {
         let s0 = implication_score(&series[&VmId(0)], &slo);
         let s1 = implication_score(&series[&VmId(1)], &slo);
         assert!(s0 > 1.0, "faulty VM score {s0}");
-        assert!(s1 < 1.0, "innocent VM score {s1} — ripple must not implicate");
+        assert!(
+            s1 < 1.0,
+            "innocent VM score {s1} — ripple must not implicate"
+        );
     }
 
     #[test]

@@ -171,9 +171,9 @@ impl PreventionPlanner {
                 PreventionPolicy::MigrationFirst => {
                     migration().or_else(|| self.scale_action(cluster, vm, resource))
                 }
-                PreventionPolicy::ScalingFirst => self
-                    .scale_action(cluster, vm, resource)
-                    .or_else(migration),
+                PreventionPolicy::ScalingFirst => {
+                    self.scale_action(cluster, vm, resource).or_else(migration)
+                }
             },
             // Scalable blame exists but every such resource has already
             // proven ineffective: scaling cannot fix this anomaly —
@@ -210,12 +210,12 @@ impl PreventionPlanner {
         now: Timestamp,
     ) -> Result<(), String> {
         match action {
-            PlannedAction::ScaleCpu { vm, to } => cluster
-                .scale_cpu(vm, to, now)
-                .map_err(|e| e.to_string()),
-            PlannedAction::ScaleMem { vm, to } => cluster
-                .scale_mem(vm, to, now)
-                .map_err(|e| e.to_string()),
+            PlannedAction::ScaleCpu { vm, to } => {
+                cluster.scale_cpu(vm, to, now).map_err(|e| e.to_string())
+            }
+            PlannedAction::ScaleMem { vm, to } => {
+                cluster.scale_mem(vm, to, now).map_err(|e| e.to_string())
+            }
             PlannedAction::Migrate { vm, target } => cluster
                 .begin_migration(vm, target, now)
                 .map(|_| ())
@@ -246,12 +246,22 @@ mod tests {
         let (mut c, vm) = setup();
         c.apply_demand(
             vm,
-            Demand { cpu: 40.0, mem_mb: 600.0, ..Demand::default() },
+            Demand {
+                cpu: 40.0,
+                mem_mb: 600.0,
+                ..Demand::default()
+            },
             Timestamp::ZERO,
         );
         let p = planner(PreventionPolicy::ScalingFirst);
         let action = p
-            .plan(&c, vm, &[AttributeKind::FreeMem, AttributeKind::CpuTotal], true, &[])
+            .plan(
+                &c,
+                vm,
+                &[AttributeKind::FreeMem, AttributeKind::CpuTotal],
+                true,
+                &[],
+            )
             .unwrap();
         match action {
             PlannedAction::ScaleMem { to, .. } => {
@@ -264,7 +274,14 @@ mod tests {
     #[test]
     fn cpu_blame_plans_cpu_scaling() {
         let (mut c, vm) = setup();
-        c.apply_demand(vm, Demand { cpu: 130.0, ..Demand::default() }, Timestamp::ZERO);
+        c.apply_demand(
+            vm,
+            Demand {
+                cpu: 130.0,
+                ..Demand::default()
+            },
+            Timestamp::ZERO,
+        );
         let p = planner(PreventionPolicy::ScalingFirst);
         let action = p
             .plan(&c, vm, &[AttributeKind::CpuTotal], true, &[])
@@ -278,9 +295,18 @@ mod tests {
     #[test]
     fn scaling_capped_by_host_capacity() {
         let (mut c, vm) = setup();
-        c.apply_demand(vm, Demand { cpu: 500.0, ..Demand::default() }, Timestamp::ZERO);
+        c.apply_demand(
+            vm,
+            Demand {
+                cpu: 500.0,
+                ..Demand::default()
+            },
+            Timestamp::ZERO,
+        );
         let p = planner(PreventionPolicy::ScalingFirst);
-        let action = p.plan(&c, vm, &[AttributeKind::CpuTotal], true, &[]).unwrap();
+        let action = p
+            .plan(&c, vm, &[AttributeKind::CpuTotal], true, &[])
+            .unwrap();
         match action {
             PlannedAction::ScaleCpu { to, .. } => assert!(to <= 200.0 + 1e-9),
             other => panic!("expected capped cpu scaling, got {other}"),
@@ -293,32 +319,68 @@ mod tests {
         // Fill the local host so scaling cannot even bump 10%.
         let h0 = c.vm(vm).host;
         c.create_vm(h0, 95.0, 3500.0).unwrap();
-        c.apply_demand(vm, Demand { cpu: 150.0, ..Demand::default() }, Timestamp::ZERO);
+        c.apply_demand(
+            vm,
+            Demand {
+                cpu: 150.0,
+                ..Demand::default()
+            },
+            Timestamp::ZERO,
+        );
         let p = planner(PreventionPolicy::ScalingFirst);
-        let action = p.plan(&c, vm, &[AttributeKind::CpuTotal], true, &[]).unwrap();
-        assert!(matches!(action, PlannedAction::Migrate { .. }), "got {action}");
+        let action = p
+            .plan(&c, vm, &[AttributeKind::CpuTotal], true, &[])
+            .unwrap();
+        assert!(
+            matches!(action, PlannedAction::Migrate { .. }),
+            "got {action}"
+        );
     }
 
     #[test]
     fn migration_first_prefers_migration() {
         let (mut c, vm) = setup();
-        c.apply_demand(vm, Demand { cpu: 150.0, ..Demand::default() }, Timestamp::ZERO);
+        c.apply_demand(
+            vm,
+            Demand {
+                cpu: 150.0,
+                ..Demand::default()
+            },
+            Timestamp::ZERO,
+        );
         let p = planner(PreventionPolicy::MigrationFirst);
-        let action = p.plan(&c, vm, &[AttributeKind::CpuTotal], true, &[]).unwrap();
+        let action = p
+            .plan(&c, vm, &[AttributeKind::CpuTotal], true, &[])
+            .unwrap();
         assert!(matches!(action, PlannedAction::Migrate { .. }));
         // ...but falls back to scaling when migration is disallowed.
-        let fallback = p.plan(&c, vm, &[AttributeKind::CpuTotal], false, &[]).unwrap();
+        let fallback = p
+            .plan(&c, vm, &[AttributeKind::CpuTotal], false, &[])
+            .unwrap();
         assert!(matches!(fallback, PlannedAction::ScaleCpu { .. }));
     }
 
     #[test]
     fn unscalable_attributes_skip_to_next_in_ranking() {
         let (mut c, vm) = setup();
-        c.apply_demand(vm, Demand { cpu: 120.0, ..Demand::default() }, Timestamp::ZERO);
+        c.apply_demand(
+            vm,
+            Demand {
+                cpu: 120.0,
+                ..Demand::default()
+            },
+            Timestamp::ZERO,
+        );
         let p = planner(PreventionPolicy::ScalingFirst);
         // NetOut is not directly scalable; CpuTotal is next.
         let action = p
-            .plan(&c, vm, &[AttributeKind::NetOut, AttributeKind::CpuTotal], true, &[])
+            .plan(
+                &c,
+                vm,
+                &[AttributeKind::NetOut, AttributeKind::CpuTotal],
+                true,
+                &[],
+            )
             .unwrap();
         assert!(matches!(action, PlannedAction::ScaleCpu { .. }));
     }
@@ -329,8 +391,12 @@ mod tests {
         let p = planner(PreventionPolicy::ScalingFirst);
         // Only unscalable attributes: no anchor for any action, even with
         // migration nominally available.
-        assert!(p.plan(&c, vm, &[AttributeKind::NetOut], false, &[]).is_none());
-        assert!(p.plan(&c, vm, &[AttributeKind::NetOut], true, &[]).is_none());
+        assert!(p
+            .plan(&c, vm, &[AttributeKind::NetOut], false, &[])
+            .is_none());
+        assert!(p
+            .plan(&c, vm, &[AttributeKind::NetOut], true, &[])
+            .is_none());
         assert!(p.plan(&c, vm, &[], true, &[]).is_none());
     }
 
@@ -338,16 +404,28 @@ mod tests {
     fn execute_applies_to_cluster() {
         let (mut c, vm) = setup();
         let p = planner(PreventionPolicy::ScalingFirst);
-        p.execute(&mut c, PlannedAction::ScaleMem { vm, to: 1024.0 }, Timestamp::ZERO)
-            .unwrap();
+        p.execute(
+            &mut c,
+            PlannedAction::ScaleMem { vm, to: 1024.0 },
+            Timestamp::ZERO,
+        )
+        .unwrap();
         assert_eq!(c.vm(vm).mem_alloc_mb, 1024.0);
         let target = c.find_migration_target(vm).unwrap();
-        p.execute(&mut c, PlannedAction::Migrate { vm, target }, Timestamp::ZERO)
-            .unwrap();
+        p.execute(
+            &mut c,
+            PlannedAction::Migrate { vm, target },
+            Timestamp::ZERO,
+        )
+        .unwrap();
         assert!(c.vm(vm).is_migrating());
         // Scaling a migrating VM errors through cleanly.
         let err = p
-            .execute(&mut c, PlannedAction::ScaleCpu { vm, to: 150.0 }, Timestamp::ZERO)
+            .execute(
+                &mut c,
+                PlannedAction::ScaleCpu { vm, to: 150.0 },
+                Timestamp::ZERO,
+            )
             .unwrap_err();
         assert!(err.contains("migrated"), "unexpected error: {err}");
     }
@@ -355,17 +433,39 @@ mod tests {
     #[test]
     fn exhausted_resources_escalate_to_migration() {
         let (mut c, vm) = setup();
-        c.apply_demand(vm, Demand { cpu: 80.0, ..Demand::default() }, Timestamp::ZERO);
+        c.apply_demand(
+            vm,
+            Demand {
+                cpu: 80.0,
+                ..Demand::default()
+            },
+            Timestamp::ZERO,
+        );
         let p = planner(PreventionPolicy::ScalingFirst);
         // CPU scaling has been judged ineffective: the plan must jump to
         // migration even though scaling headroom exists.
         let action = p
-            .plan(&c, vm, &[AttributeKind::CpuTotal], true, &[ScalableResource::Cpu])
+            .plan(
+                &c,
+                vm,
+                &[AttributeKind::CpuTotal],
+                true,
+                &[ScalableResource::Cpu],
+            )
             .unwrap();
-        assert!(matches!(action, PlannedAction::Migrate { .. }), "got {action}");
+        assert!(
+            matches!(action, PlannedAction::Migrate { .. }),
+            "got {action}"
+        );
         // ...and to nothing when migration is not allowed either.
         assert!(p
-            .plan(&c, vm, &[AttributeKind::CpuTotal], false, &[ScalableResource::Cpu])
+            .plan(
+                &c,
+                vm,
+                &[AttributeKind::CpuTotal],
+                false,
+                &[ScalableResource::Cpu]
+            )
             .is_none());
         // A memory-blamed candidate further down the ranking is still
         // preferred over migration.
@@ -378,16 +478,31 @@ mod tests {
                 &[ScalableResource::Cpu],
             )
             .unwrap();
-        assert!(matches!(action, PlannedAction::ScaleMem { .. }), "got {action}");
+        assert!(
+            matches!(action, PlannedAction::ScaleMem { .. }),
+            "got {action}"
+        );
     }
 
     #[test]
     fn plan_for_attribute_respects_attribute() {
         let (mut c, vm) = setup();
-        c.apply_demand(vm, Demand { cpu: 50.0, mem_mb: 700.0, ..Demand::default() }, Timestamp::ZERO);
+        c.apply_demand(
+            vm,
+            Demand {
+                cpu: 50.0,
+                mem_mb: 700.0,
+                ..Demand::default()
+            },
+            Timestamp::ZERO,
+        );
         let p = planner(PreventionPolicy::ScalingFirst);
-        let a = p.plan_for_attribute(&c, vm, AttributeKind::MemUtil).unwrap();
+        let a = p
+            .plan_for_attribute(&c, vm, AttributeKind::MemUtil)
+            .unwrap();
         assert!(matches!(a, PlannedAction::ScaleMem { .. }));
-        assert!(p.plan_for_attribute(&c, vm, AttributeKind::DiskRead).is_none());
+        assert!(p
+            .plan_for_attribute(&c, vm, AttributeKind::DiskRead)
+            .is_none());
     }
 }

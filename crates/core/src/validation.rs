@@ -186,30 +186,45 @@ mod tests {
     #[test]
     fn pending_before_window_elapses() {
         let mut e = Episode::open(VmId(0), t(100), vec![AttributeKind::FreeMem]);
-        assert_eq!(e.validate(t(200), w(30), true, true), ValidationOutcome::Pending);
+        assert_eq!(
+            e.validate(t(200), w(30), true, true),
+            ValidationOutcome::Pending
+        );
         e.record_action(t(200), false);
-        assert_eq!(e.validate(t(210), w(30), true, true), ValidationOutcome::Pending);
+        assert_eq!(
+            e.validate(t(210), w(30), true, true),
+            ValidationOutcome::Pending
+        );
     }
 
     #[test]
     fn resolved_when_anomaly_clears() {
         let mut e = Episode::open(VmId(0), t(0), vec![AttributeKind::FreeMem]);
         e.record_action(t(0), false);
-        assert_eq!(e.validate(t(30), w(30), false, true), ValidationOutcome::Resolved);
+        assert_eq!(
+            e.validate(t(30), w(30), false, true),
+            ValidationOutcome::Resolved
+        );
     }
 
     #[test]
     fn ineffective_when_usage_static() {
         let mut e = Episode::open(VmId(0), t(0), vec![AttributeKind::FreeMem]);
         e.record_action(t(0), false);
-        assert_eq!(e.validate(t(30), w(30), true, false), ValidationOutcome::Ineffective);
+        assert_eq!(
+            e.validate(t(30), w(30), true, false),
+            ValidationOutcome::Ineffective
+        );
     }
 
     #[test]
     fn retry_when_usage_moved_but_anomaly_persists() {
         let mut e = Episode::open(VmId(0), t(0), vec![AttributeKind::FreeMem]);
         e.record_action(t(0), false);
-        assert_eq!(e.validate(t(30), w(30), true, true), ValidationOutcome::Retry);
+        assert_eq!(
+            e.validate(t(30), w(30), true, true),
+            ValidationOutcome::Retry
+        );
     }
 
     #[test]
@@ -257,6 +272,11 @@ mod tests {
         v.set(AttributeKind::FreeMem, 100.0);
         series.push(MetricSample::new(t(100), v));
         // No look-back data.
-        assert!(!usage_changed(&series, AttributeKind::FreeMem, t(100), w(30)));
+        assert!(!usage_changed(
+            &series,
+            AttributeKind::FreeMem,
+            t(100),
+            w(30)
+        ));
     }
 }

@@ -18,9 +18,11 @@ impl StateDistribution {
     /// Panics if `n == 0`.
     pub fn uniform(n: usize) -> Self {
         assert!(n > 0, "distribution needs at least one state");
-        StateDistribution {
+        let d = StateDistribution {
             probs: vec![1.0 / n as f64; n],
-        }
+        };
+        crate::invariants::debug_assert_normalized(&d.probs, "StateDistribution::uniform");
+        d
     }
 
     /// Point mass on `state` among `n` states.
@@ -51,9 +53,11 @@ impl StateDistribution {
         if total < 1e-12 {
             return StateDistribution::uniform(weights.len());
         }
-        StateDistribution {
+        let d = StateDistribution {
             probs: weights.into_iter().map(|w| w / total).collect(),
-        }
+        };
+        crate::invariants::debug_assert_normalized(&d.probs, "StateDistribution::from_weights");
+        d
     }
 
     /// Number of states.
@@ -79,8 +83,10 @@ impl StateDistribution {
     /// Most likely state (smallest index wins ties).
     pub fn most_likely(&self) -> usize {
         let mut best = 0;
+        let mut best_p = f64::NEG_INFINITY;
         for (i, &p) in self.probs.iter().enumerate() {
-            if p > self.probs[best] {
+            if p > best_p {
+                best_p = p;
                 best = i;
             }
         }
@@ -89,7 +95,11 @@ impl StateDistribution {
 
     /// Expected state index.
     pub fn expected_state(&self) -> f64 {
-        self.probs.iter().enumerate().map(|(i, p)| i as f64 * p).sum()
+        self.probs
+            .iter()
+            .enumerate()
+            .map(|(i, p)| i as f64 * p)
+            .sum()
     }
 
     /// Expected continuous value under a discretizer (mixture of bin

@@ -64,6 +64,7 @@ impl SimpleMarkov {
     /// the model was never trained on) predicted as extreme.
     fn row(&self, i: usize) -> StateDistribution {
         let total: f64 = self.counts[i].iter().sum();
+        // xtask-allow: float-eq -- counts are integer-valued; an exact zero sum means "never observed"
         if total == 0.0 {
             return StateDistribution::point(self.n, i);
         }
@@ -76,6 +77,7 @@ impl SimpleMarkov {
         let mut out = vec![0.0; self.n];
         for i in 0..self.n {
             let p = dist.probability(i);
+            // xtask-allow: float-eq -- skipping exactly-zero mass is an optimization, not a tolerance question
             if p == 0.0 {
                 continue;
             }
@@ -110,6 +112,7 @@ impl ValuePredictor for SimpleMarkov {
         for _ in 0..steps {
             dist = self.step(&dist);
         }
+        crate::invariants::debug_assert_normalized(dist.as_slice(), "SimpleMarkov::predict");
         dist
     }
 

@@ -99,6 +99,7 @@ impl TwoDependentMarkov {
         for prev in 0..self.n {
             for cur in 0..self.n {
                 let p = dist[prev * self.n + cur];
+                // xtask-allow: float-eq -- skipping exactly-zero mass is an optimization, not a tolerance question
                 if p == 0.0 {
                     continue;
                 }
@@ -161,7 +162,9 @@ impl ValuePredictor for TwoDependentMarkov {
         for _ in 0..steps {
             dist = self.step_combined(&dist);
         }
-        self.marginal_current(&dist)
+        let out = self.marginal_current(&dist);
+        crate::invariants::debug_assert_normalized(out.as_slice(), "TwoDependentMarkov::predict");
+        out
     }
 
     fn reset_position(&mut self) {

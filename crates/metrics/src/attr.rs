@@ -7,14 +7,13 @@
 //! `NetIn`, `NetOut`); we fill the set out to 13 with the standard
 //! `libxenstat`/`/proc` counters a dom0 monitor would export.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Number of system-level attributes monitored per VM.
 pub const ATTRIBUTE_COUNT: usize = 13;
 
 /// One of the 13 per-VM system-level metrics.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum AttributeKind {
     /// CPU time spent in user mode, percent of allocation.
     CpuUser,
@@ -119,7 +118,7 @@ impl AttributeKind {
 
 /// A resource the hypervisor can elastically scale (paper §II-D: "Our
 /// system currently supports CPU and memory scaling").
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ScalableResource {
     /// CPU allocation (cap), in percentage points of a core.
     Cpu,
@@ -144,9 +143,7 @@ impl fmt::Display for ScalableResource {
 
 /// Identifier of a virtual machine (one application component per VM, as in
 /// the paper's per-PE / per-tier deployment).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
 pub struct VmId(pub usize);
 
 impl fmt::Display for VmId {

@@ -7,10 +7,9 @@
 //! implement a standard two-sided CUSUM with an online baseline estimate.
 
 use crate::Timestamp;
-use serde::{Deserialize, Serialize};
 
 /// A detected change point.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ChangePoint {
     /// When the cumulative statistic crossed the threshold.
     pub time: Timestamp,
@@ -26,7 +25,7 @@ pub struct ChangePoint {
 /// observations, then accumulates standardized deviations; when either the
 /// high-side or low-side sum exceeds `threshold`, a change point is
 /// reported and the baseline re-anchors to the post-change level.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CusumDetector {
     threshold: f64,
     drift: f64,
@@ -55,7 +54,10 @@ impl CusumDetector {
     /// Panics if `threshold` or `drift` is not finite and positive-or-zero,
     /// or `warmup` is zero.
     pub fn new(threshold: f64, drift: f64, warmup: usize) -> Self {
-        assert!(threshold.is_finite() && threshold > 0.0, "threshold must be > 0");
+        assert!(
+            threshold.is_finite() && threshold > 0.0,
+            "threshold must be > 0"
+        );
         assert!(drift.is_finite() && drift >= 0.0, "drift must be >= 0");
         assert!(warmup > 0, "warmup must be positive");
         CusumDetector {
@@ -146,9 +148,8 @@ impl CusumDetector {
     /// seconds of `now` — the "recent change point" predicate the workload
     /// -change inference uses.
     pub fn changed_recently(&self, now: Timestamp, window_secs: u64) -> bool {
-        self.last_change.is_some_and(|cp| {
-            now.since(cp.time).as_secs() <= window_secs
-        })
+        self.last_change
+            .is_some_and(|cp| now.since(cp.time).as_secs() <= window_secs)
     }
 }
 
@@ -251,7 +252,11 @@ mod tests {
         // After re-anchoring at ~50, a further jump to 200 fires again.
         let mut second = None;
         for i in (first.as_secs() + 1)..(first.as_secs() + 40) {
-            let v = if i < first.as_secs() + 15 { 50.0 + (i % 2) as f64 * 0.01 } else { 200.0 };
+            let v = if i < first.as_secs() + 15 {
+                50.0 + (i % 2) as f64 * 0.01
+            } else {
+                200.0
+            };
             if let Some(cp) = d.observe(t(i), v) {
                 second = Some(cp.time);
                 break;

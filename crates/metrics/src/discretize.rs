@@ -8,14 +8,13 @@
 //! to 10 and expose it as a parameter (swept in tests / ablations).
 
 use crate::{AttributeKind, MetricVector, TimeSeries, ATTRIBUTE_COUNT};
-use serde::{Deserialize, Serialize};
 
 /// A discretized metric vector: one bin index per attribute, in canonical
 /// attribute order.
 pub type DiscreteVector = Vec<usize>;
 
 /// Equal-width binning for one attribute.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Discretizer {
     lo: f64,
     hi: f64,
@@ -46,6 +45,7 @@ impl Discretizer {
     pub fn fit_with_margin(values: &[f64], bins: usize, margin: f64) -> Self {
         assert!(margin.is_finite() && margin >= 0.0, "margin must be >= 0");
         let base = Self::fit(values, bins);
+        // xtask-allow: float-eq -- margin 0.0 is an exact caller-provided sentinel for "no widening"
         if margin == 0.0 {
             return base;
         }
@@ -106,14 +106,18 @@ impl Discretizer {
     ///
     /// Panics if `bin >= bins`.
     pub fn bin_midpoint(&self, bin: usize) -> f64 {
-        assert!(bin < self.bins, "bin {bin} out of range (bins={})", self.bins);
+        assert!(
+            bin < self.bins,
+            "bin {bin} out of range (bins={})",
+            self.bins
+        );
         let width = (self.hi - self.lo) / self.bins as f64;
         self.lo + width * (bin as f64 + 0.5)
     }
 }
 
 /// Per-attribute discretizers for a full [`MetricVector`].
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct VectorDiscretizer {
     per_attr: Vec<Discretizer>,
 }
@@ -152,7 +156,10 @@ impl VectorDiscretizer {
                 merged[i].extend(s.attribute_values(*a));
             }
         }
-        let per_attr = merged.iter().map(|vals| Discretizer::fit(vals, bins)).collect();
+        let per_attr = merged
+            .iter()
+            .map(|vals| Discretizer::fit(vals, bins))
+            .collect();
         VectorDiscretizer { per_attr }
     }
 

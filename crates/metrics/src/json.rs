@@ -1,0 +1,495 @@
+//! A minimal, dependency-free JSON reader/writer for trace persistence.
+//!
+//! The build environment is fully offline, so instead of `serde_json`
+//! the trace store round-trips through this hand-rolled module. Floats
+//! are written with Rust's shortest round-trip formatting (`{:?}`), so a
+//! persisted `f64` parses back to the *bit-identical* value — the same
+//! guarantee `serde_json`'s `float_roundtrip` feature gave the seed code
+//! — and non-finite values are rejected at serialization time rather
+//! than silently corrupting a trace.
+
+use std::fmt;
+
+/// A parsed JSON document.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number. Integers up to 2^53 round-trip exactly.
+    Number(f64),
+    /// A string (escapes resolved).
+    String(String),
+    /// An array.
+    Array(Vec<JsonValue>),
+    /// An object; insertion order is preserved and writing is ordered,
+    /// so equal documents serialize to byte-identical text.
+    Object(Vec<(String, JsonValue)>),
+}
+
+/// A parse or structural error, with a byte offset where available.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// What went wrong.
+    pub message: String,
+    /// Byte offset in the input where the error was detected.
+    pub offset: usize,
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at byte {}", self.message, self.offset)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+fn err<T>(message: impl Into<String>, offset: usize) -> Result<T, JsonError> {
+    Err(JsonError {
+        message: message.into(),
+        offset,
+    })
+}
+
+impl JsonValue {
+    /// Parses one JSON document (rejecting trailing garbage).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JsonError`] describing the first malformed token.
+    pub fn parse(input: &str) -> Result<JsonValue, JsonError> {
+        let mut p = Parser {
+            bytes: input.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let v = p.value(0)?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return err("trailing characters after document", p.pos);
+        }
+        Ok(v)
+    }
+
+    /// Serializes to compact JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JsonError`] if any number in the tree is non-finite
+    /// (JSON has no NaN/inf representation).
+    pub fn to_string(&self) -> Result<String, JsonError> {
+        let mut out = String::new();
+        self.write(&mut out)?;
+        Ok(out)
+    }
+
+    fn write(&self, out: &mut String) -> Result<(), JsonError> {
+        match self {
+            JsonValue::Null => out.push_str("null"),
+            JsonValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            JsonValue::Number(n) => {
+                if !n.is_finite() {
+                    return err(
+                        format!("non-finite number {n} is not representable"),
+                        out.len(),
+                    );
+                }
+                // `{:?}` is Rust's shortest representation that parses
+                // back to the identical f64.
+                use fmt::Write as _;
+                let _ = write!(out, "{n:?}");
+            }
+            JsonValue::String(s) => write_escaped(s, out),
+            JsonValue::Array(items) => {
+                out.push('[');
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    v.write(out)?;
+                }
+                out.push(']');
+            }
+            JsonValue::Object(fields) => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(k, out);
+                    out.push(':');
+                    v.write(out)?;
+                }
+                out.push('}');
+            }
+        }
+        Ok(())
+    }
+
+    /// The value as a finite number, if it is one.
+    pub fn as_number(&self) -> Option<f64> {
+        match self {
+            JsonValue::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The value as a non-negative integer, if it is one and ≤ 2^53
+    /// (beyond that an f64-backed JSON number is no longer exact).
+    pub fn as_u64(&self) -> Option<u64> {
+        let n = self.as_number()?;
+        // xtask-allow: float-eq -- integrality test: fract() is exactly 0.0 iff the f64 is an integer
+        if n.fract() == 0.0 && (0.0..=9_007_199_254_740_992.0).contains(&n) {
+            #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+            Some(n as u64)
+        } else {
+            None
+        }
+    }
+
+    /// The value as a string slice, if it is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice, if it is an array.
+    pub fn as_array(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Array(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The fields, if the value is an object.
+    pub fn as_object(&self) -> Option<&[(String, JsonValue)]> {
+        match self {
+            JsonValue::Object(f) => Some(f),
+            _ => None,
+        }
+    }
+
+    /// Looks up a field of an object by key.
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        self.as_object()?
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+    }
+}
+
+fn write_escaped(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                use fmt::Write as _;
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+const MAX_DEPTH: usize = 64;
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), JsonError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            err(format!("expected '{}'", b as char), self.pos)
+        }
+    }
+
+    fn eat_literal(&mut self, lit: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<JsonValue, JsonError> {
+        if depth > MAX_DEPTH {
+            return err("document nested too deeply", self.pos);
+        }
+        self.skip_ws();
+        match self.peek() {
+            Some(b'n') if self.eat_literal("null") => Ok(JsonValue::Null),
+            Some(b't') if self.eat_literal("true") => Ok(JsonValue::Bool(true)),
+            Some(b'f') if self.eat_literal("false") => Ok(JsonValue::Bool(false)),
+            Some(b'"') => Ok(JsonValue::String(self.string()?)),
+            Some(b'[') => self.array(depth),
+            Some(b'{') => self.object(depth),
+            Some(b) if b == b'-' || b.is_ascii_digit() => self.number(),
+            Some(b) => err(format!("unexpected character '{}'", b as char), self.pos),
+            None => err("unexpected end of input", self.pos),
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<JsonValue, JsonError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(JsonValue::Array(items));
+        }
+        loop {
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Array(items));
+                }
+                _ => return err("expected ',' or ']' in array", self.pos),
+            }
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<JsonValue, JsonError> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(JsonValue::Object(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let value = self.value(depth + 1)?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Object(fields));
+                }
+                _ => return err("expected ',' or '}' in object", self.pos),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            match self.peek() {
+                None => return err("unterminated string", start),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok());
+                            match hex.and_then(char::from_u32) {
+                                // Surrogate pairs are not needed for our
+                                // ASCII field names; reject rather than
+                                // mis-decode.
+                                Some(c) => {
+                                    out.push(c);
+                                    self.pos += 4;
+                                }
+                                None => return err("invalid \\u escape", self.pos),
+                            }
+                        }
+                        _ => return err("invalid escape", self.pos),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (input is &str, so bytes
+                    // are valid UTF-8; find the char at this offset).
+                    let rest = &self.bytes[self.pos..];
+                    let s = std::str::from_utf8(rest).map_err(|_| JsonError {
+                        message: "invalid UTF-8".into(),
+                        offset: start,
+                    })?;
+                    let c = s.chars().next().ok_or(JsonError {
+                        message: "unterminated string".into(),
+                        offset: start,
+                    })?;
+                    if (c as u32) < 0x20 {
+                        return err("unescaped control character in string", start);
+                    }
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<JsonValue, JsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while self
+            .peek()
+            .is_some_and(|b| b.is_ascii_digit() || matches!(b, b'.' | b'e' | b'E' | b'+' | b'-'))
+        {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).map_err(|_| JsonError {
+            message: "invalid number".into(),
+            offset: start,
+        })?;
+        match text.parse::<f64>() {
+            Ok(n) if n.is_finite() => Ok(JsonValue::Number(n)),
+            _ => err(format!("invalid number '{text}'"), start),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_round_trips() {
+        for text in ["null", "true", "false", "0.1", "-3.5", "\"hi\\nthere\""] {
+            let v = JsonValue::parse(text).expect(text);
+            let back = JsonValue::parse(&v.to_string().expect("writes")).expect("reparses");
+            assert_eq!(v, back);
+        }
+    }
+
+    #[test]
+    fn floats_round_trip_exactly() {
+        for &f in &[
+            0.1,
+            1.0 / 3.0,
+            f64::MIN_POSITIVE,
+            1e300,
+            -2.5e-10,
+            9007199254740992.0,
+        ] {
+            let v = JsonValue::Number(f);
+            let text = v.to_string().expect("finite");
+            let back = JsonValue::parse(&text).expect("parses");
+            assert_eq!(
+                back.as_number().map(f64::to_bits),
+                Some(f.to_bits()),
+                "{text}"
+            );
+        }
+    }
+
+    #[test]
+    fn non_finite_numbers_are_rejected_on_write() {
+        assert!(JsonValue::Number(f64::NAN).to_string().is_err());
+        assert!(JsonValue::Number(f64::INFINITY).to_string().is_err());
+    }
+
+    #[test]
+    fn nested_structures_parse() {
+        let v = JsonValue::parse(r#" {"a": [1, 2.5, {"b": null}], "c": "x"} "#).expect("parses");
+        assert_eq!(v.get("c").and_then(JsonValue::as_str), Some("x"));
+        let arr = v.get("a").and_then(JsonValue::as_array).expect("array");
+        assert_eq!(arr[0].as_u64(), Some(1));
+        assert_eq!(arr[2].get("b"), Some(&JsonValue::Null));
+    }
+
+    #[test]
+    fn malformed_documents_error_with_position() {
+        for bad in [
+            "",
+            "{",
+            "[1,",
+            "{\"a\" 1}",
+            "tru",
+            "1e",
+            "\"\\q\"",
+            "[1] junk",
+            "nan",
+        ] {
+            assert!(JsonValue::parse(bad).is_err(), "{bad:?} should fail");
+        }
+        let e = JsonValue::parse("[1, }").unwrap_err();
+        assert!(e.offset > 0 && e.to_string().contains("at byte"));
+    }
+
+    #[test]
+    fn as_u64_guards_exactness() {
+        assert_eq!(JsonValue::Number(7.0).as_u64(), Some(7));
+        assert_eq!(JsonValue::Number(7.5).as_u64(), None);
+        assert_eq!(JsonValue::Number(-1.0).as_u64(), None);
+        assert_eq!(JsonValue::Number(1e300).as_u64(), None);
+    }
+
+    #[test]
+    fn deep_nesting_is_bounded() {
+        let deep = "[".repeat(100) + &"]".repeat(100);
+        assert!(JsonValue::parse(&deep).is_err());
+    }
+
+    #[test]
+    fn object_field_order_is_preserved() {
+        let v = JsonValue::parse(r#"{"z":1,"a":2}"#).expect("parses");
+        let keys: Vec<_> = v
+            .as_object()
+            .expect("object")
+            .iter()
+            .map(|(k, _)| k.as_str())
+            .collect();
+        assert_eq!(keys, ["z", "a"]);
+        assert_eq!(v.to_string().expect("writes"), r#"{"z":1.0,"a":2.0}"#);
+    }
+}

@@ -6,11 +6,10 @@
 //! [`Labeler`] then tags any metric sample *normal*/*abnormal* by timestamp.
 
 use crate::{Duration, MetricSample, Timestamp};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Classification label of a system state.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Label {
     /// SLO satisfied at the sample's timestamp.
     Normal,
@@ -45,7 +44,7 @@ impl fmt::Display for Label {
 
 /// The application's SLO-violation log: a second-resolution record of when
 /// the SLO was violated, accumulated online.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct SloLog {
     /// Closed-open violation intervals `[start, end)`, non-overlapping and
     /// sorted. `end == None` means the violation is still ongoing.
@@ -87,7 +86,7 @@ impl SloLog {
     pub fn is_violated_at(&self, t: Timestamp) -> bool {
         self.intervals
             .iter()
-            .any(|&(start, end)| t >= start && end.map_or(true, |e| t < e))
+            .any(|&(start, end)| t >= start && end.is_none_or(|e| t < e))
     }
 
     /// True if any violation overlaps `[from, to)`.
@@ -117,7 +116,10 @@ impl SloLog {
     /// The recorded violation intervals (for reporting); an open interval
     /// is closed at the last seen timestamp + 1 s.
     pub fn intervals(&self) -> Vec<(Timestamp, Timestamp)> {
-        let horizon = self.last_seen.map(Timestamp::next).unwrap_or(Timestamp::ZERO);
+        let horizon = self
+            .last_seen
+            .map(Timestamp::next)
+            .unwrap_or(Timestamp::ZERO);
         self.intervals
             .iter()
             .map(|&(s, e)| (s, e.unwrap_or(horizon)))
@@ -127,6 +129,58 @@ impl SloLog {
     /// Timestamp of the first violation, if any.
     pub fn first_violation(&self) -> Option<Timestamp> {
         self.intervals.first().map(|&(s, _)| s)
+    }
+
+    /// The raw interval list, a still-open violation kept as `end == None`
+    /// — the lossless form trace persistence stores.
+    pub fn raw_intervals(&self) -> &[(Timestamp, Option<Timestamp>)] {
+        &self.intervals
+    }
+
+    /// The last timestamp fed to [`SloLog::record`], if any.
+    pub fn last_seen(&self) -> Option<Timestamp> {
+        self.last_seen
+    }
+
+    /// Rebuilds a log from persisted parts, re-validating the structural
+    /// invariants `record` maintains online (sorted, non-overlapping,
+    /// only the final interval may be open).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the violated invariant.
+    pub fn from_raw_parts(
+        intervals: Vec<(Timestamp, Option<Timestamp>)>,
+        last_seen: Option<Timestamp>,
+    ) -> Result<SloLog, &'static str> {
+        let mut prev_end = None;
+        for (i, &(start, end)) in intervals.iter().enumerate() {
+            if let Some(p) = prev_end {
+                if start < p {
+                    return Err("SLO intervals overlap or are unsorted");
+                }
+            }
+            match end {
+                Some(e) if e <= start => return Err("SLO interval is empty or inverted"),
+                None if i + 1 != intervals.len() => {
+                    return Err("only the final SLO interval may be open");
+                }
+                _ => {}
+            }
+            prev_end = end;
+        }
+        if let (Some(&(start, _)), Some(seen)) = (intervals.last(), last_seen) {
+            if seen < start {
+                return Err("last_seen precedes the final SLO interval");
+            }
+        }
+        if !intervals.is_empty() && last_seen.is_none() {
+            return Err("intervals recorded without a last_seen timestamp");
+        }
+        Ok(SloLog {
+            intervals,
+            last_seen,
+        })
     }
 }
 

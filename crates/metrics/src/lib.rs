@@ -25,9 +25,13 @@
 //! assert_eq!(Timestamp::from_secs(5).as_secs(), 5);
 //! ```
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 mod attr;
 mod changepoint;
 mod discretize;
+pub mod json;
 mod label;
 mod sample;
 mod series;
@@ -42,5 +46,5 @@ pub use label::{Label, Labeler, SloLog};
 pub use sample::{MetricSample, MetricVector};
 pub use series::{SeriesStats, SlidingWindow, TimeSeries};
 pub use stats::{mean, mean_std, percentile, std_dev};
-pub use trace::{TraceError, TraceStore};
 pub use time::{Duration, Timestamp};
+pub use trace::{TraceError, TraceStore};

@@ -1,12 +1,11 @@
 //! One monitoring observation: a timestamped vector of the 13 attributes.
 
 use crate::{AttributeKind, Timestamp, ATTRIBUTE_COUNT};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::ops::{Index, IndexMut};
 
 /// A dense vector holding one value per [`AttributeKind`].
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MetricVector {
     values: [f64; ATTRIBUTE_COUNT],
 }
@@ -95,7 +94,7 @@ impl fmt::Display for MetricVector {
 
 /// A timestamped [`MetricVector`] — one row of the monitoring stream for
 /// one VM.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MetricSample {
     /// When the sample was collected.
     pub time: Timestamp,
@@ -144,7 +143,10 @@ mod tests {
     fn iter_is_in_canonical_order() {
         let v = MetricVector::from_fn(|a| a.index() as f64);
         let collected: Vec<_> = v.iter().map(|(_, x)| x).collect();
-        assert_eq!(collected, (0..ATTRIBUTE_COUNT).map(|i| i as f64).collect::<Vec<_>>());
+        assert_eq!(
+            collected,
+            (0..ATTRIBUTE_COUNT).map(|i| i as f64).collect::<Vec<_>>()
+        );
     }
 
     #[test]

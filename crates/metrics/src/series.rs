@@ -1,7 +1,6 @@
 //! Time-series storage and windowed statistics over metric samples.
 
 use crate::{mean, std_dev, AttributeKind, MetricSample, MetricVector, Timestamp};
-use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 
 /// An append-only sequence of [`MetricSample`]s for one VM.
@@ -9,7 +8,7 @@ use std::collections::VecDeque;
 /// Samples must be appended in non-decreasing timestamp order; this is the
 /// shape a real dom0 monitor produces and everything downstream (labeling,
 /// training, validation windows) relies on it.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct TimeSeries {
     samples: Vec<MetricSample>,
 }
@@ -96,7 +95,11 @@ impl TimeSeries {
 
     /// Summary statistics of one attribute over `[from, to)`.
     pub fn stats(&self, a: AttributeKind, from: Timestamp, to: Timestamp) -> SeriesStats {
-        let vals: Vec<f64> = self.range(from, to).iter().map(|s| s.values.get(a)).collect();
+        let vals: Vec<f64> = self
+            .range(from, to)
+            .iter()
+            .map(|s| s.values.get(a))
+            .collect();
         SeriesStats::from_values(&vals)
     }
 }
@@ -128,7 +131,7 @@ impl<'a> IntoIterator for &'a TimeSeries {
 }
 
 /// Summary statistics of a window of attribute values.
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct SeriesStats {
     /// Number of values in the window.
     pub count: usize,
@@ -161,7 +164,7 @@ impl SeriesStats {
 /// A fixed-capacity sliding window of scalar observations, used for
 /// look-back/look-ahead resource-usage comparisons during prevention
 /// validation (§II-D) and for alert voting.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct SlidingWindow {
     capacity: usize,
     values: VecDeque<f64>,
@@ -277,7 +280,11 @@ mod tests {
     #[test]
     fn stats_over_window() {
         let ts: TimeSeries = (0..5).map(|t| sample(t, 2.0 * t as f64)).collect();
-        let st = ts.stats(AttributeKind::CpuTotal, Timestamp::ZERO, Timestamp::from_secs(5));
+        let st = ts.stats(
+            AttributeKind::CpuTotal,
+            Timestamp::ZERO,
+            Timestamp::from_secs(5),
+        );
         assert_eq!(st.count, 5);
         assert_eq!(st.mean, 4.0);
         assert_eq!(st.min, 0.0);

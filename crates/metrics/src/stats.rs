@@ -26,17 +26,19 @@ pub fn mean_std(xs: &[f64]) -> (f64, f64) {
 }
 
 /// Percentile (nearest-rank, `p` in `[0, 100]`); `0.0` for an empty slice.
+/// NaN values sort last under `total_cmp`, so they only surface at high
+/// percentiles.
 ///
 /// # Panics
 ///
-/// Panics if `p` is not within `[0, 100]` or any value is NaN.
+/// Panics if `p` is not within `[0, 100]`.
 pub fn percentile(xs: &[f64], p: f64) -> f64 {
     assert!((0.0..=100.0).contains(&p), "percentile out of range: {p}");
     if xs.is_empty() {
         return 0.0;
     }
     let mut sorted = xs.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN in percentile input"));
+    sorted.sort_by(f64::total_cmp);
     let rank = ((p / 100.0) * (sorted.len() as f64 - 1.0)).round() as usize;
     sorted[rank.min(sorted.len() - 1)]
 }

@@ -7,13 +7,13 @@
 //! training needs, round-trips through JSON, and exports per-VM CSV for
 //! external analysis/plotting.
 
-use crate::{AttributeKind, MetricSample, SloLog, TimeSeries, VmId};
-use serde::{Deserialize, Serialize};
+use crate::json::{JsonError, JsonValue};
+use crate::{AttributeKind, MetricSample, MetricVector, SloLog, TimeSeries, Timestamp, VmId};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
 /// A persisted monitoring run.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct TraceStore {
     series: BTreeMap<VmId, TimeSeries>,
     slo: SloLog,
@@ -22,14 +22,20 @@ pub struct TraceStore {
 /// Errors from serializing or parsing a trace store.
 #[derive(Debug)]
 pub enum TraceError {
-    /// JSON (de)serialization failed.
-    Serde(serde_json::Error),
+    /// The JSON text itself was malformed.
+    Json(JsonError),
+    /// The JSON was well-formed but did not describe a valid trace store
+    /// (wrong shape, non-finite metric, out-of-order timestamps, ...).
+    Malformed(&'static str),
 }
 
 impl std::fmt::Display for TraceError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            TraceError::Serde(e) => write!(f, "trace serialization failed: {e}"),
+            TraceError::Json(e) => write!(f, "trace serialization failed: {e}"),
+            TraceError::Malformed(what) => {
+                write!(f, "trace serialization failed: {what}")
+            }
         }
     }
 }
@@ -37,7 +43,8 @@ impl std::fmt::Display for TraceError {
 impl std::error::Error for TraceError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
-            TraceError::Serde(e) => Some(e),
+            TraceError::Json(e) => Some(e),
+            TraceError::Malformed(_) => None,
         }
     }
 }
@@ -82,22 +89,83 @@ impl TraceStore {
         self.series.len()
     }
 
-    /// Serializes to JSON.
+    /// Serializes to JSON. Floats use shortest round-trip formatting, so
+    /// a parse of the output reproduces the store bit-for-bit.
     ///
     /// # Errors
     ///
-    /// Returns [`TraceError::Serde`] on serialization failure.
+    /// Returns [`TraceError::Malformed`] if a stored metric value is
+    /// non-finite (JSON cannot represent NaN/inf).
     pub fn to_json(&self) -> Result<String, TraceError> {
-        serde_json::to_string(self).map_err(TraceError::Serde)
+        let series_fields: Vec<(String, JsonValue)> = self
+            .series
+            .iter()
+            .map(|(vm, ts)| {
+                let samples: Vec<JsonValue> = ts
+                    .iter()
+                    .map(|s| {
+                        let values: Vec<JsonValue> = s
+                            .values
+                            .as_slice()
+                            .iter()
+                            .map(|&v| JsonValue::Number(v))
+                            .collect();
+                        JsonValue::Object(vec![
+                            ("t".to_string(), timestamp_to_json(s.time)),
+                            ("v".to_string(), JsonValue::Array(values)),
+                        ])
+                    })
+                    .collect();
+                (vm.0.to_string(), JsonValue::Array(samples))
+            })
+            .collect();
+        let doc = JsonValue::Object(vec![
+            ("series".to_string(), JsonValue::Object(series_fields)),
+            ("slo".to_string(), slo_to_json(&self.slo)),
+        ]);
+        doc.to_string()
+            .map_err(|_| TraceError::Malformed("non-finite metric value in trace"))
     }
 
-    /// Parses a store from JSON.
+    /// Parses a store from JSON, re-validating every structural invariant
+    /// (finite metrics, time-ordered samples, well-formed SLO intervals).
     ///
     /// # Errors
     ///
-    /// Returns [`TraceError::Serde`] on malformed input.
+    /// Returns [`TraceError::Json`] on malformed JSON text and
+    /// [`TraceError::Malformed`] when the document does not describe a
+    /// valid store.
     pub fn from_json(json: &str) -> Result<Self, TraceError> {
-        serde_json::from_str(json).map_err(TraceError::Serde)
+        let doc = JsonValue::parse(json).map_err(TraceError::Json)?;
+        let series_obj = doc
+            .get("series")
+            .and_then(JsonValue::as_object)
+            .ok_or(TraceError::Malformed("missing 'series' object"))?;
+        let mut series = BTreeMap::new();
+        for (key, samples_json) in series_obj {
+            let vm: usize = key
+                .parse()
+                .map_err(|_| TraceError::Malformed("VM key is not an integer"))?;
+            let samples = samples_json
+                .as_array()
+                .ok_or(TraceError::Malformed("VM series is not an array"))?;
+            let mut ts = TimeSeries::new();
+            for s in samples {
+                let sample = sample_from_json(s)?;
+                if ts.last().is_some_and(|prev| sample.time < prev.time) {
+                    return Err(TraceError::Malformed("samples out of time order"));
+                }
+                ts.push(sample);
+            }
+            if series.insert(VmId(vm), ts).is_some() {
+                return Err(TraceError::Malformed("duplicate VM key"));
+            }
+        }
+        let slo = slo_from_json(
+            doc.get("slo")
+                .ok_or(TraceError::Malformed("missing 'slo'"))?,
+        )?;
+        Ok(TraceStore { series, slo })
     }
 
     /// Renders one VM's series as CSV (`time_s,<attr...>,slo_violated`).
@@ -118,6 +186,88 @@ impl TraceStore {
         }
         Some(out)
     }
+}
+
+#[allow(clippy::cast_precision_loss)]
+fn timestamp_to_json(t: Timestamp) -> JsonValue {
+    JsonValue::Number(t.as_secs() as f64)
+}
+
+fn timestamp_from_json(v: &JsonValue) -> Result<Timestamp, TraceError> {
+    v.as_u64()
+        .map(Timestamp::from_secs)
+        .ok_or(TraceError::Malformed(
+            "timestamp is not a whole second count",
+        ))
+}
+
+fn slo_to_json(slo: &SloLog) -> JsonValue {
+    let intervals: Vec<JsonValue> = slo
+        .raw_intervals()
+        .iter()
+        .map(|&(start, end)| {
+            JsonValue::Array(vec![
+                timestamp_to_json(start),
+                end.map_or(JsonValue::Null, timestamp_to_json),
+            ])
+        })
+        .collect();
+    JsonValue::Object(vec![
+        ("intervals".to_string(), JsonValue::Array(intervals)),
+        (
+            "last_seen".to_string(),
+            slo.last_seen().map_or(JsonValue::Null, timestamp_to_json),
+        ),
+    ])
+}
+
+fn slo_from_json(v: &JsonValue) -> Result<SloLog, TraceError> {
+    let intervals_json = v
+        .get("intervals")
+        .and_then(JsonValue::as_array)
+        .ok_or(TraceError::Malformed("missing 'slo.intervals' array"))?;
+    let mut intervals = Vec::with_capacity(intervals_json.len());
+    for iv in intervals_json {
+        let pair = iv
+            .as_array()
+            .ok_or(TraceError::Malformed("SLO interval is not a pair"))?;
+        if pair.len() != 2 {
+            return Err(TraceError::Malformed("SLO interval is not a pair"));
+        }
+        let start = timestamp_from_json(&pair[0])?;
+        let end = match &pair[1] {
+            JsonValue::Null => None,
+            other => Some(timestamp_from_json(other)?),
+        };
+        intervals.push((start, end));
+    }
+    let last_seen = match v.get("last_seen") {
+        None | Some(JsonValue::Null) => None,
+        Some(other) => Some(timestamp_from_json(other)?),
+    };
+    SloLog::from_raw_parts(intervals, last_seen).map_err(TraceError::Malformed)
+}
+
+fn sample_from_json(v: &JsonValue) -> Result<MetricSample, TraceError> {
+    let time = timestamp_from_json(
+        v.get("t")
+            .ok_or(TraceError::Malformed("sample missing 't'"))?,
+    )?;
+    let values_json = v
+        .get("v")
+        .and_then(JsonValue::as_array)
+        .ok_or(TraceError::Malformed("sample missing 'v' array"))?;
+    if values_json.len() != AttributeKind::ALL.len() {
+        return Err(TraceError::Malformed("sample has wrong attribute count"));
+    }
+    let mut values = MetricVector::zeros();
+    for (a, vj) in AttributeKind::ALL.into_iter().zip(values_json) {
+        let value = vj
+            .as_number()
+            .ok_or(TraceError::Malformed("metric value is not a number"))?;
+        values.set(a, value);
+    }
+    Ok(MetricSample::new(time, values))
 }
 
 #[cfg(test)]

@@ -17,40 +17,56 @@ pub fn chow_liu_tree(ds: &Dataset) -> Vec<Option<usize>> {
         return vec![None];
     }
 
-    // Pairwise CMI (symmetric).
-    let mut weight = vec![vec![0.0f64; n]; n];
-    for i in 0..n {
-        for j in (i + 1)..n {
-            let w = conditional_mutual_information(ds, i, j);
-            weight[i][j] = w;
-            weight[j][i] = w;
+    // Pairwise CMI (symmetric): the upper triangle is computed once and
+    // read through an accessor, so no mirrored matrix writes are needed.
+    let upper: Vec<Vec<f64>> = (0..n)
+        .map(|i| {
+            ((i + 1)..n)
+                .map(|j| conditional_mutual_information(ds, i, j))
+                .collect()
+        })
+        .collect();
+    let weight = |i: usize, j: usize| -> f64 {
+        if i == j {
+            return f64::NEG_INFINITY;
         }
-    }
+        let (a, b) = if i < j { (i, j) } else { (j, i) };
+        upper
+            .get(a)
+            .and_then(|row| row.get(b - a - 1))
+            .copied()
+            .unwrap_or(f64::NEG_INFINITY)
+    };
 
     // Prim's maximum spanning tree from node 0.
     let mut in_tree = vec![false; n];
-    let mut best_edge: Vec<(f64, usize)> = vec![(f64::NEG_INFINITY, 0); n];
-    let mut parent = vec![None; n];
+    // best_edge[j]: heaviest known edge from j into the tree, as
+    // (weight, tree endpoint).
+    let mut best_edge: Vec<(f64, usize)> = (0..n).map(|j| (weight(0, j), 0)).collect();
+    let mut parent: Vec<Option<usize>> = vec![None; n];
     in_tree[0] = true;
-    for j in 1..n {
-        best_edge[j] = (weight[0][j], 0);
-    }
     for _ in 1..n {
-        // Pick the heaviest edge into the tree.
-        let mut pick = None;
-        let mut pick_w = f64::NEG_INFINITY;
-        for (j, &(w, _)) in best_edge.iter().enumerate() {
-            if !in_tree[j] && w > pick_w {
-                pick = Some(j);
-                pick_w = w;
+        // Pick the heaviest edge into the tree (first of equals, so the
+        // tie-break matches the ascending scan it replaced).
+        let mut pick: Option<(usize, f64, usize)> = None;
+        for (j, (&in_t, &(w, from))) in in_tree.iter().zip(&best_edge).enumerate() {
+            if !in_t && pick.is_none_or(|(_, pw, _)| w > pw) {
+                pick = Some((j, w, from));
             }
         }
-        let j = pick.expect("graph is connected");
-        in_tree[j] = true;
-        parent[j] = Some(best_edge[j].1);
-        for k in 0..n {
-            if !in_tree[k] && weight[j][k] > best_edge[k].0 {
-                best_edge[k] = (weight[j][k], j);
+        let Some((j, _, from)) = pick else { break };
+        if let Some(t) = in_tree.get_mut(j) {
+            *t = true;
+        }
+        if let Some(p) = parent.get_mut(j) {
+            *p = Some(from);
+        }
+        for (&in_t, (k, be)) in in_tree.iter().zip(best_edge.iter_mut().enumerate()) {
+            if !in_t {
+                let w = weight(j, k);
+                if w > be.0 {
+                    *be = (w, j);
+                }
             }
         }
     }
@@ -71,7 +87,11 @@ mod tests {
             let x1 = if k % 17 == 0 { 1 - x0 } else { x0 };
             let x2 = if k % 13 == 0 { 1 - x1 } else { x1 };
             let x3 = (k / 3) % 2;
-            let label = if k % 5 == 0 { Label::Abnormal } else { Label::Normal };
+            let label = if k % 5 == 0 {
+                Label::Abnormal
+            } else {
+                Label::Normal
+            };
             ds.push(vec![x0, x1, x2, x3], label).unwrap();
         }
         ds
@@ -131,7 +151,11 @@ mod tests {
         for k in 0..50usize {
             ds.push(
                 vec![k % 2, k % 2],
-                if k % 2 == 0 { Label::Normal } else { Label::Abnormal },
+                if k % 2 == 0 {
+                    Label::Normal
+                } else {
+                    Label::Abnormal
+                },
             )
             .unwrap();
         }

@@ -64,7 +64,10 @@ impl Dataset {
     ///
     /// Panics if `cardinalities` is empty or contains a zero.
     pub fn new(cardinalities: Vec<usize>) -> Self {
-        assert!(!cardinalities.is_empty(), "dataset needs at least one attribute");
+        assert!(
+            !cardinalities.is_empty(),
+            "dataset needs at least one attribute"
+        );
         assert!(
             cardinalities.iter().all(|&c| c > 0),
             "attribute cardinalities must be positive"
@@ -168,7 +171,10 @@ mod tests {
         let mut ds = Dataset::new(vec![2, 3]);
         assert_eq!(
             ds.push(vec![0], Label::Normal),
-            Err(DatasetError::WrongArity { expected: 2, got: 1 })
+            Err(DatasetError::WrongArity {
+                expected: 2,
+                got: 1
+            })
         );
     }
 
@@ -208,7 +214,10 @@ mod tests {
 
     #[test]
     fn error_display() {
-        let e = DatasetError::WrongArity { expected: 2, got: 3 };
+        let e = DatasetError::WrongArity {
+            expected: 2,
+            got: 3,
+        };
         assert!(e.to_string().contains("expects 2"));
     }
 

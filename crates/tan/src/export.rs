@@ -15,14 +15,13 @@ impl TanClassifier {
     /// `L_i` for that input, and the most-blamed attribute is highlighted
     /// — reproducing Fig. 3's "most relevant attribute" marking.
     pub fn to_dot(&self, names: &[String], probe: Option<&[usize]>) -> String {
-        let label = |i: usize| -> String {
-            names.get(i).cloned().unwrap_or_else(|| format!("a{i}"))
-        };
+        let label =
+            |i: usize| -> String { names.get(i).cloned().unwrap_or_else(|| format!("a{i}")) };
         let strengths = probe.map(|x| self.attribute_strengths(x));
         let top = strengths.as_ref().map(|s| {
             s.iter()
                 .enumerate()
-                .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+                .max_by(|a, b| a.1.total_cmp(b.1))
                 .map(|(i, _)| i)
                 .expect("non-empty")
         });
@@ -79,7 +78,10 @@ mod tests {
         assert!(dot.contains("PageFaults"));
         assert!(dot.contains("class -> a0"));
         // Exactly n-1 tree edges for n attributes.
-        let tree_edges = dot.lines().filter(|l| l.contains("-> a") && !l.contains("class")).count();
+        let tree_edges = dot
+            .lines()
+            .filter(|l| l.contains("-> a") && !l.contains("class"))
+            .count();
         assert_eq!(tree_edges, 2);
         assert!(dot.ends_with("}\n"));
     }
@@ -89,7 +91,11 @@ mod tests {
         let tan = classifier();
         let dot = tan.to_dot(&[], Some(&[1, 1, 0]));
         assert!(dot.contains("L="), "strength annotations missing");
-        assert_eq!(dot.matches("lightcoral").count(), 1, "exactly one highlighted node");
+        assert_eq!(
+            dot.matches("lightcoral").count(),
+            1,
+            "exactly one highlighted node"
+        );
     }
 
     #[test]

@@ -36,9 +36,13 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 mod chow_liu;
 mod dataset;
 mod export;
+mod invariants;
 mod mutual_info;
 mod naive;
 mod tan;

@@ -20,10 +20,13 @@ impl RootCpt {
         for (row, label) in ds.iter() {
             counts[label.is_abnormal() as usize][row[attr]] += 1.0;
         }
-        let log_p = counts.map(|cs| {
+        let log_p: [Vec<f64>; 2] = counts.map(|cs| {
             let total: f64 = cs.iter().sum::<f64>() + alpha * card as f64;
             cs.iter().map(|c| ((c + alpha) / total).ln()).collect()
         });
+        for row in &log_p {
+            crate::invariants::debug_assert_row_stochastic(row, "RootCpt::fit");
+        }
         RootCpt { log_p }
     }
 
@@ -117,7 +120,12 @@ mod tests {
     fn informative_attributes_have_larger_strength() {
         let nb = NaiveBayes::train(&separable_dataset()).unwrap();
         let s = nb.attribute_strengths(&[3, 3, 1]);
-        assert!(s[0] > s[2], "attr0 {:.3} should out-blame noise {:.3}", s[0], s[2]);
+        assert!(
+            s[0] > s[2],
+            "attr0 {:.3} should out-blame noise {:.3}",
+            s[0],
+            s[2]
+        );
         assert!(s[1] > s[2]);
     }
 

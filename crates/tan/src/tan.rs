@@ -24,7 +24,7 @@ impl EdgeCpt {
         for (row, label) in ds.iter() {
             counts[label.is_abnormal() as usize][row[parent]][row[attr]] += 1.0;
         }
-        let log_p = counts.map(|by_parent| {
+        let log_p: [Vec<Vec<f64>>; 2] = counts.map(|by_parent| {
             by_parent
                 .into_iter()
                 .map(|cs| {
@@ -33,6 +33,11 @@ impl EdgeCpt {
                 })
                 .collect()
         });
+        for by_parent in &log_p {
+            for row in by_parent {
+                crate::invariants::debug_assert_row_stochastic(row, "EdgeCpt::fit");
+            }
+        }
         EdgeCpt { log_p }
     }
 
@@ -81,9 +86,12 @@ impl TanClassifier {
             .attribute_strengths(x)
             .into_iter()
             .enumerate()
-            .map(|(attribute, strength)| AttributeStrength { attribute, strength })
+            .map(|(attribute, strength)| AttributeStrength {
+                attribute,
+                strength,
+            })
             .collect();
-        ranked.sort_by(|a, b| b.strength.partial_cmp(&a.strength).expect("finite strengths"));
+        ranked.sort_by(|a, b| b.strength.total_cmp(&a.strength));
         ranked
     }
 
@@ -159,7 +167,8 @@ mod tests {
                 ds.push(vec![0, 3, noise], Label::Abnormal).unwrap();
             } else {
                 // normal: free mem high-ish, few faults
-                ds.push(vec![2 + k % 2, k % 2, noise], Label::Normal).unwrap();
+                ds.push(vec![2 + k % 2, k % 2, noise], Label::Normal)
+                    .unwrap();
             }
         }
         ds
@@ -213,7 +222,10 @@ mod tests {
     #[test]
     fn training_errors_propagate() {
         let ds = Dataset::new(vec![2, 2]);
-        assert!(matches!(TanClassifier::train(&ds), Err(TrainError::EmptyDataset)));
+        assert!(matches!(
+            TanClassifier::train(&ds),
+            Err(TrainError::EmptyDataset)
+        ));
     }
 
     #[test]
@@ -232,7 +244,11 @@ mod tests {
         let tan = TanClassifier::train(&ds).unwrap();
         let s = tan.attribute_strengths(&[1, 1]);
         // One attribute (the child) contributes much less than the root.
-        let (hi, lo) = if s[0] > s[1] { (s[0], s[1]) } else { (s[1], s[0]) };
+        let (hi, lo) = if s[0] > s[1] {
+            (s[0], s[1])
+        } else {
+            (s[1], s[0])
+        };
         assert!(hi > lo * 2.0 || lo.abs() < 0.2, "strengths {s:?}");
     }
 }
@@ -245,7 +261,10 @@ mod proptests {
     fn arb_dataset() -> impl Strategy<Value = Dataset> {
         (2usize..5, 2usize..4, 20usize..100).prop_flat_map(|(attrs, bins, rows)| {
             proptest::collection::vec(
-                (proptest::collection::vec(0usize..bins, attrs), any::<bool>()),
+                (
+                    proptest::collection::vec(0usize..bins, attrs),
+                    any::<bool>(),
+                ),
                 rows,
             )
             .prop_map(move |data| {

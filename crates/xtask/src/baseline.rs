@@ -1,0 +1,225 @@
+//! The panic-debt ratchet: a checked-in per-file, per-rule count that
+//! the current tree is compared against. Counts may only go down —
+//! `cargo xtask lint` fails on any increase, and `--update-baseline`
+//! refuses to write a larger count than the committed one.
+//!
+//! The file is a deliberately tiny TOML subset (one table, string keys,
+//! inline integer tables) written and parsed by this module alone, so
+//! the tool stays std-only.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::fs;
+use std::path::Path;
+
+/// Per-file, per-rule counts; `BTreeMap` keeps serialization ordered.
+pub type Counts = BTreeMap<String, BTreeMap<String, usize>>;
+
+/// Workspace-relative location of the baseline file.
+pub const BASELINE_PATH: &str = "crates/xtask/lint-baseline.toml";
+
+const HEADER: &str = "\
+# Panic-debt ratchet for `cargo xtask lint`.
+#
+# Each entry is the number of tolerated panic-capable sites per file and
+# rule, outside #[cfg(test)], tests/, benches/ and examples/. The lint
+# fails when any count grows. To lower the debt: fix sites, then run
+# `cargo xtask lint --update-baseline` (which refuses increases).
+";
+
+/// Parses the baseline file. A missing file is an empty baseline.
+///
+/// # Errors
+///
+/// Returns a description of the first malformed line.
+pub fn load(root: &Path) -> Result<Counts, String> {
+    let path = root.join(BASELINE_PATH);
+    let text = match fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Counts::new()),
+        Err(e) => return Err(format!("cannot read {}: {e}", path.display())),
+    };
+    parse(&text)
+}
+
+fn parse(text: &str) -> Result<Counts, String> {
+    let mut counts = Counts::new();
+    let mut in_section = false;
+    for (n, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        let lineno = n + 1;
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if line == "[panic-debt]" {
+            in_section = true;
+            continue;
+        }
+        if line.starts_with('[') {
+            return Err(format!("line {lineno}: unknown section {line}"));
+        }
+        if !in_section {
+            return Err(format!("line {lineno}: entry outside [panic-debt]"));
+        }
+        let (key, value) = line
+            .split_once('=')
+            .ok_or_else(|| format!("line {lineno}: expected `\"file\" = {{ rule = n }}`"))?;
+        let file = key
+            .trim()
+            .strip_prefix('"')
+            .and_then(|k| k.strip_suffix('"'))
+            .ok_or_else(|| format!("line {lineno}: file key must be quoted"))?;
+        let inline = value
+            .trim()
+            .strip_prefix('{')
+            .and_then(|v| v.strip_suffix('}'))
+            .ok_or_else(|| format!("line {lineno}: value must be an inline table"))?;
+        let mut rules = BTreeMap::new();
+        for pair in inline.split(',') {
+            let (rule, count) = pair
+                .split_once('=')
+                .ok_or_else(|| format!("line {lineno}: expected `rule = count`"))?;
+            let count: usize = count
+                .trim()
+                .parse()
+                .map_err(|_| format!("line {lineno}: count is not an integer"))?;
+            rules.insert(rule.trim().to_string(), count);
+        }
+        if counts.insert(file.to_string(), rules).is_some() {
+            return Err(format!("line {lineno}: duplicate file entry"));
+        }
+    }
+    Ok(counts)
+}
+
+/// Renders counts in the canonical (sorted, diff-stable) form.
+pub fn render(counts: &Counts) -> String {
+    let mut out = String::from(HEADER);
+    out.push_str("\n[panic-debt]\n");
+    for (file, rules) in counts {
+        if rules.values().all(|&c| c == 0) {
+            continue;
+        }
+        let body = rules
+            .iter()
+            .filter(|(_, &c)| c > 0)
+            .map(|(r, c)| format!("{r} = {c}"))
+            .collect::<Vec<_>>()
+            .join(", ");
+        let _ = writeln!(out, "\"{file}\" = {{ {body} }}");
+    }
+    out
+}
+
+/// True when a baseline file has been committed.
+pub fn exists(root: &Path) -> bool {
+    root.join(BASELINE_PATH).is_file()
+}
+
+/// Writes the baseline, refusing any per-file/rule increase over `old`.
+/// Pass `old = None` when no baseline exists yet (initial seeding).
+///
+/// # Errors
+///
+/// Returns the list of increases, or an IO error message.
+pub fn store(root: &Path, old: Option<&Counts>, new: &Counts) -> Result<(), String> {
+    if let Some(old) = old {
+        let mut increases = Vec::new();
+        for (file, rules) in new {
+            for (rule, &count) in rules {
+                let before = old
+                    .get(file)
+                    .and_then(|r| r.get(rule))
+                    .copied()
+                    .unwrap_or(0);
+                if count > before {
+                    increases.push(format!("  {file}: {rule} {before} -> {count}"));
+                }
+            }
+        }
+        if !increases.is_empty() {
+            return Err(format!(
+                "refusing to ratchet the baseline upward; fix the new debt instead:\n{}",
+                increases.join("\n")
+            ));
+        }
+    }
+    let path = root.join(BASELINE_PATH);
+    fs::write(&path, render(new)).map_err(|e| format!("cannot write {}: {e}", path.display()))
+}
+
+/// Total count across all files and rules.
+pub fn total(counts: &Counts) -> usize {
+    counts.values().flat_map(|r| r.values()).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Counts {
+        let mut c = Counts::new();
+        c.entry("crates/a/src/lib.rs".into())
+            .or_default()
+            .extend([("unwrap".to_string(), 3), ("expect".to_string(), 1)]);
+        c.entry("crates/b/src/x.rs".into())
+            .or_default()
+            .insert("panic".into(), 2);
+        c
+    }
+
+    #[test]
+    fn render_parse_round_trip() {
+        let c = sample();
+        let parsed = parse(&render(&c)).expect("round-trips");
+        assert_eq!(parsed, c);
+        assert_eq!(total(&parsed), 6);
+    }
+
+    #[test]
+    fn zero_count_entries_are_dropped() {
+        let mut c = sample();
+        c.entry("crates/z/src/lib.rs".into())
+            .or_default()
+            .insert("unwrap".into(), 0);
+        let text = render(&c);
+        assert!(!text.contains("crates/z"));
+    }
+
+    #[test]
+    fn malformed_lines_error() {
+        assert!(parse("[panic-debt]\nnot an entry\n").is_err());
+        assert!(
+            parse("\"f\" = { unwrap = 1 }\n").is_err(),
+            "entry before section"
+        );
+        assert!(parse("[other]\n").is_err());
+        assert!(parse("[panic-debt]\n\"f\" = { unwrap = x }\n").is_err());
+        assert!(parse("[panic-debt]\n\"f\" = { u = 1 }\n\"f\" = { u = 1 }\n").is_err());
+    }
+
+    #[test]
+    fn initial_seeding_skips_the_ratchet() {
+        let dir = std::env::temp_dir().join("xtask-baseline-seed-test");
+        let _ = fs::create_dir_all(dir.join("crates/xtask"));
+        let _ = fs::remove_file(dir.join(BASELINE_PATH));
+        assert!(!exists(&dir));
+        store(&dir, None, &sample()).expect("seeding a fresh baseline is allowed");
+        assert!(exists(&dir));
+        // With a committed baseline, increases are refused again.
+        let mut bigger = sample();
+        bigger
+            .entry("crates/a/src/lib.rs".into())
+            .or_default()
+            .insert("unwrap".into(), 9);
+        let committed = load(&dir).unwrap();
+        assert!(store(&dir, Some(&committed), &bigger).is_err());
+        let _ = fs::remove_file(dir.join(BASELINE_PATH));
+    }
+
+    #[test]
+    fn comments_and_blanks_are_ignored() {
+        let parsed = parse("# header\n\n[panic-debt]\n# note\n\"f\" = { unwrap = 1 }\n").unwrap();
+        assert_eq!(parsed["f"]["unwrap"], 1);
+    }
+}

@@ -1,0 +1,234 @@
+//! `cargo xtask` — workspace task runner for the PREPARE reproduction.
+//!
+//! The only subcommand today is `lint`: a dependency-free, token/line-
+//! level static analyzer that keeps the seeded simulations replayable
+//! and the library crates panic-honest. See DESIGN.md §8 for the
+//! policy, rules and ratchet workflow.
+
+#![forbid(unsafe_code)]
+
+mod baseline;
+mod fidelity;
+mod rules;
+mod scan;
+
+use baseline::Counts;
+use rules::{Category, Finding};
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+cargo xtask <command>
+
+Commands:
+  lint                    run the determinism/panic-debt/fidelity analysis
+  lint --update-baseline  rewrite the panic-debt ratchet (refuses increases)
+  lint --list             print every finding, including baselined debt
+  lint --root <dir>       analyze another checkout of this workspace
+
+The lint exits non-zero on: any determinism or fidelity finding, or any
+panic-debt count above its baseline entry.
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => {
+            let update = args.iter().any(|a| a == "--update-baseline");
+            let list = args.iter().any(|a| a == "--list");
+            let mut root = workspace_root();
+            let mut rest = args.iter().skip(1);
+            while let Some(flag) = rest.next() {
+                match flag.as_str() {
+                    "--update-baseline" | "--list" => {}
+                    "--root" => match rest.next() {
+                        Some(dir) => root = PathBuf::from(dir),
+                        None => {
+                            eprintln!("--root needs a directory\n\n{USAGE}");
+                            return ExitCode::FAILURE;
+                        }
+                    },
+                    bad => {
+                        eprintln!("unknown flag `{bad}`\n\n{USAGE}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            match run_lint(&root, update, list) {
+                Ok(clean) => {
+                    if clean {
+                        ExitCode::SUCCESS
+                    } else {
+                        ExitCode::FAILURE
+                    }
+                }
+                Err(e) => {
+                    eprintln!("xtask lint: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        Some("--help" | "-h" | "help") | None => {
+            println!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        Some(other) => {
+            eprintln!("unknown command `{other}`\n\n{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// The workspace root: this crate lives at `<root>/crates/xtask`.
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+fn print_finding(f: &Finding) {
+    println!(
+        "{}:{}: [{}/{}] {}",
+        f.file,
+        f.line,
+        f.category.name(),
+        f.rule,
+        f.message
+    );
+}
+
+/// Runs the full lint. Returns `Ok(true)` when the tree is clean.
+fn run_lint(root: &Path, update_baseline: bool, list_all: bool) -> Result<bool, String> {
+    let files = scan::load_workspace(root)?;
+
+    let mut hard_findings: Vec<Finding> = Vec::new(); // zero-tolerance
+    let mut debt_findings: Vec<Finding> = Vec::new(); // ratcheted
+
+    for f in &files {
+        for finding in rules::check_file(f) {
+            match finding.category {
+                Category::PanicDebt => debt_findings.push(finding),
+                _ => hard_findings.push(finding),
+            }
+        }
+    }
+    hard_findings.extend(fidelity::check_design_bins(root));
+    hard_findings.extend(fidelity::check_crate_attrs(&files));
+
+    // Tally current debt.
+    let mut current = Counts::new();
+    for f in &debt_findings {
+        *current
+            .entry(f.file.clone())
+            .or_default()
+            .entry(f.rule.to_string())
+            .or_insert(0) += 1;
+    }
+
+    let committed = baseline::load(root)?;
+
+    if update_baseline {
+        let ratchet = baseline::exists(root).then_some(&committed);
+        baseline::store(root, ratchet, &current)?;
+        println!(
+            "baseline updated: {} panic-debt sites across {} files",
+            baseline::total(&current),
+            current.len()
+        );
+        if !hard_findings.is_empty() {
+            println!(
+                "note: {} zero-tolerance findings remain:",
+                hard_findings.len()
+            );
+            for f in &hard_findings {
+                print_finding(f);
+            }
+            return Ok(false);
+        }
+        return Ok(true);
+    }
+
+    // Ratchet comparison: any (file, rule) above its baseline fails.
+    let mut over_budget: Vec<&Finding> = Vec::new();
+    let mut stale = 0usize;
+    for (file, rules) in &current {
+        for (rule, &count) in rules {
+            let budget = committed
+                .get(file)
+                .and_then(|r| r.get(rule))
+                .copied()
+                .unwrap_or(0);
+            if count > budget {
+                over_budget.extend(
+                    debt_findings
+                        .iter()
+                        .filter(|f| &f.file == file && f.rule == rule),
+                );
+            } else if count < budget {
+                stale += 1;
+            }
+        }
+    }
+    for (file, rules) in &committed {
+        for (rule, &budget) in rules {
+            let count = current
+                .get(file)
+                .and_then(|r| r.get(rule))
+                .copied()
+                .unwrap_or(0);
+            if budget > 0 && count == 0 {
+                stale += 1;
+            }
+        }
+    }
+
+    for f in &hard_findings {
+        print_finding(f);
+    }
+    for f in &over_budget {
+        print_finding(f);
+    }
+    if list_all {
+        println!("-- all tracked panic debt --");
+        for f in &debt_findings {
+            print_finding(f);
+        }
+    }
+
+    let debt_total = baseline::total(&current);
+    let baseline_total = baseline::total(&committed);
+    println!(
+        "xtask lint: {} files scanned; determinism+fidelity findings: {}; \
+         panic debt {debt_total} (baseline {baseline_total}); new debt sites: {}",
+        files.len(),
+        hard_findings.len(),
+        over_budget.len(),
+    );
+    if stale > 0 {
+        println!(
+            "note: {stale} baseline entr{} the current debt; \
+             run `cargo xtask lint --update-baseline` to ratchet down",
+            if stale == 1 {
+                "y exceeds"
+            } else {
+                "ies exceed"
+            }
+        );
+    }
+
+    Ok(hard_findings.is_empty() && over_budget.is_empty())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The committed tree must lint clean — this is the acceptance
+    /// criterion wired straight into `cargo test`.
+    #[test]
+    fn committed_tree_is_clean() {
+        let clean = run_lint(&workspace_root(), false, false).expect("lint runs");
+        assert!(
+            clean,
+            "`cargo xtask lint` reports findings on the committed tree"
+        );
+    }
+}

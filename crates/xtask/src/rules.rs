@@ -1,0 +1,538 @@
+//! The lint rules: determinism hazards and panic debt.
+//!
+//! Every detector runs over the *masked* text (comments and literal
+//! bodies blanked), skips `#[cfg(test)]` regions where the policy says
+//! so, and honours `// xtask-allow: <rule> -- <reason>` markers on the
+//! finding's line or the line above.
+
+use crate::scan::SourceFile;
+
+/// Finding categories, in report order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Category {
+    /// Nondeterminism that would de-reproduce seeded experiments. Zero
+    /// tolerance: no baseline entries exist for this category.
+    Determinism,
+    /// Code that can panic in library crates; ratcheted via the baseline.
+    PanicDebt,
+    /// Drift between DESIGN.md's experiment index and the crates.
+    Fidelity,
+}
+
+impl Category {
+    /// Stable report name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Category::Determinism => "determinism",
+            Category::PanicDebt => "panic-debt",
+            Category::Fidelity => "fidelity",
+        }
+    }
+}
+
+/// One lint hit.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Workspace-relative path.
+    pub file: String,
+    /// 1-based line.
+    pub line: usize,
+    /// Category the rule belongs to.
+    pub category: Category,
+    /// Stable rule name (used by baseline keys and allow markers).
+    pub rule: &'static str,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+/// Runs every file-level detector over one source file.
+pub fn check_file(f: &SourceFile) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    if f.policy.determinism {
+        hash_collections(f, &mut findings);
+        ambient_rng(f, &mut findings);
+        if !f.policy.wall_clock_allowed {
+            wall_clock(f, &mut findings);
+        }
+        float_eq(f, &mut findings);
+        nan_unsafe_sort(f, &mut findings);
+    }
+    if f.policy.count_panic_debt {
+        panic_debt(f, &mut findings);
+        index_in_loop(f, &mut findings);
+    }
+    findings
+}
+
+fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Yields offsets of `needle` in `haystack` occurring as a whole word.
+fn word_occurrences<'a>(haystack: &'a str, needle: &'a str) -> impl Iterator<Item = usize> + 'a {
+    let bytes = haystack.as_bytes();
+    let mut from = 0usize;
+    std::iter::from_fn(move || {
+        while let Some(found) = haystack[from..].find(needle) {
+            let at = from + found;
+            from = at + needle.len();
+            let before_ok = at == 0 || !bytes.get(at - 1).copied().is_some_and(is_ident_byte);
+            let after_ok = !bytes
+                .get(at + needle.len())
+                .copied()
+                .is_some_and(is_ident_byte);
+            if before_ok && after_ok {
+                return Some(at);
+            }
+        }
+        None
+    })
+}
+
+fn push(
+    f: &SourceFile,
+    findings: &mut Vec<Finding>,
+    at: usize,
+    category: Category,
+    rule: &'static str,
+    message: String,
+    skip_test_regions: bool,
+) {
+    if skip_test_regions && f.in_test_region(at) {
+        return;
+    }
+    let line = f.line_of(at);
+    if f.is_allowed(line, rule) {
+        return;
+    }
+    findings.push(Finding {
+        file: f.rel_path.clone(),
+        line,
+        category,
+        rule,
+        message,
+    });
+}
+
+/// `HashMap`/`HashSet` in simulation-visible code: iteration order is
+/// randomized per process, so any iteration that reaches simulation
+/// state or output de-reproduces runs. `BTreeMap`/`BTreeSet` are the
+/// deterministic replacements.
+fn hash_collections(f: &SourceFile, findings: &mut Vec<Finding>) {
+    for name in ["HashMap", "HashSet"] {
+        for at in word_occurrences(&f.masked, name) {
+            push(
+                f,
+                findings,
+                at,
+                Category::Determinism,
+                "hash-collection",
+                format!("{name} in simulation-visible code; use the BTree equivalent"),
+                true,
+            );
+        }
+    }
+}
+
+/// Unseeded entropy sources in library code.
+fn ambient_rng(f: &SourceFile, findings: &mut Vec<Finding>) {
+    for name in ["thread_rng", "from_entropy", "OsRng"] {
+        for at in word_occurrences(&f.masked, name) {
+            push(
+                f,
+                findings,
+                at,
+                Category::Determinism,
+                "ambient-rng",
+                format!("{name} draws OS entropy; thread a seeded StdRng through instead"),
+                true,
+            );
+        }
+    }
+    for at in word_occurrences(&f.masked, "random") {
+        // `rand::random()` specifically; a fn named `randomize` etc. is
+        // caught by word boundaries already, but only flag the
+        // qualified form to avoid matching local identifiers.
+        if f.masked[..at].ends_with("rand::") {
+            push(
+                f,
+                findings,
+                at,
+                Category::Determinism,
+                "ambient-rng",
+                "rand::random() draws OS entropy; thread a seeded StdRng through instead".into(),
+                true,
+            );
+        }
+    }
+}
+
+/// Wall-clock reads in library code: `Instant`/`SystemTime` differ per
+/// run and so must never influence simulation results.
+fn wall_clock(f: &SourceFile, findings: &mut Vec<Finding>) {
+    for name in ["Instant", "SystemTime"] {
+        for at in word_occurrences(&f.masked, name) {
+            push(
+                f,
+                findings,
+                at,
+                Category::Determinism,
+                "wall-clock",
+                format!(
+                    "{name} reads the wall clock; simulation code must use simulated Timestamps"
+                ),
+                true,
+            );
+        }
+    }
+}
+
+/// `==`/`!=` against a float literal: exact float comparison is almost
+/// never the intent in metric code and breaks under recomputation noise.
+fn float_eq(f: &SourceFile, findings: &mut Vec<Finding>) {
+    let bytes = f.masked.as_bytes();
+    let mut i = 0usize;
+    while i + 1 < bytes.len() {
+        let two = &bytes[i..i + 2];
+        if two == b"==" || two == b"!=" {
+            // Skip `===`? Not Rust. Skip `<=`, `>=`, `!=` handled; make
+            // sure `=` isn't part of `==` already counted.
+            let lhs_float = preceding_token_is_float(&f.masked, i);
+            let rhs_float = following_token_is_float(&f.masked, i + 2);
+            if lhs_float || rhs_float {
+                push(
+                    f,
+                    findings,
+                    i,
+                    Category::Determinism,
+                    "float-eq",
+                    "exact equality against a float literal; compare with a tolerance or restructure"
+                        .into(),
+                    true,
+                );
+            }
+            i += 2;
+        } else {
+            i += 1;
+        }
+    }
+}
+
+fn is_float_literal(token: &str) -> bool {
+    let t = token.trim_end_matches("f64").trim_end_matches("f32");
+    let t = t.strip_prefix('-').unwrap_or(t);
+    if t.is_empty() || !t.as_bytes()[0].is_ascii_digit() {
+        return false;
+    }
+    (t.contains('.') || t.contains('e') || t.contains('E'))
+        && t.bytes()
+            .all(|b| b.is_ascii_digit() || matches!(b, b'.' | b'e' | b'E' | b'+' | b'-' | b'_'))
+}
+
+fn preceding_token_is_float(text: &str, op_at: usize) -> bool {
+    let before = text[..op_at].trim_end();
+    let start = before
+        .rfind(|c: char| !(c.is_ascii_alphanumeric() || matches!(c, '.' | '_' | '-' | '+')))
+        .map_or(0, |p| p + 1);
+    is_float_literal(&before[start..])
+}
+
+fn following_token_is_float(text: &str, after_op: usize) -> bool {
+    let rest = text[after_op..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_alphanumeric() || matches!(c, '.' | '_' | '-' | '+')))
+        .unwrap_or(rest.len());
+    is_float_literal(&rest[..end])
+}
+
+/// `partial_cmp(..).unwrap()/expect(..)` — panics on NaN and silently
+/// depends on NaN never reaching the comparator. `total_cmp` is the
+/// deterministic, panic-free replacement.
+fn nan_unsafe_sort(f: &SourceFile, findings: &mut Vec<Finding>) {
+    for at in word_occurrences(&f.masked, "partial_cmp") {
+        let window_end = (at + 160).min(f.masked.len());
+        let window = &f.masked[at..window_end];
+        if window.contains(".unwrap()") || window.contains(".expect(") {
+            push(
+                f,
+                findings,
+                at,
+                Category::Determinism,
+                "nan-unsafe-sort",
+                "partial_cmp().unwrap() is NaN-unsafe; use f64::total_cmp".into(),
+                true,
+            );
+        }
+    }
+}
+
+/// The ratcheted panic-debt token rules: `(rule name, needle)`.
+pub const PANIC_DEBT_TOKENS: [(&str, &str); 6] = [
+    ("unwrap", ".unwrap()"),
+    ("expect", ".expect("),
+    ("panic", "panic!"),
+    ("unreachable", "unreachable!"),
+    ("todo", "todo!"),
+    ("unimplemented", "unimplemented!"),
+];
+
+fn panic_debt(f: &SourceFile, findings: &mut Vec<Finding>) {
+    for (rule, needle) in PANIC_DEBT_TOKENS {
+        let mut from = 0usize;
+        while let Some(found) = f.masked[from..].find(needle) {
+            let at = from + found;
+            from = at + needle.len();
+            // `.unwrap()` / `.expect(` never start an identifier; the
+            // macro names need a word boundary on the left, which also
+            // excludes `debug_assert!`-style bang macros that merely
+            // *contain* the word.
+            if needle.as_bytes()[0] != b'.'
+                && at > 0
+                && f.masked
+                    .as_bytes()
+                    .get(at - 1)
+                    .copied()
+                    .is_some_and(is_ident_byte)
+            {
+                continue;
+            }
+            push(
+                f,
+                findings,
+                at,
+                Category::PanicDebt,
+                rule,
+                format!("`{needle}` can panic in a library crate"),
+                true,
+            );
+        }
+    }
+}
+
+/// True when the text following a `for` keyword reads as a loop header
+/// (`for pat in iter {`) rather than a trait impl or HRTB: an `in` word
+/// must appear before the opening brace or a semicolon.
+fn for_header_is_loop(rest: &str) -> bool {
+    let bytes = rest.as_bytes();
+    let mut i = 0usize;
+    while let Some(&b) = bytes.get(i) {
+        match b {
+            b'{' | b';' => return false,
+            _ if is_ident_byte(b) => {
+                let start = i;
+                while bytes.get(i).copied().is_some_and(is_ident_byte) {
+                    i += 1;
+                }
+                if &rest[start..i] == "in" {
+                    return true;
+                }
+            }
+            _ => i += 1,
+        }
+    }
+    false
+}
+
+/// Direct, non-literal indexing inside a loop body: a hot-path panic
+/// risk (and bounds-check cost) the paper's control loop cannot afford.
+/// `get`/iterators are the replacements.
+fn index_in_loop(f: &SourceFile, findings: &mut Vec<Finding>) {
+    let bytes = f.masked.as_bytes();
+    #[derive(Clone, Copy, PartialEq)]
+    enum Scope {
+        Plain,
+        Loop,
+    }
+    let mut stack: Vec<Scope> = Vec::new();
+    let mut loop_depth = 0usize;
+    let mut pending_loop = false;
+    let mut i = 0usize;
+    while let Some(&b) = bytes.get(i) {
+        if is_ident_byte(b) {
+            let start = i;
+            while bytes.get(i).copied().is_some_and(is_ident_byte) {
+                i += 1;
+            }
+            let word = &f.masked[start..i];
+            // `for` also introduces trait impls (`impl Trait for Type {`)
+            // and HRTBs; only a `for … in …` header is a loop.
+            if matches!(word, "while" | "loop")
+                || (word == "for" && for_header_is_loop(&f.masked[i..]))
+            {
+                pending_loop = true;
+            }
+            continue;
+        }
+        match b {
+            b'{' => {
+                let scope = if pending_loop {
+                    Scope::Loop
+                } else {
+                    Scope::Plain
+                };
+                pending_loop = false;
+                if scope == Scope::Loop {
+                    loop_depth += 1;
+                }
+                stack.push(scope);
+            }
+            b'}' if stack.pop() == Some(Scope::Loop) => {
+                loop_depth = loop_depth.saturating_sub(1);
+            }
+            b';' => pending_loop = false,
+            b'[' if loop_depth > 0 => {
+                // Indexing only: the `[` must follow a value expression.
+                // A keyword there (`for x in [..]`, `return [..]`) means
+                // an array literal instead.
+                let prev_end = bytes[..i].iter().rposition(|b| !b.is_ascii_whitespace());
+                let is_indexing = prev_end.is_some_and(|e| match bytes.get(e).copied() {
+                    Some(b')' | b']') => true,
+                    Some(p) if is_ident_byte(p) => {
+                        let mut s = e;
+                        while s > 0 && bytes.get(s - 1).copied().is_some_and(is_ident_byte) {
+                            s -= 1;
+                        }
+                        !matches!(
+                            &f.masked[s..=e],
+                            "in" | "return" | "break" | "if" | "else" | "match" | "move"
+                        )
+                    }
+                    _ => false,
+                });
+                if is_indexing {
+                    // Find the matching `]`.
+                    let mut depth = 1i64;
+                    let mut j = i + 1;
+                    while depth > 0 {
+                        match bytes.get(j) {
+                            None => break,
+                            Some(b'[') => depth += 1,
+                            Some(b']') => depth -= 1,
+                            _ => {}
+                        }
+                        j += 1;
+                    }
+                    let inner = f.masked[i + 1..j.saturating_sub(1)].trim();
+                    let literal_index =
+                        !inner.is_empty() && inner.bytes().all(|b| b.is_ascii_digit() || b == b'_');
+                    let range_slice = inner.contains("..");
+                    if !literal_index && !range_slice && !inner.is_empty() {
+                        push(
+                            f,
+                            findings,
+                            i,
+                            Category::PanicDebt,
+                            "index-in-loop",
+                            format!("`[{inner}]` indexing inside a loop can panic; prefer get()/iterators"),
+                            true,
+                        );
+                    }
+                    i = j;
+                    continue;
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scan::{policy_for, SourceFile};
+
+    fn lib_file(text: &str) -> SourceFile {
+        crate::scan::analyze_for_tests(
+            "crates/x/src/lib.rs".into(),
+            text.into(),
+            policy_for("crates/x/src/lib.rs"),
+        )
+    }
+
+    fn rules_of(text: &str) -> Vec<&'static str> {
+        check_file(&lib_file(text))
+            .into_iter()
+            .map(|f| f.rule)
+            .collect()
+    }
+
+    #[test]
+    fn detects_hash_collections_outside_tests() {
+        assert_eq!(
+            rules_of("use std::collections::HashMap;\n"),
+            ["hash-collection"]
+        );
+        assert!(rules_of("#[cfg(test)]\nmod t { use std::collections::HashMap; }\n").is_empty());
+        // Comments and strings never count.
+        assert!(rules_of("// HashMap\nlet s = \"HashSet\";\n").is_empty());
+    }
+
+    #[test]
+    fn detects_ambient_rng_and_wall_clock() {
+        assert_eq!(rules_of("let r = thread_rng();\n"), ["ambient-rng"]);
+        assert_eq!(rules_of("let x: f64 = rand::random();\n"), ["ambient-rng"]);
+        assert_eq!(rules_of("let t = Instant::now();\n"), ["wall-clock"]);
+        assert_eq!(rules_of("let t = SystemTime::now();\n"), ["wall-clock"]);
+        // Unrelated identifiers do not trip word matching.
+        assert!(rules_of("let instant_rate = 1;\nlet randomizer = 2;\n").is_empty());
+    }
+
+    #[test]
+    fn detects_float_eq_only_on_literals() {
+        assert_eq!(rules_of("if x == 0.0 { }\n"), ["float-eq"]);
+        assert_eq!(rules_of("if 1e-9 != y { }\n"), ["float-eq"]);
+        assert!(rules_of("if x == y { }\n").is_empty());
+        assert!(rules_of("if n == 0 { }\n").is_empty());
+        assert!(rules_of("let ok = a <= 0.5;\n").is_empty());
+    }
+
+    #[test]
+    fn detects_nan_unsafe_sorts() {
+        assert_eq!(
+            rules_of("v.sort_by(|a, b| a.partial_cmp(b).unwrap());\n"),
+            ["nan-unsafe-sort", "unwrap"]
+        );
+        assert!(rules_of("v.sort_by(|a, b| a.total_cmp(b));\n").is_empty());
+        assert!(rules_of("if a.partial_cmp(b) == Some(Ordering::Less) { }\n").is_empty());
+    }
+
+    #[test]
+    fn counts_panic_debt() {
+        assert_eq!(
+            rules_of("let a = x.unwrap();\nlet b = y.expect(\"m\");\npanic!(\"boom\");\n"),
+            ["unwrap", "expect", "panic"]
+        );
+        // assert!/debug_assert! are invariants, not debt.
+        assert!(rules_of("assert!(x > 0);\ndebug_assert!(y.is_finite());\n").is_empty());
+    }
+
+    #[test]
+    fn allows_suppress_with_reason() {
+        let src =
+            "let a = x.unwrap(); // xtask-allow: unwrap -- startup config, cannot be absent\n";
+        assert!(rules_of(src).is_empty());
+    }
+
+    #[test]
+    fn detects_variable_indexing_in_loops() {
+        assert_eq!(
+            rules_of("fn f() { for i in 0..n { let x = v[i]; } }\n"),
+            ["index-in-loop"]
+        );
+        assert!(rules_of("fn f() { for i in 0..n { let x = v[0]; } }\n").is_empty());
+        assert!(rules_of("fn f() { let x = v[i]; }\n").is_empty());
+        assert!(rules_of("fn f() { for i in 0..n { let x = &v[1..j]; } }\n").is_empty());
+        assert!(rules_of("fn f() { for x in v.iter() { g(x); } }\n").is_empty());
+    }
+
+    #[test]
+    fn array_literals_in_loop_headers_are_not_indexing() {
+        assert!(rules_of("fn f() { for (a, b) in [(x, y), (z, w)] { g(a, b); } }\n").is_empty());
+        assert!(rules_of("fn f() { loop { if c { return [a, b]; } } }\n").is_empty());
+        assert_eq!(
+            rules_of("fn f() { for (a, b) in [(x, y)] { g(pairs[a]); } }\n"),
+            ["index-in-loop"]
+        );
+    }
+}

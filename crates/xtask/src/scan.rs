@@ -1,0 +1,459 @@
+//! Source model for the lint pass: file discovery, lexical masking and
+//! `#[cfg(test)]` region detection.
+//!
+//! The analyzer is deliberately token/line-level (no syn, no rustc): it
+//! blanks comments and string/char literal bodies so detectors never
+//! match inside them, then brace-matches `#[cfg(test)]` items so test
+//! code is exempt where the policy says it is.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// How the lint treats one source file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FilePolicy {
+    /// Determinism hazards are violations here (simulation-visible code).
+    pub determinism: bool,
+    /// Wall-clock reads are tolerated (timing harnesses only).
+    pub wall_clock_allowed: bool,
+    /// Panic debt is counted here (library code).
+    pub count_panic_debt: bool,
+}
+
+/// One scanned file: original text, masked text, test regions, allows.
+pub struct SourceFile {
+    /// Path relative to the workspace root, with `/` separators.
+    pub rel_path: String,
+    /// Raw source text.
+    pub text: String,
+    /// Same length as `text`; comments and literal bodies blanked.
+    pub masked: String,
+    /// Byte ranges covered by `#[cfg(test)]` items.
+    pub test_regions: Vec<(usize, usize)>,
+    /// `(line, rule)` pairs granted by `// xtask-allow: rule -- reason`.
+    pub allows: Vec<(usize, String)>,
+    /// Lint policy for this file.
+    pub policy: FilePolicy,
+}
+
+impl SourceFile {
+    /// 1-based line number of a byte offset.
+    pub fn line_of(&self, offset: usize) -> usize {
+        self.text[..offset].bytes().filter(|&b| b == b'\n').count() + 1
+    }
+
+    /// True when `offset` falls inside a `#[cfg(test)]` item.
+    pub fn in_test_region(&self, offset: usize) -> bool {
+        self.test_regions
+            .iter()
+            .any(|&(s, e)| offset >= s && offset < e)
+    }
+
+    /// True when `rule` is explicitly allowed on `line` (marker on the
+    /// same line or the line directly above).
+    pub fn is_allowed(&self, line: usize, rule: &str) -> bool {
+        self.allows
+            .iter()
+            .any(|(l, r)| (*l == line || *l + 1 == line) && r == rule)
+    }
+}
+
+/// Walks the workspace and loads every `.rs` file with its policy.
+pub fn load_workspace(root: &Path) -> Result<Vec<SourceFile>, String> {
+    let mut files = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        let entries =
+            fs::read_dir(&dir).map_err(|e| format!("cannot read {}: {e}", dir.display()))?;
+        let mut paths: Vec<PathBuf> = Vec::new();
+        for entry in entries {
+            let entry = entry.map_err(|e| format!("cannot read {}: {e}", dir.display()))?;
+            paths.push(entry.path());
+        }
+        // Deterministic traversal: the lint's own report order must not
+        // depend on readdir order.
+        paths.sort();
+        for path in paths {
+            let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+            if path.is_dir() {
+                if !matches!(name, "target" | ".git" | ".cargo" | ".github") {
+                    stack.push(path);
+                }
+            } else if name.ends_with(".rs") {
+                let rel = path
+                    .strip_prefix(root)
+                    .map_err(|e| format!("path outside root: {e}"))?
+                    .to_string_lossy()
+                    .replace('\\', "/");
+                let text = fs::read_to_string(&path)
+                    .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+                files.push(analyze(rel.clone(), text, policy_for(&rel)));
+            }
+        }
+    }
+    files.sort_by(|a, b| a.rel_path.cmp(&b.rel_path));
+    Ok(files)
+}
+
+/// Lint policy for a workspace-relative path.
+pub fn policy_for(rel: &str) -> FilePolicy {
+    let test_like = rel.starts_with("tests/")
+        || rel.starts_with("examples/")
+        || rel.contains("/tests/")
+        || rel.contains("/benches/")
+        || rel.contains("/examples/");
+    if test_like {
+        return FilePolicy {
+            determinism: false,
+            wall_clock_allowed: true,
+            count_panic_debt: false,
+        };
+    }
+    // Timing harnesses: wall-clock reads are their purpose (Table I).
+    let timing = rel.starts_with("crates/bench/") || rel.starts_with("shims/criterion/");
+    // The task runner itself is a CLI tool, not simulation-visible code,
+    // but it is held to the same panic-debt and determinism standard.
+    FilePolicy {
+        determinism: true,
+        wall_clock_allowed: timing,
+        count_panic_debt: true,
+    }
+}
+
+/// Test-only entry to the analyzer for sibling modules' unit tests.
+#[cfg(test)]
+pub fn analyze_for_tests(rel_path: String, text: String, policy: FilePolicy) -> SourceFile {
+    analyze(rel_path, text, policy)
+}
+
+/// Masks comments and literal bodies, collects `xtask-allow` markers.
+fn analyze(rel_path: String, text: String, policy: FilePolicy) -> SourceFile {
+    let bytes = text.as_bytes();
+    let mut masked: Vec<u8> = bytes.to_vec();
+    let mut allows = Vec::new();
+    let mut line = 1usize;
+    let mut i = 0usize;
+
+    // Blanks `masked[from..to]`, preserving newlines for line math.
+    let blank = |masked: &mut [u8], from: usize, to: usize| {
+        for b in masked.iter_mut().take(to).skip(from) {
+            if *b != b'\n' {
+                *b = b' ';
+            }
+        }
+    };
+
+    while let Some(&b) = bytes.get(i) {
+        match b {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            b'/' if bytes.get(i + 1) == Some(&b'/') => {
+                let start = i;
+                while bytes.get(i).is_some_and(|&c| c != b'\n') {
+                    i += 1;
+                }
+                let comment = &text[start..i];
+                if let Some(rest) = comment.split("xtask-allow:").nth(1) {
+                    let rule = rest.split("--").next().unwrap_or("").trim();
+                    let reason = rest.split("--").nth(1).map(str::trim).unwrap_or("");
+                    if !rule.is_empty() && !reason.is_empty() {
+                        allows.push((line, rule.to_string()));
+                    }
+                }
+                blank(&mut masked, start, i);
+            }
+            b'/' if bytes.get(i + 1) == Some(&b'*') => {
+                let start = i;
+                i += 2;
+                let mut depth = 1u32;
+                while depth > 0 {
+                    match (bytes.get(i), bytes.get(i + 1)) {
+                        (None, _) => break,
+                        (Some(b'\n'), _) => {
+                            line += 1;
+                            i += 1;
+                        }
+                        (Some(b'/'), Some(b'*')) => {
+                            depth += 1;
+                            i += 2;
+                        }
+                        (Some(b'*'), Some(b'/')) => {
+                            depth -= 1;
+                            i += 2;
+                        }
+                        _ => i += 1,
+                    }
+                }
+                blank(&mut masked, start, i);
+            }
+            b'"' => {
+                let end = skip_string(bytes, i, &mut line);
+                blank(&mut masked, i + 1, end.saturating_sub(1));
+                i = end;
+            }
+            b'r' | b'b' if is_raw_string_start(bytes, i) => {
+                let (body_start, end) = skip_raw_string(bytes, i, &mut line);
+                blank(&mut masked, body_start, end);
+                i = end;
+            }
+            b'b' if bytes.get(i + 1) == Some(&b'"') && !is_ident_tail(bytes, i) => {
+                let end = skip_string(bytes, i + 1, &mut line);
+                blank(&mut masked, i + 2, end.saturating_sub(1));
+                i = end;
+            }
+            b'\'' => {
+                if let Some(end) = char_literal_end(bytes, i) {
+                    blank(&mut masked, i + 1, end - 1);
+                    i = end;
+                } else {
+                    // A lifetime; keep the tick, move on.
+                    i += 1;
+                }
+            }
+            _ => {
+                i += 1;
+            }
+        }
+    }
+
+    let masked = String::from_utf8(masked).unwrap_or_else(|_| " ".repeat(bytes.len()));
+    let test_regions = find_test_regions(&masked);
+    SourceFile {
+        rel_path,
+        text,
+        masked,
+        test_regions,
+        allows,
+        policy,
+    }
+}
+
+/// True when the byte at `i` continues an identifier started before it
+/// (so an `r`/`b` here cannot open a raw/byte string literal).
+fn is_ident_tail(bytes: &[u8], i: usize) -> bool {
+    i > 0
+        && bytes
+            .get(i - 1)
+            .is_some_and(|&c| c.is_ascii_alphanumeric() || c == b'_')
+}
+
+fn is_raw_string_start(bytes: &[u8], i: usize) -> bool {
+    // Not a literal prefix if the r/b is the tail of an identifier.
+    if is_ident_tail(bytes, i) {
+        return false;
+    }
+    let mut j = i;
+    if bytes.get(j) == Some(&b'b') {
+        j += 1;
+    }
+    if bytes.get(j) != Some(&b'r') {
+        return false;
+    }
+    j += 1;
+    while bytes.get(j) == Some(&b'#') {
+        j += 1;
+    }
+    bytes.get(j) == Some(&b'"')
+}
+
+/// Returns the index just past the closing quote of a plain string that
+/// opens at `start` (which must point at `"`).
+fn skip_string(bytes: &[u8], start: usize, line: &mut usize) -> usize {
+    let mut i = start + 1;
+    while let Some(&c) = bytes.get(i) {
+        match c {
+            b'\\' => i += 2,
+            b'\n' => {
+                *line += 1;
+                i += 1;
+            }
+            b'"' => return i + 1,
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+/// Returns `(body_start, end)` of a raw string opening at `start`.
+fn skip_raw_string(bytes: &[u8], start: usize, line: &mut usize) -> (usize, usize) {
+    let mut i = start;
+    if bytes.get(i) == Some(&b'b') {
+        i += 1;
+    }
+    i += 1; // 'r'
+    let mut hashes = 0usize;
+    while bytes.get(i) == Some(&b'#') {
+        hashes += 1;
+        i += 1;
+    }
+    i += 1; // opening quote
+    let body_start = i;
+    let closer: Vec<u8> = std::iter::once(b'"')
+        .chain(std::iter::repeat_n(b'#', hashes))
+        .collect();
+    while let Some(&c) = bytes.get(i) {
+        if c == b'\n' {
+            *line += 1;
+        }
+        if c == b'"' && bytes[i..].starts_with(&closer) {
+            return (body_start, i + closer.len());
+        }
+        i += 1;
+    }
+    (body_start, i)
+}
+
+/// Distinguishes a char literal from a lifetime; returns the index just
+/// past the closing tick for a literal, `None` for a lifetime.
+fn char_literal_end(bytes: &[u8], i: usize) -> Option<usize> {
+    let next = *bytes.get(i + 1)?;
+    if next == b'\\' {
+        // Escaped char: find the closing tick within a short window
+        // (\u{...} is the longest form).
+        let mut j = i + 2;
+        let limit = (i + 12).min(bytes.len());
+        while j < limit {
+            if bytes.get(j) == Some(&b'\'') {
+                return Some(j + 1);
+            }
+            j += 1;
+        }
+        return None;
+    }
+    // `'x'` is a literal; `'a` (no closing tick right after one scalar)
+    // is a lifetime. Multibyte scalars are handled by scanning to the
+    // next tick within the scalar's width.
+    let width = utf8_width(next);
+    if bytes.get(i + 1 + width) == Some(&b'\'') {
+        Some(i + 2 + width)
+    } else {
+        None
+    }
+}
+
+fn utf8_width(first: u8) -> usize {
+    match first {
+        b if b < 0x80 => 1,
+        b if b >= 0xF0 => 4,
+        b if b >= 0xE0 => 3,
+        _ => 2,
+    }
+}
+
+/// Finds byte ranges of items annotated `#[cfg(test)]` (or any cfg
+/// attribute naming `test`) by brace-matching on the masked text.
+fn find_test_regions(masked: &str) -> Vec<(usize, usize)> {
+    let bytes = masked.as_bytes();
+    let mut regions = Vec::new();
+    let mut search = 0usize;
+    while let Some(found) = masked[search..].find("#[cfg(") {
+        let attr_start = search + found;
+        // The attribute's own parentheses decide cfg(test) vs cfg(feature).
+        let Some(close) = masked[attr_start..].find(']') else {
+            break;
+        };
+        let attr_end = attr_start + close + 1;
+        let attr_text = &masked[attr_start..attr_end];
+        search = attr_end;
+        if !attr_text.contains("test") {
+            continue;
+        }
+        // Skip any further attributes, then brace-match the item body.
+        let mut i = attr_end;
+        // An item without a body (e.g. `#[cfg(test)] use x;`) ends at
+        // the semicolon before any brace opens.
+        while bytes.get(i).is_some_and(|&c| c != b'{' && c != b';') {
+            i += 1;
+        }
+        if bytes.get(i) != Some(&b'{') {
+            regions.push((attr_start, i.min(bytes.len())));
+            continue;
+        }
+        let mut depth = 0i64;
+        let mut j = i;
+        while let Some(&c) = bytes.get(j) {
+            match c {
+                b'{' => depth += 1,
+                b'}' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        regions.push((attr_start, (j + 1).min(bytes.len())));
+        search = (j + 1).min(bytes.len());
+    }
+    regions
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn file(text: &str) -> SourceFile {
+        analyze(
+            "crates/x/src/lib.rs".into(),
+            text.into(),
+            policy_for("crates/x/src/lib.rs"),
+        )
+    }
+
+    #[test]
+    fn comments_and_strings_are_blanked() {
+        let f = file("let a = \"HashMap\"; // HashMap here\nlet b = 'h'; /* HashMap */\n");
+        assert!(!f.masked.contains("HashMap"));
+        assert_eq!(f.masked.len(), f.text.len());
+        assert_eq!(f.masked.matches('\n').count(), f.text.matches('\n').count());
+    }
+
+    #[test]
+    fn raw_strings_are_blanked() {
+        let f = file("let s = r#\"unwrap() panic!\"#; let t = r\"x.unwrap()\";\n");
+        assert!(!f.masked.contains("unwrap"));
+        assert!(!f.masked.contains("panic"));
+    }
+
+    #[test]
+    fn lifetimes_survive_masking() {
+        let f = file("fn f<'a>(x: &'a str) -> &'a str { x }\n");
+        assert!(f.masked.contains("'a str"));
+    }
+
+    #[test]
+    fn cfg_test_region_found() {
+        let src =
+            "fn real() {}\n#[cfg(test)]\nmod tests {\n  fn t() { x.unwrap(); }\n}\nfn after() {}\n";
+        let f = file(src);
+        let unwrap_at = src.find("unwrap").expect("present");
+        assert!(f.in_test_region(unwrap_at));
+        let after_at = src.find("after").expect("present");
+        assert!(!f.in_test_region(after_at));
+    }
+
+    #[test]
+    fn allow_markers_require_reasons() {
+        let f = file("a(); // xtask-allow: float-eq -- exactness is intended\n\nb(); // xtask-allow: float-eq\n");
+        // With a reason: applies to its line and the next.
+        assert!(f.is_allowed(1, "float-eq"));
+        assert!(f.is_allowed(2, "float-eq"));
+        // Without a reason: not registered at all.
+        assert!(!f.is_allowed(3, "float-eq"));
+        assert_eq!(f.allows.len(), 1);
+    }
+
+    #[test]
+    fn policies_by_path() {
+        assert!(policy_for("crates/core/src/controller.rs").determinism);
+        assert!(!policy_for("crates/core/src/controller.rs").wall_clock_allowed);
+        assert!(!policy_for("crates/apps/tests/app_properties.rs").count_panic_debt);
+        assert!(policy_for("crates/bench/src/harness.rs").wall_clock_allowed);
+        assert!(policy_for("shims/criterion/src/lib.rs").wall_clock_allowed);
+        assert!(!policy_for("examples/quickstart.rs").determinism);
+    }
+}

@@ -7,9 +7,7 @@
 //! cargo run --release --example anomaly_prediction
 //! ```
 
-use prepare_repro::anomaly::{
-    AlertFilter, AnomalyPredictor, OutlierDetector, PredictorConfig,
-};
+use prepare_repro::anomaly::{AlertFilter, AnomalyPredictor, OutlierDetector, PredictorConfig};
 use prepare_repro::metrics::{
     AttributeKind, Duration, MetricSample, MetricVector, SloLog, TimeSeries, Timestamp,
 };
@@ -34,8 +32,20 @@ fn labeled_trace() -> (TimeSeries, SloLog) {
         let v = MetricVector::from_fn(|a| match a {
             AttributeKind::FreeMem => free + (i % 3) as f64,
             AttributeKind::MemUtil => 100.0 - free / 5.12,
-            AttributeKind::PageFaults => if exhausted { 700.0 } else { 0.0 },
-            AttributeKind::DiskRead => if exhausted { 900.0 } else { 40.0 },
+            AttributeKind::PageFaults => {
+                if exhausted {
+                    700.0
+                } else {
+                    0.0
+                }
+            }
+            AttributeKind::DiskRead => {
+                if exhausted {
+                    900.0
+                } else {
+                    40.0
+                }
+            }
             AttributeKind::CpuTotal => 35.0 + (i % 5) as f64,
             _ => 12.0,
         });

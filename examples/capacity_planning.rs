@@ -25,7 +25,7 @@ fn main() {
         let share = if (1..=4).contains(&i) { 0.5 } else { 1.0 };
         let saturation = spec.saturation_rate(alloc) / share;
         println!("  {:5}  {:6.1}", spec.name, saturation);
-        if worst.map_or(true, |(_, w)| saturation < w) {
+        if worst.is_none_or(|(_, w)| saturation < w) {
             worst = Some((spec.name, saturation));
         }
     }

@@ -46,7 +46,9 @@ impl PaymentPipeline {
             .iter()
             .map(|_| {
                 let host = cluster.add_host(HostSpec::vcl_default());
-                cluster.create_vm(host, 100.0, 512.0).expect("fresh host fits")
+                cluster
+                    .create_vm(host, 100.0, 512.0)
+                    .expect("fresh host fits")
             })
             .collect();
         cluster.add_host(HostSpec::vcl_default()); // migration spare
@@ -116,14 +118,17 @@ fn main() {
     // model, the second is predicted and prevented.
     let faults = FaultPlan::recurrent(
         Some(app.bottleneck_vm()),
-        FaultKind::MemLeak { rate_mb_per_sec: 2.0 },
+        FaultKind::MemLeak {
+            rate_mb_per_sec: 2.0,
+        },
         Timestamp::from_secs(150),
         Timestamp::from_secs(800),
         Duration::from_secs(300),
     );
 
     let vms = app.vms().to_vec();
-    let mut controller = PrepareController::new(vms.clone(), PrepareConfig::default(), Scheme::Prepare);
+    let mut controller =
+        PrepareController::new(vms.clone(), PrepareConfig::default(), Scheme::Prepare);
     let mut monitor = Monitor::with_default_noise();
     let mut rng = StdRng::seed_from_u64(11);
     let mut violation_secs = [0u64; 2]; // [training window, evaluation window]
@@ -146,8 +151,14 @@ fn main() {
         }
     }
 
-    println!("\nfirst (training) leak violated the SLO for {}s", violation_secs[0]);
-    println!("second (predicted) leak violated the SLO for {}s", violation_secs[1]);
+    println!(
+        "\nfirst (training) leak violated the SLO for {}s",
+        violation_secs[0]
+    );
+    println!(
+        "second (predicted) leak violated the SLO for {}s",
+        violation_secs[1]
+    );
     assert!(
         violation_secs[1] < violation_secs[0],
         "the recurrence should be largely prevented"

@@ -16,12 +16,16 @@ use prepare_repro::core::{
 };
 
 fn run(policy: PreventionPolicy) {
-    let spec = ExperimentSpec::paper_default(AppKind::Rubis, FaultChoice::Bottleneck, Scheme::Prepare)
-        .with_policy(policy);
+    let spec =
+        ExperimentSpec::paper_default(AppKind::Rubis, FaultChoice::Bottleneck, Scheme::Prepare)
+            .with_policy(policy);
     let result = Experiment::new(spec, 3).run();
 
     println!("policy {policy:?}:");
-    println!("  SLO violation (evaluated injection): {}", result.eval_violation_time);
+    println!(
+        "  SLO violation (evaluated injection): {}",
+        result.eval_violation_time
+    );
 
     let workload_changes = result
         .events
@@ -32,7 +36,11 @@ fn run(policy: PreventionPolicy) {
 
     for event in &result.events {
         match event {
-            ControllerEvent::AlertConfirmed { at, vm, ranked_attributes } => {
+            ControllerEvent::AlertConfirmed {
+                at,
+                vm,
+                ranked_attributes,
+            } => {
                 println!(
                     "  [{at}] confirmed anomaly on {vm}; blamed metrics: {:?}",
                     &ranked_attributes[..ranked_attributes.len().min(3)]

@@ -5,9 +5,7 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use prepare_repro::core::{
-    AppKind, Experiment, ExperimentSpec, FaultChoice, Scheme,
-};
+use prepare_repro::core::{AppKind, Experiment, ExperimentSpec, FaultChoice, Scheme};
 
 fn main() {
     // The paper's standard schedule: a 1500 s run with two 300 s memory

@@ -12,9 +12,7 @@
 
 use prepare_repro::apps::{Application, SystemS};
 use prepare_repro::cloudsim::Cluster;
-use prepare_repro::core::{
-    AppKind, Experiment, ExperimentSpec, FaultChoice, Scheme, TrialSummary,
-};
+use prepare_repro::core::{AppKind, Experiment, ExperimentSpec, FaultChoice, Scheme, TrialSummary};
 
 fn main() {
     // Inspect the deployment itself first.
@@ -54,7 +52,8 @@ fn main() {
 
     // A close-up of the throughput dip (the Fig. 7(c) view).
     println!("\nthroughput around the second injection (Ktuples/s):");
-    let spec = ExperimentSpec::paper_default(AppKind::SystemS, FaultChoice::CpuHog, Scheme::Prepare);
+    let spec =
+        ExperimentSpec::paper_default(AppKind::SystemS, FaultChoice::CpuHog, Scheme::Prepare);
     let result = Experiment::new(spec, 1).run();
     let start = result.second_injection.as_secs() as usize;
     for dt in (0..120).step_by(10) {
@@ -62,7 +61,11 @@ fn main() {
         println!(
             "  t=+{dt:>3}s  throughput {:5.1}  {}",
             tick.slo_metric,
-            if tick.slo_violated { "← SLO violated" } else { "" }
+            if tick.slo_violated {
+                "← SLO violated"
+            } else {
+                ""
+            }
         );
     }
 }

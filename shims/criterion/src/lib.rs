@@ -1,0 +1,145 @@
+//! Vendored, dependency-free shim of the `criterion` API surface used by
+//! the Table I benches (`criterion_group!`/`criterion_main!`,
+//! `Criterion::bench_function`, `Bencher::iter`, `black_box`).
+//!
+//! Measurement is a plain calibrated wall-clock loop: warm up, pick an
+//! iteration count that fills the measurement window, run a few batches,
+//! report min/mean. That is all Table I needs — the paper reports
+//! per-module CPU cost magnitudes, not confidence intervals.
+//!
+//! Wall-clock time (`Instant`) is inherently nondeterministic, which is
+//! why `cargo xtask lint` confines it to benches; this crate is only ever
+//! linked from `crates/bench`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// The benchmark driver (shim of `criterion::Criterion`).
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+/// Runs one benchmark body repeatedly (shim of `criterion::Bencher`).
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `iters` calls of `body`.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut body: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(body());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_secs_f64() * 1e9;
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.2} s", ns / 1e9)
+    }
+}
+
+impl Criterion {
+    /// Measures `body` under `name`, printing a one-line summary.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut body: F) -> &mut Self {
+        // Calibrate: grow the iteration count until one batch takes at
+        // least ~10 ms, so per-call overhead is amortized away.
+        let mut iters: u64 = 1;
+        loop {
+            let mut b = Bencher {
+                iters,
+                elapsed: Duration::ZERO,
+            };
+            body(&mut b);
+            if b.elapsed >= Duration::from_millis(10) || iters >= (1 << 24) {
+                break;
+            }
+            iters *= 4;
+        }
+        // Measure: a few batches, report the best (least-interfered) one.
+        let batches = 5;
+        let mut best = Duration::MAX;
+        let mut total = Duration::ZERO;
+        for _ in 0..batches {
+            let mut b = Bencher {
+                iters,
+                elapsed: Duration::ZERO,
+            };
+            body(&mut b);
+            let per_iter = b.elapsed / u32::try_from(iters.min(u64::from(u32::MAX))).unwrap_or(1);
+            total += per_iter;
+            if per_iter < best {
+                best = per_iter;
+            }
+        }
+        let mean = total / batches;
+        println!(
+            "{name:<45} best {:>12}/iter   mean {:>12}/iter   ({iters} iters x {batches})",
+            fmt_duration(best),
+            fmt_duration(mean),
+        );
+        self
+    }
+}
+
+/// Declares a benchmark group runner (shim of `criterion_group!`).
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares the bench `main` (shim of `criterion_main!`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:ident),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut calls = 0u64;
+        c.bench_function("shim/self_test", |b| {
+            b.iter(|| {
+                calls += 1;
+                black_box(calls)
+            })
+        });
+        assert!(calls > 0);
+    }
+
+    #[test]
+    fn duration_formatting_scales() {
+        assert!(fmt_duration(Duration::from_nanos(5)).ends_with("ns"));
+        assert!(fmt_duration(Duration::from_micros(5)).ends_with("µs"));
+        assert!(fmt_duration(Duration::from_millis(5)).ends_with("ms"));
+        assert!(fmt_duration(Duration::from_secs(5)).ends_with(" s"));
+    }
+}

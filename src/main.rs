@@ -10,6 +10,8 @@
 //! Argument parsing is hand-rolled (no CLI dependency); every subcommand
 //! prints a paper-style report.
 
+#![forbid(unsafe_code)]
+
 use prepare_repro::core::{
     eval_violation_intervals, AppKind, Experiment, ExperimentReport, ExperimentSpec, FaultChoice,
     PreventionPolicy, Scheme, TrialSummary,
@@ -65,9 +67,7 @@ fn parse(mut argv: std::env::Args) -> (String, Args) {
     };
     let mut rest: Vec<String> = argv.collect();
     rest.reverse();
-    let next = |rest: &mut Vec<String>| -> String {
-        rest.pop().unwrap_or_else(|| usage())
-    };
+    let next = |rest: &mut Vec<String>| -> String { rest.pop().unwrap_or_else(|| usage()) };
     while let Some(flag) = rest.pop() {
         match flag.as_str() {
             "--app" => {
@@ -189,7 +189,12 @@ fn cmd_compare(args: &Args) -> ExitCode {
     );
     for scheme in [Scheme::Prepare, Scheme::Reactive, Scheme::NoIntervention] {
         let summary = TrialSummary::collect(&spec_of(args, scheme), &seeds);
-        println!("  {:9} {:6.1} ± {:5.1} s", scheme.name(), summary.mean_secs, summary.std_secs);
+        println!(
+            "  {:9} {:6.1} ± {:5.1} s",
+            scheme.name(),
+            summary.mean_secs,
+            summary.std_secs
+        );
     }
     ExitCode::SUCCESS
 }
@@ -222,7 +227,10 @@ fn cmd_trace(args: &Args) -> ExitCode {
     }
     if let Some((idx, path)) = &args.csv_vm {
         let Some((vm, _)) = result.vm_series.get(*idx) else {
-            eprintln!("vm index {idx} out of range ({} VMs)", result.vm_series.len());
+            eprintln!(
+                "vm index {idx} out of range ({} VMs)",
+                result.vm_series.len()
+            );
             return ExitCode::FAILURE;
         };
         let csv = store.to_csv(*vm).expect("vm recorded above");

@@ -18,8 +18,16 @@ fn prepare_prevents_most_of_a_recurrent_memleak() {
     // Paper §III-B: "PREPARE can significantly reduce the SLO violation
     // time by 90-99% compared to the 'without intervention' scheme."
     let prepare = eval_secs(AppKind::SystemS, FaultChoice::MemLeak, Scheme::Prepare, 1);
-    let none = eval_secs(AppKind::SystemS, FaultChoice::MemLeak, Scheme::NoIntervention, 1);
-    assert!(none > 150, "unmanaged leak must violate for minutes, got {none}s");
+    let none = eval_secs(
+        AppKind::SystemS,
+        FaultChoice::MemLeak,
+        Scheme::NoIntervention,
+        1,
+    );
+    assert!(
+        none > 150,
+        "unmanaged leak must violate for minutes, got {none}s"
+    );
     assert!(
         (prepare as f64) < 0.25 * none as f64,
         "PREPARE ({prepare}s) must remove at least 75% of the violation ({none}s)"
@@ -50,9 +58,20 @@ fn cpuhog_is_hard_to_predict_but_still_contained() {
     // performance but both crush the no-intervention baseline.
     let prepare = eval_secs(AppKind::Rubis, FaultChoice::CpuHog, Scheme::Prepare, 2);
     let reactive = eval_secs(AppKind::Rubis, FaultChoice::CpuHog, Scheme::Reactive, 2);
-    let none = eval_secs(AppKind::Rubis, FaultChoice::CpuHog, Scheme::NoIntervention, 2);
-    assert!(prepare * 3 < none, "PREPARE ({prepare}s) must contain the hog ({none}s)");
-    assert!(reactive * 3 < none, "reactive ({reactive}s) must contain the hog ({none}s)");
+    let none = eval_secs(
+        AppKind::Rubis,
+        FaultChoice::CpuHog,
+        Scheme::NoIntervention,
+        2,
+    );
+    assert!(
+        prepare * 3 < none,
+        "PREPARE ({prepare}s) must contain the hog ({none}s)"
+    );
+    assert!(
+        reactive * 3 < none,
+        "reactive ({reactive}s) must contain the hog ({none}s)"
+    );
 }
 
 #[test]
@@ -93,7 +112,8 @@ fn migration_prevention_works_but_costs_more_than_scaling() {
 
 #[test]
 fn experiments_are_deterministic_per_seed() {
-    let spec = ExperimentSpec::paper_default(AppKind::Rubis, FaultChoice::Bottleneck, Scheme::Prepare);
+    let spec =
+        ExperimentSpec::paper_default(AppKind::Rubis, FaultChoice::Bottleneck, Scheme::Prepare);
     let a = Experiment::new(spec.clone(), 9).run();
     let b = Experiment::new(spec, 9).run();
     assert_eq!(a.eval_violation_time, b.eval_violation_time);
@@ -107,7 +127,11 @@ fn experiments_are_deterministic_per_seed() {
 
 #[test]
 fn no_intervention_never_touches_the_hypervisor() {
-    for fault in [FaultChoice::MemLeak, FaultChoice::CpuHog, FaultChoice::Bottleneck] {
+    for fault in [
+        FaultChoice::MemLeak,
+        FaultChoice::CpuHog,
+        FaultChoice::Bottleneck,
+    ] {
         let r = Experiment::new(
             ExperimentSpec::paper_default(AppKind::SystemS, fault, Scheme::NoIntervention),
             4,
@@ -129,7 +153,11 @@ fn contention_forces_the_migration_escalation_chain() {
     )
     .run();
     let none = Experiment::new(
-        ExperimentSpec::paper_default(AppKind::Rubis, FaultChoice::Contention, Scheme::NoIntervention),
+        ExperimentSpec::paper_default(
+            AppKind::Rubis,
+            FaultChoice::Contention,
+            Scheme::NoIntervention,
+        ),
         2,
     )
     .run();

@@ -2,9 +2,7 @@
 //! the unsupervised first-occurrence detector, ROC analysis over real
 //! experiment traces, and trace persistence round trips.
 
-use prepare_repro::anomaly::{
-    AnomalyPredictor, PredictorConfig, RocCurve, UnsupervisedPredictor,
-};
+use prepare_repro::anomaly::{AnomalyPredictor, PredictorConfig, RocCurve, UnsupervisedPredictor};
 use prepare_repro::core::{AppKind, Experiment, ExperimentSpec, FaultChoice, Scheme};
 use prepare_repro::metrics::{Duration, Label, SloLog, TimeSeries, TraceStore};
 
@@ -53,7 +51,10 @@ fn unsupervised_detector_flags_a_first_occurrence() {
             alarms_before += 1;
         }
     }
-    assert!(detected_inside > 10, "first occurrence missed ({detected_inside} hits)");
+    assert!(
+        detected_inside > 10,
+        "first occurrence missed ({detected_inside} hits)"
+    );
     assert_eq!(alarms_before, 0, "false alarms on the healthy prefix");
 }
 
@@ -111,5 +112,8 @@ fn experiment_traces_round_trip_through_the_store() {
         back.slo(),
         &PredictorConfig::default(),
     );
-    assert!(predictor.is_ok(), "restored trace failed to train: {predictor:?}");
+    assert!(
+        predictor.is_ok(),
+        "restored trace failed to train: {predictor:?}"
+    );
 }

@@ -2,19 +2,13 @@
 //! produced by the cluster simulator + applications, consumed by the
 //! anomaly prediction stack, scored with the paper's A_T/A_F metrics.
 
-use prepare_repro::anomaly::{
-    AnomalyPredictor, MarkovKind, MonolithicPredictor, PredictorConfig,
-};
+use prepare_repro::anomaly::{AnomalyPredictor, MarkovKind, MonolithicPredictor, PredictorConfig};
 use prepare_repro::core::{AppKind, Experiment, ExperimentSpec, FaultChoice, Scheme};
 use prepare_repro::metrics::{Duration, SloLog, TimeSeries, Timestamp};
 
 /// Generates a labeled trace from a no-intervention run and returns the
 /// faulty VM's series (index) plus all series and the SLO log.
-fn labeled_trace(
-    app: AppKind,
-    fault: FaultChoice,
-    seed: u64,
-) -> (Vec<TimeSeries>, usize, SloLog) {
+fn labeled_trace(app: AppKind, fault: FaultChoice, seed: u64) -> (Vec<TimeSeries>, usize, SloLog) {
     let spec = ExperimentSpec::paper_default(app, fault, Scheme::NoIntervention);
     let r = Experiment::new(spec, seed).run();
     let mut slo = SloLog::new();
@@ -30,7 +24,11 @@ fn labeled_trace(
             faulty = i;
         }
     }
-    (r.vm_series.into_iter().map(|(_, s)| s).collect(), faulty, slo)
+    (
+        r.vm_series.into_iter().map(|(_, s)| s).collect(),
+        faulty,
+        slo,
+    )
 }
 
 fn split(series: &TimeSeries, at: Timestamp) -> (TimeSeries, TimeSeries) {
@@ -89,7 +87,10 @@ fn two_dependent_markov_no_worse_than_simple_at_long_look_ahead() {
     let (train, test) = split(&series[faulty], TRAIN_END);
 
     let avg_at = |kind: MarkovKind| -> f64 {
-        let cfg = PredictorConfig { markov: kind, ..PredictorConfig::default() };
+        let cfg = PredictorConfig {
+            markov: kind,
+            ..PredictorConfig::default()
+        };
         let p = AnomalyPredictor::train(&train, &slo, &cfg).expect("trains");
         [35u64, 40, 45]
             .iter()
