@@ -13,7 +13,10 @@ cargo clippy --offline --workspace --all-targets -- -D warnings
 echo "==> cargo xtask lint"
 cargo run --offline --quiet --package xtask -- lint
 
-echo "==> cargo test"
-cargo test --offline --quiet --workspace
+echo "==> cargo test (PREPARE_WORKERS=1, sequential engine)"
+PREPARE_WORKERS=1 cargo test --offline --quiet --workspace
+
+echo "==> cargo test (PREPARE_WORKERS=4, sharded engine)"
+PREPARE_WORKERS=4 cargo test --offline --quiet --workspace
 
 echo "ci.sh: all checks passed"

@@ -135,4 +135,69 @@ mod tests {
     fn k_greater_than_w_rejected() {
         let _ = AlertFilter::new(5, 4);
     }
+
+    /// Exactly k = 3 alerts inside W = 4 confirms — the boundary case of
+    /// the paper's setting, with the alerts in every possible position
+    /// within the window.
+    #[test]
+    fn exactly_three_of_four_confirms() {
+        for gap in 0..4usize {
+            let mut f = AlertFilter::new(3, 4);
+            let mut confirmed = false;
+            for i in 0..4 {
+                confirmed = f.push(i != gap);
+            }
+            assert!(
+                confirmed,
+                "3 alerts with the miss at position {gap} must confirm"
+            );
+        }
+        // One fewer alert — 2 of 4 — must not, wherever the alerts sit.
+        for (a, b) in [(0usize, 1usize), (0, 3), (1, 2), (2, 3)] {
+            let mut f = AlertFilter::new(3, 4);
+            let mut confirmed = false;
+            for i in 0..4 {
+                confirmed = f.push(i == a || i == b);
+            }
+            assert!(!confirmed, "2 alerts (at {a},{b}) must stay unconfirmed");
+        }
+    }
+
+    /// Alerts straddling the sliding-window boundary: a burst old enough
+    /// to have partially slid out no longer counts toward k, and the
+    /// confirmation drops precisely when the kth alert crosses the edge.
+    #[test]
+    fn alerts_straddling_window_boundary_age_out() {
+        let mut f = AlertFilter::new(3, 4);
+        f.push(true);
+        f.push(true);
+        assert!(f.push(true), "3 in-window alerts confirm");
+        // The window slides: [T T T F] still holds 3 alerts...
+        assert!(f.push(false), "3-of-4 straddling the boundary still holds");
+        // ...but one more quiet step evicts the first alert: [T T F F].
+        assert!(!f.push(false), "kth alert slid out — confirmation drops");
+        // A fresh alert now straddles old and new: [T F F T] is only 2.
+        assert!(!f.push(true), "old + new alerts across the boundary < k");
+    }
+
+    /// After an actuation the controller resets the filter so stale
+    /// pre-action alerts cannot combine with fresh ones to instantly
+    /// re-trigger: post-reset confirmation needs k *new* alerts.
+    #[test]
+    fn window_reset_after_actuation_requires_fresh_evidence() {
+        let mut f = AlertFilter::new(3, 4);
+        for _ in 0..4 {
+            f.push(true);
+        }
+        assert!(f.is_confirmed(), "saturated window is confirmed");
+        // Prevention action fires; the controller resets the filter.
+        f.reset();
+        assert!(!f.is_confirmed(), "reset must clear the confirmation");
+        // Stale history must not count: two new alerts are still below k
+        // even though the pre-reset window was saturated.
+        assert!(!f.push(true));
+        assert!(!f.push(true));
+        // The kth fresh alert — and only it — re-confirms.
+        assert!(f.push(true), "k fresh alerts re-confirm after reset");
+    }
 }

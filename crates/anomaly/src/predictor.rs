@@ -75,33 +75,49 @@ impl AnomalyPredictor {
         slo: &SloLog,
         config: &PredictorConfig,
     ) -> Result<Self, TrainError> {
+        Self::train_par(series, slo, config, &prepare_par::ParConfig::serial())
+    }
+
+    /// [`AnomalyPredictor::train`] with the model-build work sharded
+    /// across the workers of `par`: the sample batch is discretized in
+    /// parallel and each attribute's value model is fitted on its own
+    /// worker. The trained model is bit-identical for every worker count
+    /// (each attribute's statistics depend only on that attribute's
+    /// discretized column, merged back in canonical attribute order).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`AnomalyPredictor::train`].
+    pub fn train_par(
+        series: &TimeSeries,
+        slo: &SloLog,
+        config: &PredictorConfig,
+        par: &prepare_par::ParConfig,
+    ) -> Result<Self, TrainError> {
         if series.is_empty() {
             return Err(TrainError::EmptyDataset);
         }
         let discretizer = prepare_metrics::VectorDiscretizer::fit(series, config.bins);
+        let rows = discretizer.discretize_series(series, par);
 
         let mut dataset = Dataset::with_uniform_bins(ATTRIBUTE_COUNT, config.bins);
-        for s in series.iter() {
-            let row = discretizer.discretize(&s.values);
+        for (row, s) in rows.iter().zip(series.iter()) {
             let label = Label::from_violation(slo.is_violated_at(s.time));
             dataset
-                .push(row, label)
+                .push(row.clone(), label)
                 .expect("discretized rows always match the dataset schema");
         }
         let classifier = TanClassifier::train(&dataset)?;
 
-        let mut value_models: Vec<ValueModel> = (0..ATTRIBUTE_COUNT)
-            .map(|_| ValueModel::new(config.markov, config.bins))
-            .collect();
-        for s in series.iter() {
-            let row = discretizer.discretize(&s.values);
-            for (m, &state) in value_models.iter_mut().zip(&row) {
+        let attrs: Vec<usize> = (0..ATTRIBUTE_COUNT).collect();
+        let value_models = prepare_par::par_map(par, attrs, |attr| {
+            let mut m = ValueModel::new(config.markov, config.bins);
+            for state in rows.iter().filter_map(|r| r.get(attr).copied()) {
                 m.observe(state);
             }
-        }
-        for m in &mut value_models {
             m.reset_position();
-        }
+            m
+        });
 
         Ok(AnomalyPredictor {
             config: config.clone(),
@@ -310,6 +326,27 @@ mod tests {
             "A_T too low on deterministic ramp: {m}"
         );
         assert!(m.false_alarm_rate() < 0.3, "A_F too high: {m}");
+    }
+
+    #[test]
+    fn parallel_training_is_bit_identical_to_sequential() {
+        let (series, slo) = ramp_fixture(400, 5, 40, 80.0);
+        let cfg = PredictorConfig::default();
+        let baseline = AnomalyPredictor::train(&series, &slo, &cfg).unwrap();
+        let baseline_repr = format!("{baseline:?}");
+        for workers in [1usize, 2, 7] {
+            let par = prepare_par::ParConfig::with_workers(workers);
+            let p = AnomalyPredictor::train_par(&series, &slo, &cfg, &par).unwrap();
+            assert_eq!(
+                format!("{p:?}"),
+                baseline_repr,
+                "trained model diverged at workers={workers}"
+            );
+            assert_eq!(
+                p.predict(Duration::from_secs(25)),
+                baseline.predict(Duration::from_secs(25))
+            );
+        }
     }
 
     #[test]

@@ -2,6 +2,7 @@
 
 use prepare_anomaly::PredictorConfig;
 use prepare_metrics::Duration;
+pub use prepare_par::ParConfig;
 
 /// Which prevention action PREPARE reaches for first (the axis of the
 /// Fig. 6/7 vs Fig. 8/9 comparison).
@@ -59,6 +60,13 @@ pub struct PrepareConfig {
     /// for the workload-change inference to fire (§II-C: "all the
     /// application components"; a little slack absorbs detector jitter).
     pub workload_change_quorum: f64,
+    /// Worker threads for the per-VM hot paths (training, prediction,
+    /// diagnosis, implication scoring). Defaults to the `PREPARE_WORKERS`
+    /// environment variable, else the machine's available parallelism.
+    /// Any value produces bit-identical traces — `workers = 1` is the
+    /// plain sequential loop; larger counts shard by VM with an ordered
+    /// merge (see the `prepare-par` crate).
+    pub par: ParConfig,
 }
 
 impl Default for PrepareConfig {
@@ -75,6 +83,7 @@ impl Default for PrepareConfig {
             retrain_interval: Some(Duration::from_secs(600)),
             post_anomaly_quiet: Duration::from_secs(150),
             workload_change_quorum: 0.8,
+            par: ParConfig::default(),
         }
     }
 }
@@ -101,6 +110,14 @@ impl PrepareConfig {
             (0.0..=1.0).contains(&self.workload_change_quorum),
             "quorum must be a fraction"
         );
+        assert!(self.par.workers >= 1, "worker count must be positive");
+    }
+
+    /// Returns the config with the given parallel-engine worker count.
+    #[must_use]
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.par = ParConfig::with_workers(workers);
+        self
     }
 }
 

@@ -100,7 +100,8 @@ impl PrepareController {
         assert!(!vms.is_empty(), "controller needs at least one VM");
         config.validate();
         let recency = config.predictor.sampling_interval.as_secs() * 3;
-        let inference = CauseInference::new(&vms, config.workload_change_quorum, recency);
+        let inference =
+            CauseInference::with_par(&vms, config.workload_change_quorum, recency, config.par);
         let planner = PreventionPlanner::new(config.policy, config.scale_factor);
         let filters = vms
             .iter()
@@ -189,17 +190,47 @@ impl PrepareController {
             self.maybe_train(now);
             if self.is_trained() {
                 self.maybe_retrain(now, slo_violated);
-                for (vm, sample) in samples {
-                    if let Some(p) = self.predictors.get_mut(vm) {
-                        p.observe(sample);
-                    }
-                }
+                self.observe_predictors(samples);
                 self.predictive_round(now, slo_violated, violation_confirmed, cluster);
                 self.validate_episodes(now, slo_violated, cluster);
             }
         }
 
         self.events[events_before..].to_vec()
+    }
+
+    /// Streams this round's samples into the trained per-VM predictors,
+    /// one shard of VMs per worker. Each predictor consumes only its own
+    /// VM's samples in arrival order, so the resulting model positions
+    /// are bit-identical to the sequential loop for any worker count.
+    fn observe_predictors(&mut self, samples: &[(VmId, MetricSample)]) {
+        let mut per_vm: BTreeMap<VmId, Vec<&MetricSample>> = BTreeMap::new();
+        for (vm, sample) in samples {
+            per_vm.entry(*vm).or_default().push(sample);
+        }
+        let mut work: Vec<(&mut AnomalyPredictor, Vec<&MetricSample>)> = self
+            .predictors
+            .iter_mut()
+            .filter_map(|(vm, p)| per_vm.remove(vm).map(|batch| (p, batch)))
+            .collect();
+        prepare_par::par_for_each_mut(&self.config.par, &mut work, |(p, batch)| {
+            for sample in batch.iter() {
+                p.observe(sample);
+            }
+        });
+    }
+
+    /// Fits one predictor per implicated VM, one shard of VMs per worker.
+    /// Training reads only the VM's own series plus the shared SLO log,
+    /// so the fitted models are bit-identical to the sequential loop for
+    /// any worker count; VMs whose fit fails come back as `None`.
+    fn train_implicated(&self, implicated: &[VmId]) -> Vec<Option<(VmId, AnomalyPredictor)>> {
+        prepare_par::par_map(&self.config.par, implicated.to_vec(), |vm| {
+            let series = self.series.get(&vm)?;
+            AnomalyPredictor::train(series, &self.slo, &self.config.predictor)
+                .ok()
+                .map(|p| (vm, p))
+        })
     }
 
     /// Trains per-VM models once the first (completed) anomaly has been
@@ -230,15 +261,12 @@ impl PrepareController {
         if !(enough && anomaly_seen && anomaly_over && quiet_long_enough) {
             return;
         }
-        let implicated = crate::implicated_vms(&self.series, &self.slo);
-        let mut trained = BTreeMap::new();
-        for &vm in &implicated {
-            if let Ok(p) =
-                AnomalyPredictor::train(&self.series[&vm], &self.slo, &self.config.predictor)
-            {
-                trained.insert(vm, p);
-            }
-        }
+        let implicated = crate::implicated_vms_par(&self.series, &self.slo, &self.config.par);
+        let trained: BTreeMap<VmId, AnomalyPredictor> = self
+            .train_implicated(&implicated)
+            .into_iter()
+            .flatten()
+            .collect();
         if trained.is_empty() {
             return; // try again next round with more data
         }
@@ -260,20 +288,18 @@ impl PrepareController {
         let Some(interval) = self.config.retrain_interval else {
             return;
         };
-        let anchor = self.last_retrain.or(self.trained_at).expect("trained");
+        let Some(anchor) = self.last_retrain.or(self.trained_at) else {
+            return;
+        };
         if now.since(anchor) < interval || slo_violated || !self.episodes.is_empty() {
             return;
         }
         self.last_retrain = Some(now);
-        let implicated = crate::implicated_vms(&self.series, &self.slo);
+        let implicated = crate::implicated_vms_par(&self.series, &self.slo, &self.config.par);
         let mut refreshed = Vec::new();
-        for &vm in &implicated {
-            if let Ok(p) =
-                AnomalyPredictor::train(&self.series[&vm], &self.slo, &self.config.predictor)
-            {
-                self.predictors.insert(vm, p);
-                refreshed.push(vm);
-            }
+        for (vm, p) in self.train_implicated(&implicated).into_iter().flatten() {
+            self.predictors.insert(vm, p);
+            refreshed.push(vm);
         }
         if !refreshed.is_empty() {
             refreshed.sort_unstable();
@@ -304,11 +330,12 @@ impl PrepareController {
         let mut confirmed: Vec<(VmId, Vec<AttributeKind>)> = Vec::new();
 
         if self.scheme == Scheme::Prepare {
-            for &vm in &self.vms.clone() {
-                let Some(predictor) = self.predictors.get(&vm) else {
-                    continue;
-                };
-                let prediction = predictor.predict(self.config.look_ahead);
+            // Per-VM Markov + TAN scoring is the round's hot path: shard
+            // it across workers, then replay the results sequentially in
+            // `vms` order so events and filter updates land exactly as
+            // the sequential loop would emit them.
+            let predictions = self.predict_all(self.config.look_ahead);
+            for (vm, prediction) in predictions.into_iter().flatten() {
                 if prediction.is_alert() {
                     self.events.push(ControllerEvent::AlertRaised {
                         at: now,
@@ -316,8 +343,11 @@ impl PrepareController {
                         score: prediction.score,
                     });
                 }
-                let filter = self.filters.get_mut(&vm).expect("filter per VM");
-                if filter.push(prediction.is_alert()) {
+                let confirm = self
+                    .filters
+                    .get_mut(&vm)
+                    .is_some_and(|f| f.push(prediction.is_alert()));
+                if confirm {
                     confirmed.push((vm, Self::positive_ranking(&prediction)));
                 }
             }
@@ -371,17 +401,25 @@ impl PrepareController {
             .is_some_and(|&until| now < until)
     }
 
+    /// Scores every managed VM's predictor at the given horizon, sharded
+    /// per VM with results merged back into `vms` order. Prediction is a
+    /// read-only pass over independent per-VM models, so the scores are
+    /// bit-identical to querying each VM in a sequential loop.
+    fn predict_all(&self, horizon: Duration) -> Vec<Option<(VmId, prepare_anomaly::Prediction)>> {
+        prepare_par::par_map(&self.config.par, self.vms.clone(), |vm| {
+            self.predictors.get(&vm).map(|p| (vm, p.predict(horizon)))
+        })
+    }
+
     /// Diagnoses the current (not predicted) state: faulty VMs are those
     /// whose models classify the present sample abnormal; if none does,
-    /// the highest-scoring VM is blamed.
+    /// the highest-scoring VM is blamed. The per-VM scoring is sharded
+    /// like the predictive path; the fold below replays it in `vms`
+    /// order, so tie-breaking is identical to the sequential loop.
     fn reactive_diagnosis(&self) -> Vec<(VmId, Vec<AttributeKind>)> {
         let mut faulty = Vec::new();
         let mut best: Option<(VmId, f64, Vec<AttributeKind>)> = None;
-        for &vm in &self.vms {
-            let Some(predictor) = self.predictors.get(&vm) else {
-                continue;
-            };
-            let now_state = predictor.predict(Duration::ZERO);
+        for (vm, now_state) in self.predict_all(Duration::ZERO).into_iter().flatten() {
             let ranking = Self::positive_ranking(&now_state);
             if now_state.is_alert() {
                 faulty.push((vm, ranking.clone()));
@@ -454,7 +492,9 @@ impl PrepareController {
             None => Some("no applicable prevention action".to_string()),
         };
         if let Some(reason) = failure {
-            let episode = self.episodes.get_mut(&vm).expect("episode still open");
+            let Some(episode) = self.episodes.get_mut(&vm) else {
+                return;
+            };
             episode.failures += 1;
             let abandon = episode.failures >= MAX_EPISODE_FAILURES;
             self.events.push(ControllerEvent::ActionFailed {

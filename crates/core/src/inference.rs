@@ -9,6 +9,7 @@
 use prepare_metrics::{
     AttributeKind, CusumDetector, MetricSample, SloLog, TimeSeries, Timestamp, VmId,
 };
+use prepare_par::ParConfig;
 use std::collections::BTreeMap;
 
 /// Sustained CPU utilization (percent of allocation) treated as pinned.
@@ -36,10 +37,25 @@ const PAGING_FAULTS_PER_SEC: f64 = 100.0;
 /// precisely the condition PREPARE's prevention actions (resource
 /// scaling, migration to a bigger host) can actually fix.
 pub fn implicated_vms(series: &BTreeMap<VmId, TimeSeries>, slo: &SloLog) -> Vec<VmId> {
-    let mut out: Vec<VmId> = series
-        .iter()
-        .filter_map(|(&vm, ts)| (implication_score(ts, slo) >= 1.0).then_some(vm))
-        .collect();
+    implicated_vms_par(series, slo, &ParConfig::serial())
+}
+
+/// [`implicated_vms`] with the per-VM scoring sharded across the workers
+/// of `par`. The scores — and therefore the implicated set — are
+/// identical for every worker count: each VM is scored purely from its
+/// own series, and the merge is keyed on VM id.
+pub fn implicated_vms_par(
+    series: &BTreeMap<VmId, TimeSeries>,
+    slo: &SloLog,
+    par: &ParConfig,
+) -> Vec<VmId> {
+    let entries: Vec<(VmId, &TimeSeries)> = series.iter().map(|(&vm, ts)| (vm, ts)).collect();
+    let mut out: Vec<VmId> = prepare_par::par_map(par, entries, |(vm, ts)| {
+        (implication_score(ts, slo) >= 1.0).then_some(vm)
+    })
+    .into_iter()
+    .flatten()
+    .collect();
     out.sort_unstable();
     out
 }
@@ -90,11 +106,23 @@ pub struct CauseInference {
     quorum: f64,
     /// How recent (seconds) a change point must be to count.
     recency_secs: u64,
+    /// Shard configuration for the per-VM detector updates.
+    par: ParConfig,
 }
 
 impl CauseInference {
-    /// Creates the inference engine for `vms`.
+    /// Creates the inference engine for `vms`, updating detectors
+    /// sequentially.
     pub fn new(vms: &[VmId], quorum: f64, recency_secs: u64) -> Self {
+        Self::with_par(vms, quorum, recency_secs, ParConfig::serial())
+    }
+
+    /// Creates the inference engine for `vms` with detector updates
+    /// sharded per VM across the workers of `par`. Each CUSUM detector
+    /// consumes only its own VM's samples (in arrival order), so the
+    /// detector states — and every inference derived from them — are
+    /// identical for any worker count.
+    pub fn with_par(vms: &[VmId], quorum: f64, recency_secs: u64, par: ParConfig) -> Self {
         CauseInference {
             detectors: vms
                 .iter()
@@ -102,17 +130,27 @@ impl CauseInference {
                 .collect(),
             quorum,
             recency_secs,
+            par,
         }
     }
 
     /// Feeds this sampling round's observations into the change-point
-    /// detectors.
+    /// detectors, one shard of VMs per worker.
     pub fn observe(&mut self, samples: &[(VmId, MetricSample)]) {
+        let mut per_vm: BTreeMap<VmId, Vec<&MetricSample>> = BTreeMap::new();
         for (vm, sample) in samples {
-            if let Some(det) = self.detectors.get_mut(vm) {
+            per_vm.entry(*vm).or_default().push(sample);
+        }
+        let mut work: Vec<(&mut CusumDetector, Vec<&MetricSample>)> = self
+            .detectors
+            .iter_mut()
+            .filter_map(|(vm, det)| per_vm.remove(vm).map(|batch| (det, batch)))
+            .collect();
+        prepare_par::par_for_each_mut(&self.par, &mut work, |(det, batch)| {
+            for sample in batch.iter() {
                 det.observe(sample.time, sample.values.get(AttributeKind::NetIn));
             }
-        }
+        });
     }
 
     /// True when at least the quorum fraction of components shows a
@@ -258,6 +296,32 @@ mod tests {
     }
 
     #[test]
+    fn sharded_detector_updates_are_bit_identical_to_sequential() {
+        let vms: Vec<VmId> = (0..5).map(VmId).collect();
+        let mut serial = CauseInference::new(&vms, 0.8, 30);
+        let mut sharded: Vec<CauseInference> = [2usize, 7]
+            .iter()
+            .map(|&w| CauseInference::with_par(&vms, 0.8, 30, ParConfig::with_workers(w)))
+            .collect();
+        for t in 0..80u64 {
+            let base = if t < 50 { 100.0 } else { 260.0 };
+            let w = if t % 2 == 0 { 1.0 } else { -1.0 };
+            let rates: Vec<f64> = (0..5).map(|i| base + w + i as f64).collect();
+            feed(&mut serial, &vms, t * 5, &rates);
+            let now = Timestamp::from_secs(t * 5);
+            for ci in sharded.iter_mut() {
+                feed(ci, &vms, t * 5, &rates);
+                assert_eq!(
+                    format!("{:?}", ci.detectors),
+                    format!("{:?}", serial.detectors),
+                    "detector state diverged at t={t}"
+                );
+                assert_eq!(ci.workload_change(now), serial.workload_change(now));
+            }
+        }
+    }
+
+    #[test]
     fn empty_vm_set_never_infers_change() {
         let ci = CauseInference::new(&[], 0.8, 30);
         assert!(!ci.workload_change(Timestamp::from_secs(0)));
@@ -348,6 +412,16 @@ mod implication_tests {
             slo.record(t, violated);
         }
         assert!(implication_score(&s, &slo) > 1.0);
+    }
+
+    #[test]
+    fn parallel_implication_matches_sequential() {
+        let (series, slo) = fixture();
+        let expect = implicated_vms(&series, &slo);
+        for workers in [1usize, 2, 7] {
+            let got = implicated_vms_par(&series, &slo, &ParConfig::with_workers(workers));
+            assert_eq!(got, expect, "diverged at workers={workers}");
+        }
     }
 
     #[test]

@@ -1,0 +1,101 @@
+//! Probability-mass property tests: every distribution either predictor
+//! hands out sums to exactly 1 within `1e-9`, with every entry a finite
+//! non-negative probability — under arbitrary proptest-generated traces,
+//! horizons, and mid-stream position resets. The in-crate
+//! `debug_assert_normalized` audits the same invariant opportunistically;
+//! these tests pin it as a *public contract* with an explicit tolerance.
+
+use prepare_markov::{SimpleMarkov, StateDistribution, TwoDependentMarkov, ValuePredictor};
+use proptest::prelude::*;
+
+/// The contract's tolerance on total probability mass.
+const MASS_EPS: f64 = 1e-9;
+
+fn assert_unit_mass(d: &StateDistribution, context: &str) {
+    let probs = d.as_slice();
+    assert!(!probs.is_empty(), "{context}: empty distribution");
+    for (i, &p) in probs.iter().enumerate() {
+        assert!(
+            p.is_finite() && (0.0..=1.0 + MASS_EPS).contains(&p),
+            "{context}: probs[{i}] = {p} is not a probability"
+        );
+    }
+    let sum: f64 = probs.iter().sum();
+    assert!(
+        (sum - 1.0).abs() <= MASS_EPS,
+        "{context}: mass sums to {sum}, expected 1 ± {MASS_EPS}"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // SimpleMarkov: unit mass at every horizon, on any trace over any
+    // state space the predictor models.
+    #[test]
+    fn simple_markov_mass_is_one(
+        n in 2usize..7,
+        trace in proptest::collection::vec(0usize..100, 0..150),
+        steps in 0usize..12,
+    ) {
+        let mut m = SimpleMarkov::new(n);
+        for &s in &trace {
+            m.observe(s % n);
+        }
+        assert_unit_mass(&m.predict(steps), "SimpleMarkov");
+    }
+
+    // TwoDependentMarkov: same contract, including the sparse-data paths
+    // (unseen combined states falling back to first-order statistics).
+    #[test]
+    fn two_dependent_markov_mass_is_one(
+        n in 2usize..7,
+        trace in proptest::collection::vec(0usize..100, 0..150),
+        steps in 0usize..12,
+    ) {
+        let mut m = TwoDependentMarkov::new(n);
+        for &s in &trace {
+            m.observe(s % n);
+        }
+        assert_unit_mass(&m.predict(steps), "TwoDependentMarkov");
+    }
+
+    // Re-anchoring a trained model onto a new stream (the controller does
+    // this after every retraining) must not leak mass either — including
+    // the awkward first predictions with zero or one observation of
+    // position context.
+    #[test]
+    fn mass_is_one_across_position_resets(
+        n in 2usize..6,
+        trace in proptest::collection::vec(0usize..50, 2..100),
+        rewarm in proptest::collection::vec(0usize..50, 0..4),
+        steps in 0usize..8,
+    ) {
+        let mut m = TwoDependentMarkov::new(n);
+        for &s in &trace {
+            m.observe(s % n);
+        }
+        m.reset_position();
+        for &s in &rewarm {
+            m.observe(s % n);
+        }
+        assert_unit_mass(&m.predict(steps), "after reset_position");
+    }
+
+    // The horizon the controller actually queries (look-ahead divided by
+    // the sampling interval) composes single steps; mass must be stable
+    // under that composition, not merely at step 1.
+    #[test]
+    fn mass_is_stable_under_horizon_composition(
+        n in 2usize..5,
+        trace in proptest::collection::vec(0usize..40, 1..80),
+    ) {
+        let mut m = TwoDependentMarkov::new(n);
+        for &s in &trace {
+            m.observe(s % n);
+        }
+        for steps in 0..20 {
+            assert_unit_mass(&m.predict(steps), "horizon sweep");
+        }
+    }
+}

@@ -180,6 +180,22 @@ impl VectorDiscretizer {
             .map(|&a| self.per_attr[a.index()].discretize(v.get(a)))
             .collect()
     }
+
+    /// Discretizes every sample of a series, sharded across the workers
+    /// of `par` with results in sample order.
+    ///
+    /// The output is identical to mapping [`VectorDiscretizer::discretize`]
+    /// over the series sequentially, for any worker count — binning one
+    /// sample never depends on another, so this is the canonical batch
+    /// entry point for the parallel training pipeline.
+    pub fn discretize_series(
+        &self,
+        series: &TimeSeries,
+        par: &prepare_par::ParConfig,
+    ) -> Vec<DiscreteVector> {
+        let samples: Vec<&MetricVector> = series.iter().map(|s| &s.values).collect();
+        prepare_par::par_map(par, samples, |v| self.discretize(v))
+    }
 }
 
 #[cfg(test)]
@@ -247,6 +263,21 @@ mod tests {
         // Zero margin is identical to a plain fit.
         let zero = Discretizer::fit_with_margin(&values, 10, 0.0);
         assert_eq!(zero, tight);
+    }
+
+    #[test]
+    fn batch_discretization_matches_sequential() {
+        let mut series = TimeSeries::new();
+        for t in 0..50u64 {
+            let v = MetricVector::from_fn(|a| ((a.index() as u64 + 3) * (t + 1)) as f64 % 97.0);
+            series.push(MetricSample::new(Timestamp::from_secs(t), v));
+        }
+        let vd = VectorDiscretizer::fit(&series, 8);
+        let expect: Vec<DiscreteVector> = series.iter().map(|s| vd.discretize(&s.values)).collect();
+        for workers in [1usize, 2, 7] {
+            let got = vd.discretize_series(&series, &prepare_par::ParConfig::with_workers(workers));
+            assert_eq!(got, expect, "diverged at workers={workers}");
+        }
     }
 
     #[test]

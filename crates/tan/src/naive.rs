@@ -33,6 +33,11 @@ impl RootCpt {
     pub(crate) fn log_prob(&self, value: usize, class: Label) -> f64 {
         self.log_p[class.is_abnormal() as usize][value]
     }
+
+    /// The two class-conditional log-probability rows, normal class first.
+    pub(crate) fn rows(&self) -> impl Iterator<Item = &[f64]> {
+        self.log_p.iter().map(Vec::as_slice)
+    }
 }
 
 /// A trained Naive Bayes anomaly classifier.

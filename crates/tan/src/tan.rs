@@ -44,6 +44,11 @@ impl EdgeCpt {
     fn log_prob(&self, value: usize, parent_value: usize, class: Label) -> f64 {
         self.log_p[class.is_abnormal() as usize][parent_value][value]
     }
+
+    /// Every `(class, parent value)` log-probability row.
+    fn rows(&self) -> impl Iterator<Item = &[f64]> {
+        self.log_p.iter().flatten().map(Vec::as_slice)
+    }
 }
 
 #[derive(Debug, Clone, PartialEq)]
@@ -100,6 +105,22 @@ impl TanClassifier {
     pub fn abnormal_probability(&self, x: &[usize]) -> f64 {
         let s = self.score(x);
         1.0 / (1.0 + (-s).exp())
+    }
+
+    /// Every conditional log-probability row of the trained model: one
+    /// `P(a_i | C)` (root) or `P(a_i | a_p = u, C)` (edge) distribution
+    /// per `(attribute, class[, parent value])` combination. Each row must
+    /// be row-stochastic — `Σ_v exp(row[v]) = 1` — which the invariant
+    /// test suite asserts over generated datasets.
+    pub fn log_cpt_rows(&self) -> Vec<Vec<f64>> {
+        let mut rows = Vec::new();
+        for cpt in &self.cpts {
+            match cpt {
+                Cpt::Root(t) => rows.extend(t.rows().map(<[f64]>::to_vec)),
+                Cpt::Edge { table, .. } => rows.extend(table.rows().map(<[f64]>::to_vec)),
+            }
+        }
+        rows
     }
 }
 

@@ -1,0 +1,89 @@
+//! Golden-trace regression test: the controller event log of one pinned
+//! scenario (System S, memory leak, PREPARE scheme, seed 42) is checked
+//! byte-for-byte against a committed fixture. Any behavioural drift in
+//! training, prediction, filtering, diagnosis, or actuation shows up as a
+//! readable event-log diff instead of a silent change.
+//!
+//! To re-bless after an *intentional* behavioural change:
+//!
+//! ```text
+//! PREPARE_BLESS=1 cargo test --test golden_trace
+//! ```
+
+mod common;
+
+use common::{events_transcript, run_with_workers};
+use prepare_repro::core::{AppKind, FaultChoice, Scheme};
+
+const FIXTURE: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/tests/golden/systems_memleak_seed42.events.txt"
+);
+
+fn first_divergence(expect: &str, got: &str) -> String {
+    for (i, (e, g)) in expect.lines().zip(got.lines()).enumerate() {
+        if e != g {
+            return format!(
+                "first diff at line {}:\n  expected: {e}\n  got:      {g}",
+                i + 1
+            );
+        }
+    }
+    format!(
+        "line counts differ: expected {}, got {}",
+        expect.lines().count(),
+        got.lines().count()
+    )
+}
+
+#[test]
+fn golden_event_trace_matches_fixture() {
+    let result = run_with_workers(
+        AppKind::SystemS,
+        FaultChoice::MemLeak,
+        Scheme::Prepare,
+        42,
+        1,
+    );
+    let got = events_transcript(&result);
+    assert!(!got.is_empty(), "scenario produced no events");
+
+    if std::env::var_os("PREPARE_BLESS").is_some() {
+        std::fs::write(FIXTURE, &got).expect("write golden fixture");
+        return;
+    }
+
+    let expect = std::fs::read_to_string(FIXTURE)
+        .expect("golden fixture missing — run with PREPARE_BLESS=1 to create it");
+    assert!(
+        got == expect,
+        "event trace drifted from the golden fixture ({})\n{}",
+        FIXTURE,
+        first_divergence(&expect, &got)
+    );
+}
+
+#[test]
+fn golden_trace_is_worker_invariant() {
+    // The fixture is recorded at workers = 1; the sharded engine must
+    // reproduce it exactly. Skipped in bless mode (nothing to compare).
+    if std::env::var_os("PREPARE_BLESS").is_some() {
+        return;
+    }
+    let expect = std::fs::read_to_string(FIXTURE).expect("golden fixture present");
+    for workers in [2usize, 7] {
+        let result = run_with_workers(
+            AppKind::SystemS,
+            FaultChoice::MemLeak,
+            Scheme::Prepare,
+            42,
+            workers,
+        );
+        let got = events_transcript(&result);
+        assert!(
+            got == expect,
+            "workers={workers} drifted from the golden fixture\n{}",
+            first_divergence(&expect, &got)
+        );
+    }
+}
