@@ -38,6 +38,17 @@ impl ValueModel {
             ValueModel::TwoDependent(_) => MarkovKind::TwoDependent,
         }
     }
+
+    /// The underlying model's naive (non-snapshot) prediction path —
+    /// bit-identical to [`ValuePredictor::predict`] but re-deriving every
+    /// transition row per step. Exposed for differential testing and the
+    /// `hotpath` before/after benchmark.
+    pub fn predict_reference(&self, steps: usize) -> StateDistribution {
+        match self {
+            ValueModel::Simple(m) => m.predict_reference(steps),
+            ValueModel::TwoDependent(m) => m.predict_reference(steps),
+        }
+    }
 }
 
 impl ValuePredictor for ValueModel {
@@ -59,6 +70,13 @@ impl ValuePredictor for ValueModel {
         match self {
             ValueModel::Simple(m) => m.predict(steps),
             ValueModel::TwoDependent(m) => m.predict(steps),
+        }
+    }
+
+    fn predict_multi(&self, steps: &[usize]) -> Vec<StateDistribution> {
+        match self {
+            ValueModel::Simple(m) => m.predict_multi(steps),
+            ValueModel::TwoDependent(m) => m.predict_multi(steps),
         }
     }
 

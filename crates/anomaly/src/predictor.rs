@@ -172,29 +172,41 @@ impl AnomalyPredictor {
     ///   middle bin no training sample ever occupied.
     pub fn predict(&self, look_ahead: Duration) -> Prediction {
         let steps = self.config.steps_for(look_ahead);
-        let bins = self.config.bins;
         let dists: Vec<_> = self.value_models.iter().map(|m| m.predict(steps)).collect();
-        let expected: Vec<usize> = dists
-            .iter()
-            .map(|d| (d.expected_state().round() as usize).min(bins - 1))
-            .collect();
-        let modal: Vec<usize> = dists.iter().map(|d| d.most_likely()).collect();
+        self.classify_dists(look_ahead, dists.iter())
+    }
+
+    /// Classifies one horizon's per-attribute predicted distributions:
+    /// summarizes each into the expected/modal candidate vectors, scores
+    /// each candidate exactly once, then runs one full
+    /// [`TanClassifier::evaluate`] pass on the winner (score, probability,
+    /// and ranked strengths from a single set of attribute strengths).
+    fn classify_dists<'a>(
+        &self,
+        look_ahead: Duration,
+        dists: impl Iterator<Item = &'a prepare_markov::StateDistribution>,
+    ) -> Prediction {
+        let bins = self.config.bins;
+        let mut expected = Vec::with_capacity(ATTRIBUTE_COUNT);
+        let mut modal = Vec::with_capacity(ATTRIBUTE_COUNT);
+        for d in dists {
+            expected.push((d.expected_state().round() as usize).min(bins - 1));
+            modal.push(d.most_likely());
+        }
         let predicted_states = if self.classifier.score(&expected) >= self.classifier.score(&modal)
         {
             expected
         } else {
             modal
         };
-        let score = self.classifier.score(&predicted_states);
-        let label = Label::from_violation(score > 0.0);
-        let strengths = self.classifier.ranked_strengths(&predicted_states);
+        let verdict = self.classifier.evaluate(&predicted_states);
         Prediction {
             at: self.last_time.unwrap_or(Timestamp::ZERO),
             look_ahead,
-            label,
-            score,
-            probability: self.classifier.abnormal_probability(&predicted_states),
-            strengths,
+            label: Label::from_violation(verdict.score > 0.0),
+            score: verdict.score,
+            probability: verdict.probability,
+            strengths: verdict.ranked,
             predicted_states,
         }
     }
@@ -203,16 +215,78 @@ impl AnomalyPredictor {
     /// step "includes ... generating predicted class labels for different
     /// look-ahead windows". The nearest horizon that classifies abnormal
     /// tells the actuator how much lead time it actually has.
+    ///
+    /// One Markov propagation pass per attribute serves *all* horizons
+    /// (each horizon's marginal is emitted as the iteration passes its
+    /// step count — see [`ValuePredictor::predict_multi`]), instead of
+    /// restarting from step 0 per horizon.
     pub fn predict_horizons(&self, horizons: &[Duration]) -> Vec<Prediction> {
-        horizons.iter().map(|&h| self.predict(h)).collect()
+        let steps: Vec<usize> = horizons.iter().map(|&h| self.config.steps_for(h)).collect();
+        let per_model: Vec<_> = self
+            .value_models
+            .iter()
+            .map(|m| m.predict_multi(&steps))
+            .collect();
+        horizons
+            .iter()
+            .enumerate()
+            .map(|(k, &h)| self.classify_dists(h, per_model.iter().map(|dists| &dists[k])))
+            .collect()
+    }
+
+    /// The pre-snapshot per-horizon prediction path, kept verbatim (naive
+    /// Markov propagation restarted from step 0 for every horizon, one
+    /// classifier pass per summary) as the bit-identity referee and the
+    /// "before" leg of the `hotpath` benchmark.
+    pub fn predict_horizons_reference(&self, horizons: &[Duration]) -> Vec<Prediction> {
+        horizons
+            .iter()
+            .map(|&h| {
+                let steps = self.config.steps_for(h);
+                let bins = self.config.bins;
+                let dists: Vec<_> = self
+                    .value_models
+                    .iter()
+                    .map(|m| m.predict_reference(steps))
+                    .collect();
+                let expected: Vec<usize> = dists
+                    .iter()
+                    .map(|d| (d.expected_state().round() as usize).min(bins - 1))
+                    .collect();
+                let modal: Vec<usize> = dists.iter().map(|d| d.most_likely()).collect();
+                let predicted_states =
+                    if self.classifier.score(&expected) >= self.classifier.score(&modal) {
+                        expected
+                    } else {
+                        modal
+                    };
+                let score = self.classifier.score(&predicted_states);
+                let label = Label::from_violation(score > 0.0);
+                let strengths = self.classifier.ranked_strengths(&predicted_states);
+                Prediction {
+                    at: self.last_time.unwrap_or(Timestamp::ZERO),
+                    look_ahead: h,
+                    label,
+                    score,
+                    probability: self.classifier.abnormal_probability(&predicted_states),
+                    strengths,
+                    predicted_states,
+                }
+            })
+            .collect()
     }
 
     /// The shortest horizon (of those given) whose prediction is already
-    /// abnormal, if any — the effective advance notice.
+    /// abnormal, if any — the effective advance notice. Runs one
+    /// [`AnomalyPredictor::predict_horizons`] pass over the sorted
+    /// horizons instead of a fresh propagation per horizon.
     pub fn earliest_alert_horizon(&self, horizons: &[Duration]) -> Option<Duration> {
         let mut sorted: Vec<Duration> = horizons.to_vec();
         sorted.sort();
-        sorted.into_iter().find(|&h| self.predict(h).is_alert())
+        self.predict_horizons(&sorted)
+            .into_iter()
+            .find(|p| p.is_alert())
+            .map(|p| p.look_ahead)
     }
 
     /// Re-fits the TAN classifier on a fresh labeled trace while keeping
@@ -432,6 +506,26 @@ mod tests {
             .find(|pr| pr.is_alert())
             .map(|pr| pr.look_ahead);
         assert_eq!(earliest, expected);
+    }
+
+    #[test]
+    fn snapshot_horizons_are_bit_identical_to_reference() {
+        let (series, slo) = ramp_fixture(400, 5, 40, 80.0);
+        let cfg = PredictorConfig::default();
+        let mut p = AnomalyPredictor::train(&series, &slo, &cfg).unwrap();
+        for s in series.iter().take(38) {
+            p.observe(s);
+        }
+        let horizons = [
+            Duration::ZERO,
+            Duration::from_secs(15),
+            Duration::from_secs(30),
+            Duration::from_secs(60),
+        ];
+        assert_eq!(
+            p.predict_horizons(&horizons),
+            p.predict_horizons_reference(&horizons)
+        );
     }
 
     #[test]

@@ -1,0 +1,208 @@
+//! Per-tick prediction hot-path benchmark: the frozen-snapshot
+//! single-pass multi-horizon engine against the kept naive reference,
+//! and `BENCH_hotpath.json` out.
+//!
+//! Measures exactly what `PrepareController` pays per VM per 5 s sampling
+//! tick in the Prepare scheme: one `observe` (which invalidates the
+//! transition snapshot, so every tick rebuilds it — no stale-cache
+//! flattery) followed by a multi-horizon `predict_horizons` call. The
+//! "before" leg is [`AnomalyPredictor::predict_horizons_reference`] — the
+//! pre-snapshot code shape, which restarts naive Markov propagation from
+//! step 0 for every horizon and re-derives every transition row per live
+//! cell per step. Both legs are asserted bit-identical over the whole
+//! replay before any number is reported.
+//!
+//! Methodology: an untimed audit/warmup replay first (faults in code and
+//! allocator for both legs), then best-of-N trials of the timed replay —
+//! the same discipline `scaling.rs` uses, so one noisy trial cannot fake
+//! a slowdown or a speedup. Times are wall-clock on whatever core the OS
+//! provides; `hardware_workers` records the machine's available
+//! parallelism (1 on the CI container) so readers can judge the footing.
+
+#![forbid(unsafe_code)]
+
+use prepare_anomaly::{AnomalyPredictor, Prediction, PredictorConfig};
+use prepare_metrics::{
+    AttributeKind, Duration, MetricSample, MetricVector, SloLog, TimeSeries, Timestamp,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Training samples (5 s interval → 20 simulated minutes).
+const TRAIN_SAMPLES: u64 = 240;
+
+/// Live ticks replayed per trial.
+const TICKS: u64 = 120;
+
+/// Timed trials per leg; the best (minimum) is reported.
+const TRIALS: usize = 5;
+
+/// Look-ahead horizons classified every tick (steps 3, 6, 12 at the 5 s
+/// sampling interval — the paper's Table I sweeps multiple windows).
+const HORIZONS_SECS: [u64; 3] = [15, 30, 60];
+
+/// A noisy baseline trace with a mid-run anomalous window (CPU pinned),
+/// same shape as the scaling bench, generated `len` samples from `start`.
+fn trace(start: u64, len: u64, rng: &mut StdRng) -> TimeSeries {
+    let mut series = TimeSeries::new();
+    for i in start..start + len {
+        let t = Timestamp::from_secs(i * 5);
+        let anomalous = (80..160).contains(&(i % TRAIN_SAMPLES));
+        let v = MetricVector::from_fn(|a| match a {
+            AttributeKind::CpuTotal => {
+                if anomalous {
+                    88.0 + rng.gen_range(0.0..12.0)
+                } else {
+                    25.0 + rng.gen_range(0.0..10.0)
+                }
+            }
+            AttributeKind::Load1 => {
+                if anomalous {
+                    1.4 + rng.gen_range(0.0..0.4)
+                } else {
+                    0.3 + rng.gen_range(0.0..0.2)
+                }
+            }
+            _ => rng.gen_range(0.0..100.0),
+        });
+        series.push(MetricSample::new(t, v));
+    }
+    series
+}
+
+/// One full replay of the per-tick loop: observe, then classify every
+/// horizon. Returns the predictions of every tick for the bit-identity
+/// audit.
+fn replay(
+    base: &AnomalyPredictor,
+    ticks: &TimeSeries,
+    horizons: &[Duration],
+    reference: bool,
+) -> Vec<Vec<Prediction>> {
+    let mut model = base.clone();
+    let mut out = Vec::with_capacity(ticks.len());
+    for s in ticks.iter() {
+        model.observe(s);
+        out.push(if reference {
+            model.predict_horizons_reference(horizons)
+        } else {
+            model.predict_horizons(horizons)
+        });
+    }
+    out
+}
+
+/// Best-of-N per-tick cost of one leg, in microseconds.
+fn best_of(
+    base: &AnomalyPredictor,
+    ticks: &TimeSeries,
+    horizons: &[Duration],
+    reference: bool,
+) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..TRIALS {
+        let mut model = base.clone();
+        let t0 = Instant::now();
+        for s in ticks.iter() {
+            model.observe(s);
+            let preds = if reference {
+                model.predict_horizons_reference(horizons)
+            } else {
+                model.predict_horizons(horizons)
+            };
+            black_box(preds);
+        }
+        let per_tick_us = t0.elapsed().as_secs_f64() * 1e6 / ticks.len() as f64;
+        best = best.min(per_tick_us);
+    }
+    best
+}
+
+fn main() {
+    let hardware_workers = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    let config = PredictorConfig::default();
+    let horizons: Vec<Duration> = HORIZONS_SECS.map(Duration::from_secs).to_vec();
+
+    println!("== Per-tick multi-horizon prediction hot path ==");
+    println!("hardware available parallelism: {hardware_workers}");
+    println!(
+        "bins = {}, horizons = {HORIZONS_SECS:?} s, ticks = {TICKS}, best of {TRIALS} trials",
+        config.bins
+    );
+
+    // Train on the first window, keep the continuation as the live ticks.
+    let mut rng = StdRng::seed_from_u64(42);
+    let training = trace(0, TRAIN_SAMPLES, &mut rng);
+    let ticks = trace(TRAIN_SAMPLES, TICKS, &mut rng);
+    let slo = {
+        let mut slo = SloLog::new();
+        for s in training.iter() {
+            let i = s.time.as_secs() / 5;
+            slo.record(s.time, (80..160).contains(&i));
+        }
+        slo
+    };
+    let mut model = match AnomalyPredictor::train(&training, &slo, &config) {
+        Ok(m) => m,
+        Err(err) => {
+            eprintln!("training failed (trace should contain both classes): {err}");
+            std::process::exit(1);
+        }
+    };
+    // Anchor the stream position on the training tail so tick 1 predicts
+    // from a warm (prev, cur) context.
+    for s in training.iter().skip(TRAIN_SAMPLES as usize - 20) {
+        model.observe(s);
+    }
+
+    // Untimed audit + warmup: the snapshot path must reproduce the naive
+    // reference bit for bit over the whole replay, or there is nothing
+    // worth timing.
+    let optimized = replay(&model, &ticks, &horizons, false);
+    let reference = replay(&model, &ticks, &horizons, true);
+    assert!(
+        optimized == reference,
+        "snapshot path diverged from the naive reference — refusing to report numbers"
+    );
+    println!(
+        "bit-identity audit: {} ticks x {} horizons OK",
+        ticks.len(),
+        horizons.len()
+    );
+
+    let before_us = best_of(&model, &ticks, &horizons, true);
+    let after_us = best_of(&model, &ticks, &horizons, false);
+    let speedup = before_us / after_us;
+    println!("before (naive per-horizon restart): {before_us:>10.1} us/tick");
+    println!("after  (frozen snapshot, one pass): {after_us:>10.1} us/tick");
+    println!("speedup: {speedup:.2}x");
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"bench\": \"hotpath\",\n");
+    json.push_str(&format!("  \"hardware_workers\": {hardware_workers},\n"));
+    json.push_str(
+        "  \"note\": \"single-core wall-clock, best-of-N after an untimed warmup/audit replay; \
+         the two legs are asserted bit-identical over every tick before timing\",\n",
+    );
+    json.push_str(&format!("  \"bins\": {},\n", config.bins));
+    json.push_str(&format!(
+        "  \"horizons_s\": [{}],\n",
+        HORIZONS_SECS.map(|h| h.to_string()).join(", ")
+    ));
+    json.push_str(&format!("  \"ticks\": {TICKS},\n"));
+    json.push_str(&format!("  \"trials\": {TRIALS},\n"));
+    json.push_str(&format!(
+        "  \"before_per_tick_us\": {before_us:.3},\n  \"after_per_tick_us\": {after_us:.3},\n  \"speedup\": {speedup:.3}\n"
+    ));
+    json.push_str("}\n");
+    if let Err(err) = std::fs::write("BENCH_hotpath.json", &json) {
+        eprintln!("failed to write BENCH_hotpath.json: {err}");
+        std::process::exit(1);
+    }
+    println!("wrote BENCH_hotpath.json");
+}

@@ -12,6 +12,13 @@
 //! count serializes onto one CPU and the sharded runs only add thread
 //! overhead. `hardware_workers` in the JSON records the machine's
 //! available parallelism so readers can judge the speedup column.
+//!
+//! Every timed section runs best-of-N ([`TRIALS`]) after untimed warmup,
+//! the same discipline as the `hotpath` bench: a one-shot measurement on
+//! a shared machine regularly showed noise-driven "slowdowns" between
+//! worker counts that vanish under the minimum. The predict leg times the
+//! steady-state scoring round (transition snapshots already built); the
+//! per-tick rebuild cost after an `observe` is what `hotpath` measures.
 
 #![forbid(unsafe_code)]
 
@@ -32,6 +39,9 @@ const WORKERS: [usize; 4] = [1, 2, 4, 8];
 
 /// Samples per VM series (5 s interval → 20 simulated minutes).
 const SAMPLES: u64 = 240;
+
+/// Timed trials per cell; the best (minimum) is reported.
+const TRIALS: usize = 3;
 
 /// One VM's training trace: a noisy baseline with a mid-run anomalous
 /// window (CPU pinned), phase-shifted per VM so models differ.
@@ -111,22 +121,31 @@ fn main() {
         for &workers in &WORKERS {
             let par = ParConfig::with_workers(workers);
 
-            let t0 = Instant::now();
-            let trained = prepare_par::par_map(&par, traces.iter().collect(), |series| {
-                AnomalyPredictor::train(series, &slo, &config)
-            });
-            let train_ms = t0.elapsed().as_secs_f64() * 1000.0;
-            let models: Vec<AnomalyPredictor> = match trained.into_iter().collect() {
-                Ok(models) => models,
-                Err(err) => {
-                    eprintln!("training failed (trace should contain both classes): {err}");
-                    std::process::exit(1);
+            // Best-of-N training: every trial refits the whole fleet; the
+            // minimum discards scheduler noise. The last trial's models
+            // proceed to the predict leg (all trials are bit-identical).
+            let mut train_ms = f64::INFINITY;
+            let mut models: Vec<AnomalyPredictor> = Vec::new();
+            for _ in 0..TRIALS {
+                let t0 = Instant::now();
+                let trained = prepare_par::par_map(&par, traces.iter().collect(), |series| {
+                    AnomalyPredictor::train(series, &slo, &config)
+                });
+                let elapsed_ms = t0.elapsed().as_secs_f64() * 1000.0;
+                match trained.into_iter().collect() {
+                    Ok(fleet) => models = fleet,
+                    Err(err) => {
+                        eprintln!("training failed (trace should contain both classes): {err}");
+                        std::process::exit(1);
+                    }
                 }
-            };
+                train_ms = train_ms.min(elapsed_ms);
+            }
 
             // Re-anchor each model onto the tail of its own trace, then
             // time the per-VM look-ahead scoring round (the controller's
-            // per-tick hot path).
+            // per-tick hot path). One untimed pass first builds the
+            // transition snapshots so every trial times the steady state.
             let mut anchored: Vec<(AnomalyPredictor, &TimeSeries)> =
                 models.into_iter().zip(traces.iter()).collect();
             prepare_par::par_for_each_mut(&par, &mut anchored, |(m, series)| {
@@ -134,11 +153,20 @@ fn main() {
                     m.observe(s);
                 }
             });
-            let t1 = Instant::now();
-            let predictions = prepare_par::par_map(&par, anchored.iter().collect(), |(m, _)| {
+            let warm = prepare_par::par_map(&par, anchored.iter().collect(), |(m, _)| {
                 m.predict(Duration::from_secs(60))
             });
-            let predict_ms = t1.elapsed().as_secs_f64() * 1000.0;
+            drop(warm);
+            let mut predict_ms = f64::INFINITY;
+            let mut predictions = Vec::new();
+            for _ in 0..TRIALS {
+                let t1 = Instant::now();
+                let preds = prepare_par::par_map(&par, anchored.iter().collect(), |(m, _)| {
+                    m.predict(Duration::from_secs(60))
+                });
+                predict_ms = predict_ms.min(t1.elapsed().as_secs_f64() * 1000.0);
+                predictions = preds;
+            }
 
             // Determinism audit: every worker count must reproduce the
             // sequential run bit-for-bit.
@@ -180,8 +208,10 @@ fn main() {
     json.push_str(&format!("  \"hardware_workers\": {hardware_workers},\n"));
     json.push_str(
         "  \"note\": \"speedup is bounded by hardware_workers; identical outputs at every \
-         worker count are asserted before numbers are reported\",\n",
+         worker count are asserted before numbers are reported; every cell is best-of-N \
+         trials after untimed warmup\",\n",
     );
+    json.push_str(&format!("  \"trials\": {TRIALS},\n"));
     json.push_str("  \"results\": [\n");
     for (i, c) in cells.iter().enumerate() {
         let (base_train, base_predict) = cells

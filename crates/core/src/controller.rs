@@ -334,8 +334,13 @@ impl PrepareController {
             // it across workers, then replay the results sequentially in
             // `vms` order so events and filter updates land exactly as
             // the sequential loop would emit them.
-            let predictions = self.predict_all(self.config.look_ahead);
-            for (vm, prediction) in predictions.into_iter().flatten() {
+            let predictions = self.predict_all(std::slice::from_ref(&self.config.look_ahead));
+            for (vm, mut preds) in predictions.into_iter().flatten() {
+                // Exactly one horizon was requested, so exactly one
+                // prediction comes back.
+                let Some(prediction) = preds.pop() else {
+                    continue;
+                };
                 if prediction.is_alert() {
                     self.events.push(ControllerEvent::AlertRaised {
                         at: now,
@@ -401,13 +406,20 @@ impl PrepareController {
             .is_some_and(|&until| now < until)
     }
 
-    /// Scores every managed VM's predictor at the given horizon, sharded
-    /// per VM with results merged back into `vms` order. Prediction is a
+    /// Scores every managed VM's predictor at the given horizons, sharded
+    /// per VM with results merged back into `vms` order. Each VM answers
+    /// all horizons from one Markov propagation pass
+    /// ([`AnomalyPredictor::predict_horizons`]). Prediction is a
     /// read-only pass over independent per-VM models, so the scores are
     /// bit-identical to querying each VM in a sequential loop.
-    fn predict_all(&self, horizon: Duration) -> Vec<Option<(VmId, prepare_anomaly::Prediction)>> {
+    fn predict_all(
+        &self,
+        horizons: &[Duration],
+    ) -> Vec<Option<(VmId, Vec<prepare_anomaly::Prediction>)>> {
         prepare_par::par_map(&self.config.par, self.vms.clone(), |vm| {
-            self.predictors.get(&vm).map(|p| (vm, p.predict(horizon)))
+            self.predictors
+                .get(&vm)
+                .map(|p| (vm, p.predict_horizons(horizons)))
         })
     }
 
@@ -419,7 +431,12 @@ impl PrepareController {
     fn reactive_diagnosis(&self) -> Vec<(VmId, Vec<AttributeKind>)> {
         let mut faulty = Vec::new();
         let mut best: Option<(VmId, f64, Vec<AttributeKind>)> = None;
-        for (vm, now_state) in self.predict_all(Duration::ZERO).into_iter().flatten() {
+        let now_states = self.predict_all(&[Duration::ZERO]);
+        for (vm, now_state) in now_states
+            .into_iter()
+            .flatten()
+            .filter_map(|(vm, mut preds)| preds.pop().map(|p| (vm, p)))
+        {
             let ranking = Self::positive_ranking(&now_state);
             if now_state.is_alert() {
                 faulty.push((vm, ranking.clone()));

@@ -60,6 +60,18 @@ impl StateDistribution {
         d
     }
 
+    /// Wraps an already-normalized probability vector without dividing
+    /// again. The snapshot propagation path keeps its scratch buffer
+    /// normalized with [`crate::snapshot::normalize_in_place`] (the exact
+    /// [`StateDistribution::from_weights`] arithmetic); renormalizing here
+    /// would divide by a sum of ≈ 1.0 and perturb the last bit, breaking
+    /// bit-identity with the reference path.
+    pub(crate) fn from_probs(probs: Vec<f64>) -> Self {
+        let d = StateDistribution { probs };
+        crate::invariants::debug_assert_normalized(&d.probs, "StateDistribution::from_probs");
+        d
+    }
+
     /// Number of states.
     pub fn len(&self) -> usize {
         self.probs.len()

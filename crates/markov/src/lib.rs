@@ -35,6 +35,7 @@
 mod distribution;
 mod invariants;
 mod simple;
+mod snapshot;
 mod two_dep;
 
 pub use distribution::StateDistribution;
@@ -63,6 +64,16 @@ pub trait ValuePredictor {
     /// position. `steps == 0` returns a point mass on the current state
     /// (uniform if nothing has been observed yet).
     fn predict(&self, steps: usize) -> StateDistribution;
+
+    /// Distributions for several step counts at once, in the order given
+    /// (duplicates allowed). Must return exactly what
+    /// [`ValuePredictor::predict`] would return per entry — the built-in
+    /// models override this with a single propagation pass that emits each
+    /// requested horizon's marginal as the iteration passes it, instead of
+    /// restarting from step 0 per horizon.
+    fn predict_multi(&self, steps: &[usize]) -> Vec<StateDistribution> {
+        steps.iter().map(|&s| self.predict(s)).collect()
+    }
 
     /// Forgets the current position (history) while keeping the learned
     /// transition statistics. Used when a model is re-anchored onto a new
@@ -119,6 +130,78 @@ mod proptests {
             prop_assert_eq!(m.predict(0).most_likely(), last);
             prop_assert_eq!(m2.predict(0).most_likely(), last);
             prop_assert!((m.predict(0).probability(last) - 1.0).abs() < 1e-12);
+        }
+
+        // Tentpole referee: the snapshot-based hot path must be
+        // bit-for-bit equal to the kept naive reference — same f64s, not
+        // merely close — across random chains, positions, and step
+        // counts. Low state visit probability plus n=5 guarantees many
+        // never-seen (prev, cur) fallback rows are exercised.
+        #[test]
+        fn simple_snapshot_predict_is_bit_identical_to_reference(
+            seq in proptest::collection::vec(0usize..5, 0..120),
+            steps in 0usize..25,
+        ) {
+            let mut m = SimpleMarkov::new(5);
+            for &s in &seq {
+                m.observe(s);
+            }
+            prop_assert_eq!(m.predict(steps), m.predict_reference(steps));
+        }
+
+        #[test]
+        fn two_dep_snapshot_predict_is_bit_identical_to_reference(
+            seq in proptest::collection::vec(0usize..5, 0..120),
+            steps in 0usize..25,
+        ) {
+            let mut m = TwoDependentMarkov::new(5);
+            for &s in &seq {
+                m.observe(s);
+            }
+            prop_assert_eq!(m.predict(steps), m.predict_reference(steps));
+        }
+
+        // The single-pass multi-horizon propagation must emit exactly the
+        // per-horizon `predict` results (which are themselves proven
+        // against the reference above) — including duplicate and unsorted
+        // horizons, the 0-step edge, and the 1-observation anchor.
+        #[test]
+        fn predict_multi_matches_per_horizon_predict(
+            seq in proptest::collection::vec(0usize..4, 0..80),
+            steps in proptest::collection::vec(0usize..20, 0..6),
+        ) {
+            let mut simple = SimpleMarkov::new(4);
+            let mut twodep = TwoDependentMarkov::new(4);
+            for &s in &seq {
+                simple.observe(s);
+                twodep.observe(s);
+            }
+            let expect_simple: Vec<_> =
+                steps.iter().map(|&s| simple.predict_reference(s)).collect();
+            let expect_twodep: Vec<_> =
+                steps.iter().map(|&s| twodep.predict_reference(s)).collect();
+            prop_assert_eq!(simple.predict_multi(&steps), expect_simple);
+            prop_assert_eq!(twodep.predict_multi(&steps), expect_twodep);
+        }
+
+        // A jump into a never-trained state anchors prediction on unseen
+        // (prev, cur) rows — the fallback-heavy path must stay
+        // bit-identical too.
+        #[test]
+        fn unseen_anchor_rows_are_bit_identical(
+            seq in proptest::collection::vec(0usize..2, 1..60),
+            steps in 0usize..15,
+        ) {
+            let mut m = TwoDependentMarkov::new(4);
+            for &s in &seq {
+                m.observe(s);
+            }
+            m.observe(3); // (seen, 3) never trained
+            prop_assert_eq!(m.predict(steps), m.predict_reference(steps));
+            let horizons = [0usize, steps, steps / 2];
+            let expect: Vec<_> =
+                horizons.iter().map(|&s| m.predict_reference(s)).collect();
+            prop_assert_eq!(m.predict_multi(&horizons), expect);
         }
 
         #[test]

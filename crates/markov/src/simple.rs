@@ -1,7 +1,10 @@
 //! First-order ("simple") Markov chain value predictor — the baseline from
 //! the authors' earlier work \[10\] that Fig. 11 compares against.
 
+use crate::snapshot::{normalize_in_place, TransitionTable};
 use crate::{StateDistribution, ValuePredictor};
+use std::fmt;
+use std::sync::OnceLock;
 
 /// A first-order Markov chain over discretized attribute values.
 ///
@@ -9,7 +12,14 @@ use crate::{StateDistribution, ValuePredictor};
 /// current state's point mass through the (Laplace-smoothed) transition
 /// matrix `steps` times. Rows never observed fall back to a self-loop
 /// biased uniform, keeping early predictions conservative.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// The propagation hot path runs over a lazily-built frozen
+/// [`TransitionTable`] (each smoothed row derived exactly once, not once
+/// per live cell per step) with a double-buffered scratch pair instead of
+/// a fresh allocation per step. Outputs are bit-identical to the kept
+/// naive path ([`SimpleMarkov::predict_reference`]); the crate's
+/// differential proptests assert it.
+#[derive(Clone)]
 pub struct SimpleMarkov {
     n: usize,
     /// counts[i][j] = observed transitions i → j.
@@ -18,6 +28,32 @@ pub struct SimpleMarkov {
     alpha: f64,
     current: Option<usize>,
     observations: usize,
+    /// Frozen transition rows, built on first use after an observation and
+    /// invalidated by `observe`/`reset_position`. Derived state only: it is
+    /// excluded from `Debug` and `PartialEq`.
+    table: OnceLock<TransitionTable>,
+}
+
+impl fmt::Debug for SimpleMarkov {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SimpleMarkov")
+            .field("n", &self.n)
+            .field("counts", &self.counts)
+            .field("alpha", &self.alpha)
+            .field("current", &self.current)
+            .field("observations", &self.observations)
+            .finish()
+    }
+}
+
+impl PartialEq for SimpleMarkov {
+    fn eq(&self, other: &Self) -> bool {
+        self.n == other.n
+            && self.counts == other.counts
+            && self.alpha == other.alpha
+            && self.current == other.current
+            && self.observations == other.observations
+    }
 }
 
 impl SimpleMarkov {
@@ -45,6 +81,7 @@ impl SimpleMarkov {
             alpha,
             current: None,
             observations: 0,
+            table: OnceLock::new(),
         }
     }
 
@@ -72,8 +109,36 @@ impl SimpleMarkov {
         StateDistribution::from_weights(weights)
     }
 
-    /// One propagation step: `dist * P`.
-    fn step(&self, dist: &StateDistribution) -> StateDistribution {
+    /// The frozen transition table, baking every smoothed row once (in
+    /// row order, with [`SimpleMarkov::row`]'s exact arithmetic).
+    fn table(&self) -> &TransitionTable {
+        self.table
+            .get_or_init(|| TransitionTable::from_rows(self.n, (0..self.n).map(|i| self.row(i))))
+    }
+
+    /// One propagation step over the frozen table: `dist * P`, normalized
+    /// in place with [`StateDistribution::from_weights`]'s arithmetic —
+    /// the same cell order and summation order as
+    /// [`SimpleMarkov::step_reference`], so the result is bit-identical.
+    // xtask: hot-path
+    fn step_into(&self, table: &TransitionTable, dist: &[f64], out: &mut [f64]) {
+        out.fill(0.0);
+        for (i, &p) in dist.iter().enumerate() {
+            // xtask-allow: float-eq -- skipping exactly-zero mass is an optimization, not a tolerance question
+            if p == 0.0 {
+                continue;
+            }
+            for (o, &w) in out.iter_mut().zip(table.row(i)) {
+                *o += p * w;
+            }
+        }
+        normalize_in_place(out);
+    }
+
+    /// The pre-snapshot propagation step, kept verbatim as the
+    /// differential reference: re-derives each live row and allocates a
+    /// fresh buffer per step.
+    fn step_reference(&self, dist: &StateDistribution) -> StateDistribution {
         let mut out = vec![0.0; self.n];
         for i in 0..self.n {
             let p = dist.probability(i);
@@ -87,6 +152,30 @@ impl SimpleMarkov {
             }
         }
         StateDistribution::from_weights(out)
+    }
+
+    /// The naive prediction path the snapshot engine is proven against:
+    /// re-derives every transition row per step and allocates per step.
+    /// Kept public so the differential proptests and the `hotpath`
+    /// benchmark can compare the optimized path against it bit for bit.
+    pub fn predict_reference(&self, steps: usize) -> StateDistribution {
+        let mut dist = match self.current {
+            Some(c) => StateDistribution::point(self.n, c),
+            None => StateDistribution::uniform(self.n),
+        };
+        for _ in 0..steps {
+            dist = self.step_reference(&dist);
+        }
+        crate::invariants::debug_assert_normalized(dist.as_slice(), "SimpleMarkov::predict");
+        dist
+    }
+
+    /// The starting distribution of a propagation (0-step prediction).
+    fn start(&self) -> StateDistribution {
+        match self.current {
+            Some(c) => StateDistribution::point(self.n, c),
+            None => StateDistribution::uniform(self.n),
+        }
     }
 }
 
@@ -102,22 +191,58 @@ impl ValuePredictor for SimpleMarkov {
         }
         self.current = Some(state);
         self.observations += 1;
+        self.table.take();
     }
 
     fn predict(&self, steps: usize) -> StateDistribution {
-        let mut dist = match self.current {
-            Some(c) => StateDistribution::point(self.n, c),
-            None => StateDistribution::uniform(self.n),
-        };
-        for _ in 0..steps {
-            dist = self.step(&dist);
+        if steps == 0 {
+            return self.start();
         }
-        crate::invariants::debug_assert_normalized(dist.as_slice(), "SimpleMarkov::predict");
-        dist
+        let table = self.table();
+        let mut dist = self.start().as_slice().to_vec();
+        let mut scratch = vec![0.0; self.n];
+        for _ in 0..steps {
+            self.step_into(table, &dist, &mut scratch);
+            std::mem::swap(&mut dist, &mut scratch);
+        }
+        let out = StateDistribution::from_probs(dist);
+        crate::invariants::debug_assert_normalized(out.as_slice(), "SimpleMarkov::predict");
+        out
+    }
+
+    fn predict_multi(&self, steps: &[usize]) -> Vec<StateDistribution> {
+        let mut wanted: Vec<usize> = steps.to_vec();
+        wanted.sort_unstable();
+        wanted.dedup();
+        let mut at: std::collections::BTreeMap<usize, StateDistribution> =
+            std::collections::BTreeMap::new();
+        if wanted.first() == Some(&0) {
+            at.insert(0, self.start());
+        }
+        let max_step = wanted.last().copied().unwrap_or(0);
+        if max_step > 0 {
+            let table = self.table();
+            let mut dist = self.start().as_slice().to_vec();
+            let mut scratch = vec![0.0; self.n];
+            for s in 1..=max_step {
+                self.step_into(table, &dist, &mut scratch);
+                std::mem::swap(&mut dist, &mut scratch);
+                if wanted.binary_search(&s).is_ok() {
+                    let out = StateDistribution::from_probs(dist.clone());
+                    crate::invariants::debug_assert_normalized(
+                        out.as_slice(),
+                        "SimpleMarkov::predict_multi",
+                    );
+                    at.insert(s, out);
+                }
+            }
+        }
+        steps.iter().map(|s| at[s].clone()).collect()
     }
 
     fn reset_position(&mut self) {
         self.current = None;
+        self.table.take();
     }
 
     fn observations(&self) -> usize {
@@ -190,5 +315,29 @@ mod tests {
         let mut m = SimpleMarkov::new(2);
         m.train(&[0, 1, 0]);
         assert_eq!(m.observations(), 3);
+    }
+
+    #[test]
+    fn snapshot_matches_reference_after_further_observations() {
+        // The table must be invalidated by observe: a stale snapshot
+        // would diverge from the reference path after new counts land.
+        let mut m = SimpleMarkov::new(3);
+        m.train(&[0, 1, 2, 0, 1]);
+        let _ = m.predict(4); // builds the table
+        m.train(&[2, 2, 2, 1, 0]); // invalidates it
+        for steps in 0..6 {
+            assert_eq!(m.predict(steps), m.predict_reference(steps));
+        }
+    }
+
+    #[test]
+    fn debug_and_eq_ignore_the_derived_table() {
+        let mut a = SimpleMarkov::new(3);
+        let mut b = SimpleMarkov::new(3);
+        a.train(&[0, 1, 2]);
+        b.train(&[0, 1, 2]);
+        let _ = a.predict(3); // a has a built table, b does not
+        assert_eq!(a, b);
+        assert_eq!(format!("{a:?}"), format!("{b:?}"));
     }
 }

@@ -11,7 +11,10 @@
 //! combined states and marginalizes onto the current (most recent) single
 //! state.
 
+use crate::snapshot::TransitionTable;
 use crate::{SimpleMarkov, StateDistribution, ValuePredictor};
+use std::fmt;
+use std::sync::OnceLock;
 
 /// Second-order Markov chain realized over combined `(prev, cur)` states.
 ///
@@ -19,7 +22,17 @@ use crate::{SimpleMarkov, StateDistribution, ValuePredictor};
 /// (which are always maintained alongside), so sparse training data
 /// degrades gracefully to [`SimpleMarkov`] behaviour instead of to a
 /// uniform guess.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// The propagation hot path runs over a lazily-built frozen `n² × n`
+/// [`TransitionTable`]: each `next_given(prev, cur)` row — including the
+/// first-order-fallback rows, which the naive path re-derives by cloning
+/// the whole fallback chain *per live cell per step* — is computed exactly
+/// once, in the same arithmetic order, then reused. Propagation itself is
+/// double-buffered (no per-step `vec![0.0; n*n]`). Outputs are
+/// bit-identical to the kept naive path
+/// ([`TwoDependentMarkov::predict_reference`]); the crate's differential
+/// proptests assert it.
+#[derive(Clone)]
 pub struct TwoDependentMarkov {
     n: usize,
     /// counts[prev * n + cur][next] — transitions out of combined states.
@@ -30,6 +43,36 @@ pub struct TwoDependentMarkov {
     prev: Option<usize>,
     current: Option<usize>,
     observations: usize,
+    /// Frozen `n² × n` transition rows, built on first use after an
+    /// observation and invalidated by `observe`/`reset_position`. Derived
+    /// state only: excluded from `Debug` and `PartialEq`.
+    table: OnceLock<TransitionTable>,
+}
+
+impl fmt::Debug for TwoDependentMarkov {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TwoDependentMarkov")
+            .field("n", &self.n)
+            .field("counts", &self.counts)
+            .field("fallback", &self.fallback)
+            .field("alpha", &self.alpha)
+            .field("prev", &self.prev)
+            .field("current", &self.current)
+            .field("observations", &self.observations)
+            .finish()
+    }
+}
+
+impl PartialEq for TwoDependentMarkov {
+    fn eq(&self, other: &Self) -> bool {
+        self.n == other.n
+            && self.counts == other.counts
+            && self.fallback == other.fallback
+            && self.alpha == other.alpha
+            && self.prev == other.prev
+            && self.current == other.current
+            && self.observations == other.observations
+    }
 }
 
 impl TwoDependentMarkov {
@@ -59,6 +102,7 @@ impl TwoDependentMarkov {
             prev: None,
             current: None,
             observations: 0,
+            table: OnceLock::new(),
         }
     }
 
@@ -84,17 +128,55 @@ impl TwoDependentMarkov {
             StateDistribution::from_weights(weights)
         } else {
             // Never saw this (prev, cur) pair: use the first-order view
-            // from `cur`.
+            // from `cur`. The reference (non-snapshot) predict keeps the
+            // exact historical arithmetic — and only derives the one live
+            // row — so both the snapshot build and the naive path share it.
             let mut fb = self.fallback.clone();
             fb.reset_position();
             fb.observe(cur);
-            fb.predict(1)
+            fb.predict_reference(1)
         }
     }
 
-    /// One propagation step over the combined-state distribution.
-    /// `dist[prev * n + cur]` → `out[cur * n + next]`.
-    fn step_combined(&self, dist: &[f64]) -> Vec<f64> {
+    /// The frozen `n² × n` transition table: row `prev * n + cur` is
+    /// [`TwoDependentMarkov::next_given`]`(prev, cur)`, baked exactly once
+    /// (in combined-state order, with the naive derivation's exact
+    /// arithmetic).
+    fn table(&self) -> &TransitionTable {
+        self.table.get_or_init(|| {
+            TransitionTable::from_rows(
+                self.n,
+                (0..self.n * self.n).map(|pc| self.next_given(pc / self.n, pc % self.n)),
+            )
+        })
+    }
+
+    /// One propagation step over the frozen table:
+    /// `dist[prev * n + cur]` → `out[cur * n + next]`. Cell visit order and
+    /// per-cell accumulation order match
+    /// [`TwoDependentMarkov::step_combined_reference`] exactly, so the
+    /// result is bit-identical.
+    // xtask: hot-path
+    fn step_combined_into(&self, table: &TransitionTable, dist: &[f64], out: &mut [f64]) {
+        out.fill(0.0);
+        for (pc, &p) in dist.iter().enumerate() {
+            // xtask-allow: float-eq -- skipping exactly-zero mass is an optimization, not a tolerance question
+            if p == 0.0 {
+                continue;
+            }
+            let cur = pc % self.n;
+            let row = &mut out[cur * self.n..(cur + 1) * self.n];
+            for (o, &w) in row.iter_mut().zip(table.row(pc)) {
+                *o += p * w;
+            }
+        }
+    }
+
+    /// The pre-snapshot propagation step, kept verbatim as the
+    /// differential reference: re-derives every live `next_given` row
+    /// (cloning the fallback chain for unseen rows) and allocates a fresh
+    /// `n²` buffer per step.
+    fn step_combined_reference(&self, dist: &[f64]) -> Vec<f64> {
         let mut out = vec![0.0; self.n * self.n];
         for prev in 0..self.n {
             for cur in 0..self.n {
@@ -123,6 +205,46 @@ impl TwoDependentMarkov {
         }
         StateDistribution::from_weights(weights)
     }
+
+    /// The anchoring combined state `(prev, cur)`, or `None` when nothing
+    /// has been observed since the last reset.
+    fn anchor(&self) -> Option<(usize, usize)> {
+        match (self.prev, self.current) {
+            (_, None) => None,
+            (None, Some(c)) => Some((c, c)), // one observation: assume steady
+            (Some(p), Some(c)) => Some((p, c)),
+        }
+    }
+
+    /// The naive prediction path the snapshot engine is proven against:
+    /// re-derives every `next_given` row per live cell per step and
+    /// allocates per step. Kept public so the differential proptests and
+    /// the `hotpath` benchmark can compare the optimized path against it
+    /// bit for bit.
+    pub fn predict_reference(&self, steps: usize) -> StateDistribution {
+        let (prev, cur) = match self.anchor() {
+            None => {
+                // No data at all.
+                return if steps == 0 {
+                    StateDistribution::uniform(self.n)
+                } else {
+                    self.fallback.predict_reference(steps)
+                };
+            }
+            Some(pc) => pc,
+        };
+        if steps == 0 {
+            return StateDistribution::point(self.n, cur);
+        }
+        let mut dist = vec![0.0; self.n * self.n];
+        dist[prev * self.n + cur] = 1.0;
+        for _ in 0..steps {
+            dist = self.step_combined_reference(&dist);
+        }
+        let out = self.marginal_current(&dist);
+        crate::invariants::debug_assert_normalized(out.as_slice(), "TwoDependentMarkov::predict");
+        out
+    }
 }
 
 impl ValuePredictor for TwoDependentMarkov {
@@ -139,11 +261,12 @@ impl ValuePredictor for TwoDependentMarkov {
         self.prev = self.current;
         self.current = Some(state);
         self.observations += 1;
+        self.table.take();
     }
 
     fn predict(&self, steps: usize) -> StateDistribution {
-        let (prev, cur) = match (self.prev, self.current) {
-            (_, None) => {
+        let (prev, cur) = match self.anchor() {
+            None => {
                 // No data at all.
                 return if steps == 0 {
                     StateDistribution::uniform(self.n)
@@ -151,26 +274,67 @@ impl ValuePredictor for TwoDependentMarkov {
                     self.fallback.predict(steps)
                 };
             }
-            (None, Some(c)) => (c, c), // one observation: assume steady
-            (Some(p), Some(c)) => (p, c),
+            Some(pc) => pc,
         };
         if steps == 0 {
             return StateDistribution::point(self.n, cur);
         }
+        let table = self.table();
         let mut dist = vec![0.0; self.n * self.n];
         dist[prev * self.n + cur] = 1.0;
+        let mut scratch = vec![0.0; self.n * self.n];
         for _ in 0..steps {
-            dist = self.step_combined(&dist);
+            self.step_combined_into(table, &dist, &mut scratch);
+            std::mem::swap(&mut dist, &mut scratch);
         }
         let out = self.marginal_current(&dist);
         crate::invariants::debug_assert_normalized(out.as_slice(), "TwoDependentMarkov::predict");
         out
     }
 
+    fn predict_multi(&self, steps: &[usize]) -> Vec<StateDistribution> {
+        let (prev, cur) = match self.anchor() {
+            // No data: the fallback chain is also position-less, so its
+            // start (uniform) and propagation reproduce the per-horizon
+            // `predict` exactly.
+            None => return self.fallback.predict_multi(steps),
+            Some(pc) => pc,
+        };
+        let mut wanted: Vec<usize> = steps.to_vec();
+        wanted.sort_unstable();
+        wanted.dedup();
+        let mut at: std::collections::BTreeMap<usize, StateDistribution> =
+            std::collections::BTreeMap::new();
+        if wanted.first() == Some(&0) {
+            at.insert(0, StateDistribution::point(self.n, cur));
+        }
+        let max_step = wanted.last().copied().unwrap_or(0);
+        if max_step > 0 {
+            let table = self.table();
+            let mut dist = vec![0.0; self.n * self.n];
+            dist[prev * self.n + cur] = 1.0;
+            let mut scratch = vec![0.0; self.n * self.n];
+            for s in 1..=max_step {
+                self.step_combined_into(table, &dist, &mut scratch);
+                std::mem::swap(&mut dist, &mut scratch);
+                if wanted.binary_search(&s).is_ok() {
+                    let out = self.marginal_current(&dist);
+                    crate::invariants::debug_assert_normalized(
+                        out.as_slice(),
+                        "TwoDependentMarkov::predict_multi",
+                    );
+                    at.insert(s, out);
+                }
+            }
+        }
+        steps.iter().map(|s| at[s].clone()).collect()
+    }
+
     fn reset_position(&mut self) {
         self.prev = None;
         self.current = None;
         self.fallback.reset_position();
+        self.table.take();
     }
 
     fn observations(&self) -> usize {
@@ -270,5 +434,29 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn observe_rejects_out_of_range() {
         TwoDependentMarkov::new(2).observe(5);
+    }
+
+    #[test]
+    fn snapshot_matches_reference_after_further_observations() {
+        // The table must be invalidated by observe: a stale snapshot
+        // would diverge from the reference path after new counts land.
+        let mut m = TwoDependentMarkov::new(3);
+        m.train(&[0, 1, 2, 0, 1]);
+        let _ = m.predict(4); // builds the table
+        m.train(&[2, 2, 2, 1, 0]); // invalidates it
+        for steps in 0..6 {
+            assert_eq!(m.predict(steps), m.predict_reference(steps));
+        }
+    }
+
+    #[test]
+    fn debug_and_eq_ignore_the_derived_table() {
+        let mut a = TwoDependentMarkov::new(3);
+        let mut b = TwoDependentMarkov::new(3);
+        a.train(&[0, 1, 2, 1]);
+        b.train(&[0, 1, 2, 1]);
+        let _ = a.predict(3); // a has a built table, b does not
+        assert_eq!(a, b);
+        assert_eq!(format!("{a:?}"), format!("{b:?}"));
     }
 }

@@ -51,7 +51,7 @@ pub use chow_liu::chow_liu_tree;
 pub use dataset::{Dataset, DatasetError};
 pub use mutual_info::conditional_mutual_information;
 pub use naive::NaiveBayes;
-pub use tan::{AttributeStrength, TanClassifier};
+pub use tan::{AttributeStrength, TanClassifier, TanVerdict};
 
 use prepare_metrics::Label;
 

@@ -67,6 +67,23 @@ pub struct AttributeStrength {
     pub strength: f64,
 }
 
+/// Everything one classification pass produces: the Eq. 1 decision score,
+/// its logistic transform, and the Eq. 2 strengths ranked most-blamed
+/// first. Computed by [`TanClassifier::evaluate`] with each attribute's
+/// strength derived exactly once (the separate `score` /
+/// `ranked_strengths` / `abnormal_probability` entry points each redo that
+/// work).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TanVerdict {
+    /// The decision score — the left-hand side of Eq. 1. Positive means
+    /// *abnormal*.
+    pub score: f64,
+    /// `P(abnormal)` via the logistic transform of the score.
+    pub probability: f64,
+    /// Attribute strengths ranked most-blamed first.
+    pub ranked: Vec<AttributeStrength>,
+}
+
 /// A trained TAN anomaly classifier.
 #[derive(Debug, Clone, PartialEq)]
 pub struct TanClassifier {
@@ -77,6 +94,53 @@ pub struct TanClassifier {
 }
 
 impl TanClassifier {
+    /// The Eq. 2 impact strength `L_i` of attribute `i` for input `x`.
+    fn strength_of(&self, x: &[usize], i: usize, cpt: &Cpt) -> f64 {
+        let v = clamp_value(x, i, self.cardinalities[i]);
+        match cpt {
+            Cpt::Root(t) => t.log_prob(v, Label::Abnormal) - t.log_prob(v, Label::Normal),
+            Cpt::Edge { parent, table } => {
+                let u = clamp_value(x, *parent, self.cardinalities[*parent]);
+                table.log_prob(v, u, Label::Abnormal) - table.log_prob(v, u, Label::Normal)
+            }
+        }
+    }
+
+    /// Sum of all attribute strengths without materializing the vector —
+    /// the same additions in the same order as
+    /// `attribute_strengths(x).iter().sum()`, so the score is bit-identical.
+    // xtask: hot-path
+    fn strength_sum(&self, x: &[usize]) -> f64 {
+        assert_eq!(x.len(), self.cpts.len(), "input arity mismatch");
+        self.cpts
+            .iter()
+            .enumerate()
+            .map(|(i, cpt)| self.strength_of(x, i, cpt))
+            .sum()
+    }
+
+    /// Classifies `x` in one pass: every attribute strength is computed
+    /// exactly once and reused for the score, the abnormal probability,
+    /// and the ranked strength list.
+    pub fn evaluate(&self, x: &[usize]) -> TanVerdict {
+        assert_eq!(x.len(), self.cpts.len(), "input arity mismatch");
+        let mut ranked: Vec<AttributeStrength> = self
+            .cpts
+            .iter()
+            .enumerate()
+            .map(|(attribute, cpt)| AttributeStrength {
+                attribute,
+                strength: self.strength_of(x, attribute, cpt),
+            })
+            .collect();
+        let score = ranked.iter().map(|s| s.strength).sum::<f64>() + self.log_prior_ratio;
+        ranked.sort_by(|a, b| b.strength.total_cmp(&a.strength));
+        TanVerdict {
+            score,
+            probability: 1.0 / (1.0 + (-score).exp()),
+            ranked,
+        }
+    }
     /// The learned attribute dependency structure: `parent[i]` is the
     /// attribute that `a_i` conditions on (None for the tree root).
     pub fn parents(&self) -> &[Option<usize>] {
@@ -148,7 +212,7 @@ impl Classifier for TanClassifier {
     }
 
     fn score(&self, x: &[usize]) -> f64 {
-        self.attribute_strengths(x).iter().sum::<f64>() + self.log_prior_ratio
+        self.strength_sum(x) + self.log_prior_ratio
     }
 
     fn attribute_strengths(&self, x: &[usize]) -> Vec<f64> {
@@ -156,16 +220,7 @@ impl Classifier for TanClassifier {
         self.cpts
             .iter()
             .enumerate()
-            .map(|(i, cpt)| {
-                let v = clamp_value(x, i, self.cardinalities[i]);
-                match cpt {
-                    Cpt::Root(t) => t.log_prob(v, Label::Abnormal) - t.log_prob(v, Label::Normal),
-                    Cpt::Edge { parent, table } => {
-                        let u = clamp_value(x, *parent, self.cardinalities[*parent]);
-                        table.log_prob(v, u, Label::Abnormal) - table.log_prob(v, u, Label::Normal)
-                    }
-                }
-            })
+            .map(|(i, cpt)| self.strength_of(x, i, cpt))
             .collect()
     }
 }
@@ -237,6 +292,17 @@ mod tests {
         for x in [[0usize, 3, 0], [3, 0, 0], [1, 1, 1], [0, 0, 0]] {
             let by_rule = tan.score(&x) > 0.0;
             assert_eq!(tan.classify(&x).is_abnormal(), by_rule);
+        }
+    }
+
+    #[test]
+    fn evaluate_is_bit_identical_to_separate_entry_points() {
+        let tan = TanClassifier::train(&leak_dataset()).unwrap();
+        for x in [[0usize, 3, 1], [3, 0, 1], [1, 1, 2], [0, 0, 0]] {
+            let v = tan.evaluate(&x);
+            assert_eq!(v.score, tan.score(&x));
+            assert_eq!(v.probability, tan.abnormal_probability(&x));
+            assert_eq!(v.ranked, tan.ranked_strengths(&x));
         }
     }
 

@@ -21,13 +21,13 @@ const USAGE: &str = "\
 cargo xtask <command>
 
 Commands:
-  lint                    run the determinism/panic-debt/fidelity analysis
+  lint                    run the determinism/panic-debt/hot-path/fidelity analysis
   lint --update-baseline  rewrite the panic-debt ratchet (refuses increases)
   lint --list             print every finding, including baselined debt
   lint --root <dir>       analyze another checkout of this workspace
 
-The lint exits non-zero on: any determinism or fidelity finding, or any
-panic-debt count above its baseline entry.
+The lint exits non-zero on: any determinism, hot-path or fidelity
+finding, or any panic-debt count above its baseline entry.
 ";
 
 fn main() -> ExitCode {
@@ -196,7 +196,7 @@ fn run_lint(root: &Path, update_baseline: bool, list_all: bool) -> Result<bool, 
     let debt_total = baseline::total(&current);
     let baseline_total = baseline::total(&committed);
     println!(
-        "xtask lint: {} files scanned; determinism+fidelity findings: {}; \
+        "xtask lint: {} files scanned; determinism+hot-path+fidelity findings: {}; \
          panic debt {debt_total} (baseline {baseline_total}); new debt sites: {}",
         files.len(),
         hard_findings.len(),

@@ -15,6 +15,10 @@ pub enum Category {
     Determinism,
     /// Code that can panic in library crates; ratcheted via the baseline.
     PanicDebt,
+    /// Allocation inside a function marked `// xtask: hot-path`. Zero
+    /// tolerance: the marked loops are the per-tick prediction budget
+    /// and must stay allocation-free.
+    HotPath,
     /// Drift between DESIGN.md's experiment index and the crates.
     Fidelity,
 }
@@ -25,6 +29,7 @@ impl Category {
         match self {
             Category::Determinism => "determinism",
             Category::PanicDebt => "panic-debt",
+            Category::HotPath => "hot-path",
             Category::Fidelity => "fidelity",
         }
     }
@@ -61,6 +66,8 @@ pub fn check_file(f: &SourceFile) -> Vec<Finding> {
         panic_debt(f, &mut findings);
         index_in_loop(f, &mut findings);
     }
+    // The marker is explicit opt-in, so this detector runs everywhere.
+    hot_path_alloc(f, &mut findings);
     findings
 }
 
@@ -437,6 +444,74 @@ fn index_in_loop(f: &SourceFile, findings: &mut Vec<Finding>) {
     }
 }
 
+/// Comment marker that opts the next function into [`hot_path_alloc`].
+const HOT_PATH_MARKER: &str = "xtask: hot-path";
+
+/// Allocation calls — `.clone()`, `.to_vec()`, `vec![` — inside a
+/// function annotated with a `// xtask: hot-path` comment. The marked
+/// functions form the per-tick prediction inner loop (Markov propagation,
+/// TAN scoring); an allocation there reintroduces exactly the per-step
+/// `vec![0.0; n * n]` cost the frozen-snapshot rewrite removed, and the
+/// regression is invisible to tests because outputs stay bit-identical.
+fn hot_path_alloc(f: &SourceFile, findings: &mut Vec<Finding>) {
+    let bytes = f.masked.as_bytes();
+    let mut search = 0usize;
+    while let Some(found) = f.text[search..].find(HOT_PATH_MARKER) {
+        let marker_at = search + found;
+        search = marker_at + HOT_PATH_MARKER.len();
+        // The marker lives in a comment, which `masked` blanks — but the
+        // two views share byte offsets, so locate it in `text` and insist
+        // the line opens it with `//` (a stray occurrence in code or a
+        // string body does not arm the rule).
+        let line_start = f.text[..marker_at].rfind('\n').map_or(0, |p| p + 1);
+        if !f.text[line_start..marker_at].contains("//") {
+            continue;
+        }
+        // The annotated item is the next `fn` in the masked view; brace-
+        // match its body.
+        let Some(fn_rel) = word_occurrences(&f.masked[search..], "fn").next() else {
+            continue;
+        };
+        let fn_at = search + fn_rel;
+        let Some(open_rel) = f.masked[fn_at..].find('{') else {
+            continue;
+        };
+        let open = fn_at + open_rel;
+        let mut depth = 0i64;
+        let mut j = open;
+        while let Some(&c) = bytes.get(j) {
+            match c {
+                b'{' => depth += 1,
+                b'}' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        let body_end = (j + 1).min(f.masked.len());
+        for needle in [".clone()", ".to_vec()", "vec!["] {
+            let mut from = open;
+            while let Some(hit) = f.masked[from..body_end].find(needle) {
+                let at = from + hit;
+                from = at + needle.len();
+                push(
+                    f,
+                    findings,
+                    at,
+                    Category::HotPath,
+                    "hot-path-alloc",
+                    format!("`{needle}` allocates inside a `// {HOT_PATH_MARKER}` function"),
+                    true,
+                );
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -524,6 +599,44 @@ mod tests {
         assert!(rules_of("fn f() { let x = v[i]; }\n").is_empty());
         assert!(rules_of("fn f() { for i in 0..n { let x = &v[1..j]; } }\n").is_empty());
         assert!(rules_of("fn f() { for x in v.iter() { g(x); } }\n").is_empty());
+    }
+
+    #[test]
+    fn hot_path_marker_flags_allocations() {
+        let src = "// xtask: hot-path\nfn f(v: &[f64]) { let c = v.to_vec(); let d = c.clone(); let e = vec![0.0; 4]; }\n";
+        assert_eq!(
+            rules_of(src),
+            ["hot-path-alloc", "hot-path-alloc", "hot-path-alloc"]
+        );
+    }
+
+    #[test]
+    fn unmarked_functions_may_allocate() {
+        assert!(rules_of("fn f(v: &[f64]) -> Vec<f64> { v.to_vec() }\n").is_empty());
+    }
+
+    #[test]
+    fn hot_path_marker_scopes_to_the_next_function_only() {
+        let src = "// xtask: hot-path\nfn hot(out: &mut [f64]) { out.fill(0.0); }\nfn cold() -> Vec<f64> { vec![0.0] }\n";
+        assert!(rules_of(src).is_empty());
+    }
+
+    #[test]
+    fn hot_path_allocation_free_bodies_pass() {
+        let src = "// xtask: hot-path\nfn f(out: &mut [f64], v: &[f64]) { for (o, x) in out.iter_mut().zip(v) { *o += *x; } }\n";
+        assert!(rules_of(src).is_empty());
+    }
+
+    #[test]
+    fn hot_path_alloc_respects_allow_markers() {
+        let src = "// xtask: hot-path\nfn f() { let v = vec![0.0]; // xtask-allow: hot-path-alloc -- one-time setup\n}\n";
+        assert!(rules_of(src).is_empty());
+    }
+
+    #[test]
+    fn marker_outside_a_comment_does_not_arm_the_rule() {
+        let src = "const M: &str = \"xtask: hot-path\";\nfn f() -> Vec<f64> { vec![0.0] }\n";
+        assert!(rules_of(src).is_empty());
     }
 
     #[test]
