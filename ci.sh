@@ -11,7 +11,19 @@ echo "==> cargo clippy (deny warnings)"
 cargo clippy --offline --workspace --all-targets -- -D warnings
 
 echo "==> cargo xtask lint"
-cargo run --offline --quiet --package xtask -- lint
+# Build untimed, then hold the lint itself (which prints per-rule
+# finding counts and its own wall time) to a 10-second budget.
+cargo build --offline --quiet --package xtask
+lint_out="$(cargo run --offline --quiet --package xtask -- lint)" || {
+  echo "$lint_out"
+  exit 1
+}
+echo "$lint_out"
+lint_ms="$(echo "$lint_out" | sed -n 's/^lint wall time: \([0-9]*\) ms$/\1/p')"
+if [ -z "$lint_ms" ] || [ "$lint_ms" -gt 10000 ]; then
+  echo "ci.sh: lint wall-time budget exceeded (${lint_ms:-unreported} ms > 10000 ms)" >&2
+  exit 1
+fi
 
 echo "==> cargo test (PREPARE_WORKERS=1, sequential engine)"
 PREPARE_WORKERS=1 cargo test --offline --quiet --workspace

@@ -1,7 +1,7 @@
 //! Prediction accuracy scoring: true-positive rate `A_T` and false-alarm
 //! rate `A_F` (paper Eq. 3), used throughout Figs. 10–13.
 
-use prepare_metrics::Label;
+use prepare_metrics::{debug_assert_finite, Label};
 
 /// Confusion matrix over predicted-vs-true labels.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -52,7 +52,7 @@ impl ConfusionMatrix {
         if denom == 0 {
             1.0
         } else {
-            self.true_positives as f64 / denom as f64
+            debug_assert_finite!(self.true_positives as f64 / denom as f64)
         }
     }
 
@@ -63,7 +63,7 @@ impl ConfusionMatrix {
         if denom == 0 {
             0.0
         } else {
-            self.false_positives as f64 / denom as f64
+            debug_assert_finite!(self.false_positives as f64 / denom as f64)
         }
     }
 }

@@ -11,7 +11,7 @@
 //! anomalies — including ones never seen before, which the supervised TAN
 //! cannot flag.
 
-use prepare_metrics::Label;
+use prepare_metrics::{debug_assert_finite, Label};
 
 /// A k-means model over discretized metric vectors.
 #[derive(Debug, Clone, PartialEq)]
@@ -121,7 +121,7 @@ impl KMeans {
     pub fn anomaly_score(&self, x: &[usize]) -> f64 {
         let p: Vec<f64> = x.iter().map(|&v| v as f64).collect();
         let idx = nearest_index(&p, &self.centroids);
-        distance(&p, &self.centroids[idx]) / self.radii[idx]
+        debug_assert_finite!(distance(&p, &self.centroids[idx]) / self.radii[idx])
     }
 }
 
@@ -189,7 +189,7 @@ impl ClusterClassifier {
 
     /// The anomaly score of a vector (see [`KMeans::anomaly_score`]).
     pub fn score(&self, x: &[usize]) -> f64 {
-        self.model.anomaly_score(x)
+        debug_assert_finite!(self.model.anomaly_score(x))
     }
 
     /// Classifies: abnormal when the score exceeds the threshold.

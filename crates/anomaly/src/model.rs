@@ -44,10 +44,12 @@ impl ValueModel {
     /// transition row per step. Exposed for differential testing and the
     /// `hotpath` before/after benchmark.
     pub fn predict_reference(&self, steps: usize) -> StateDistribution {
-        match self {
+        let d = match self {
             ValueModel::Simple(m) => m.predict_reference(steps),
             ValueModel::TwoDependent(m) => m.predict_reference(steps),
-        }
+        };
+        prepare_metrics::debug_assert_all_finite!(d.as_slice());
+        d
     }
 }
 

@@ -59,13 +59,13 @@ impl OutlierDetector {
 
     /// The anomaly score: the largest absolute per-attribute z-score.
     pub fn score(&self, v: &MetricVector) -> f64 {
-        AttributeKind::ALL
+        prepare_metrics::debug_assert_finite!(AttributeKind::ALL
             .iter()
             .map(|&a| {
                 let i = a.index();
                 ((v.get(a) - self.means[i]) / self.stds[i]).abs()
             })
-            .fold(0.0, f64::max)
+            .fold(0.0, f64::max))
     }
 
     /// Classifies a vector: abnormal when the score exceeds the threshold.

@@ -190,7 +190,7 @@ impl AnomalyPredictor {
         let mut expected = Vec::with_capacity(ATTRIBUTE_COUNT);
         let mut modal = Vec::with_capacity(ATTRIBUTE_COUNT);
         for d in dists {
-            expected.push((d.expected_state().round() as usize).min(bins - 1));
+            expected.push(d.expected_bin(bins));
             modal.push(d.most_likely());
         }
         let predicted_states = if self.classifier.score(&expected) >= self.classifier.score(&modal)
@@ -249,10 +249,7 @@ impl AnomalyPredictor {
                     .iter()
                     .map(|m| m.predict_reference(steps))
                     .collect();
-                let expected: Vec<usize> = dists
-                    .iter()
-                    .map(|d| (d.expected_state().round() as usize).min(bins - 1))
-                    .collect();
+                let expected: Vec<usize> = dists.iter().map(|d| d.expected_bin(bins)).collect();
                 let modal: Vec<usize> = dists.iter().map(|d| d.most_likely()).collect();
                 let predicted_states =
                     if self.classifier.score(&expected) >= self.classifier.score(&modal) {

@@ -100,7 +100,7 @@ impl RocCurve {
             let (x1, y1) = w[1];
             auc += (x1 - x0) * (y0 + y1) / 2.0;
         }
-        auc.clamp(0.0, 1.0)
+        prepare_metrics::debug_assert_finite!(auc.clamp(0.0, 1.0))
     }
 
     /// The point with the best Youden index (`A_T − A_F`), a standard

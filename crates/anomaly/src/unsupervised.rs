@@ -107,7 +107,7 @@ impl UnsupervisedPredictor {
         let predicted_states: Vec<usize> = self
             .value_models
             .iter()
-            .map(|m| (m.predict(steps).expected_state().round() as usize).min(bins - 1))
+            .map(|m| m.predict(steps).expected_bin(bins))
             .collect();
         let score = self.classifier.score(&predicted_states);
         UnsupervisedPrediction {

@@ -138,7 +138,9 @@ impl Workload {
             let z: f64 = {
                 let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
                 let u2: f64 = rng.gen::<f64>();
-                (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+                prepare_metrics::debug_assert_finite!(
+                    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+                )
             };
             (base * (1.0 + jitter * z)).max(0.0)
         } else {

@@ -1,6 +1,6 @@
 //! Probability distributions over discretized attribute states.
 
-use prepare_metrics::Discretizer;
+use prepare_metrics::{debug_assert_all_finite, debug_assert_finite, Discretizer};
 use std::fmt;
 
 /// A probability distribution over the discrete states (bins) of one
@@ -18,9 +18,8 @@ impl StateDistribution {
     /// Panics if `n == 0`.
     pub fn uniform(n: usize) -> Self {
         assert!(n > 0, "distribution needs at least one state");
-        let d = StateDistribution {
-            probs: vec![1.0 / n as f64; n],
-        };
+        let p = debug_assert_finite!(1.0 / n as f64);
+        let d = StateDistribution { probs: vec![p; n] };
         crate::invariants::debug_assert_normalized(&d.probs, "StateDistribution::uniform");
         d
     }
@@ -32,9 +31,11 @@ impl StateDistribution {
     /// Panics if `state >= n`.
     pub fn point(n: usize, state: usize) -> Self {
         assert!(state < n, "state {state} out of range (n={n})");
-        let mut probs = vec![0.0; n];
+        let mut probs: Vec<f64> = vec![0.0; n];
         probs[state] = 1.0;
-        StateDistribution { probs }
+        StateDistribution {
+            probs: debug_assert_all_finite!(probs),
+        }
     }
 
     /// Builds from raw weights, normalizing. Falls back to uniform when the
@@ -84,7 +85,7 @@ impl StateDistribution {
 
     /// Probability of `state` (0 when out of range).
     pub fn probability(&self, state: usize) -> f64 {
-        self.probs.get(state).copied().unwrap_or(0.0)
+        debug_assert_finite!(self.probs.get(state).copied().unwrap_or(0.0))
     }
 
     /// The raw probability vector.
@@ -107,21 +108,36 @@ impl StateDistribution {
 
     /// Expected state index.
     pub fn expected_state(&self) -> f64 {
-        self.probs
+        debug_assert_finite!(self
+            .probs
             .iter()
             .enumerate()
             .map(|(i, p)| i as f64 * p)
-            .sum()
+            .sum::<f64>())
+    }
+
+    /// The discrete bin the expected state falls in: [`Self::expected_state`]
+    /// rounded to the nearest index and clamped to `bins - 1`. Asserts
+    /// (debug builds) that the expectation is finite before truncating,
+    /// so a NaN can never silently collapse to bin 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bins == 0`.
+    pub fn expected_bin(&self, bins: usize) -> usize {
+        let e = debug_assert_finite!(self.expected_state());
+        (e.round() as usize).min(bins - 1)
     }
 
     /// Expected continuous value under a discretizer (mixture of bin
     /// midpoints) — used when a continuous predicted value is reported.
     pub fn expected_value(&self, d: &Discretizer) -> f64 {
-        self.probs
+        debug_assert_finite!(self
+            .probs
             .iter()
             .enumerate()
             .map(|(i, p)| d.bin_midpoint(i.min(d.bins() - 1)) * p)
-            .sum()
+            .sum::<f64>())
     }
 
     /// True when every probability is finite, non-negative, and the vector
@@ -134,12 +150,12 @@ impl StateDistribution {
 
     /// Shannon entropy in bits — a confidence signal (0 for a point mass).
     pub fn entropy(&self) -> f64 {
-        -self
+        debug_assert_finite!(-self
             .probs
             .iter()
             .filter(|&&p| p > 0.0)
             .map(|&p| p * p.log2())
-            .sum::<f64>()
+            .sum::<f64>())
     }
 }
 

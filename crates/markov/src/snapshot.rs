@@ -51,11 +51,14 @@ impl TransitionTable {
 pub(crate) fn normalize_in_place(buf: &mut [f64]) {
     let total: f64 = buf.iter().sum();
     if total < 1e-12 {
-        buf.fill(1.0 / buf.len() as f64);
+        buf.fill(prepare_metrics::debug_assert_finite!(
+            1.0 / buf.len().max(1) as f64
+        ));
     } else {
         for b in buf.iter_mut() {
             *b /= total;
         }
+        prepare_metrics::debug_assert_all_finite!(&buf[..]);
     }
 }
 

@@ -31,6 +31,7 @@
 mod attr;
 mod changepoint;
 mod discretize;
+pub mod guard;
 pub mod json;
 mod label;
 mod sample;

@@ -39,7 +39,8 @@ pub fn percentile(xs: &[f64], p: f64) -> f64 {
     }
     let mut sorted = xs.to_vec();
     sorted.sort_by(f64::total_cmp);
-    let rank = ((p / 100.0) * (sorted.len() as f64 - 1.0)).round() as usize;
+    let rank =
+        crate::debug_assert_finite!((p / 100.0) * (sorted.len() as f64 - 1.0)).round() as usize;
     sorted[rank.min(sorted.len() - 1)]
 }
 

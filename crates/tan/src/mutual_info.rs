@@ -3,7 +3,7 @@
 //! dependency structure from.
 
 use crate::Dataset;
-use prepare_metrics::Label;
+use prepare_metrics::{debug_assert_finite, Label};
 
 /// Estimates `I(X_i ; X_j | C)` from the dataset with add-one smoothing on
 /// the joint counts:
@@ -68,7 +68,7 @@ pub fn conditional_mutual_information(ds: &Dataset, i: usize, j: usize) -> f64 {
         }
         total_mi += p_class * mi;
     }
-    total_mi.max(0.0)
+    debug_assert_finite!(total_mi.max(0.0))
 }
 
 #[cfg(test)]

@@ -59,7 +59,9 @@ pub(crate) fn log_prior_ratio(ds: &Dataset) -> Result<f64, TrainError> {
     if abnormal == 0 {
         return Err(TrainError::SingleClass(Label::Normal));
     }
-    Ok((abnormal as f64 / normal as f64).ln())
+    Ok(prepare_metrics::debug_assert_finite!((abnormal as f64
+        / normal as f64)
+        .ln()))
 }
 
 pub(crate) fn clamp_value(x: &[usize], i: usize, card: usize) -> usize {

@@ -3,7 +3,7 @@
 
 use crate::naive::{clamp_value, log_prior_ratio, RootCpt};
 use crate::{chow_liu_tree, Classifier, Dataset, TrainError};
-use prepare_metrics::Label;
+use prepare_metrics::{debug_assert_finite, Label};
 
 /// Class- and parent-conditional probability table:
 /// `P(a_i = v | a_p = u, C = c)`, Laplace-smoothed.
@@ -137,7 +137,7 @@ impl TanClassifier {
         ranked.sort_by(|a, b| b.strength.total_cmp(&a.strength));
         TanVerdict {
             score,
-            probability: 1.0 / (1.0 + (-score).exp()),
+            probability: debug_assert_finite!(1.0 / (1.0 + (-score).exp())),
             ranked,
         }
     }
@@ -168,7 +168,7 @@ impl TanClassifier {
     /// the decision score.
     pub fn abnormal_probability(&self, x: &[usize]) -> f64 {
         let s = self.score(x);
-        1.0 / (1.0 + (-s).exp())
+        debug_assert_finite!(1.0 / (1.0 + (-s).exp()))
     }
 
     /// Every conditional log-probability row of the trained model: one

@@ -1,0 +1,55 @@
+//! Golden lexer fixture. NOT compiled and NOT scanned by the lint
+//! (`fixtures/` directories are excluded from `load_workspace`): it seeds
+//! spellings that look like rule hazards inside literals and comments,
+//! exactly the places the v1 masked-substring scanner got wrong.
+//!
+//! `crates/xtask/src/lexer.rs` tests `include_str!` this file and assert
+//! that none of the seeded hazards leak out of their literal/comment
+//! tokens, and that lifetimes and char literals are told apart.
+
+/// Raw strings at several hash depths, each embedding `.unwrap()` text
+/// that must stay inside a single `RawStr` token.
+fn raw_strings() -> (&'static str, &'static str, &'static [u8]) {
+    let one = r#"a raw string with .unwrap() and a "quote" inside"#;
+    let two = r##"deeper: r#"inner .unwrap() raw"# still one token"##;
+    let bytes = br#"byte raw with .unwrap() too"#;
+    (one, two, bytes)
+}
+
+/* A nested block comment follows — the v1 masker closed it at the first
+   terminator and leaked the tail into scanned text.
+   /* inner comment mentioning HashMap::new() and thread_rng() */
+   still inside the OUTER comment: HashMap, .unwrap(), vec![0; 8]
+*/
+
+/// Lifetimes vs char literals on one line each.
+struct Holder<'a> {
+    name: &'a str,
+    tag: &'static str,
+}
+
+fn chars_and_lifetimes<'a>(h: &Holder<'a>) -> (char, char, u8, usize) {
+    let plain = 'a';
+    let escaped = '\n';
+    let byte = b'x';
+    let label_result = 'outer: loop {
+        break 'outer h.name.len() + h.tag.len();
+    };
+    (plain, escaped, byte, label_result)
+}
+
+/// Numeric shapes: suffixes, exponents, ranges, trailing dots.
+fn numbers() -> f64 {
+    let a = 1_000u64 as f64;
+    let b = 1e-9;
+    let c = 2.5f64;
+    let d = 3.;
+    let e = (0..4).len() as f64;
+    let f = 0xFF_u8 as f64;
+    a + b + c + d + e + f
+}
+
+/// Sentinel used by line-number assertions.
+fn golden_sentinel() -> &'static str {
+    "sentinel"
+}

@@ -1,0 +1,547 @@
+//! A real, std-only Rust lexer for the lint engine.
+//!
+//! Replaces the v1 masked-substring scanner: instead of blanking comment
+//! and literal bodies and grepping the remaining text, every detector now
+//! walks a token stream with exact byte spans and line numbers. The lexer
+//! understands the constructs the masker got wrong or could not represent:
+//! raw strings (`r#"…"#`, any hash depth, byte variants), nested
+//! `/* /* */ */` block comments, `'a` lifetimes vs `'a'` char literals,
+//! raw identifiers (`r#match`), and numeric literals with suffixes and
+//! exponents. Comments are kept *in* the stream (the allow/hot-path
+//! markers live there); detectors skip them via [`TokenKind::is_trivia`].
+
+/// Lexical class of one token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (including raw identifiers and non-ASCII).
+    Ident,
+    /// A lifetime or loop label: `'a`, `'static`, `'outer`.
+    Lifetime,
+    /// Numeric literal, including suffixes/exponents (`1_000u64`, `1e-9`).
+    Num,
+    /// Char or byte-char literal: `'x'`, `'\u{1F600}'`, `b'\n'`.
+    Char,
+    /// String or byte-string literal: `"…"`, `b"…"`.
+    Str,
+    /// Raw (byte) string literal: `r"…"`, `r#"…"#`, `br##"…"##`.
+    RawStr,
+    /// `// …` comment (doc comments included).
+    LineComment,
+    /// `/* … */` comment, nesting handled.
+    BlockComment,
+    /// One byte of punctuation. Multi-byte operators (`==`, `->`, `::`)
+    /// appear as adjacent single-byte tokens with contiguous spans.
+    Punct,
+}
+
+impl TokenKind {
+    /// True for tokens detectors normally skip (comments).
+    pub fn is_trivia(self) -> bool {
+        matches!(self, TokenKind::LineComment | TokenKind::BlockComment)
+    }
+}
+
+/// One lexed token: kind plus the byte span and 1-based start line.
+#[derive(Debug, Clone, Copy)]
+pub struct Token {
+    /// Lexical class.
+    pub kind: TokenKind,
+    /// Byte offset of the first byte.
+    pub start: usize,
+    /// Byte offset one past the last byte.
+    pub end: usize,
+    /// 1-based line of `start`.
+    pub line: usize,
+}
+
+impl Token {
+    /// The token's source text.
+    pub fn text<'a>(&self, src: &'a str) -> &'a str {
+        src.get(self.start..self.end).unwrap_or("")
+    }
+
+    /// True when `self` is a `Punct` equal to `b`.
+    pub fn is_punct(&self, src: &str, b: char) -> bool {
+        self.kind == TokenKind::Punct && self.text(src).starts_with(b)
+    }
+}
+
+/// A comment's content with its `//`/`/*` opener and doc sigil removed
+/// and leading whitespace trimmed. Marker detection (`xtask: hot-path`,
+/// `xtask-allow:`) works on this so that prose *mentioning* a marker —
+/// doc comments, rule catalogs — never triggers it: a real marker
+/// starts its comment.
+pub fn comment_body(raw: &str) -> &str {
+    let body = raw
+        .strip_prefix("//")
+        .or_else(|| raw.strip_prefix("/*"))
+        .unwrap_or(raw);
+    let body = body.strip_prefix(['/', '!', '*']).unwrap_or(body);
+    body.trim_start()
+}
+
+/// True for a numeric-literal text that denotes a float (`1.0`, `3.`,
+/// `1e-9`, `2f64`) rather than an integer.
+pub fn num_is_float(text: &str) -> bool {
+    if text.starts_with("0x") || text.starts_with("0o") || text.starts_with("0b") {
+        return false;
+    }
+    text.contains('.')
+        || text.ends_with("f32")
+        || text.ends_with("f64")
+        || text.bytes().any(|b| b == b'e' || b == b'E')
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+fn utf8_width(first: u8) -> usize {
+    match first {
+        b if b < 0x80 => 1,
+        b if b >= 0xF0 => 4,
+        b if b >= 0xE0 => 3,
+        _ => 2,
+    }
+}
+
+/// Counts newlines in `bytes[from..to]`.
+fn newlines(bytes: &[u8], from: usize, to: usize) -> usize {
+    bytes
+        .iter()
+        .take(to.min(bytes.len()))
+        .skip(from)
+        .filter(|&&b| b == b'\n')
+        .count()
+}
+
+/// Lexes a whole source file. Never fails: unterminated constructs run to
+/// end of input, and bytes that fit no class become single `Punct`s, so
+/// downstream passes always see a stream that spans the file.
+pub fn lex(src: &str) -> Vec<Token> {
+    let bytes = src.as_bytes();
+    let mut tokens = Vec::new();
+    let mut line = 1usize;
+    let mut i = 0usize;
+
+    while let Some(&b) = bytes.get(i) {
+        // Whitespace.
+        if b.is_ascii_whitespace() {
+            if b == b'\n' {
+                line += 1;
+            }
+            i += 1;
+            continue;
+        }
+        let start = i;
+        let start_line = line;
+        let kind = if b == b'/' && bytes.get(i + 1) == Some(&b'/') {
+            while bytes.get(i).is_some_and(|&c| c != b'\n') {
+                i += 1;
+            }
+            TokenKind::LineComment
+        } else if b == b'/' && bytes.get(i + 1) == Some(&b'*') {
+            i = skip_block_comment(bytes, i);
+            TokenKind::BlockComment
+        } else if let Some((end, kind)) = string_prefix(bytes, i) {
+            i = end;
+            kind
+        } else if is_ident_start(b) {
+            while bytes.get(i).copied().is_some_and(is_ident_continue) {
+                i += 1;
+            }
+            TokenKind::Ident
+        } else if b.is_ascii_digit() {
+            i = skip_number(bytes, i);
+            TokenKind::Num
+        } else if b == b'\'' {
+            let (end, kind) = char_or_lifetime(bytes, i);
+            i = end;
+            kind
+        } else if b == b'"' {
+            i = skip_string(bytes, i);
+            TokenKind::Str
+        } else {
+            i += 1;
+            TokenKind::Punct
+        };
+        line += newlines(bytes, start, i);
+        tokens.push(Token {
+            kind,
+            start,
+            end: i,
+            line: start_line,
+        });
+    }
+    tokens
+}
+
+/// Recognizes literal prefixes rooted at `r` / `b`: raw strings, raw
+/// identifiers, byte strings and byte chars. Returns `(end, kind)` when
+/// the position opens one, `None` when it is a plain identifier.
+fn string_prefix(bytes: &[u8], i: usize) -> Option<(usize, TokenKind)> {
+    match bytes.get(i) {
+        Some(b'r') => match bytes.get(i + 1) {
+            // r"…" or r#…: either a raw string or a raw identifier.
+            Some(b'"') => Some((skip_raw_string(bytes, i + 1), TokenKind::RawStr)),
+            Some(b'#') => {
+                // r#ident vs r#"…"# (or r##"…"##): look past the hashes.
+                let mut j = i + 1;
+                while bytes.get(j) == Some(&b'#') {
+                    j += 1;
+                }
+                if bytes.get(j) == Some(&b'"') {
+                    Some((skip_raw_string(bytes, i + 1), TokenKind::RawStr))
+                } else if j == i + 2 && bytes.get(j).copied().is_some_and(is_ident_start) {
+                    // Raw identifier r#match.
+                    while bytes.get(j).copied().is_some_and(is_ident_continue) {
+                        j += 1;
+                    }
+                    Some((j, TokenKind::Ident))
+                } else {
+                    None
+                }
+            }
+            _ => None,
+        },
+        Some(b'b') => match (bytes.get(i + 1), bytes.get(i + 2)) {
+            (Some(b'"'), _) => Some((skip_string(bytes, i + 1), TokenKind::Str)),
+            (Some(b'\''), _) => {
+                let (end, _) = char_or_lifetime(bytes, i + 1);
+                Some((end, TokenKind::Char))
+            }
+            (Some(b'r'), Some(b'"' | b'#')) => {
+                Some((skip_raw_string(bytes, i + 2), TokenKind::RawStr))
+            }
+            _ => None,
+        },
+        _ => None,
+    }
+}
+
+/// Skips a (possibly nested) block comment opening at `i`.
+fn skip_block_comment(bytes: &[u8], i: usize) -> usize {
+    let mut j = i + 2;
+    let mut depth = 1u32;
+    while depth > 0 {
+        match (bytes.get(j), bytes.get(j + 1)) {
+            (None, _) => break,
+            (Some(b'/'), Some(b'*')) => {
+                depth += 1;
+                j += 2;
+            }
+            (Some(b'*'), Some(b'/')) => {
+                depth -= 1;
+                j += 2;
+            }
+            _ => j += 1,
+        }
+    }
+    j.min(bytes.len())
+}
+
+/// Skips a plain (escaped, possibly multi-line) string opening at `i`.
+fn skip_string(bytes: &[u8], i: usize) -> usize {
+    let mut j = i + 1;
+    while let Some(&c) = bytes.get(j) {
+        match c {
+            b'\\' => j += 2,
+            b'"' => return j + 1,
+            _ => j += 1,
+        }
+    }
+    j.min(bytes.len())
+}
+
+/// Skips a raw string whose `r` sits at `i - 0` (`i` points at the first
+/// byte after any `b`, i.e. the `r`... callers pass the index of the byte
+/// *after* the prefix letters, pointing at `#` or `"`).
+fn skip_raw_string(bytes: &[u8], i: usize) -> usize {
+    let mut j = i;
+    let mut hashes = 0usize;
+    while bytes.get(j) == Some(&b'#') {
+        hashes += 1;
+        j += 1;
+    }
+    j += 1; // opening quote
+    while let Some(&c) = bytes.get(j) {
+        if c == b'"' {
+            let mut k = j + 1;
+            let mut seen = 0usize;
+            while seen < hashes && bytes.get(k) == Some(&b'#') {
+                seen += 1;
+                k += 1;
+            }
+            if seen == hashes {
+                return k;
+            }
+        }
+        j += 1;
+    }
+    j.min(bytes.len())
+}
+
+/// Disambiguates `'` at `i`: char literal (`'x'`, `'\n'`, `'é'`) vs
+/// lifetime/label (`'a`, `'static`, `'outer:`). Returns `(end, kind)`.
+fn char_or_lifetime(bytes: &[u8], i: usize) -> (usize, TokenKind) {
+    match bytes.get(i + 1) {
+        Some(b'\\') => {
+            // Escaped char: scan to the unescaped closing tick.
+            let mut j = i + 2;
+            while let Some(&c) = bytes.get(j) {
+                match c {
+                    b'\\' => j += 2,
+                    b'\'' => return (j + 1, TokenKind::Char),
+                    _ => j += 1,
+                }
+            }
+            (j.min(bytes.len()), TokenKind::Char)
+        }
+        Some(&c) if is_ident_start(c) => {
+            // An identifier run: `'a'` closes immediately after → char;
+            // `'a`, `'static`, `'outer:` do not → lifetime.
+            let mut j = i + 1;
+            while bytes.get(j).copied().is_some_and(is_ident_continue) {
+                j += 1;
+            }
+            if bytes.get(j) == Some(&b'\'') {
+                (j + 1, TokenKind::Char)
+            } else {
+                (j, TokenKind::Lifetime)
+            }
+        }
+        Some(&c) => {
+            // Any other scalar: `'0'`, `' '`, `'%'` — one scalar then tick.
+            let j = i + 1 + utf8_width(c);
+            if bytes.get(j) == Some(&b'\'') {
+                (j + 1, TokenKind::Char)
+            } else {
+                // Stray tick; treat as punctuation so lexing continues.
+                (i + 1, TokenKind::Punct)
+            }
+        }
+        None => (i + 1, TokenKind::Punct),
+    }
+}
+
+/// Skips a numeric literal starting with a digit at `i`: prefixes
+/// (`0x`/`0o`/`0b`), underscores, a fractional part, exponents, and
+/// alphanumeric suffixes (`u64`, `f32`). Stops before `..` (ranges),
+/// `.method()` and tuple-index-like `.0` chains are split by the caller's
+/// next iteration.
+fn skip_number(bytes: &[u8], i: usize) -> usize {
+    let mut j = i;
+    let radix_prefix = bytes.get(i) == Some(&b'0')
+        && matches!(
+            bytes.get(i + 1),
+            Some(b'x' | b'o' | b'b' | b'X' | b'O' | b'B')
+        );
+    if radix_prefix {
+        j += 2;
+        while bytes
+            .get(j)
+            .copied()
+            .is_some_and(|c| c.is_ascii_alphanumeric() || c == b'_')
+        {
+            j += 1;
+        }
+        return j;
+    }
+    while bytes
+        .get(j)
+        .copied()
+        .is_some_and(|c| c.is_ascii_digit() || c == b'_')
+    {
+        j += 1;
+    }
+    // Fractional part: `1.5` and trailing-dot `1.` — but not `1..5`
+    // (range) and not `1.max(2)` (method call on an integer).
+    if bytes.get(j) == Some(&b'.') {
+        match bytes.get(j + 1) {
+            Some(c) if c.is_ascii_digit() => {
+                j += 1;
+                while bytes
+                    .get(j)
+                    .copied()
+                    .is_some_and(|c| c.is_ascii_digit() || c == b'_')
+                {
+                    j += 1;
+                }
+            }
+            Some(b'.') => return j,
+            Some(&c) if is_ident_start(c) => return j,
+            _ => j += 1, // trailing-dot float `3.`
+        }
+    }
+    // Exponent.
+    if matches!(bytes.get(j), Some(b'e' | b'E')) {
+        let sign = matches!(bytes.get(j + 1), Some(b'+' | b'-'));
+        let digits_at = if sign { j + 2 } else { j + 1 };
+        if bytes
+            .get(digits_at)
+            .copied()
+            .is_some_and(|c| c.is_ascii_digit())
+        {
+            j = digits_at + 1;
+            while bytes
+                .get(j)
+                .copied()
+                .is_some_and(|c| c.is_ascii_digit() || c == b'_')
+            {
+                j += 1;
+            }
+        }
+    }
+    // Suffix (`u64`, `f32`, `usize`).
+    while bytes.get(j).copied().is_some_and(is_ident_continue) {
+        j += 1;
+    }
+    j
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The golden fixture: one file exercising every v1 masker gap (raw
+    /// strings, nested block comments, lifetime-vs-char) plus the rest of
+    /// the lexical grammar. Lives outside the scanned tree (`fixtures/`
+    /// directories are excluded from `load_workspace`) because it seeds
+    /// deliberate hazard spellings inside literals.
+    const GOLDEN: &str = include_str!("fixtures/golden.rs");
+
+    fn kinds_and_texts(src: &str) -> Vec<(TokenKind, &str)> {
+        lex(src).iter().map(|t| (t.kind, t.text(src))).collect()
+    }
+
+    fn texts_of(src: &str, kind: TokenKind) -> Vec<&str> {
+        lex(src)
+            .iter()
+            .filter(|t| t.kind == kind)
+            .map(|t| t.text(src))
+            .collect()
+    }
+
+    #[test]
+    fn golden_fixture_raw_strings_are_single_tokens() {
+        let raws = texts_of(GOLDEN, TokenKind::RawStr);
+        // Every raw string in the fixture carries the word "unwrap" that
+        // must never leak into Ident tokens.
+        assert!(raws.len() >= 3, "fixture should have raw strings: {raws:?}");
+        assert!(raws.iter().any(|t| t.starts_with("r#\"")));
+        assert!(raws.iter().any(|t| t.starts_with("r##\"")));
+        assert!(raws.iter().any(|t| t.starts_with("br#\"")));
+        for t in &raws {
+            assert!(t.contains("unwrap"), "fixture raw strings embed hazards");
+        }
+        let idents = texts_of(GOLDEN, TokenKind::Ident);
+        assert!(
+            !idents.contains(&"unwrap"),
+            "no literal body may produce an Ident"
+        );
+    }
+
+    #[test]
+    fn golden_fixture_nested_comment_is_one_token() {
+        let comments = texts_of(GOLDEN, TokenKind::BlockComment);
+        let nested = comments
+            .iter()
+            .find(|t| t.contains("/*") && t.matches("*/").count() >= 2)
+            .expect("fixture has a nested block comment");
+        assert!(
+            nested.contains("HashMap"),
+            "hazard stays inside the comment"
+        );
+        assert!(
+            !texts_of(GOLDEN, TokenKind::Ident).contains(&"HashMap"),
+            "nested comment body must not leak"
+        );
+    }
+
+    #[test]
+    fn golden_fixture_lifetimes_vs_chars() {
+        let lifetimes = texts_of(GOLDEN, TokenKind::Lifetime);
+        assert!(lifetimes.contains(&"'a"), "{lifetimes:?}");
+        assert!(lifetimes.contains(&"'static"));
+        let chars = texts_of(GOLDEN, TokenKind::Char);
+        assert!(chars.contains(&"'a'"), "{chars:?}");
+        assert!(chars.contains(&"'\\n'"));
+        assert!(chars.contains(&"b'x'"));
+    }
+
+    #[test]
+    fn golden_fixture_line_numbers_are_exact() {
+        // The fixture ends with a sentinel identifier on a known line.
+        let toks = lex(GOLDEN);
+        let sentinel = toks
+            .iter()
+            .find(|t| t.text(GOLDEN) == "golden_sentinel")
+            .expect("sentinel present");
+        let expected_line = GOLDEN
+            .lines()
+            .position(|l| l.contains("golden_sentinel"))
+            .expect("sentinel line")
+            + 1;
+        assert_eq!(sentinel.line, expected_line);
+    }
+
+    #[test]
+    fn idents_and_puncts() {
+        let got = kinds_and_texts("fn f(x: &u32) -> u32 { x + 1 }");
+        assert_eq!(got[0], (TokenKind::Ident, "fn"));
+        assert_eq!(got[1], (TokenKind::Ident, "f"));
+        assert!(got.contains(&(TokenKind::Punct, "&")));
+        assert!(got.contains(&(TokenKind::Num, "1")));
+    }
+
+    #[test]
+    fn raw_identifiers_lex_as_idents() {
+        let got = kinds_and_texts("let r#match = 1;");
+        assert!(got.contains(&(TokenKind::Ident, "r#match")));
+    }
+
+    #[test]
+    fn numbers_with_suffixes_exponents_and_ranges() {
+        assert_eq!(texts_of("1_000u64", TokenKind::Num), ["1_000u64"]);
+        assert_eq!(texts_of("1e-9", TokenKind::Num), ["1e-9"]);
+        assert_eq!(texts_of("2.5f64", TokenKind::Num), ["2.5f64"]);
+        assert_eq!(texts_of("3.", TokenKind::Num), ["3."]);
+        // Ranges must not swallow the dots.
+        assert_eq!(texts_of("0..n", TokenKind::Num), ["0"]);
+        assert_eq!(texts_of("0..=10", TokenKind::Num), ["0", "10"]);
+        // Method calls on integer literals keep the dot as punctuation.
+        assert_eq!(texts_of("1.max(2)", TokenKind::Num), ["1", "2"]);
+        assert_eq!(texts_of("0xFF_u8", TokenKind::Num), ["0xFF_u8"]);
+        assert!(num_is_float("1e-9"));
+        assert!(num_is_float("3."));
+        assert!(!num_is_float("0xFF"));
+        assert!(!num_is_float("10"));
+    }
+
+    #[test]
+    fn multiline_strings_track_lines() {
+        let src = "let s = \"a\nb\";\nlet t = 1;";
+        let toks = lex(src);
+        let t = toks.iter().find(|t| t.text(src) == "t").expect("t present");
+        assert_eq!(t.line, 3);
+    }
+
+    #[test]
+    fn unterminated_constructs_do_not_hang() {
+        for src in ["\"abc", "r#\"abc", "/* /* a */", "'", "b'"] {
+            let toks = lex(src);
+            assert!(!toks.is_empty(), "{src:?} lexes to something");
+        }
+    }
+
+    #[test]
+    fn labels_lex_as_lifetimes() {
+        let got = kinds_and_texts("'outer: loop { break 'outer; }");
+        assert_eq!(got[0], (TokenKind::Lifetime, "'outer"));
+        assert!(got.contains(&(TokenKind::Lifetime, "'outer")));
+    }
+}

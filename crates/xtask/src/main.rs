@@ -8,26 +8,34 @@
 #![forbid(unsafe_code)]
 
 mod baseline;
+mod callgraph;
 mod fidelity;
+mod items;
+mod legacy;
+mod lexer;
 mod rules;
 mod scan;
 
 use baseline::Counts;
 use rules::{Category, Finding};
+use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+// xtask-allow: wall-clock -- lint self-timing, reported to CI, never simulated
+use std::time::Instant;
 
 const USAGE: &str = "\
 cargo xtask <command>
 
 Commands:
-  lint                    run the determinism/panic-debt/hot-path/fidelity analysis
+  lint                    run the determinism/nan-safety/panic-debt/hot-path analysis
   lint --update-baseline  rewrite the panic-debt ratchet (refuses increases)
   lint --list             print every finding, including baselined debt
   lint --root <dir>       analyze another checkout of this workspace
 
-The lint exits non-zero on: any determinism, hot-path or fidelity
-finding, or any panic-debt count above its baseline entry.
+The lint exits non-zero on: any determinism, nan-safety, hot-path,
+hygiene (unused allow) or fidelity finding, or any panic-debt count
+above its baseline entry.
 ";
 
 fn main() -> ExitCode {
@@ -97,21 +105,29 @@ fn print_finding(f: &Finding) {
 
 /// Runs the full lint. Returns `Ok(true)` when the tree is clean.
 fn run_lint(root: &Path, update_baseline: bool, list_all: bool) -> Result<bool, String> {
+    // xtask-allow: wall-clock -- lint self-timing, reported to CI, never simulated
+    let t0 = Instant::now();
     let files = scan::load_workspace(root)?;
+    let crate_map = scan::crate_idents(root);
 
     let mut hard_findings: Vec<Finding> = Vec::new(); // zero-tolerance
     let mut debt_findings: Vec<Finding> = Vec::new(); // ratcheted
+    let mut rule_counts: BTreeMap<&str, usize> = BTreeMap::new();
 
-    for f in &files {
-        for finding in rules::check_file(f) {
-            match finding.category {
-                Category::PanicDebt => debt_findings.push(finding),
-                _ => hard_findings.push(finding),
-            }
+    for finding in rules::check_workspace(&files, &crate_map) {
+        *rule_counts.entry(finding.rule).or_insert(0) += 1;
+        match finding.category {
+            Category::PanicDebt => debt_findings.push(finding),
+            _ => hard_findings.push(finding),
         }
     }
-    hard_findings.extend(fidelity::check_design_bins(root));
-    hard_findings.extend(fidelity::check_crate_attrs(&files));
+    for finding in fidelity::check_design_bins(root)
+        .into_iter()
+        .chain(fidelity::check_crate_attrs(&files))
+    {
+        *rule_counts.entry(finding.rule).or_insert(0) += 1;
+        hard_findings.push(finding);
+    }
 
     // Tally current debt.
     let mut current = Counts::new();
@@ -195,8 +211,16 @@ fn run_lint(root: &Path, update_baseline: bool, list_all: bool) -> Result<bool, 
 
     let debt_total = baseline::total(&current);
     let baseline_total = baseline::total(&committed);
+    // Per-rule counts (all findings, baselined debt included) and wall
+    // time, one line each so CI can grep and budget them.
+    let per_rule: Vec<String> = rules::ALL_RULES
+        .iter()
+        .map(|(rule, _)| format!("{rule}={}", rule_counts.get(rule).copied().unwrap_or(0)))
+        .collect();
+    println!("per-rule: {}", per_rule.join(" "));
+    println!("lint wall time: {} ms", t0.elapsed().as_millis());
     println!(
-        "xtask lint: {} files scanned; determinism+hot-path+fidelity findings: {}; \
+        "xtask lint: {} files scanned; zero-tolerance findings: {}; \
          panic debt {debt_total} (baseline {baseline_total}); new debt sites: {}",
         files.len(),
         hard_findings.len(),

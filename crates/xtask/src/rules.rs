@@ -1,11 +1,19 @@
-//! The lint rules: determinism hazards and panic debt.
+//! The lint rules: determinism hazards, NaN safety, panic debt and
+//! hot-path purity.
 //!
-//! Every detector runs over the *masked* text (comments and literal
-//! bodies blanked), skips `#[cfg(test)]` regions where the policy says
-//! so, and honours `// xtask-allow: <rule> -- <reason>` markers on the
-//! finding's line or the line above.
+//! Every detector walks the real token stream ([`crate::lexer`]), so
+//! comments and literal bodies can never produce findings. Detectors
+//! skip `#[cfg(test)]` regions and honour `// xtask-allow: <rule> --
+//! <reason>` markers; a marker no detector consumes is itself a finding
+//! (`unused-allow`). The hot-path rule is transitive: it follows the
+//! workspace call graph from every hot-path-marked function (see
+//! [`items::HOT_PATH_MARKER`]).
 
+use crate::callgraph::{self, Graph};
+use crate::items::{self, FileItems, FnItem};
+use crate::lexer::{num_is_float, TokenKind};
 use crate::scan::SourceFile;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Finding categories, in report order.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
@@ -13,12 +21,18 @@ pub enum Category {
     /// Nondeterminism that would de-reproduce seeded experiments. Zero
     /// tolerance: no baseline entries exist for this category.
     Determinism,
+    /// NaN/∞ escape hatches in probability code: unguarded logs and
+    /// divisions, truncating casts, unguarded public float returns.
+    /// Zero tolerance.
+    NanSafety,
     /// Code that can panic in library crates; ratcheted via the baseline.
     PanicDebt,
-    /// Allocation inside a function marked `// xtask: hot-path`. Zero
-    /// tolerance: the marked loops are the per-tick prediction budget
-    /// and must stay allocation-free.
+    /// Allocation reachable from a hot-path-marked function.
+    /// Zero tolerance: the marked kernels are the per-tick prediction
+    /// budget and everything they call must stay allocation-free.
     HotPath,
+    /// Lint hygiene: allow markers that suppress nothing. Zero tolerance.
+    Hygiene,
     /// Drift between DESIGN.md's experiment index and the crates.
     Fidelity,
 }
@@ -28,8 +42,10 @@ impl Category {
     pub fn name(self) -> &'static str {
         match self {
             Category::Determinism => "determinism",
+            Category::NanSafety => "nan-safety",
             Category::PanicDebt => "panic-debt",
             Category::HotPath => "hot-path",
+            Category::Hygiene => "hygiene",
             Category::Fidelity => "fidelity",
         }
     }
@@ -50,75 +66,181 @@ pub struct Finding {
     pub message: String,
 }
 
-/// Runs every file-level detector over one source file.
-pub fn check_file(f: &SourceFile) -> Vec<Finding> {
+/// Every rule this module can emit, for per-rule reporting.
+pub const ALL_RULES: &[(&str, Category)] = &[
+    ("hash-collection", Category::Determinism),
+    ("ambient-rng", Category::Determinism),
+    ("wall-clock", Category::Determinism),
+    ("float-eq", Category::Determinism),
+    ("nan-unsafe-sort", Category::Determinism),
+    ("unguarded-log", Category::NanSafety),
+    ("truncating-cast", Category::NanSafety),
+    ("unguarded-div", Category::NanSafety),
+    ("missing-finite-guard", Category::NanSafety),
+    ("unwrap", Category::PanicDebt),
+    ("expect", Category::PanicDebt),
+    ("panic", Category::PanicDebt),
+    ("unreachable", Category::PanicDebt),
+    ("todo", Category::PanicDebt),
+    ("unimplemented", Category::PanicDebt),
+    ("index-in-loop", Category::PanicDebt),
+    ("hot-path-alloc", Category::HotPath),
+    ("unused-allow", Category::Hygiene),
+];
+
+/// Identifiers whose presence in a function body counts as a finiteness
+/// guard for the NaN-safety rules: the `debug_assert_finite!` family
+/// from `prepare-metrics`, the markov/tan invariant audits
+/// (`debug_assert_normalized`, `debug_assert_row_stochastic`), plus
+/// explicit `is_finite`/`is_nan` checks.
+const GUARD_IDENTS: &[&str] = &[
+    "debug_assert_finite",
+    "debug_assert_all_finite",
+    "debug_assert_normalized",
+    "debug_assert_row_stochastic",
+    "is_finite",
+    "is_nan",
+];
+
+/// Probability-path crates where `unguarded-div` and
+/// `missing-finite-guard` apply: a NaN minted here flows straight into
+/// predictions and anomaly scores.
+fn prob_crate(rel: &str) -> bool {
+    rel.starts_with("crates/markov/")
+        || rel.starts_with("crates/tan/")
+        || rel.starts_with("crates/anomaly/")
+}
+
+/// Library crates where `unguarded-log` and `truncating-cast` apply
+/// (everything under `crates/` except the timing harness and the lint
+/// itself has float math feeding results).
+fn nan_rules_apply(rel: &str) -> bool {
+    rel.starts_with("crates/") && !rel.starts_with("crates/bench/")
+}
+
+/// Runs every detector over the workspace: per-file rules, then the
+/// whole-graph transitive hot-path rule, then unused-allow hygiene.
+/// `crate_map` maps crate identifiers to directory prefixes
+/// ([`crate::scan::crate_idents`]).
+pub fn check_workspace(files: &[SourceFile], crate_map: &BTreeMap<String, String>) -> Vec<Finding> {
+    let parsed: Vec<FileItems> = files.iter().map(items::parse_file).collect();
     let mut findings = Vec::new();
-    if f.policy.determinism {
-        hash_collections(f, &mut findings);
-        ambient_rng(f, &mut findings);
-        if !f.policy.wall_clock_allowed {
-            wall_clock(f, &mut findings);
-        }
-        float_eq(f, &mut findings);
-        nan_unsafe_sort(f, &mut findings);
+    for (f, it) in files.iter().zip(&parsed) {
+        check_file(f, it, &mut findings);
     }
-    if f.policy.count_panic_debt {
-        panic_debt(f, &mut findings);
-        index_in_loop(f, &mut findings);
-    }
-    // The marker is explicit opt-in, so this detector runs everywhere.
-    hot_path_alloc(f, &mut findings);
+    transitive_hot_path(files, &parsed, crate_map, &mut findings);
+    unused_allows(files, &mut findings);
+    findings
+        .sort_by(|a, b| (a.file.as_str(), a.line, a.rule).cmp(&(b.file.as_str(), b.line, b.rule)));
     findings
 }
 
-fn is_ident_byte(b: u8) -> bool {
-    b.is_ascii_alphanumeric() || b == b'_'
-}
-
-/// Yields offsets of `needle` in `haystack` occurring as a whole word.
-fn word_occurrences<'a>(haystack: &'a str, needle: &'a str) -> impl Iterator<Item = usize> + 'a {
-    let bytes = haystack.as_bytes();
-    let mut from = 0usize;
-    std::iter::from_fn(move || {
-        while let Some(found) = haystack[from..].find(needle) {
-            let at = from + found;
-            from = at + needle.len();
-            let before_ok = at == 0 || !bytes.get(at - 1).copied().is_some_and(is_ident_byte);
-            let after_ok = !bytes
-                .get(at + needle.len())
-                .copied()
-                .is_some_and(is_ident_byte);
-            if before_ok && after_ok {
-                return Some(at);
-            }
+fn check_file(f: &SourceFile, it: &FileItems, findings: &mut Vec<Finding>) {
+    if f.policy.determinism {
+        hash_collections(f, findings);
+        ambient_rng(f, findings);
+        if !f.policy.wall_clock_allowed {
+            wall_clock(f, findings);
         }
-        None
-    })
+        float_eq(f, findings);
+        nan_unsafe_sort(f, findings);
+    }
+    if f.policy.count_panic_debt {
+        panic_debt(f, findings);
+        index_in_loop(f, findings);
+        if nan_rules_apply(&f.rel_path) {
+            unguarded_log(f, it, findings);
+            truncating_cast(f, it, findings);
+        }
+        if prob_crate(&f.rel_path) {
+            unguarded_div(f, it, findings);
+            missing_finite_guard(f, it, findings);
+        }
+    }
 }
 
+/// Records a finding anchored at code position `k`, unless it sits in a
+/// test region or an allow marker covers it. Consulting the marker also
+/// marks it used.
 fn push(
     f: &SourceFile,
     findings: &mut Vec<Finding>,
-    at: usize,
+    k: usize,
     category: Category,
     rule: &'static str,
     message: String,
-    skip_test_regions: bool,
 ) {
-    if skip_test_regions && f.in_test_region(at) {
+    let Some(t) = f.ctok(k) else {
+        return;
+    };
+    if f.in_test_region(t.start) {
         return;
     }
-    let line = f.line_of(at);
-    if f.is_allowed(line, rule) {
+    if f.is_allowed(t.line, rule) {
         return;
     }
     findings.push(Finding {
         file: f.rel_path.clone(),
-        line,
+        line: t.line,
         category,
         rule,
         message,
     });
+}
+
+/// Code position of the punct matching `open_c` at position `open`
+/// (depth-matched over `open_c`/`close_c`); `code.len()` if unmatched.
+fn matching(f: &SourceFile, open: usize, open_c: char, close_c: char) -> usize {
+    let mut depth = 0i64;
+    let mut j = open;
+    loop {
+        if f.ctok(j).is_none() {
+            return j;
+        }
+        if f.cpunct(j, open_c) {
+            depth += 1;
+        } else if f.cpunct(j, close_c) {
+            depth -= 1;
+            if depth == 0 {
+                return j;
+            }
+        }
+        j += 1;
+    }
+}
+
+/// Code position of the `(` matching the `)` at `close`, scanning
+/// backwards; `None` if unmatched.
+fn matching_back(f: &SourceFile, close: usize) -> Option<usize> {
+    let mut depth = 0i64;
+    let mut j = close;
+    loop {
+        if f.cpunct(j, ')') {
+            depth += 1;
+        } else if f.cpunct(j, '(') {
+            depth -= 1;
+            if depth == 0 {
+                return Some(j);
+            }
+        }
+        j = j.checked_sub(1)?;
+    }
+}
+
+/// True when the function enclosing code position `pos` contains a
+/// finiteness guard.
+fn enclosing_guarded(f: &SourceFile, it: &FileItems, pos: usize) -> bool {
+    it.enclosing_fn(pos)
+        .and_then(|i| it.fns.get(i))
+        .is_some_and(|item| fn_guarded(f, item))
+}
+
+/// True when the function's body mentions any [`GUARD_IDENTS`] name.
+fn fn_guarded(f: &SourceFile, item: &FnItem) -> bool {
+    let Some((open, close)) = item.body else {
+        return false;
+    };
+    (open..=close).any(|k| f.cident(k).is_some_and(|w| GUARD_IDENTS.contains(&w)))
 }
 
 /// `HashMap`/`HashSet` in simulation-visible code: iteration order is
@@ -126,16 +248,15 @@ fn push(
 /// state or output de-reproduces runs. `BTreeMap`/`BTreeSet` are the
 /// deterministic replacements.
 fn hash_collections(f: &SourceFile, findings: &mut Vec<Finding>) {
-    for name in ["HashMap", "HashSet"] {
-        for at in word_occurrences(&f.masked, name) {
+    for k in 0..f.code.len() {
+        if let Some(name @ ("HashMap" | "HashSet")) = f.cident(k) {
             push(
                 f,
                 findings,
-                at,
+                k,
                 Category::Determinism,
                 "hash-collection",
                 format!("{name} in simulation-visible code; use the BTree equivalent"),
-                true,
             );
         }
     }
@@ -143,33 +264,32 @@ fn hash_collections(f: &SourceFile, findings: &mut Vec<Finding>) {
 
 /// Unseeded entropy sources in library code.
 fn ambient_rng(f: &SourceFile, findings: &mut Vec<Finding>) {
-    for name in ["thread_rng", "from_entropy", "OsRng"] {
-        for at in word_occurrences(&f.masked, name) {
-            push(
+    for k in 0..f.code.len() {
+        match f.cident(k) {
+            Some(name @ ("thread_rng" | "from_entropy" | "OsRng")) => push(
                 f,
                 findings,
-                at,
+                k,
                 Category::Determinism,
                 "ambient-rng",
                 format!("{name} draws OS entropy; thread a seeded StdRng through instead"),
-                true,
-            );
-        }
-    }
-    for at in word_occurrences(&f.masked, "random") {
-        // `rand::random()` specifically; a fn named `randomize` etc. is
-        // caught by word boundaries already, but only flag the
-        // qualified form to avoid matching local identifiers.
-        if f.masked[..at].ends_with("rand::") {
-            push(
-                f,
-                findings,
-                at,
-                Category::Determinism,
-                "ambient-rng",
-                "rand::random() draws OS entropy; thread a seeded StdRng through instead".into(),
-                true,
-            );
+            ),
+            // `rand::random()` specifically; only the qualified form, to
+            // avoid matching local identifiers.
+            Some("random")
+                if k >= 3 && f.cpair(k - 2, ':', ':') && f.cident(k - 3) == Some("rand") =>
+            {
+                push(
+                    f,
+                    findings,
+                    k,
+                    Category::Determinism,
+                    "ambient-rng",
+                    "rand::random() draws OS entropy; thread a seeded StdRng through instead"
+                        .into(),
+                )
+            }
+            _ => {}
         }
     }
 }
@@ -177,18 +297,17 @@ fn ambient_rng(f: &SourceFile, findings: &mut Vec<Finding>) {
 /// Wall-clock reads in library code: `Instant`/`SystemTime` differ per
 /// run and so must never influence simulation results.
 fn wall_clock(f: &SourceFile, findings: &mut Vec<Finding>) {
-    for name in ["Instant", "SystemTime"] {
-        for at in word_occurrences(&f.masked, name) {
+    for k in 0..f.code.len() {
+        if let Some(name @ ("Instant" | "SystemTime")) = f.cident(k) {
             push(
                 f,
                 findings,
-                at,
+                k,
                 Category::Determinism,
                 "wall-clock",
                 format!(
                     "{name} reads the wall clock; simulation code must use simulated Timestamps"
                 ),
-                true,
             );
         }
     }
@@ -197,145 +316,98 @@ fn wall_clock(f: &SourceFile, findings: &mut Vec<Finding>) {
 /// `==`/`!=` against a float literal: exact float comparison is almost
 /// never the intent in metric code and breaks under recomputation noise.
 fn float_eq(f: &SourceFile, findings: &mut Vec<Finding>) {
-    let bytes = f.masked.as_bytes();
-    let mut i = 0usize;
-    while i + 1 < bytes.len() {
-        let two = &bytes[i..i + 2];
-        if two == b"==" || two == b"!=" {
-            // Skip `===`? Not Rust. Skip `<=`, `>=`, `!=` handled; make
-            // sure `=` isn't part of `==` already counted.
-            let lhs_float = preceding_token_is_float(&f.masked, i);
-            let rhs_float = following_token_is_float(&f.masked, i + 2);
-            if lhs_float || rhs_float {
-                push(
-                    f,
-                    findings,
-                    i,
-                    Category::Determinism,
-                    "float-eq",
-                    "exact equality against a float literal; compare with a tolerance or restructure"
-                        .into(),
-                    true,
-                );
-            }
-            i += 2;
-        } else {
-            i += 1;
+    let mut k = 0usize;
+    while f.ctok(k).is_some() {
+        if !(f.cpair(k, '=', '=') || f.cpair(k, '!', '=')) {
+            k += 1;
+            continue;
         }
+        let lhs_float = k
+            .checked_sub(1)
+            .is_some_and(|p| f.ckind(p) == Some(TokenKind::Num) && num_is_float(f.ctext(p)));
+        let mut m = k + 2;
+        if f.cpunct(m, '-') {
+            m += 1;
+        }
+        let rhs_float = f.ckind(m) == Some(TokenKind::Num) && num_is_float(f.ctext(m));
+        if lhs_float || rhs_float {
+            push(
+                f,
+                findings,
+                k,
+                Category::Determinism,
+                "float-eq",
+                "exact equality against a float literal; compare with a tolerance or restructure"
+                    .into(),
+            );
+        }
+        k += 2;
     }
-}
-
-fn is_float_literal(token: &str) -> bool {
-    let t = token.trim_end_matches("f64").trim_end_matches("f32");
-    let t = t.strip_prefix('-').unwrap_or(t);
-    if t.is_empty() || !t.as_bytes()[0].is_ascii_digit() {
-        return false;
-    }
-    (t.contains('.') || t.contains('e') || t.contains('E'))
-        && t.bytes()
-            .all(|b| b.is_ascii_digit() || matches!(b, b'.' | b'e' | b'E' | b'+' | b'-' | b'_'))
-}
-
-fn preceding_token_is_float(text: &str, op_at: usize) -> bool {
-    let before = text[..op_at].trim_end();
-    let start = before
-        .rfind(|c: char| !(c.is_ascii_alphanumeric() || matches!(c, '.' | '_' | '-' | '+')))
-        .map_or(0, |p| p + 1);
-    is_float_literal(&before[start..])
-}
-
-fn following_token_is_float(text: &str, after_op: usize) -> bool {
-    let rest = text[after_op..].trim_start();
-    let end = rest
-        .find(|c: char| !(c.is_ascii_alphanumeric() || matches!(c, '.' | '_' | '-' | '+')))
-        .unwrap_or(rest.len());
-    is_float_literal(&rest[..end])
 }
 
 /// `partial_cmp(..).unwrap()/expect(..)` — panics on NaN and silently
 /// depends on NaN never reaching the comparator. `total_cmp` is the
 /// deterministic, panic-free replacement.
 fn nan_unsafe_sort(f: &SourceFile, findings: &mut Vec<Finding>) {
-    for at in word_occurrences(&f.masked, "partial_cmp") {
-        let window_end = (at + 160).min(f.masked.len());
-        let window = &f.masked[at..window_end];
-        if window.contains(".unwrap()") || window.contains(".expect(") {
+    for k in 0..f.code.len() {
+        if f.cident(k) != Some("partial_cmp") || !f.cpunct(k + 1, '(') {
+            continue;
+        }
+        let close = matching(f, k + 1, '(', ')');
+        if f.cpunct(close + 1, '.') && matches!(f.cident(close + 2), Some("unwrap" | "expect")) {
             push(
                 f,
                 findings,
-                at,
+                k,
                 Category::Determinism,
                 "nan-unsafe-sort",
                 "partial_cmp().unwrap() is NaN-unsafe; use f64::total_cmp".into(),
-                true,
             );
         }
     }
 }
-
-/// The ratcheted panic-debt token rules: `(rule name, needle)`.
-pub const PANIC_DEBT_TOKENS: [(&str, &str); 6] = [
-    ("unwrap", ".unwrap()"),
-    ("expect", ".expect("),
-    ("panic", "panic!"),
-    ("unreachable", "unreachable!"),
-    ("todo", "todo!"),
-    ("unimplemented", "unimplemented!"),
-];
 
 fn panic_debt(f: &SourceFile, findings: &mut Vec<Finding>) {
-    for (rule, needle) in PANIC_DEBT_TOKENS {
-        let mut from = 0usize;
-        while let Some(found) = f.masked[from..].find(needle) {
-            let at = from + found;
-            from = at + needle.len();
-            // `.unwrap()` / `.expect(` never start an identifier; the
-            // macro names need a word boundary on the left, which also
-            // excludes `debug_assert!`-style bang macros that merely
-            // *contain* the word.
-            if needle.as_bytes()[0] != b'.'
-                && at > 0
-                && f.masked
-                    .as_bytes()
-                    .get(at - 1)
-                    .copied()
-                    .is_some_and(is_ident_byte)
-            {
-                continue;
+    for k in 0..f.code.len() {
+        let Some(w) = f.cident(k) else {
+            continue;
+        };
+        let prev_dot = k.checked_sub(1).is_some_and(|p| f.cpunct(p, '.'));
+        let (rule, needle): (&'static str, &str) = match w {
+            "unwrap" if prev_dot && f.cpunct(k + 1, '(') && f.cpunct(k + 2, ')') => {
+                ("unwrap", ".unwrap()")
             }
-            push(
-                f,
-                findings,
-                at,
-                Category::PanicDebt,
-                rule,
-                format!("`{needle}` can panic in a library crate"),
-                true,
-            );
-        }
+            "expect" if prev_dot && f.cpunct(k + 1, '(') => ("expect", ".expect("),
+            "panic" if f.cpunct(k + 1, '!') => ("panic", "panic!"),
+            "unreachable" if f.cpunct(k + 1, '!') => ("unreachable", "unreachable!"),
+            "todo" if f.cpunct(k + 1, '!') => ("todo", "todo!"),
+            "unimplemented" if f.cpunct(k + 1, '!') => ("unimplemented", "unimplemented!"),
+            _ => continue,
+        };
+        push(
+            f,
+            findings,
+            k,
+            Category::PanicDebt,
+            rule,
+            format!("`{needle}` can panic in a library crate"),
+        );
     }
 }
 
-/// True when the text following a `for` keyword reads as a loop header
+/// True when the tokens after a `for` keyword read as a loop header
 /// (`for pat in iter {`) rather than a trait impl or HRTB: an `in` word
 /// must appear before the opening brace or a semicolon.
-fn for_header_is_loop(rest: &str) -> bool {
-    let bytes = rest.as_bytes();
-    let mut i = 0usize;
-    while let Some(&b) = bytes.get(i) {
-        match b {
-            b'{' | b';' => return false,
-            _ if is_ident_byte(b) => {
-                let start = i;
-                while bytes.get(i).copied().is_some_and(is_ident_byte) {
-                    i += 1;
-                }
-                if &rest[start..i] == "in" {
-                    return true;
-                }
-            }
-            _ => i += 1,
+fn for_header_is_loop(f: &SourceFile, from: usize) -> bool {
+    let mut j = from;
+    while f.ctok(j).is_some() {
+        if f.cpunct(j, '{') || f.cpunct(j, ';') {
+            return false;
         }
+        if f.cident(j) == Some("in") {
+            return true;
+        }
+        j += 1;
     }
     false
 }
@@ -344,170 +416,419 @@ fn for_header_is_loop(rest: &str) -> bool {
 /// risk (and bounds-check cost) the paper's control loop cannot afford.
 /// `get`/iterators are the replacements.
 fn index_in_loop(f: &SourceFile, findings: &mut Vec<Finding>) {
-    let bytes = f.masked.as_bytes();
-    #[derive(Clone, Copy, PartialEq)]
-    enum Scope {
-        Plain,
-        Loop,
-    }
-    let mut stack: Vec<Scope> = Vec::new();
+    let mut stack: Vec<bool> = Vec::new();
     let mut loop_depth = 0usize;
-    let mut pending_loop = false;
-    let mut i = 0usize;
-    while let Some(&b) = bytes.get(i) {
-        if is_ident_byte(b) {
-            let start = i;
-            while bytes.get(i).copied().is_some_and(is_ident_byte) {
-                i += 1;
+    let mut pending = false;
+    let mut k = 0usize;
+    while f.ctok(k).is_some() {
+        if let Some(w) = f.cident(k) {
+            // `for` also introduces trait impls (`impl T for U {`) and
+            // HRTBs; only a `for … in …` header is a loop.
+            if matches!(w, "while" | "loop") || (w == "for" && for_header_is_loop(f, k + 1)) {
+                pending = true;
             }
-            let word = &f.masked[start..i];
-            // `for` also introduces trait impls (`impl Trait for Type {`)
-            // and HRTBs; only a `for … in …` header is a loop.
-            if matches!(word, "while" | "loop")
-                || (word == "for" && for_header_is_loop(&f.masked[i..]))
-            {
-                pending_loop = true;
-            }
+            k += 1;
             continue;
         }
-        match b {
-            b'{' => {
-                let scope = if pending_loop {
-                    Scope::Loop
-                } else {
-                    Scope::Plain
-                };
-                pending_loop = false;
-                if scope == Scope::Loop {
-                    loop_depth += 1;
-                }
-                stack.push(scope);
+        if f.cpunct(k, '{') {
+            stack.push(pending);
+            if pending {
+                loop_depth += 1;
             }
-            b'}' if stack.pop() == Some(Scope::Loop) => {
+            pending = false;
+        } else if f.cpunct(k, '}') {
+            if stack.pop() == Some(true) {
                 loop_depth = loop_depth.saturating_sub(1);
             }
-            b';' => pending_loop = false,
-            b'[' if loop_depth > 0 => {
-                // Indexing only: the `[` must follow a value expression.
-                // A keyword there (`for x in [..]`, `return [..]`) means
-                // an array literal instead.
-                let prev_end = bytes[..i].iter().rposition(|b| !b.is_ascii_whitespace());
-                let is_indexing = prev_end.is_some_and(|e| match bytes.get(e).copied() {
-                    Some(b')' | b']') => true,
-                    Some(p) if is_ident_byte(p) => {
-                        let mut s = e;
-                        while s > 0 && bytes.get(s - 1).copied().is_some_and(is_ident_byte) {
-                            s -= 1;
-                        }
-                        !matches!(
-                            &f.masked[s..=e],
-                            "in" | "return" | "break" | "if" | "else" | "match" | "move"
-                        )
-                    }
-                    _ => false,
-                });
-                if is_indexing {
-                    // Find the matching `]`.
-                    let mut depth = 1i64;
-                    let mut j = i + 1;
-                    while depth > 0 {
-                        match bytes.get(j) {
-                            None => break,
-                            Some(b'[') => depth += 1,
-                            Some(b']') => depth -= 1,
-                            _ => {}
-                        }
-                        j += 1;
-                    }
-                    let inner = f.masked[i + 1..j.saturating_sub(1)].trim();
-                    let literal_index =
-                        !inner.is_empty() && inner.bytes().all(|b| b.is_ascii_digit() || b == b'_');
-                    let range_slice = inner.contains("..");
-                    if !literal_index && !range_slice && !inner.is_empty() {
-                        push(
-                            f,
-                            findings,
-                            i,
-                            Category::PanicDebt,
-                            "index-in-loop",
-                            format!("`[{inner}]` indexing inside a loop can panic; prefer get()/iterators"),
-                            true,
-                        );
-                    }
-                    i = j;
-                    continue;
+        } else if f.cpunct(k, ';') {
+            pending = false;
+        } else if f.cpunct(k, '[') && loop_depth > 0 {
+            // Indexing only: the `[` must follow a value expression. A
+            // keyword there (`for x in [..]`, `return [..]`) means an
+            // array literal instead.
+            let is_indexing = k.checked_sub(1).is_some_and(|p| {
+                if f.cpunct(p, ')') || f.cpunct(p, ']') {
+                    return true;
                 }
+                // Tuple-field receivers index too: `rows.1[i]`.
+                if f.ckind(p) == Some(TokenKind::Num)
+                    && p.checked_sub(1).is_some_and(|q| f.cpunct(q, '.'))
+                {
+                    return true;
+                }
+                f.cident(p).is_some_and(|w| {
+                    !matches!(
+                        w,
+                        "in" | "return" | "break" | "if" | "else" | "match" | "move"
+                    )
+                })
+            });
+            if is_indexing {
+                let close = matching(f, k, '[', ']');
+                let inner_len = close.saturating_sub(k + 1);
+                let literal_index = inner_len == 1
+                    && f.ckind(k + 1) == Some(TokenKind::Num)
+                    && f.ctext(k + 1)
+                        .bytes()
+                        .all(|b| b.is_ascii_digit() || b == b'_');
+                let range_slice = (k + 1..close).any(|j| f.cpair(j, '.', '.'));
+                if !literal_index && !range_slice && inner_len > 0 {
+                    let inner = match (f.ctok(k + 1), f.ctok(close.saturating_sub(1))) {
+                        (Some(a), Some(b)) => f.text.get(a.start..b.end).unwrap_or("").to_string(),
+                        _ => String::new(),
+                    };
+                    push(
+                        f,
+                        findings,
+                        k,
+                        Category::PanicDebt,
+                        "index-in-loop",
+                        format!(
+                            "`[{inner}]` indexing inside a loop can panic; prefer get()/iterators"
+                        ),
+                    );
+                }
+                k = close + 1;
+                continue;
             }
-            _ => {}
         }
-        i += 1;
+        k += 1;
     }
 }
 
-/// Comment marker that opts the next function into [`hot_path_alloc`].
-const HOT_PATH_MARKER: &str = "xtask: hot-path";
-
-/// Allocation calls — `.clone()`, `.to_vec()`, `vec![` — inside a
-/// function annotated with a `// xtask: hot-path` comment. The marked
-/// functions form the per-tick prediction inner loop (Markov propagation,
-/// TAN scoring); an allocation there reintroduces exactly the per-step
-/// `vec![0.0; n * n]` cost the frozen-snapshot rewrite removed, and the
-/// regression is invisible to tests because outputs stay bit-identical.
-fn hot_path_alloc(f: &SourceFile, findings: &mut Vec<Finding>) {
-    let bytes = f.masked.as_bytes();
-    let mut search = 0usize;
-    while let Some(found) = f.text[search..].find(HOT_PATH_MARKER) {
-        let marker_at = search + found;
-        search = marker_at + HOT_PATH_MARKER.len();
-        // The marker lives in a comment, which `masked` blanks — but the
-        // two views share byte offsets, so locate it in `text` and insist
-        // the line opens it with `//` (a stray occurrence in code or a
-        // string body does not arm the rule).
-        let line_start = f.text[..marker_at].rfind('\n').map_or(0, |p| p + 1);
-        if !f.text[line_start..marker_at].contains("//") {
+/// `.ln()`/`.log2()`/`.log10()` in a function without a finiteness
+/// guard: zero or negative input mints `-inf`/NaN that flows silently
+/// into downstream scores.
+fn unguarded_log(f: &SourceFile, it: &FileItems, findings: &mut Vec<Finding>) {
+    for k in 0..f.code.len() {
+        let Some(w @ ("ln" | "log2" | "log10")) = f.cident(k) else {
+            continue;
+        };
+        if !k.checked_sub(1).is_some_and(|p| f.cpunct(p, '.')) || !f.cpunct(k + 1, '(') {
             continue;
         }
-        // The annotated item is the next `fn` in the masked view; brace-
-        // match its body.
-        let Some(fn_rel) = word_occurrences(&f.masked[search..], "fn").next() else {
+        if enclosing_guarded(f, it, k) {
+            continue;
+        }
+        push(
+            f,
+            findings,
+            k,
+            Category::NanSafety,
+            "unguarded-log",
+            format!(
+                "`.{w}()` mints -inf/NaN on non-positive input and the enclosing function has \
+                 no finiteness guard; pass the result through debug_assert_finite!"
+            ),
+        );
+    }
+}
+
+/// Integer type names an `as` cast can truncate a float into.
+const INT_TARGETS: &[&str] = &[
+    "usize", "isize", "u8", "u16", "u32", "u64", "u128", "i8", "i16", "i32", "i64", "i128",
+];
+
+/// Float-returning methods whose result feeds casts (`.round() as usize`).
+const FLOAT_RESULT_METHODS: &[&str] = &[
+    "round", "floor", "ceil", "trunc", "sqrt", "exp", "powf", "ln", "log2", "log10",
+];
+
+/// `<float> as usize`-style casts without a guard: NaN silently becomes
+/// 0 and ±inf saturates, so one bad upstream value corrupts bins and
+/// indices without a trace.
+fn truncating_cast(f: &SourceFile, it: &FileItems, findings: &mut Vec<Finding>) {
+    for k in 0..f.code.len() {
+        if f.cident(k) != Some("as") {
+            continue;
+        }
+        let Some(target) = f.cident(k + 1).filter(|t| INT_TARGETS.contains(t)) else {
             continue;
         };
-        let fn_at = search + fn_rel;
-        let Some(open_rel) = f.masked[fn_at..].find('{') else {
+        let Some(p) = k.checked_sub(1) else {
             continue;
         };
-        let open = fn_at + open_rel;
-        let mut depth = 0i64;
-        let mut j = open;
-        while let Some(&c) = bytes.get(j) {
-            match c {
-                b'{' => depth += 1,
-                b'}' => {
-                    depth -= 1;
-                    if depth == 0 {
-                        break;
-                    }
-                }
-                _ => {}
+        // Only provably-float sources: a float literal, or a call chain
+        // ending in a float-returning method (`x.round() as usize`).
+        let provable = (f.ckind(p) == Some(TokenKind::Num) && num_is_float(f.ctext(p)))
+            || (f.cpunct(p, ')')
+                && matching_back(f, p).is_some_and(|open| {
+                    open >= 2
+                        && f.cpunct(open - 2, '.')
+                        && f.cident(open - 1)
+                            .is_some_and(|m| FLOAT_RESULT_METHODS.contains(&m))
+                }));
+        if !provable || enclosing_guarded(f, it, k) {
+            continue;
+        }
+        push(
+            f,
+            findings,
+            k,
+            Category::NanSafety,
+            "truncating-cast",
+            format!(
+                "float `as {target}` truncates silently (NaN becomes 0) and the enclosing \
+                 function has no finiteness guard; debug_assert_finite! the value first"
+            ),
+        );
+    }
+}
+
+/// Float division in probability-path crates without a finiteness guard:
+/// the classic normalization bug — a zero row sum divides to NaN and
+/// every probability downstream is poisoned.
+fn unguarded_div(f: &SourceFile, it: &FileItems, findings: &mut Vec<Finding>) {
+    // Per-function float evidence, computed once.
+    let meta: Vec<(bool, BTreeSet<String>)> = it
+        .fns
+        .iter()
+        .map(|item| (fn_guarded(f, item), float_vars(f, item)))
+        .collect();
+    let empty = BTreeSet::new();
+    let mut k = 0usize;
+    while f.ctok(k).is_some() {
+        if !f.cpunct(k, '/') {
+            k += 1;
+            continue;
+        }
+        let div_at = k;
+        let mut rhs = if f.cpair(k, '/', '=') { k + 2 } else { k + 1 };
+        while f.cpunct(rhs, '(') || f.cpunct(rhs, '-') || f.cpunct(rhs, '&') {
+            rhs += 1;
+        }
+        let (guarded, vars) = it
+            .enclosing_fn(div_at)
+            .and_then(|i| meta.get(i))
+            .map(|(g, v)| (*g, v))
+            .unwrap_or((false, &empty));
+        let is_float_operand = |pos: usize| {
+            (f.ckind(pos) == Some(TokenKind::Num) && num_is_float(f.ctext(pos)))
+                || matches!(f.cident(pos), Some("f64" | "f32"))
+                || f.cident(pos).is_some_and(|w| vars.contains(w))
+        };
+        // `x / count as f64` — the cast floats the division itself.
+        let rhs_cast =
+            f.cident(rhs + 1) == Some("as") && matches!(f.cident(rhs + 2), Some("f64" | "f32"));
+        let evidenced =
+            k.checked_sub(1).is_some_and(&is_float_operand) || is_float_operand(rhs) || rhs_cast;
+        if evidenced && !guarded {
+            push(
+                f,
+                findings,
+                div_at,
+                Category::NanSafety,
+                "unguarded-div",
+                "float division in a probability path without a finiteness guard; a zero \
+                 denominator mints inf/NaN — debug_assert_finite! the result"
+                    .into(),
+            );
+        }
+        k = rhs.max(k + 1);
+    }
+}
+
+/// Names with float evidence inside one function: `f64`/`f32`-typed
+/// params, and `let` bindings whose initializer mentions a float type or
+/// literal.
+fn float_vars(f: &SourceFile, item: &FnItem) -> BTreeSet<String> {
+    let mut out = BTreeSet::new();
+    for p in &item.params {
+        if p.ty.contains("f64") || p.ty.contains("f32") {
+            out.insert(p.name.clone());
+        }
+    }
+    let Some((open, close)) = item.body else {
+        return out;
+    };
+    let mut k = open + 1;
+    while k < close {
+        if f.cident(k) != Some("let") {
+            k += 1;
+            continue;
+        }
+        let mut n = k + 1;
+        if f.cident(n) == Some("mut") {
+            n += 1;
+        }
+        let Some(name) = f.cident(n) else {
+            k += 1;
+            continue;
+        };
+        let mut j = n + 1;
+        let mut floaty = false;
+        while j < close && !f.cpunct(j, ';') {
+            if matches!(f.cident(j), Some("f64" | "f32"))
+                || (f.ckind(j) == Some(TokenKind::Num) && num_is_float(f.ctext(j)))
+            {
+                floaty = true;
             }
             j += 1;
         }
-        let body_end = (j + 1).min(f.masked.len());
-        for needle in [".clone()", ".to_vec()", "vec!["] {
-            let mut from = open;
-            while let Some(hit) = f.masked[from..body_end].find(needle) {
-                let at = from + hit;
-                from = at + needle.len();
+        if floaty {
+            out.insert(name.to_string());
+        }
+        k = j;
+    }
+    out
+}
+
+/// Public functions in probability-path crates returning `f64` or a
+/// `Distribution` must pass their result through a finiteness guard
+/// before it escapes the crate boundary.
+fn missing_finite_guard(f: &SourceFile, it: &FileItems, findings: &mut Vec<Finding>) {
+    for item in &it.fns {
+        if !item.is_pub || item.in_test || item.body.is_none() {
+            continue;
+        }
+        let ret = if item.ret.contains("Self") {
+            item.self_ty.clone().unwrap_or_else(|| item.ret.clone())
+        } else {
+            item.ret.clone()
+        };
+        if !(ret == "f64" || ret.contains("Distribution")) {
+            continue;
+        }
+        if fn_guarded(f, item) {
+            continue;
+        }
+        push(
+            f,
+            findings,
+            item.fn_pos,
+            Category::NanSafety,
+            "missing-finite-guard",
+            format!(
+                "pub fn `{}` returns `{ret}` without a finiteness guard; wrap the result in \
+                 debug_assert_finite! (zero release cost) or justify with an allow",
+                item.name
+            ),
+        );
+    }
+}
+
+/// Allocation call sites inside a body's code positions.
+fn alloc_sites(f: &SourceFile, open: usize, close: usize) -> Vec<(usize, &'static str)> {
+    let mut out = Vec::new();
+    let mut k = open + 1;
+    while k < close {
+        let Some(w) = f.cident(k) else {
+            k += 1;
+            continue;
+        };
+        let prev_dot = k.checked_sub(1).is_some_and(|p| f.cpunct(p, '.'));
+        match w {
+            "clone" if prev_dot && f.cpunct(k + 1, '(') => out.push((k, ".clone()")),
+            "to_vec" if prev_dot && f.cpunct(k + 1, '(') => out.push((k, ".to_vec()")),
+            "to_owned" if prev_dot && f.cpunct(k + 1, '(') => out.push((k, ".to_owned()")),
+            "vec" if f.cpunct(k + 1, '!') => out.push((k, "vec![")),
+            "format" if f.cpunct(k + 1, '!') => out.push((k, "format!")),
+            "Box"
+                if f.cpair(k + 1, ':', ':')
+                    && f.cident(k + 3) == Some("new")
+                    && f.cpunct(k + 4, '(') =>
+            {
+                out.push((k, "Box::new"))
+            }
+            _ => {}
+        }
+        k += 1;
+    }
+    out
+}
+
+/// The transitive hot-path rule: from every function armed by a
+/// [`items::HOT_PATH_MARKER`] comment, walk the workspace call graph and flag
+/// any allocation in any reachable body, reporting the call chain that
+/// reaches it. Each allocation site is reported once even when several
+/// roots reach it.
+fn transitive_hot_path(
+    files: &[SourceFile],
+    parsed: &[FileItems],
+    crate_map: &BTreeMap<String, String>,
+    findings: &mut Vec<Finding>,
+) {
+    if !parsed.iter().any(|it| it.fns.iter().any(|x| x.hot)) {
+        return;
+    }
+    let graph = callgraph::build(files, parsed, crate_map);
+    let mut seen: BTreeSet<(usize, usize)> = BTreeSet::new();
+    for root in 0..graph.fns.len() {
+        let is_hot = graph
+            .fns
+            .get(root)
+            .and_then(|r| parsed.get(r.file).and_then(|it| it.fns.get(r.item)))
+            .is_some_and(|x| x.hot);
+        if !is_hot {
+            continue;
+        }
+        for (id, chain) in graph.reachable_with_chains(root) {
+            let Some(r) = graph.fns.get(id) else {
+                continue;
+            };
+            let (Some(cf), Some(item)) = (
+                files.get(r.file),
+                parsed.get(r.file).and_then(|it| it.fns.get(r.item)),
+            ) else {
+                continue;
+            };
+            let Some((open, close)) = item.body else {
+                continue;
+            };
+            let sites = alloc_sites(cf, open, close);
+            if sites.is_empty() {
+                continue;
+            }
+            let route: Vec<String> = chain
+                .iter()
+                .filter_map(|&cid| fn_label(&graph, parsed, cid))
+                .collect();
+            let route = route.join(" -> ");
+            for (pos, what) in sites {
+                if !seen.insert((r.file, pos)) {
+                    continue;
+                }
                 push(
-                    f,
+                    cf,
                     findings,
-                    at,
+                    pos,
                     Category::HotPath,
                     "hot-path-alloc",
-                    format!("`{needle}` allocates inside a `// {HOT_PATH_MARKER}` function"),
-                    true,
+                    format!("`{what}` allocates on the hot path: {route}"),
                 );
             }
+        }
+    }
+}
+
+/// `Type::name` / `name` label for a graph node.
+fn fn_label(graph: &Graph, parsed: &[FileItems], id: usize) -> Option<String> {
+    let r = graph.fns.get(id)?;
+    let item = parsed.get(r.file)?.fns.get(r.item)?;
+    Some(match &item.self_ty {
+        Some(t) => format!("{t}::{}", item.name),
+        None => item.name.clone(),
+    })
+}
+
+/// Every allow marker no detector consumed is itself a finding: stale
+/// suppressions hide future regressions.
+fn unused_allows(files: &[SourceFile], findings: &mut Vec<Finding>) {
+    for f in files {
+        for a in &f.allows {
+            if a.used.get() {
+                continue;
+            }
+            findings.push(Finding {
+                file: f.rel_path.clone(),
+                line: a.line,
+                category: Category::Hygiene,
+                rule: "unused-allow",
+                message: format!(
+                    "`xtask-allow: {}` suppresses nothing; delete the stale marker",
+                    a.rule
+                ),
+            });
         }
     }
 }
@@ -515,18 +836,31 @@ fn hot_path_alloc(f: &SourceFile, findings: &mut Vec<Finding>) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::scan::{policy_for, SourceFile};
+    use crate::scan::{analyze_for_tests, policy_for};
 
-    fn lib_file(text: &str) -> SourceFile {
-        crate::scan::analyze_for_tests(
-            "crates/x/src/lib.rs".into(),
-            text.into(),
-            policy_for("crates/x/src/lib.rs"),
-        )
+    fn workspace_findings(sources: &[(&str, &str)]) -> Vec<Finding> {
+        let files: Vec<SourceFile> = sources
+            .iter()
+            .map(|(rel, src)| analyze_for_tests((*rel).into(), (*src).into(), policy_for(rel)))
+            .collect();
+        let mut crate_map = BTreeMap::new();
+        crate_map.insert("prepare_markov".to_string(), "crates/markov".to_string());
+        crate_map.insert("prepare_tan".to_string(), "crates/tan".to_string());
+        check_workspace(&files, &crate_map)
     }
 
+    /// Findings for one neutral-policy library file (`crates/x` is not a
+    /// probability crate, so the NaN rules stay quiet here).
     fn rules_of(text: &str) -> Vec<&'static str> {
-        check_file(&lib_file(text))
+        workspace_findings(&[("crates/x/src/lib.rs", text)])
+            .into_iter()
+            .map(|f| f.rule)
+            .collect()
+    }
+
+    /// Findings for a probability-crate file (all rules active).
+    fn markov_rules_of(text: &str) -> Vec<&'static str> {
+        workspace_findings(&[("crates/markov/src/lib.rs", text)])
             .into_iter()
             .map(|f| f.rule)
             .collect()
@@ -557,9 +891,12 @@ mod tests {
     fn detects_float_eq_only_on_literals() {
         assert_eq!(rules_of("if x == 0.0 { }\n"), ["float-eq"]);
         assert_eq!(rules_of("if 1e-9 != y { }\n"), ["float-eq"]);
+        assert_eq!(rules_of("if x == -0.5 { }\n"), ["float-eq"]);
         assert!(rules_of("if x == y { }\n").is_empty());
         assert!(rules_of("if n == 0 { }\n").is_empty());
         assert!(rules_of("let ok = a <= 0.5;\n").is_empty());
+        // Float spelled inside a string or comment is not an operand.
+        assert!(rules_of("let s = \"x == 0.0\"; // y == 1.5\n").is_empty());
     }
 
     #[test]
@@ -580,6 +917,9 @@ mod tests {
         );
         // assert!/debug_assert! are invariants, not debt.
         assert!(rules_of("assert!(x > 0);\ndebug_assert!(y.is_finite());\n").is_empty());
+        // `.unwrap()` spelled in a string is not debt (the v1 masked
+        // scanner got this right too; the lexer must not regress it).
+        assert!(rules_of("let s = \".unwrap()\";\n").is_empty());
     }
 
     #[test]
@@ -599,6 +939,16 @@ mod tests {
         assert!(rules_of("fn f() { let x = v[i]; }\n").is_empty());
         assert!(rules_of("fn f() { for i in 0..n { let x = &v[1..j]; } }\n").is_empty());
         assert!(rules_of("fn f() { for x in v.iter() { g(x); } }\n").is_empty());
+    }
+
+    #[test]
+    fn array_literals_in_loop_headers_are_not_indexing() {
+        assert!(rules_of("fn f() { for (a, b) in [(x, y), (z, w)] { g(a, b); } }\n").is_empty());
+        assert!(rules_of("fn f() { loop { if c { return [a, b]; } } }\n").is_empty());
+        assert_eq!(
+            rules_of("fn f() { for (a, b) in [(x, y)] { g(pairs[a]); } }\n"),
+            ["index-in-loop"]
+        );
     }
 
     #[test]
@@ -639,13 +989,149 @@ mod tests {
         assert!(rules_of(src).is_empty());
     }
 
+    /// The tentpole acceptance test: a seeded `.clone()` two calls below
+    /// a marked kernel is caught, and the finding names the route.
     #[test]
-    fn array_literals_in_loop_headers_are_not_indexing() {
-        assert!(rules_of("fn f() { for (a, b) in [(x, y), (z, w)] { g(a, b); } }\n").is_empty());
-        assert!(rules_of("fn f() { loop { if c { return [a, b]; } } }\n").is_empty());
-        assert_eq!(
-            rules_of("fn f() { for (a, b) in [(x, y)] { g(pairs[a]); } }\n"),
-            ["index-in-loop"]
+    fn transitive_hot_path_catches_allocation_two_calls_deep() {
+        let src = "\
+// xtask: hot-path
+fn kernel(out: &mut [f64]) { mid(out); }
+fn mid(out: &mut [f64]) { leaf(out); }
+fn leaf(out: &mut [f64]) -> Vec<f64> { out.to_vec() }
+";
+        let findings = workspace_findings(&[("crates/x/src/lib.rs", src)]);
+        assert_eq!(findings.len(), 1, "findings: {findings:?}");
+        assert_eq!(findings[0].rule, "hot-path-alloc");
+        assert_eq!(findings[0].line, 4);
+        assert!(
+            findings[0].message.contains("kernel -> mid -> leaf"),
+            "route missing from: {}",
+            findings[0].message
         );
+    }
+
+    #[test]
+    fn transitive_hot_path_crosses_crates_through_use_aliases() {
+        let markov = "pub fn helper(v: &[f64]) -> Vec<f64> { v.to_vec() }\n";
+        let tan = "\
+use prepare_markov::helper;
+// xtask: hot-path
+fn kernel(v: &[f64]) { helper(v); }
+";
+        let findings = workspace_findings(&[
+            ("crates/markov/src/lib.rs", markov),
+            ("crates/tan/src/lib.rs", tan),
+        ]);
+        let hot: Vec<&Finding> = findings
+            .iter()
+            .filter(|f| f.rule == "hot-path-alloc")
+            .collect();
+        assert_eq!(hot.len(), 1, "findings: {findings:?}");
+        assert_eq!(hot[0].file, "crates/markov/src/lib.rs");
+        assert!(hot[0].message.contains("kernel -> helper"));
+    }
+
+    #[test]
+    fn transitive_hot_path_tolerates_cycles() {
+        let src = "\
+// xtask: hot-path
+fn a() { b(); }
+fn b() { a(); c(); }
+fn c() { let s = format!(\"x\"); }
+";
+        let findings = workspace_findings(&[("crates/x/src/lib.rs", src)]);
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0].message.contains("a -> b -> c"));
+    }
+
+    #[test]
+    fn unguarded_log_requires_a_guard_in_scope() {
+        assert_eq!(
+            markov_rules_of("fn f(x: f64) -> f64 { x.ln() }\n"),
+            ["unguarded-log"]
+        );
+        assert!(
+            markov_rules_of("fn f(x: f64) -> f64 { debug_assert_finite!(x.ln()) }\n").is_empty()
+        );
+        assert!(markov_rules_of(
+            "fn f(x: f64) -> f64 { let y = x.ln(); debug_assert!(y.is_finite()); y }\n"
+        )
+        .is_empty());
+        // Not a probability crate, but still a library crate: active.
+        assert_eq!(
+            workspace_findings(&[(
+                "crates/metrics/src/lib.rs",
+                "fn f(x: f64) -> f64 { x.ln() }\n"
+            )])
+            .iter()
+            .map(|f| f.rule)
+            .collect::<Vec<_>>(),
+            ["unguarded-log"]
+        );
+    }
+
+    #[test]
+    fn truncating_cast_needs_float_evidence_and_guard() {
+        assert_eq!(
+            markov_rules_of("fn f(x: f64) -> usize { x.round() as usize }\n"),
+            ["truncating-cast"]
+        );
+        assert!(markov_rules_of(
+            "fn f(x: f64) -> usize { debug_assert_finite!(x); x.round() as usize }\n"
+        )
+        .is_empty());
+        // Integer-to-integer casts carry no NaN risk.
+        assert!(markov_rules_of("fn f(n: u32) -> usize { n as usize }\n").is_empty());
+    }
+
+    #[test]
+    fn unguarded_div_fires_only_on_float_evidence() {
+        assert_eq!(
+            markov_rules_of("fn f(sum: f64, n: usize) -> f64 { sum / n as f64 }\n"),
+            ["unguarded-div"]
+        );
+        assert!(markov_rules_of("fn halve(n: usize) -> usize { n / 2 }\n").is_empty());
+        assert!(markov_rules_of(
+            "fn f(sum: f64, n: usize) -> f64 { debug_assert_finite!(sum / n as f64) }\n"
+        )
+        .is_empty());
+        // Outside probability crates the rule is quiet.
+        assert!(rules_of("fn f(sum: f64, n: usize) -> f64 { sum / n as f64 }\n").is_empty());
+    }
+
+    #[test]
+    fn missing_finite_guard_applies_to_public_float_api() {
+        assert_eq!(
+            markov_rules_of("pub fn score(&self) -> f64 { self.raw }\n"),
+            ["missing-finite-guard"]
+        );
+        assert!(
+            markov_rules_of("pub fn score(&self) -> f64 { debug_assert_finite!(self.raw) }\n")
+                .is_empty()
+        );
+        // Non-public and non-float functions are out of scope.
+        assert!(markov_rules_of("pub(crate) fn score(&self) -> f64 { self.raw }\n").is_empty());
+        assert!(markov_rules_of("pub fn len(&self) -> usize { self.n }\n").is_empty());
+    }
+
+    #[test]
+    fn unused_allow_markers_are_findings() {
+        let src = "fn f() {} // xtask-allow: unwrap -- nothing here uses it\n";
+        assert_eq!(rules_of(src), ["unused-allow"]);
+        // A consumed marker is not reported.
+        let used = "let a = x.unwrap(); // xtask-allow: unwrap -- justified\n";
+        assert!(rules_of(used).is_empty());
+    }
+
+    #[test]
+    fn findings_are_sorted_and_labeled() {
+        let findings = workspace_findings(&[(
+            "crates/x/src/lib.rs",
+            "let t = Instant::now();\nlet a = x.unwrap();\n",
+        )]);
+        let lines: Vec<usize> = findings.iter().map(|f| f.line).collect();
+        assert_eq!(lines, [1, 2]);
+        assert_eq!(findings[0].category.name(), "determinism");
+        assert_eq!(findings[1].category.name(), "panic-debt");
     }
 }
