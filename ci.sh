@@ -31,4 +31,14 @@ PREPARE_WORKERS=1 cargo test --offline --quiet --workspace
 echo "==> cargo test (PREPARE_WORKERS=4, sharded engine)"
 PREPARE_WORKERS=4 cargo test --offline --quiet --workspace
 
+# The hostile-infrastructure suite replays two pinned chaos seeds
+# (0xC0FFEE, 0xBADC0DE) plus randomized fault plans, and asserts the
+# traces are byte-identical at every worker count. Run it explicitly at
+# both engine settings so a determinism regression names this step.
+echo "==> chaos robustness suite (PREPARE_WORKERS=1)"
+PREPARE_WORKERS=1 cargo test --offline --quiet --test chaos
+
+echo "==> chaos robustness suite (PREPARE_WORKERS=4)"
+PREPARE_WORKERS=4 cargo test --offline --quiet --test chaos
+
 echo "ci.sh: all checks passed"

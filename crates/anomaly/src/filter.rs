@@ -6,12 +6,31 @@
 
 use std::collections::VecDeque;
 
+/// One round's input to the k-of-W filter.
+///
+/// The paper's filter is binary; [`Vote::Abstain`] is the robustness
+/// layer's third state for rounds where the prediction pipeline had no
+/// trustworthy input (dropped sample, staleness budget exceeded). An
+/// abstention is *not* a "normal" vote: it leaves the window untouched,
+/// so monitoring gaps can neither silently confirm nor silently dissolve
+/// a pending alert — the evidence simply pauses until data returns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Vote {
+    /// The predictor forecast an anomaly this round.
+    Alert,
+    /// The predictor forecast normal operation this round.
+    Normal,
+    /// No trustworthy prediction this round; the window is left as-is.
+    Abstain,
+}
+
 /// Majority-vote filter over the most recent `W` predictions.
 #[derive(Debug, Clone, PartialEq)]
 pub struct AlertFilter {
     k: usize,
     w: usize,
     recent: VecDeque<bool>,
+    abstentions: u64,
 }
 
 impl AlertFilter {
@@ -28,6 +47,7 @@ impl AlertFilter {
             k,
             w,
             recent: VecDeque::with_capacity(w),
+            abstentions: 0,
         }
     }
 
@@ -49,11 +69,36 @@ impl AlertFilter {
     /// Feeds the latest raw prediction; returns `true` when the filtered
     /// (confirmed) alert condition holds.
     pub fn push(&mut self, alert: bool) -> bool {
+        self.push_vote(if alert { Vote::Alert } else { Vote::Normal })
+    }
+
+    /// Feeds one round's [`Vote`]; returns `true` when the filtered
+    /// (confirmed) alert condition holds.
+    ///
+    /// [`Vote::Abstain`] does not occupy a window slot: existing evidence
+    /// neither ages out nor accumulates while the monitoring plane is
+    /// degraded.
+    pub fn push_vote(&mut self, vote: Vote) -> bool {
+        let alert = match vote {
+            Vote::Alert => true,
+            Vote::Normal => false,
+            Vote::Abstain => {
+                self.abstentions += 1;
+                return self.is_confirmed();
+            }
+        };
         if self.recent.len() == self.w {
             self.recent.pop_front();
         }
         self.recent.push_back(alert);
         self.is_confirmed()
+    }
+
+    /// Total abstentions fed to this filter since creation (survives
+    /// [`AlertFilter::reset`] — it is a lifetime degradation odometer,
+    /// not window state).
+    pub fn abstentions(&self) -> u64 {
+        self.abstentions
     }
 
     /// Whether the current window satisfies the k-of-W condition.
@@ -178,6 +223,97 @@ mod tests {
         assert!(!f.push(false), "kth alert slid out — confirmation drops");
         // A fresh alert now straddles old and new: [T F F T] is only 2.
         assert!(!f.push(true), "old + new alerts across the boundary < k");
+    }
+
+    /// Locks the *legacy* gap behaviour: the binary `push` API has no way
+    /// to express "no sample this round", so a caller that simply skips
+    /// the push leaves the window frozen — the gap is invisible and old
+    /// evidence neither ages nor grows. This is the baseline the
+    /// degraded-mode tests below build on.
+    #[test]
+    fn unpushed_rounds_leave_the_window_frozen() {
+        let mut f = AlertFilter::new(3, 4);
+        f.push(true);
+        f.push(true);
+        assert!(!f.is_confirmed());
+        // Three sampling rounds pass with no push at all (dropped
+        // samples). Nothing changes: the two alerts are still pending.
+        assert!(!f.is_confirmed());
+        assert_eq!(f.recent.len(), 2);
+        // The next real alert completes k as if the gap never happened.
+        assert!(f.push(true));
+    }
+
+    /// Locks the failure mode the Vote API exists to prevent: a caller
+    /// that maps "no sample" to `push(false)` lets gaps vote "normal" —
+    /// diluting genuine evidence and dissolving a pending confirmation.
+    #[test]
+    fn mapping_gaps_to_normal_votes_dissolves_evidence() {
+        let mut f = AlertFilter::new(3, 4);
+        f.push(true);
+        f.push(true);
+        // Two dropped rounds mis-coded as "normal": [T T F F].
+        f.push(false);
+        f.push(false);
+        // The genuine alert that arrives next should have completed k=3,
+        // but the gap votes pushed the real evidence out of the window.
+        assert!(!f.push(true), "gap-as-normal wrongly blocks confirmation");
+    }
+
+    /// Degraded-mode behaviour: `Abstain` does not occupy a window slot,
+    /// so a monitoring gap inside W can neither dissolve pending evidence
+    /// nor count toward k.
+    #[test]
+    fn abstentions_preserve_evidence_without_counting() {
+        let mut f = AlertFilter::new(3, 4);
+        assert!(!f.push_vote(Vote::Alert));
+        assert!(!f.push_vote(Vote::Alert));
+        // Monitoring degrades for three rounds mid-confirmation.
+        for _ in 0..3 {
+            assert!(
+                !f.push_vote(Vote::Abstain),
+                "abstentions must not confirm an alert"
+            );
+        }
+        assert_eq!(f.recent.len(), 2, "abstentions occupy no window slot");
+        // Data returns: the pending evidence is intact and the next
+        // genuine alert confirms, exactly as in the gap-free run.
+        assert!(f.push_vote(Vote::Alert));
+        assert_eq!(f.abstentions(), 3);
+    }
+
+    /// An already-confirmed alert stays confirmed through a blackout:
+    /// abstaining suppresses *new* evidence, it does not flip state.
+    #[test]
+    fn abstentions_do_not_flip_a_confirmed_alert() {
+        let mut f = AlertFilter::new(3, 4);
+        for _ in 0..3 {
+            f.push_vote(Vote::Alert);
+        }
+        assert!(f.is_confirmed());
+        for _ in 0..10 {
+            assert!(
+                f.push_vote(Vote::Abstain),
+                "confirmation must survive a blackout"
+            );
+        }
+        // Genuine normals — not gaps — are what stands the alert down.
+        f.push_vote(Vote::Normal);
+        f.push_vote(Vote::Normal);
+        assert!(!f.is_confirmed());
+    }
+
+    /// `push` and `push_vote` agree on the binary subset.
+    #[test]
+    fn vote_api_is_a_superset_of_push() {
+        let mut a = AlertFilter::paper_default();
+        let mut b = AlertFilter::paper_default();
+        for i in 0..20 {
+            let alert = i % 3 == 0;
+            let vote = if alert { Vote::Alert } else { Vote::Normal };
+            assert_eq!(a.push(alert), b.push_vote(vote));
+        }
+        assert_eq!(a, b);
     }
 
     /// After an actuation the controller resets the filter so stale

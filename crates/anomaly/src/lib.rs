@@ -63,7 +63,7 @@ mod unsupervised;
 pub use accuracy::{evaluate_predictions, ConfusionMatrix};
 pub use alert::{AnomalyAlert, Prediction};
 pub use clustering::{ClusterClassifier, KMeans};
-pub use filter::AlertFilter;
+pub use filter::{AlertFilter, Vote};
 pub use model::{MarkovKind, ValueModel};
 pub use monolithic::MonolithicPredictor;
 pub use outlier::OutlierDetector;

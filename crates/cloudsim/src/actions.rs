@@ -30,6 +30,14 @@ pub enum ActionKind {
         /// Total migration duration.
         duration: Duration,
     },
+    /// An in-flight migration was abandoned mid-copy and rolled back to
+    /// the source host (infrastructure fault, see `chaos`).
+    MigrationAborted {
+        /// Source host the VM stays on.
+        from: HostId,
+        /// Destination the copy was headed to.
+        to: HostId,
+    },
 }
 
 impl fmt::Display for ActionKind {
@@ -39,6 +47,9 @@ impl fmt::Display for ActionKind {
             ActionKind::ScaleMem { from, to } => write!(f, "scale-mem {from:.0}MB→{to:.0}MB"),
             ActionKind::Migrate { from, to, duration } => {
                 write!(f, "migrate {from}→{to} ({duration})")
+            }
+            ActionKind::MigrationAborted { from, to } => {
+                write!(f, "migration-aborted {from}→{to}")
             }
         }
     }
@@ -110,6 +121,10 @@ pub enum ScaleError {
     InvalidAllocation(f64),
     /// The VM is mid-migration; scaling must wait.
     MigrationInProgress(VmId),
+    /// The hypervisor control plane transiently refused the request
+    /// (injected by `chaos`); retrying after a backoff is expected to
+    /// succeed.
+    HypervisorBusy,
 }
 
 impl fmt::Display for ScaleError {
@@ -128,6 +143,7 @@ impl fmt::Display for ScaleError {
             ScaleError::MigrationInProgress(vm) => {
                 write!(f, "VM {vm} is being migrated")
             }
+            ScaleError::HypervisorBusy => write!(f, "hypervisor busy, retry later"),
         }
     }
 }
@@ -147,6 +163,12 @@ pub enum MigrateError {
     AlreadyMigrating(VmId),
     /// Source and destination are the same host.
     SameHost(HostId),
+    /// The VM has no migration in flight to cancel.
+    NotMigrating(VmId),
+    /// The hypervisor control plane transiently refused the request
+    /// (injected by `chaos`); retrying after a backoff is expected to
+    /// succeed.
+    HypervisorBusy,
 }
 
 impl fmt::Display for MigrateError {
@@ -157,6 +179,8 @@ impl fmt::Display for MigrateError {
             MigrateError::TargetFull(h) => write!(f, "target host {h} lacks capacity"),
             MigrateError::AlreadyMigrating(vm) => write!(f, "VM {vm} already migrating"),
             MigrateError::SameHost(h) => write!(f, "VM already on host {h}"),
+            MigrateError::NotMigrating(vm) => write!(f, "VM {vm} has no migration in flight"),
+            MigrateError::HypervisorBusy => write!(f, "hypervisor busy, retry later"),
         }
     }
 }

@@ -116,6 +116,10 @@ pub struct Cluster {
     vms: Vec<VmState>,
     actions: Vec<ActionRecord>,
     costs: ActuationCosts,
+    /// When set, the hypervisor control plane transiently rejects
+    /// scaling/migration requests with `HypervisorBusy`. Driven per tick
+    /// by the chaos engine; always `false` in a benign cluster.
+    hypervisor_busy: bool,
 }
 
 impl Cluster {
@@ -126,7 +130,21 @@ impl Cluster {
             vms: Vec::new(),
             actions: Vec::new(),
             costs: ActuationCosts::default(),
+            hypervisor_busy: false,
         }
+    }
+
+    /// Marks the hypervisor control plane busy (or idle again). While
+    /// busy, [`Cluster::scale_cpu`], [`Cluster::scale_mem`] and
+    /// [`Cluster::begin_migration`] reject with `HypervisorBusy` — the
+    /// transient actuation fault injected by the chaos engine.
+    pub fn set_hypervisor_busy(&mut self, busy: bool) {
+        self.hypervisor_busy = busy;
+    }
+
+    /// True while the control plane transiently rejects actuations.
+    pub fn is_hypervisor_busy(&self) -> bool {
+        self.hypervisor_busy
     }
 
     /// Empty cluster with a custom cost model.
@@ -291,6 +309,9 @@ impl Cluster {
     }
 
     fn validate_scale_target(&self, vm: VmId, new_alloc: f64) -> Result<&VmState, ScaleError> {
+        if self.hypervisor_busy {
+            return Err(ScaleError::HypervisorBusy);
+        }
         let state = self.get_vm(vm).ok_or(ScaleError::UnknownVm(vm))?;
         if !new_alloc.is_finite() || new_alloc <= 0.0 {
             return Err(ScaleError::InvalidAllocation(new_alloc));
@@ -417,6 +438,9 @@ impl Cluster {
         target: HostId,
         now: Timestamp,
     ) -> Result<Duration, MigrateError> {
+        if self.hypervisor_busy {
+            return Err(MigrateError::HypervisorBusy);
+        }
         let state = self.get_vm(vm).ok_or(MigrateError::UnknownVm(vm))?.clone();
         if target.0 >= self.hosts.len() {
             return Err(MigrateError::UnknownHost(target));
@@ -451,6 +475,35 @@ impl Cluster {
         });
         crate::invariants::debug_validate(self);
         Ok(duration)
+    }
+
+    /// Abandons an in-flight live migration mid-copy: the VM stays on its
+    /// source host, the destination reservation is released, and a
+    /// [`ActionKind::MigrationAborted`] record is logged. This models a
+    /// migration that timed out before switch-over (pre-copy never
+    /// converged) — the chaos engine's migration-timeout fault.
+    ///
+    /// Returns the destination host the copy was headed to.
+    ///
+    /// # Errors
+    ///
+    /// [`MigrateError::UnknownVm`] / [`MigrateError::NotMigrating`] when
+    /// there is nothing to cancel.
+    pub fn cancel_migration(&mut self, vm: VmId, now: Timestamp) -> Result<HostId, MigrateError> {
+        let state = self.vms.get_mut(vm.0).ok_or(MigrateError::UnknownVm(vm))?;
+        let m = state
+            .migration
+            .take()
+            .ok_or(MigrateError::NotMigrating(vm))?;
+        let from = state.host;
+        self.actions.push(ActionRecord {
+            time: now,
+            vm,
+            kind: ActionKind::MigrationAborted { from, to: m.target },
+            cost_ms: now.since(m.started_at).as_secs() as f64 * 1000.0,
+        });
+        crate::invariants::debug_validate(self);
+        Ok(m.target)
     }
 
     /// Advances the cluster clock to `now`, completing any migration whose
@@ -820,6 +873,69 @@ mod tests {
         assert!(
             (c.vm(vm).effective_cpu_cap - 100.0).abs() < 1e-9,
             "clean host restores the cap"
+        );
+    }
+
+    #[test]
+    fn busy_hypervisor_rejects_all_actuations() {
+        let (mut c, _, h1, vm) = two_host_cluster();
+        c.set_hypervisor_busy(true);
+        assert!(c.is_hypervisor_busy());
+        assert_eq!(
+            c.scale_cpu(vm, 150.0, Timestamp::ZERO),
+            Err(ScaleError::HypervisorBusy)
+        );
+        assert_eq!(
+            c.scale_mem(vm, 1024.0, Timestamp::ZERO),
+            Err(ScaleError::HypervisorBusy)
+        );
+        assert_eq!(
+            c.begin_migration(vm, h1, Timestamp::ZERO),
+            Err(MigrateError::HypervisorBusy)
+        );
+        assert!(
+            c.actions().is_empty(),
+            "rejected actuations leave no record"
+        );
+        // The fault is transient: once the plane clears, the same calls work.
+        c.set_hypervisor_busy(false);
+        c.scale_cpu(vm, 150.0, Timestamp::ZERO).unwrap();
+        c.begin_migration(vm, h1, Timestamp::from_secs(1)).unwrap();
+    }
+
+    #[test]
+    fn cancel_migration_rolls_back_to_source() {
+        let (mut c, h0, h1, vm) = two_host_cluster();
+        let d = c.begin_migration(vm, h1, Timestamp::ZERO).unwrap();
+        c.cancel_migration(vm, Timestamp::from_secs(3)).unwrap();
+        assert!(!c.vm(vm).is_migrating());
+        assert_eq!(c.vm(vm).host, h0);
+        // The destination reservation is released.
+        let (free_cpu, free_mem) = c.host_free(h1);
+        assert_eq!(free_cpu, 200.0);
+        assert_eq!(free_mem, 4096.0);
+        // Completing the clock past the original ETA must not teleport the VM.
+        c.advance(Timestamp::from_secs(d.as_secs() + 1));
+        assert_eq!(c.vm(vm).host, h0);
+        let aborted: Vec<_> = c
+            .actions()
+            .iter()
+            .filter(|a| matches!(a.kind, ActionKind::MigrationAborted { .. }))
+            .collect();
+        assert_eq!(aborted.len(), 1);
+        assert!((aborted[0].cost_ms - 3000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cancel_without_migration_errors() {
+        let (mut c, _, _, vm) = two_host_cluster();
+        assert_eq!(
+            c.cancel_migration(vm, Timestamp::ZERO),
+            Err(MigrateError::NotMigrating(vm))
+        );
+        assert_eq!(
+            c.cancel_migration(VmId(99), Timestamp::ZERO),
+            Err(MigrateError::UnknownVm(VmId(99)))
         );
     }
 

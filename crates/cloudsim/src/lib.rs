@@ -36,6 +36,7 @@
 #![warn(missing_docs)]
 
 mod actions;
+mod chaos;
 mod cluster;
 mod costs;
 mod invariants;
@@ -44,6 +45,7 @@ mod placement;
 mod spec;
 
 pub use actions::{ActionKind, ActionRecord, MigrateError, PlacementError, ScaleError};
+pub use chaos::{ChaosEngine, ChaosFault, ChaosKind, ChaosPlan, ChaosStats};
 pub use cluster::{
     Cluster, HostId, MigrationState, VmState, CPU_BACKLOG_CAP_SECS, PAGE_IN_RATE_MB_PER_SEC,
 };

@@ -26,6 +26,14 @@ pub struct ExperimentReport {
     pub escalations: usize,
     /// Workload-change inferences.
     pub workload_changes: usize,
+    /// Transiently rejected actions deferred for a scheduled retry.
+    pub actions_retried: usize,
+    /// Migrations torn down mid-copy and rolled back to the source host.
+    pub rollbacks: usize,
+    /// Times a VM's monitoring stream exceeded its staleness budget.
+    pub monitoring_degraded: usize,
+    /// Times fresh samples resumed for a degraded VM.
+    pub monitoring_recovered: usize,
     /// Advance notice on the evaluated anomaly, when any prevention
     /// action preceded the first violation of the evaluation window.
     pub lead_time: Option<Duration>,
@@ -44,6 +52,10 @@ impl ExperimentReport {
             resolved: 0,
             escalations: 0,
             workload_changes: 0,
+            actions_retried: 0,
+            rollbacks: 0,
+            monitoring_degraded: 0,
+            monitoring_recovered: 0,
             lead_time: result.lead_time,
         };
         for e in &result.events {
@@ -56,6 +68,10 @@ impl ExperimentReport {
                 ControllerEvent::ValidationSucceeded { .. } => report.resolved += 1,
                 ControllerEvent::ValidationIneffective { .. } => report.escalations += 1,
                 ControllerEvent::WorkloadChangeInferred { .. } => report.workload_changes += 1,
+                ControllerEvent::ActionRetried { .. } => report.actions_retried += 1,
+                ControllerEvent::ActionRolledBack { .. } => report.rollbacks += 1,
+                ControllerEvent::MonitoringDegraded { .. } => report.monitoring_degraded += 1,
+                ControllerEvent::MonitoringRecovered { .. } => report.monitoring_recovered += 1,
                 ControllerEvent::ModelsTrained { .. } => {}
             }
         }

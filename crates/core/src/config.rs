@@ -1,7 +1,7 @@
 //! Controller tunables, defaulting to the paper's experimental settings.
 
 use prepare_anomaly::PredictorConfig;
-use prepare_metrics::Duration;
+use prepare_metrics::{Duration, StalenessBudget};
 pub use prepare_par::ParConfig;
 
 /// Which prevention action PREPARE reaches for first (the axis of the
@@ -60,6 +60,14 @@ pub struct PrepareConfig {
     /// for the workload-change inference to fire (§II-C: "all the
     /// application components"; a little slack absorbs detector jitter).
     pub workload_change_quorum: f64,
+    /// Per-attribute staleness budget for incoming samples: a reading
+    /// older than its budget no longer counts as evidence. While a VM's
+    /// entire vector is past budget the controller holds the last value
+    /// for bookkeeping but *abstains* from predictive votes and emits
+    /// [`crate::ControllerEvent::MonitoringDegraded`] /
+    /// [`crate::ControllerEvent::MonitoringRecovered`] edge events.
+    /// Defaults to a uniform 15 s — three sampling rounds.
+    pub staleness: StalenessBudget,
     /// Worker threads for the per-VM hot paths (training, prediction,
     /// diagnosis, implication scoring). Defaults to the `PREPARE_WORKERS`
     /// environment variable, else the machine's available parallelism.
@@ -83,6 +91,7 @@ impl Default for PrepareConfig {
             retrain_interval: Some(Duration::from_secs(600)),
             post_anomaly_quiet: Duration::from_secs(150),
             workload_change_quorum: 0.8,
+            staleness: StalenessBudget::default(),
             par: ParConfig::default(),
         }
     }

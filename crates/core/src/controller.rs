@@ -3,13 +3,16 @@
 
 use crate::validation::usage_changed;
 use crate::{
-    CauseInference, ControllerEvent, Episode, PlannedAction, PrepareConfig, PreventionPlanner,
-    ValidationOutcome,
+    ActionFailureKind, CauseInference, ControllerEvent, Episode, PlannedAction, PrepareConfig,
+    PreventionPlanner, ValidationOutcome,
 };
-use prepare_anomaly::{AlertFilter, AnomalyPredictor};
+use prepare_anomaly::{AlertFilter, AnomalyPredictor, Vote};
 use prepare_cloudsim::Cluster;
-use prepare_metrics::{AttributeKind, Duration, MetricSample, SloLog, TimeSeries, Timestamp, VmId};
-use std::collections::BTreeMap;
+use prepare_metrics::{
+    AttributeKind, Duration, LastValueImputer, MetricSample, SloLog, StampedSample, TimeSeries,
+    Timestamp, VmId,
+};
+use std::collections::{BTreeMap, BTreeSet};
 
 /// The three anomaly management schemes compared throughout §III.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -71,6 +74,13 @@ pub struct PrepareController {
     /// VMs whose episodes were abandoned after repeated action failures:
     /// no new episode opens for them until the stated time.
     suppressed_until: BTreeMap<VmId, Timestamp>,
+    /// Hold-last-value imputation state, one per managed VM: papers over
+    /// short monitoring gaps until the staleness budget runs out.
+    imputers: BTreeMap<VmId, LastValueImputer>,
+    /// VMs whose monitoring evidence is past its staleness budget. The
+    /// controller abstains from predictive votes for them (the k-of-W
+    /// window freezes) and freezes their open episodes.
+    degraded: BTreeSet<VmId>,
     trained_at: Option<Timestamp>,
     last_retrain: Option<Timestamp>,
     last_workload_change: bool,
@@ -90,6 +100,22 @@ const SUPPRESSION_SECS: u64 = 60;
 /// not open episodes (reactive response to real violations is unaffected).
 const TRAINING_SETTLE_SECS: u64 = 60;
 
+/// Maximum scheduled retries of a transiently rejected (hypervisor-busy)
+/// action before the episode gives up on it, counts one failure, and
+/// falls through to the next-ranked candidate attribute.
+const TRANSIENT_RETRY_LIMIT: usize = 4;
+
+/// Backoff base (seconds) for retrying a transiently rejected scaling
+/// action; doubles per attempt up to [`RETRY_BACKOFF_CAP_SECS`].
+const SCALE_RETRY_BASE_SECS: u64 = 5;
+
+/// Backoff base (seconds) for retrying a transiently rejected migration —
+/// migrations are heavier, so they wait longer between attempts.
+const MIGRATE_RETRY_BASE_SECS: u64 = 10;
+
+/// Ceiling on any single retry backoff (seconds).
+const RETRY_BACKOFF_CAP_SECS: u64 = 60;
+
 impl PrepareController {
     /// Creates a controller for the application running on `vms`.
     ///
@@ -108,6 +134,10 @@ impl PrepareController {
             .map(|&vm| (vm, AlertFilter::new(config.filter_k, config.filter_w)))
             .collect();
         let series = vms.iter().map(|&vm| (vm, TimeSeries::new())).collect();
+        let imputers = vms
+            .iter()
+            .map(|&vm| (vm, LastValueImputer::new()))
+            .collect();
         let violation_filter = AlertFilter::new(config.filter_k, config.filter_w);
         PrepareController {
             config,
@@ -123,6 +153,8 @@ impl PrepareController {
             episodes: BTreeMap::new(),
             last_migration: BTreeMap::new(),
             suppressed_until: BTreeMap::new(),
+            imputers,
+            degraded: BTreeSet::new(),
             trained_at: None,
             last_retrain: None,
             last_workload_change: false,
@@ -160,9 +192,24 @@ impl PrepareController {
         self.predictors.get(&vm)
     }
 
+    /// Whether `vm`'s monitoring evidence is currently past its staleness
+    /// budget (the controller is abstaining for it).
+    pub fn is_degraded(&self, vm: VmId) -> bool {
+        self.degraded.contains(&vm)
+    }
+
+    /// VMs currently past their staleness budget, in id order.
+    pub fn degraded_vms(&self) -> Vec<VmId> {
+        self.degraded.iter().copied().collect()
+    }
+
     /// Ingests one sampling round: a sample per VM plus the application's
     /// current SLO status. May actuate prevention actions on `cluster`.
     /// Returns the events generated this round.
+    ///
+    /// Every sample is treated as freshly collected at its own timestamp;
+    /// use [`PrepareController::on_readings`] when the monitoring plane
+    /// can drop, delay, or freeze readings.
     ///
     /// # Panics
     ///
@@ -174,25 +221,120 @@ impl PrepareController {
         slo_violated: bool,
         cluster: &mut Cluster,
     ) -> Vec<ControllerEvent> {
+        let readings: Vec<(VmId, StampedSample)> = samples
+            .iter()
+            .map(|&(vm, sample)| (vm, StampedSample::fresh(sample)))
+            .collect();
+        self.on_readings(now, &readings, slo_violated, cluster)
+    }
+
+    /// Ingests one sampling round of stamped readings — the
+    /// robustness-aware entry point. Readings may be missing entirely
+    /// (dropped samples, host blackout), late (collection stamps behind
+    /// `now`), or partially frozen (a stuck attribute keeps its old
+    /// stamp). The controller:
+    ///
+    /// 1. feeds every reading still within the configured
+    ///    [`prepare_metrics::StalenessBudget`] into the pipeline,
+    ///    re-timed to its arrival round;
+    /// 2. papers over short gaps with hold-last-value imputation, which
+    ///    self-expires once the held reading outlives the budget;
+    /// 3. marks VMs with no trustworthy evidence as *degraded* — their
+    ///    predictive votes become abstentions (the k-of-W window
+    ///    freezes), they are excluded from reactive diagnosis, and their
+    ///    open episodes pause — emitting
+    ///    [`ControllerEvent::MonitoringDegraded`] /
+    ///    [`ControllerEvent::MonitoringRecovered`] on the transitions.
+    ///
+    /// With every reading fresh (the benign-infrastructure case) this is
+    /// byte-identical to [`PrepareController::on_sample`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if a reading belongs to a VM this controller does not
+    /// manage.
+    pub fn on_readings(
+        &mut self,
+        now: Timestamp,
+        readings: &[(VmId, StampedSample)],
+        slo_violated: bool,
+        cluster: &mut Cluster,
+    ) -> Vec<ControllerEvent> {
         let events_before = self.events.len();
 
-        for (vm, sample) in samples {
-            self.series
-                .get_mut(vm)
-                .unwrap_or_else(|| panic!("sample for unmanaged VM {vm}"))
-                .push(*sample);
+        // Resolve this round's usable per-VM evidence.
+        let mut usable: Vec<(VmId, MetricSample)> = Vec::with_capacity(self.vms.len());
+        let mut arrived: BTreeSet<VmId> = BTreeSet::new();
+        let mut covered: BTreeSet<VmId> = BTreeSet::new();
+        for (vm, stamped) in readings {
+            assert!(self.series.contains_key(vm), "sample for unmanaged VM {vm}");
+            arrived.insert(*vm);
+            if let Some(imputer) = self.imputers.get_mut(vm) {
+                imputer.observe(stamped);
+            }
+            if !self.config.staleness.is_exceeded(now, stamped) {
+                // Re-time to the arrival round so the series stays
+                // monotonic even for late deliveries (a no-op for fresh
+                // samples, whose own time already is `now`).
+                usable.push((*vm, MetricSample::new(now, stamped.sample.values)));
+                covered.insert(*vm);
+            }
+        }
+        for &vm in &self.vms {
+            if arrived.contains(&vm) {
+                continue;
+            }
+            // Nothing arrived: hold the last value while it is still
+            // within budget. The imputed sample keeps its original
+            // collection stamps, so this path shuts itself off once the
+            // gap outlives the budget.
+            if let Some(imputed) = self.imputers.get(&vm).and_then(|i| i.impute(now)) {
+                if !self.config.staleness.is_exceeded(now, &imputed) {
+                    usable.push((vm, imputed.sample));
+                    covered.insert(vm);
+                }
+            }
+        }
+
+        // Edge-triggered degradation bookkeeping, in VM-id order.
+        for &vm in &self.vms {
+            let was = self.degraded.contains(&vm);
+            let is = !covered.contains(&vm);
+            if is == was {
+                continue;
+            }
+            if is {
+                self.degraded.insert(vm);
+                if self.scheme != Scheme::NoIntervention {
+                    self.events
+                        .push(ControllerEvent::MonitoringDegraded { at: now, vm });
+                }
+            } else {
+                self.degraded.remove(&vm);
+                if self.scheme != Scheme::NoIntervention {
+                    self.events
+                        .push(ControllerEvent::MonitoringRecovered { at: now, vm });
+                }
+            }
+        }
+
+        for (vm, sample) in &usable {
+            if let Some(series) = self.series.get_mut(vm) {
+                series.push(*sample);
+            }
         }
         self.slo.record(now, slo_violated);
-        self.inference.observe(samples);
+        self.inference.observe(&usable);
         let violation_confirmed = self.violation_filter.push(slo_violated);
 
         if self.scheme != Scheme::NoIntervention {
             self.maybe_train(now);
             if self.is_trained() {
                 self.maybe_retrain(now, slo_violated);
-                self.observe_predictors(samples);
+                self.observe_predictors(&usable);
                 self.predictive_round(now, slo_violated, violation_confirmed, cluster);
                 self.validate_episodes(now, slo_violated, cluster);
+                self.process_retries(now, slo_violated, cluster);
             }
         }
 
@@ -341,6 +483,15 @@ impl PrepareController {
                 let Some(prediction) = preds.pop() else {
                     continue;
                 };
+                // No trustworthy evidence this round: the prediction ran
+                // on coasting model state, so it is neither an alert nor
+                // a "normal" vote — the k-of-W window holds its ground.
+                if self.degraded.contains(&vm) {
+                    if let Some(f) = self.filters.get_mut(&vm) {
+                        f.push_vote(Vote::Abstain);
+                    }
+                    continue;
+                }
                 if prediction.is_alert() {
                     self.events.push(ControllerEvent::AlertRaised {
                         at: now,
@@ -389,7 +540,9 @@ impl PrepareController {
         // the reactive baseline scheme.
         if violation_confirmed && self.episodes.is_empty() {
             for (vm, ranking) in self.reactive_diagnosis() {
-                if self.is_suppressed(vm, now) {
+                // A degraded VM cannot be diagnosed — its model has seen
+                // no fresh data, so blaming it would be guesswork.
+                if self.is_suppressed(vm, now) || self.degraded.contains(&vm) {
                     continue;
                 }
                 self.events
@@ -466,6 +619,12 @@ impl PrepareController {
         let Some(episode) = self.episodes.get_mut(&vm) else {
             return;
         };
+        // A transiently rejected action is waiting out its backoff; the
+        // scheduled retry — not this call — owns the next attempt.
+        if episode.retry_at.is_some_and(|t| now < t) {
+            return;
+        }
+        episode.retry_at = None;
         let recently_migrated = self
             .last_migration
             .get(&vm)
@@ -489,9 +648,13 @@ impl PrepareController {
                     if was_migration {
                         self.last_migration.insert(vm, now);
                     }
+                    if let PlannedAction::Migrate { target, .. } = a {
+                        episode.migration_target = Some(target);
+                    }
                     episode.record_action(now, was_migration);
                     episode.last_resource = a.resource();
                     episode.failures = 0;
+                    episode.transient_attempts = 0;
                     let attribute = match a {
                         PlannedAction::Migrate { .. } => None,
                         _ => episode.active_attribute(),
@@ -504,20 +667,61 @@ impl PrepareController {
                     });
                     None
                 }
-                Err(reason) => Some(reason),
+                Err(err)
+                    if err.is_transient() && episode.transient_attempts < TRANSIENT_RETRY_LIMIT =>
+                {
+                    // The hypervisor control plane is busy: defer, don't
+                    // fail. Backoff doubles per attempt, capped.
+                    episode.transient_attempts += 1;
+                    let base = match a {
+                        PlannedAction::Migrate { .. } => MIGRATE_RETRY_BASE_SECS,
+                        _ => SCALE_RETRY_BASE_SECS,
+                    };
+                    let backoff =
+                        (base << (episode.transient_attempts - 1)).min(RETRY_BACKOFF_CAP_SECS);
+                    let retry_at = now + Duration::from_secs(backoff);
+                    episode.retry_at = Some(retry_at);
+                    self.events.push(ControllerEvent::ActionRetried {
+                        at: now,
+                        vm,
+                        action: a.to_string(),
+                        attempt: episode.transient_attempts,
+                        retry_at,
+                    });
+                    None
+                }
+                Err(err) => {
+                    let kind = if err.is_transient() {
+                        ActionFailureKind::RetriesExhausted
+                    } else {
+                        ActionFailureKind::ExecutionFailed
+                    };
+                    Some((err.to_string(), kind))
+                }
             },
-            None => Some("no applicable prevention action".to_string()),
+            None => Some((
+                "no applicable prevention action".to_string(),
+                ActionFailureKind::NoApplicableAction,
+            )),
         };
-        if let Some(reason) = failure {
+        if let Some((reason, kind)) = failure {
             let Some(episode) = self.episodes.get_mut(&vm) else {
                 return;
             };
+            episode.transient_attempts = 0;
+            if kind == ActionFailureKind::RetriesExhausted {
+                // The hypervisor stayed busy through the whole backoff
+                // schedule: give up on this candidate and fall through to
+                // the next-ranked attribute.
+                episode.advance_candidate();
+            }
             episode.failures += 1;
             let abandon = episode.failures >= MAX_EPISODE_FAILURES;
             self.events.push(ControllerEvent::ActionFailed {
                 at: now,
                 vm,
                 reason,
+                kind,
             });
             if abandon {
                 self.episodes.remove(&vm);
@@ -530,6 +734,19 @@ impl PrepareController {
         }
     }
 
+    /// Re-attempts actions whose transient-rejection backoff has elapsed.
+    fn process_retries(&mut self, now: Timestamp, slo_violated: bool, cluster: &mut Cluster) {
+        let due: Vec<VmId> = self
+            .episodes
+            .iter()
+            .filter(|(_, ep)| ep.retry_at.is_some_and(|t| now >= t))
+            .map(|(&vm, _)| vm)
+            .collect();
+        for vm in due {
+            self.act(vm, now, slo_violated, cluster);
+        }
+    }
+
     /// Runs the look-back/look-ahead validation over open episodes.
     fn validate_episodes(&mut self, now: Timestamp, slo_violated: bool, cluster: &mut Cluster) {
         let window = self.config.validation_window;
@@ -537,7 +754,44 @@ impl PrepareController {
         let mut escalate = Vec::new();
         let mut retry = Vec::new();
 
+        // Observe migration outcomes first: an issued migration that is
+        // no longer in flight either switched over (the VM now lives on
+        // its target) or was torn down mid-copy and rolled back to the
+        // source host. A rollback un-marks the episode's migration so the
+        // move can be re-planned once the infrastructure recovers.
+        let mut rolled_back = Vec::new();
+        for (&vm, ep) in self.episodes.iter_mut() {
+            let Some(target) = ep.migration_target else {
+                continue;
+            };
+            let state = cluster.vm(vm);
+            if state.is_migrating() {
+                continue;
+            }
+            ep.migration_target = None;
+            if state.host != target {
+                ep.migrated = false;
+                // Fresh attempt after the validation window, via the
+                // stalled-episode path.
+                ep.last_action_at = None;
+                rolled_back.push((vm, target));
+            }
+        }
+        for (vm, target) in rolled_back {
+            self.last_migration.remove(&vm);
+            self.events.push(ControllerEvent::ActionRolledBack {
+                at: now,
+                vm,
+                target: target.to_string(),
+            });
+        }
+
         for (&vm, episode) in &self.episodes {
+            // No trustworthy samples for this VM: freeze the episode
+            // rather than judge an action on held-over data.
+            if self.degraded.contains(&vm) {
+                continue;
+            }
             // A stalled episode whose action could never be issued gets a
             // fresh attempt each validation window.
             if episode.last_action_at.is_none() {
@@ -814,6 +1068,246 @@ mod tests {
                 assert_eq!(*vm, VmId(0), "only VM 0 carries the anomaly signature");
             }
         }
+    }
+
+    /// Satellite regression: a round whose prevention attempt fails
+    /// increments `episode.failures` exactly once, the event carries the
+    /// structured kind, and the episode abandons at the cap.
+    #[test]
+    fn failed_round_counts_one_failure() {
+        // Zero headroom, no migration target: the planner has nothing.
+        let mut c = Cluster::new();
+        let h0 = c.add_host(prepare_cloudsim::HostSpec::vcl_default());
+        c.create_vm(h0, 100.0, 2048.0).unwrap();
+        c.create_vm(h0, 100.0, 2048.0).unwrap();
+        let mut ctl = mk_controller(Scheme::Prepare);
+        ctl.episodes.insert(
+            VmId(0),
+            Episode::open(VmId(0), Timestamp::ZERO, vec![AttributeKind::FreeMem]),
+        );
+        for round in 1..=MAX_EPISODE_FAILURES {
+            let now = Timestamp::from_secs(round as u64 * 30);
+            ctl.act(VmId(0), now, true, &mut c);
+            let failed = ctl
+                .events
+                .iter()
+                .filter(|e| matches!(e, ControllerEvent::ActionFailed { .. }))
+                .count();
+            assert_eq!(failed, round, "exactly one failure per failed round");
+            if round < MAX_EPISODE_FAILURES {
+                assert_eq!(ctl.episodes[&VmId(0)].failures, round);
+            }
+        }
+        assert!(
+            !ctl.episodes.contains_key(&VmId(0)),
+            "episode abandons at the failure cap"
+        );
+        assert!(ctl.suppressed_until.contains_key(&VmId(0)));
+        // "Nothing to try" is structurally distinguishable from a real
+        // execution failure.
+        for e in &ctl.events {
+            if let ControllerEvent::ActionFailed { kind, reason, .. } = e {
+                assert_eq!(*kind, ActionFailureKind::NoApplicableAction);
+                assert_eq!(reason, "no applicable prevention action");
+            }
+        }
+    }
+
+    /// A busy hypervisor defers the action (with backoff) instead of
+    /// failing the episode; the due retry issues it once the control
+    /// plane recovers.
+    #[test]
+    fn busy_hypervisor_defers_then_issues() {
+        let mut c = test_cluster();
+        c.set_hypervisor_busy(true);
+        let mut ctl = mk_controller(Scheme::Prepare);
+        ctl.episodes.insert(
+            VmId(0),
+            Episode::open(VmId(0), Timestamp::ZERO, vec![AttributeKind::CpuTotal]),
+        );
+        ctl.act(VmId(0), Timestamp::ZERO, true, &mut c);
+        {
+            let ep = &ctl.episodes[&VmId(0)];
+            assert_eq!(ep.transient_attempts, 1);
+            assert_eq!(ep.failures, 0, "a deferred action is not a failure");
+            assert_eq!(
+                ep.retry_at,
+                Some(Timestamp::from_secs(SCALE_RETRY_BASE_SECS))
+            );
+        }
+        assert!(matches!(
+            ctl.events.last(),
+            Some(ControllerEvent::ActionRetried { attempt: 1, .. })
+        ));
+        // Before the backoff elapses, act() is a no-op.
+        ctl.act(VmId(0), Timestamp::from_secs(2), true, &mut c);
+        assert_eq!(ctl.episodes[&VmId(0)].transient_attempts, 1);
+        // The control plane recovers; the due retry issues the action.
+        c.set_hypervisor_busy(false);
+        ctl.process_retries(Timestamp::from_secs(SCALE_RETRY_BASE_SECS), true, &mut c);
+        assert!(matches!(
+            ctl.events.last(),
+            Some(ControllerEvent::ActionIssued { .. })
+        ));
+        let ep = &ctl.episodes[&VmId(0)];
+        assert_eq!(ep.transient_attempts, 0);
+        assert_eq!(ep.retry_at, None);
+        assert!(!c.actions().is_empty());
+    }
+
+    /// A hypervisor that stays busy through the whole backoff schedule
+    /// costs one failure and falls through to the next-ranked attribute.
+    #[test]
+    fn exhausted_retries_fall_through_to_next_candidate() {
+        let mut c = test_cluster();
+        c.set_hypervisor_busy(true);
+        let mut ctl = mk_controller(Scheme::Prepare);
+        ctl.episodes.insert(
+            VmId(0),
+            Episode::open(
+                VmId(0),
+                Timestamp::ZERO,
+                vec![AttributeKind::CpuTotal, AttributeKind::FreeMem],
+            ),
+        );
+        let mut now = Timestamp::ZERO;
+        ctl.act(VmId(0), now, true, &mut c);
+        for _ in 0..TRANSIENT_RETRY_LIMIT {
+            let Some(retry_at) = ctl.episodes[&VmId(0)].retry_at else {
+                break;
+            };
+            now = retry_at;
+            ctl.process_retries(now, true, &mut c);
+        }
+        let retried = ctl
+            .events
+            .iter()
+            .filter(|e| matches!(e, ControllerEvent::ActionRetried { .. }))
+            .count();
+        assert_eq!(retried, TRANSIENT_RETRY_LIMIT);
+        assert!(
+            matches!(
+                ctl.events.last(),
+                Some(ControllerEvent::ActionFailed {
+                    kind: ActionFailureKind::RetriesExhausted,
+                    ..
+                })
+            ),
+            "the attempt after the last backoff exhausts the schedule"
+        );
+        let ep = &ctl.episodes[&VmId(0)];
+        assert_eq!(ep.failures, 1, "exhaustion costs exactly one failure");
+        assert_eq!(
+            ep.active_attribute(),
+            Some(AttributeKind::FreeMem),
+            "the episode falls through to the next-ranked attribute"
+        );
+        assert!(c.actions().is_empty(), "nothing ever touched the cluster");
+    }
+
+    /// Backoffs double per attempt: 5, 10, 20, 40 seconds for scaling.
+    #[test]
+    fn retry_backoff_doubles() {
+        let mut c = test_cluster();
+        c.set_hypervisor_busy(true);
+        let mut ctl = mk_controller(Scheme::Prepare);
+        ctl.episodes.insert(
+            VmId(0),
+            Episode::open(VmId(0), Timestamp::ZERO, vec![AttributeKind::CpuTotal]),
+        );
+        let mut now = Timestamp::ZERO;
+        let mut gaps = Vec::new();
+        ctl.act(VmId(0), now, true, &mut c);
+        while let Some(retry_at) = ctl.episodes[&VmId(0)].retry_at {
+            gaps.push(retry_at.since(now).as_secs());
+            now = retry_at;
+            ctl.process_retries(now, true, &mut c);
+        }
+        assert_eq!(gaps, vec![5, 10, 20, 40]);
+    }
+
+    /// A monitoring gap is papered over by hold-last-value imputation for
+    /// the budget's length, then degrades the VM (abstaining, not voting
+    /// "normal"); fresh data recovers it. Edge events fire exactly once
+    /// per transition.
+    #[test]
+    fn monitoring_gap_degrades_then_recovers() {
+        let mut c = test_cluster();
+        let mut ctl = mk_controller(Scheme::Prepare);
+        drive(&mut ctl, &mut c, 0..160);
+        assert!(ctl.is_trained());
+        assert!(ctl.degraded_vms().is_empty());
+        let t0 = 160 * 5;
+        // Eight rounds with VM 0's samples lost entirely.
+        for i in 0..8u64 {
+            let t = t0 + i * 5;
+            let readings = vec![(VmId(1), StampedSample::fresh(sample_for(t, 30.0, 400.0)))];
+            ctl.on_readings(Timestamp::from_secs(t), &readings, false, &mut c);
+            // Within the 15 s budget the held value keeps the VM covered.
+            // The last real sample landed one round before the gap, so
+            // its age at gap round i is (i + 1) * 5 seconds.
+            let budget_elapsed = (i + 1) * 5 > prepare_metrics::DEFAULT_STALENESS_SECS;
+            assert_eq!(ctl.is_degraded(VmId(0)), budget_elapsed, "round {i}");
+        }
+        let degraded_events = ctl
+            .events
+            .iter()
+            .filter(|e| matches!(e, ControllerEvent::MonitoringDegraded { vm: VmId(0), .. }))
+            .count();
+        assert_eq!(degraded_events, 1, "edge-triggered, not level-triggered");
+        assert!(
+            ctl.filters[&VmId(0)].abstentions() > 0,
+            "degraded rounds abstain instead of voting"
+        );
+        // Fresh data returns: recovered exactly once.
+        let t = t0 + 8 * 5;
+        let readings = vec![
+            (VmId(0), StampedSample::fresh(sample_for(t, 40.0, 500.0))),
+            (VmId(1), StampedSample::fresh(sample_for(t, 30.0, 400.0))),
+        ];
+        ctl.on_readings(Timestamp::from_secs(t), &readings, false, &mut c);
+        assert!(!ctl.is_degraded(VmId(0)));
+        let recovered_events = ctl
+            .events
+            .iter()
+            .filter(|e| matches!(e, ControllerEvent::MonitoringRecovered { vm: VmId(0), .. }))
+            .count();
+        assert_eq!(recovered_events, 1);
+    }
+
+    /// `on_readings` with every reading fresh is byte-identical to the
+    /// legacy `on_sample` path.
+    #[test]
+    fn fresh_readings_match_on_sample_exactly() {
+        let mut c1 = test_cluster();
+        let mut c2 = test_cluster();
+        let mut a = mk_controller(Scheme::Prepare);
+        let mut b = mk_controller(Scheme::Prepare);
+        for i in 0..200u64 {
+            let t = i * 5;
+            let phase = i % 120;
+            let free = match phase {
+                0..=39 => 500.0,
+                40..=89 => 500.0 - (phase - 39) as f64 * 10.0,
+                90..=109 => 0.0,
+                _ => 500.0,
+            };
+            let violated = free < 50.0;
+            let samples = vec![
+                (VmId(0), sample_for(t, 40.0, free)),
+                (VmId(1), sample_for(t, 30.0, 400.0)),
+            ];
+            let readings: Vec<(VmId, StampedSample)> = samples
+                .iter()
+                .map(|&(vm, s)| (vm, StampedSample::fresh(s)))
+                .collect();
+            let now = Timestamp::from_secs(t);
+            let ea = a.on_sample(now, &samples, violated, &mut c1);
+            let eb = b.on_readings(now, &readings, violated, &mut c2);
+            assert_eq!(ea, eb, "round {i}");
+        }
+        assert_eq!(a.events, b.events);
+        assert_eq!(c1, c2);
     }
 
     #[test]

@@ -4,6 +4,25 @@
 use prepare_metrics::{AttributeKind, Timestamp, VmId};
 use std::fmt;
 
+/// Why a prevention round produced an [`ControllerEvent::ActionFailed`].
+///
+/// The event's `reason` string stays the human-readable hypervisor
+/// message (and the `Display` text is unchanged); this field makes the
+/// three structurally different failure paths machine-distinguishable:
+/// the planner had nothing to try, the hypervisor rejected the action
+/// outright, or a transient rejection survived every retry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ActionFailureKind {
+    /// The planner could not produce any action (no headroom, no target,
+    /// every candidate retired).
+    NoApplicableAction,
+    /// The hypervisor rejected the action with a permanent error.
+    ExecutionFailed,
+    /// A transient rejection (hypervisor busy) persisted through the
+    /// bounded retry schedule.
+    RetriesExhausted,
+}
+
 /// Something the controller did or decided.
 #[derive(Debug, Clone, PartialEq)]
 pub enum ControllerEvent {
@@ -67,6 +86,46 @@ pub enum ControllerEvent {
         vm: VmId,
         /// Why it failed.
         reason: String,
+        /// Which failure path produced this event.
+        kind: ActionFailureKind,
+    },
+    /// A transiently rejected action was scheduled for another attempt.
+    ActionRetried {
+        /// When the rejection occurred.
+        at: Timestamp,
+        /// Target VM.
+        vm: VmId,
+        /// Human-readable description of the action being retried.
+        action: String,
+        /// 1-based attempt number that just failed transiently.
+        attempt: usize,
+        /// When the next attempt is due.
+        retry_at: Timestamp,
+    },
+    /// A live migration timed out mid-copy and the hypervisor rolled the
+    /// VM back to its source host.
+    ActionRolledBack {
+        /// When the rollback was observed.
+        at: Timestamp,
+        /// The VM that stayed put.
+        vm: VmId,
+        /// The target host the migration was aborted towards.
+        target: String,
+    },
+    /// A VM's monitoring stream exceeded its staleness budget; the
+    /// controller now abstains from predictive votes for it.
+    MonitoringDegraded {
+        /// When the budget was first exceeded.
+        at: Timestamp,
+        /// The VM with no trustworthy samples.
+        vm: VmId,
+    },
+    /// Fresh samples returned for a previously degraded VM.
+    MonitoringRecovered {
+        /// When fresh data resumed.
+        at: Timestamp,
+        /// The recovered VM.
+        vm: VmId,
     },
     /// Validation concluded the anomaly is gone.
     ValidationSucceeded {
@@ -96,6 +155,10 @@ impl ControllerEvent {
             | ControllerEvent::ReactiveTriggered { at, .. }
             | ControllerEvent::ActionIssued { at, .. }
             | ControllerEvent::ActionFailed { at, .. }
+            | ControllerEvent::ActionRetried { at, .. }
+            | ControllerEvent::ActionRolledBack { at, .. }
+            | ControllerEvent::MonitoringDegraded { at, .. }
+            | ControllerEvent::MonitoringRecovered { at, .. }
             | ControllerEvent::ValidationSucceeded { at, .. }
             | ControllerEvent::ValidationIneffective { at, .. } => *at,
         }
@@ -131,8 +194,29 @@ impl fmt::Display for ControllerEvent {
             ControllerEvent::ActionIssued { at, vm, action, .. } => {
                 write!(f, "[{at}] {vm}: {action}")
             }
-            ControllerEvent::ActionFailed { at, vm, reason } => {
+            ControllerEvent::ActionFailed { at, vm, reason, .. } => {
                 write!(f, "[{at}] {vm}: action failed ({reason})")
+            }
+            ControllerEvent::ActionRetried {
+                at,
+                vm,
+                action,
+                attempt,
+                retry_at,
+            } => {
+                write!(
+                    f,
+                    "[{at}] {vm}: {action} deferred (attempt {attempt}, retrying at {retry_at})"
+                )
+            }
+            ControllerEvent::ActionRolledBack { at, vm, target } => {
+                write!(f, "[{at}] {vm}: migration to {target} rolled back")
+            }
+            ControllerEvent::MonitoringDegraded { at, vm } => {
+                write!(f, "[{at}] {vm}: monitoring degraded, abstaining")
+            }
+            ControllerEvent::MonitoringRecovered { at, vm } => {
+                write!(f, "[{at}] {vm}: monitoring recovered")
             }
             ControllerEvent::ValidationSucceeded { at, vm } => {
                 write!(f, "[{at}] {vm}: anomaly resolved")
@@ -160,6 +244,26 @@ mod tests {
             },
             ControllerEvent::WorkloadChangeInferred { at: t },
             ControllerEvent::ValidationSucceeded { at: t, vm: VmId(0) },
+            ControllerEvent::ActionFailed {
+                at: t,
+                vm: VmId(0),
+                reason: "nope".into(),
+                kind: ActionFailureKind::ExecutionFailed,
+            },
+            ControllerEvent::ActionRetried {
+                at: t,
+                vm: VmId(0),
+                action: "scale vm0 cpu to 150".into(),
+                attempt: 1,
+                retry_at: Timestamp::from_secs(10),
+            },
+            ControllerEvent::ActionRolledBack {
+                at: t,
+                vm: VmId(0),
+                target: "host1".into(),
+            },
+            ControllerEvent::MonitoringDegraded { at: t, vm: VmId(0) },
+            ControllerEvent::MonitoringRecovered { at: t, vm: VmId(0) },
         ];
         for e in events {
             assert_eq!(e.time(), t);

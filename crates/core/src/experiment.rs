@@ -6,8 +6,10 @@
 pub use crate::controller::Scheme;
 use crate::{ControllerEvent, PrepareConfig, PrepareController, PreventionPolicy};
 use prepare_apps::{AppTick, Application, FaultKind, FaultPlan, Rubis, SystemS, Workload};
-use prepare_cloudsim::{ActionRecord, Cluster, Monitor};
-use prepare_metrics::{mean_std, Duration, MetricSample, SloLog, TimeSeries, Timestamp, VmId};
+use prepare_cloudsim::{ActionRecord, ChaosEngine, ChaosPlan, ChaosStats, Cluster, Monitor};
+use prepare_metrics::{
+    mean_std, Duration, MetricSample, SloLog, StampedSample, TimeSeries, Timestamp, VmId,
+};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -79,6 +81,11 @@ pub struct ExperimentSpec {
     pub injection_duration: Duration,
     /// Relative measurement noise of the monitor.
     pub monitor_noise: f64,
+    /// Seeded infrastructure-fault schedule (dropped/delayed samples,
+    /// busy hypervisor, migration timeouts, host blackouts). `None` — the
+    /// default — is a benign infrastructure and leaves every trace
+    /// byte-identical to a build without the chaos layer.
+    pub chaos: Option<ChaosPlan>,
 }
 
 impl ExperimentSpec {
@@ -95,6 +102,7 @@ impl ExperimentSpec {
             second_injection: Timestamp::from_secs(800),
             injection_duration: Duration::from_secs(300),
             monitor_noise: 0.02,
+            chaos: None,
         }
     }
 
@@ -103,6 +111,13 @@ impl ExperimentSpec {
     #[must_use]
     pub fn with_policy(mut self, policy: PreventionPolicy) -> Self {
         self.config.policy = policy;
+        self
+    }
+
+    /// Runs the experiment under the given infrastructure-fault plan.
+    #[must_use]
+    pub fn with_chaos(mut self, plan: ChaosPlan) -> Self {
+        self.chaos = Some(plan);
         self
     }
 }
@@ -140,6 +155,8 @@ pub struct ExperimentResult {
     /// first SLO violation of the evaluation window. `None` when no
     /// violation occurred (fully prevented) or no action preceded one.
     pub lead_time: Option<Duration>,
+    /// What the chaos engine did, when the spec carried a plan.
+    pub chaos_stats: Option<ChaosStats>,
 }
 
 impl ExperimentResult {
@@ -258,6 +275,7 @@ impl Experiment {
         let vms: Vec<VmId> = app.vms().to_vec();
         let mut controller = PrepareController::new(vms.clone(), spec.config.clone(), spec.scheme);
         let mut monitor = Monitor::new(spec.monitor_noise);
+        let mut chaos = spec.chaos.clone().map(ChaosEngine::new);
         let sampling = spec.config.predictor.sampling_interval.as_secs().max(1);
 
         let mut ticks = Vec::with_capacity(spec.duration.as_secs() as usize);
@@ -273,6 +291,9 @@ impl Experiment {
         for t in 0..spec.duration.as_secs() {
             let now = Timestamp::from_secs(t);
             cluster.advance(now);
+            if let Some(engine) = chaos.as_mut() {
+                engine.tick(&mut cluster, now);
+            }
             cluster.clear_background_loads();
             for (idx, target_vm, host_cpu) in faults.interference(now) {
                 let host = *pinned_hosts[idx].get_or_insert_with(|| cluster.vm(target_vm).host);
@@ -282,14 +303,35 @@ impl Experiment {
             let tick = app.step(now, rate, &mut cluster, &faults);
             slo_log.record(now, tick.slo_violated);
             if t % sampling == 0 {
+                // The monitor renders every VM's sample unconditionally —
+                // its noise stream must advance identically whether or
+                // not the infrastructure then loses the reading.
                 let samples: Vec<(VmId, MetricSample)> = vms
                     .iter()
                     .map(|&vm| (vm, monitor.sample(&cluster, vm, now, &mut rng)))
                     .collect();
+                // vm_series records what was measured (ground truth for
+                // the accuracy studies); the controller sees only what
+                // survives the monitoring plane.
                 for ((_, series), (_, sample)) in vm_series.iter_mut().zip(&samples) {
                     series.push(*sample);
                 }
-                controller.on_sample(now, &samples, tick.slo_violated, &mut cluster);
+                let readings: Vec<(VmId, StampedSample)> = match chaos.as_mut() {
+                    Some(engine) => samples
+                        .iter()
+                        .filter_map(|&(vm, sample)| {
+                            let host = cluster.vm(vm).host;
+                            engine
+                                .deliver(vm, host, sample, now)
+                                .map(|stamped| (vm, stamped))
+                        })
+                        .collect(),
+                    None => samples
+                        .iter()
+                        .map(|&(vm, sample)| (vm, StampedSample::fresh(sample)))
+                        .collect(),
+                };
+                controller.on_readings(now, &readings, tick.slo_violated, &mut cluster);
             }
             ticks.push(tick);
         }
@@ -336,6 +378,7 @@ impl Experiment {
             slo_log,
             second_injection: spec.second_injection,
             lead_time,
+            chaos_stats: chaos.map(|engine| engine.stats()),
         }
     }
 }

@@ -49,12 +49,12 @@ mod validation;
 pub use analysis::{eval_violation_intervals, ExperimentReport};
 pub use config::{ParConfig, PrepareConfig, PreventionPolicy};
 pub use controller::PrepareController;
-pub use events::ControllerEvent;
+pub use events::{ActionFailureKind, ControllerEvent};
 pub use experiment::{
     AppKind, Experiment, ExperimentResult, ExperimentSpec, FaultChoice, Scheme, TrialSummary,
 };
 pub use inference::{
     implicated_vms, implicated_vms_par, implication_score, CauseInference, Diagnosis,
 };
-pub use prevention::{PlannedAction, PreventionPlanner};
+pub use prevention::{ActuationError, PlannedAction, PreventionPlanner};
 pub use validation::{Episode, ValidationOutcome};

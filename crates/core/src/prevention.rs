@@ -7,9 +7,69 @@
 //! currently observed demand.
 
 use crate::PreventionPolicy;
-use prepare_cloudsim::{Cluster, HostId};
+use prepare_cloudsim::{Cluster, HostId, MigrateError, PlacementError, ScaleError};
 use prepare_metrics::{AttributeKind, ScalableResource, Timestamp, VmId};
 use std::fmt;
+
+/// A typed actuation failure: the hypervisor error behind a prevention
+/// action that could not be applied.
+///
+/// `Display` delegates to the wrapped error, so event text and golden
+/// traces read exactly as the previous stringly-typed plumbing did.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ActuationError {
+    /// An elastic scaling action failed.
+    Scale(ScaleError),
+    /// A live migration failed to start.
+    Migrate(MigrateError),
+    /// A placement query failed.
+    Placement(PlacementError),
+}
+
+impl ActuationError {
+    /// True for failures that a bounded retry is expected to clear
+    /// (the hypervisor control plane was transiently busy). Everything
+    /// else — capacity shortfalls, invalid targets, in-flight migrations
+    /// — is treated as permanent for the current round, exactly as
+    /// before the retry machinery existed.
+    pub fn is_transient(&self) -> bool {
+        matches!(
+            self,
+            ActuationError::Scale(ScaleError::HypervisorBusy)
+                | ActuationError::Migrate(MigrateError::HypervisorBusy)
+        )
+    }
+}
+
+impl fmt::Display for ActuationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ActuationError::Scale(e) => e.fmt(f),
+            ActuationError::Migrate(e) => e.fmt(f),
+            ActuationError::Placement(e) => e.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for ActuationError {}
+
+impl From<ScaleError> for ActuationError {
+    fn from(e: ScaleError) -> Self {
+        ActuationError::Scale(e)
+    }
+}
+
+impl From<MigrateError> for ActuationError {
+    fn from(e: MigrateError) -> Self {
+        ActuationError::Migrate(e)
+    }
+}
+
+impl From<PlacementError> for ActuationError {
+    fn from(e: PlacementError) -> Self {
+        ActuationError::Placement(e)
+    }
+}
 
 /// A concrete prevention action ready to execute.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -201,25 +261,25 @@ impl PreventionPlanner {
     ///
     /// # Errors
     ///
-    /// Returns the underlying hypervisor error message when the action
-    /// cannot be applied (capacity raced away, VM migrating, ...).
+    /// Returns the underlying hypervisor error when the action cannot be
+    /// applied (capacity raced away, VM migrating, control plane busy).
     pub fn execute(
         &self,
         cluster: &mut Cluster,
         action: PlannedAction,
         now: Timestamp,
-    ) -> Result<(), String> {
+    ) -> Result<(), ActuationError> {
         match action {
             PlannedAction::ScaleCpu { vm, to } => {
-                cluster.scale_cpu(vm, to, now).map_err(|e| e.to_string())
+                cluster.scale_cpu(vm, to, now).map_err(ActuationError::from)
             }
             PlannedAction::ScaleMem { vm, to } => {
-                cluster.scale_mem(vm, to, now).map_err(|e| e.to_string())
+                cluster.scale_mem(vm, to, now).map_err(ActuationError::from)
             }
             PlannedAction::Migrate { vm, target } => cluster
                 .begin_migration(vm, target, now)
                 .map(|_| ())
-                .map_err(|e| e.to_string()),
+                .map_err(ActuationError::from),
         }
     }
 }
@@ -427,7 +487,40 @@ mod tests {
                 Timestamp::ZERO,
             )
             .unwrap_err();
-        assert!(err.contains("migrated"), "unexpected error: {err}");
+        assert_eq!(
+            err,
+            ActuationError::Scale(ScaleError::MigrationInProgress(vm))
+        );
+        // Display still reads exactly like the old stringly errors.
+        assert!(
+            err.to_string().contains("migrated"),
+            "unexpected error: {err}"
+        );
+        assert!(!err.is_transient());
+    }
+
+    #[test]
+    fn busy_hypervisor_errors_are_transient() {
+        let (mut c, vm) = setup();
+        c.set_hypervisor_busy(true);
+        let p = planner(PreventionPolicy::ScalingFirst);
+        let err = p
+            .execute(
+                &mut c,
+                PlannedAction::ScaleCpu { vm, to: 150.0 },
+                Timestamp::ZERO,
+            )
+            .unwrap_err();
+        assert!(err.is_transient(), "busy scale must be transient: {err}");
+        let target = c.find_migration_target(vm).unwrap();
+        let err = p
+            .execute(
+                &mut c,
+                PlannedAction::Migrate { vm, target },
+                Timestamp::ZERO,
+            )
+            .unwrap_err();
+        assert!(err.is_transient(), "busy migrate must be transient: {err}");
     }
 
     #[test]

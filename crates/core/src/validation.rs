@@ -7,6 +7,7 @@
 //! scaling the next metric in the list of related metrics provided by the
 //! TAN model) until the performance anomaly is gone."
 
+use prepare_cloudsim::HostId;
 use prepare_metrics::{AttributeKind, Duration, ScalableResource, TimeSeries, Timestamp, VmId};
 
 /// Outcome of validating one prevention action.
@@ -60,6 +61,17 @@ pub struct Episode {
     /// prevention is ineffective ..., PREPARE will trigger live VM
     /// migration", §II-D).
     pub ineffective_resources: Vec<ScalableResource>,
+    /// When the next attempt of a transiently rejected action is due
+    /// (`None` when no retry is pending). While set, `act` is a no-op
+    /// until the backoff elapses.
+    pub retry_at: Option<Timestamp>,
+    /// Consecutive transient (hypervisor-busy) rejections of the current
+    /// action; resets on success or permanent failure.
+    pub transient_attempts: usize,
+    /// Destination host of the in-flight migration, if one was issued —
+    /// lets validation detect a mid-copy rollback (the VM is no longer
+    /// migrating yet never left its source host).
+    pub migration_target: Option<HostId>,
 }
 
 /// Maximum actions against one blamed attribute before moving on.
@@ -79,6 +91,9 @@ impl Episode {
             attempts_on_candidate: 0,
             last_resource: None,
             ineffective_resources: Vec::new(),
+            retry_at: None,
+            transient_attempts: 0,
+            migration_target: None,
         }
     }
 

@@ -36,6 +36,7 @@ pub mod json;
 mod label;
 mod sample;
 mod series;
+mod staleness;
 mod stats;
 mod time;
 mod trace;
@@ -46,6 +47,10 @@ pub use discretize::{DiscreteVector, Discretizer, VectorDiscretizer};
 pub use label::{Label, Labeler, SloLog};
 pub use sample::{MetricSample, MetricVector};
 pub use series::{SeriesStats, SlidingWindow, TimeSeries};
+pub use staleness::{
+    AttributeStamps, Freshness, LastValueImputer, StalenessBudget, StampedSample,
+    DEFAULT_STALENESS_SECS,
+};
 pub use stats::{mean, mean_std, percentile, std_dev};
 pub use time::{Duration, Timestamp};
 pub use trace::{TraceError, TraceStore};

@@ -22,7 +22,7 @@ use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 // xtask-allow: wall-clock -- lint self-timing, reported to CI, never simulated
-use std::time::Instant;
+use std::time::Instant; // xtask-allow: time-source -- lint self-timing, reported to CI, never simulated
 
 const USAGE: &str = "\
 cargo xtask <command>

@@ -71,6 +71,7 @@ pub const ALL_RULES: &[(&str, Category)] = &[
     ("hash-collection", Category::Determinism),
     ("ambient-rng", Category::Determinism),
     ("wall-clock", Category::Determinism),
+    ("time-source", Category::Determinism),
     ("float-eq", Category::Determinism),
     ("nan-unsafe-sort", Category::Determinism),
     ("unguarded-log", Category::NanSafety),
@@ -141,6 +142,7 @@ fn check_file(f: &SourceFile, it: &FileItems, findings: &mut Vec<Finding>) {
         ambient_rng(f, findings);
         if !f.policy.wall_clock_allowed {
             wall_clock(f, findings);
+            time_source(f, findings);
         }
         float_eq(f, findings);
         nan_unsafe_sort(f, findings);
@@ -307,6 +309,53 @@ fn wall_clock(f: &SourceFile, findings: &mut Vec<Finding>) {
                 "wall-clock",
                 format!(
                     "{name} reads the wall clock; simulation code must use simulated Timestamps"
+                ),
+            );
+        }
+    }
+}
+
+/// Identifiers that smuggle host calendar/clock state into simulation
+/// code: the epoch constant and `chrono`-style date APIs.
+const DATE_IDENTS: &[&str] = &[
+    "UNIX_EPOCH",
+    "Utc",
+    "Local",
+    "Datelike",
+    "Timelike",
+    "chrono",
+    "NaiveDateTime",
+];
+
+/// `std::time` paths and calendar identifiers in simulation-visible
+/// code. The chaos layer's contract is that every fault decision is a
+/// pure function of `(seed, fault, entity, tick)`; one host-clock or
+/// calendar read anywhere on that path silently breaks replay, so the
+/// import itself is the finding — not just a `::now()` call.
+fn time_source(f: &SourceFile, findings: &mut Vec<Finding>) {
+    for k in 0..f.code.len() {
+        if f.cident(k) == Some("std") && f.cpair(k + 1, ':', ':') && f.cident(k + 3) == Some("time")
+        {
+            push(
+                f,
+                findings,
+                k,
+                Category::Determinism,
+                "time-source",
+                "`std::time` in simulation-visible code; use the simulated \
+                 prepare_metrics Timestamp/Duration instead"
+                    .into(),
+            );
+        } else if let Some(name) = f.cident(k).filter(|w| DATE_IDENTS.contains(w)) {
+            push(
+                f,
+                findings,
+                k,
+                Category::Determinism,
+                "time-source",
+                format!(
+                    "`{name}` reads the host calendar; simulation code must derive all time \
+                         from simulated Timestamps"
                 ),
             );
         }
@@ -737,11 +786,41 @@ fn alloc_sites(f: &SourceFile, open: usize, close: usize) -> Vec<(usize, &'stati
     out
 }
 
+/// Wall-clock / calendar reads inside a body's code positions: the
+/// hazards the per-file `wall-clock` and `time-source` rules look for,
+/// re-checked transitively where those rules are switched off.
+fn time_sites(f: &SourceFile, open: usize, close: usize) -> Vec<(usize, String)> {
+    let mut out = Vec::new();
+    let mut k = open + 1;
+    while k < close {
+        if f.cident(k) == Some("std") && f.cpair(k + 1, ':', ':') && f.cident(k + 3) == Some("time")
+        {
+            out.push((k, "std::time".to_string()));
+            k += 4;
+            continue;
+        }
+        if let Some(name) = f
+            .cident(k)
+            .filter(|w| matches!(*w, "Instant" | "SystemTime") || DATE_IDENTS.contains(w))
+        {
+            out.push((k, name.to_string()));
+        }
+        k += 1;
+    }
+    out
+}
+
 /// The transitive hot-path rule: from every function armed by a
 /// [`items::HOT_PATH_MARKER`] comment, walk the workspace call graph and flag
 /// any allocation in any reachable body, reporting the call chain that
 /// reaches it. Each allocation site is reported once even when several
 /// roots reach it.
+///
+/// The same walk also closes the `wall_clock_allowed` gap: in files
+/// whose per-file determinism rules are off (timing harnesses, tests),
+/// a clock or calendar read that has become *reachable from a hot-path
+/// kernel* is a `time-source` finding — a marked kernel must never time
+/// itself through a helper the per-file policy exempts.
 fn transitive_hot_path(
     files: &[SourceFile],
     parsed: &[FileItems],
@@ -753,6 +832,7 @@ fn transitive_hot_path(
     }
     let graph = callgraph::build(files, parsed, crate_map);
     let mut seen: BTreeSet<(usize, usize)> = BTreeSet::new();
+    let mut seen_time: BTreeSet<(usize, usize)> = BTreeSet::new();
     for root in 0..graph.fns.len() {
         let is_hot = graph
             .fns
@@ -776,7 +856,14 @@ fn transitive_hot_path(
                 continue;
             };
             let sites = alloc_sites(cf, open, close);
-            if sites.is_empty() {
+            // Clock reads only matter where the per-file rules are off.
+            let exempt_file = cf.policy.wall_clock_allowed || !cf.policy.determinism;
+            let tsites = if exempt_file {
+                time_sites(cf, open, close)
+            } else {
+                Vec::new()
+            };
+            if sites.is_empty() && tsites.is_empty() {
                 continue;
             }
             let route: Vec<String> = chain
@@ -795,6 +882,19 @@ fn transitive_hot_path(
                     Category::HotPath,
                     "hot-path-alloc",
                     format!("`{what}` allocates on the hot path: {route}"),
+                );
+            }
+            for (pos, what) in tsites {
+                if !seen_time.insert((r.file, pos)) {
+                    continue;
+                }
+                push(
+                    cf,
+                    findings,
+                    pos,
+                    Category::Determinism,
+                    "time-source",
+                    format!("`{what}` reads the host clock/calendar on a hot path: {route}"),
                 );
             }
         }
@@ -885,6 +985,51 @@ mod tests {
         assert_eq!(rules_of("let t = SystemTime::now();\n"), ["wall-clock"]);
         // Unrelated identifiers do not trip word matching.
         assert!(rules_of("let instant_rate = 1;\nlet randomizer = 2;\n").is_empty());
+    }
+
+    #[test]
+    fn time_source_flags_std_time_and_date_idents() {
+        assert_eq!(rules_of("use std::time::Duration;\n"), ["time-source"]);
+        assert_eq!(rules_of("let e = UNIX_EPOCH;\n"), ["time-source"]);
+        assert_eq!(
+            rules_of("let now = chrono::Utc::now();\n"),
+            ["time-source", "time-source"]
+        );
+        // Comments, strings, and the simulated time types stay quiet.
+        assert!(rules_of("// std::time\nlet s = \"UNIX_EPOCH\";\n").is_empty());
+        assert!(rules_of("let t = Timestamp::from_secs(0) + Duration::from_secs(5);\n").is_empty());
+        // A justified allow still works.
+        assert!(rules_of(
+            "use std::time::Duration; // xtask-allow: time-source -- tool self-timing\n"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn time_source_guards_the_chaos_layer() {
+        let findings = workspace_findings(&[(
+            "crates/cloudsim/src/chaos.rs",
+            "use std::time::SystemTime;\n",
+        )]);
+        assert!(
+            findings.iter().any(|f| f.rule == "time-source"),
+            "findings: {findings:?}"
+        );
+    }
+
+    #[test]
+    fn time_source_reaches_exempt_files_through_hot_paths() {
+        let src = "// xtask: hot-path\nfn kernel() { let t0 = Instant::now(); }\n";
+        let findings = workspace_findings(&[("crates/bench/src/lib.rs", src)]);
+        assert_eq!(findings.len(), 1, "findings: {findings:?}");
+        assert_eq!(findings[0].rule, "time-source");
+        assert!(findings[0].message.contains("kernel"));
+        // Unmarked timing-harness code may read the clock freely.
+        let quiet = workspace_findings(&[(
+            "crates/bench/src/lib.rs",
+            "fn f() { let t0 = Instant::now(); }\n",
+        )]);
+        assert!(quiet.is_empty(), "findings: {quiet:?}");
     }
 
     #[test]
