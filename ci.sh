@@ -25,6 +25,23 @@ if [ -z "$lint_ms" ] || [ "$lint_ms" -gt 10000 ]; then
   exit 1
 fi
 
+echo "==> prepare-tlc temporal property checker"
+# One invocation with PREPARE_WORKERS unset replays the pinned suite at
+# workers 1 and 4, checks cross-count trace invariance, and sweeps the
+# exhaustive fault-interleaving explorer. The checker shares the lint's
+# 10-second tooling budget: lint_ms + tlc_ms must stay under 10 000 ms.
+cargo build --offline --quiet --release --package prepare-tlc
+tlc_out="$(env -u PREPARE_WORKERS cargo run --offline --quiet --release --package prepare-tlc -- --report target/tlc-report.txt)" || {
+  echo "$tlc_out"
+  exit 1
+}
+echo "$tlc_out"
+tlc_ms="$(echo "$tlc_out" | sed -n 's/^tlc wall time: \([0-9]*\) ms$/\1/p')"
+if [ -z "$tlc_ms" ] || [ "$((lint_ms + tlc_ms))" -gt 10000 ]; then
+  echo "ci.sh: tooling wall-time budget exceeded (lint ${lint_ms} ms + tlc ${tlc_ms:-unreported} ms > 10000 ms)" >&2
+  exit 1
+fi
+
 echo "==> cargo test (PREPARE_WORKERS=1, sequential engine)"
 PREPARE_WORKERS=1 cargo test --offline --quiet --workspace
 

@@ -106,6 +106,10 @@ fn run(
     let t0 = Instant::now();
     let result = Experiment::new(spec, SEED).run();
     let wall_ms = t0.elapsed().as_secs_f64() * 1000.0;
+    prepare_bench::harness::assert_trace_clean(
+        &format!("{app:?}/{scheme:?}/chaos={chaos_seed:?}/workers={workers}"),
+        &result.events,
+    );
     (result, wall_ms)
 }
 

@@ -2,10 +2,28 @@
 
 use prepare_anomaly::{AlertFilter, AnomalyPredictor, ConfusionMatrix, PredictorConfig};
 use prepare_core::{
-    AppKind, Experiment, ExperimentResult, ExperimentSpec, FaultChoice, PreventionPolicy, Scheme,
-    TrialSummary,
+    AppKind, ControllerEvent, Experiment, ExperimentResult, ExperimentSpec, FaultChoice,
+    PreventionPolicy, Scheme, TrialSummary,
 };
 use prepare_metrics::{Duration, Label, SloLog, TimeSeries, Timestamp, VmId};
+
+/// Refuses to report numbers derived from a trace that breaks the
+/// registered temporal-property catalogue: every figure/bench trace is
+/// run through `prepare-tlc`'s standard properties before it is printed,
+/// so a published table can never be backed by a malformed run.
+pub fn assert_trace_clean(label: &str, events: &[ControllerEvent]) {
+    let violations =
+        prepare_tlc::check_all(&prepare_tlc::properties::standard_properties(), events);
+    assert!(
+        violations.is_empty(),
+        "{label}: trace violates temporal properties:\n{}",
+        violations
+            .iter()
+            .map(|v| format!("  {v}"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
 
 /// Seeds used for the repeated-trial experiments ("We repeat each
 /// experiment five times").
@@ -52,7 +70,12 @@ pub fn print_trace_panel(app: AppKind, fault: FaultChoice, policy: PreventionPol
     let mut results = Vec::new();
     for scheme in [Scheme::NoIntervention, Scheme::Reactive, Scheme::Prepare] {
         let spec = ExperimentSpec::paper_default(app, fault, scheme).with_policy(policy);
-        results.push((scheme, Experiment::new(spec, seed).run()));
+        let result = Experiment::new(spec, seed).run();
+        assert_trace_clean(
+            &format!("{}/{}/{scheme:?}", app.name(), fault.name()),
+            &result.events,
+        );
+        results.push((scheme, result));
     }
     let start = results[0].1.second_injection.as_secs();
     let metric_name = match app {

@@ -28,6 +28,8 @@ pub struct ExperimentReport {
     pub workload_changes: usize,
     /// Transiently rejected actions deferred for a scheduled retry.
     pub actions_retried: usize,
+    /// Episodes closed without a remedy (documented abstention).
+    pub abandoned: usize,
     /// Migrations torn down mid-copy and rolled back to the source host.
     pub rollbacks: usize,
     /// Times a VM's monitoring stream exceeded its staleness budget.
@@ -53,6 +55,7 @@ impl ExperimentReport {
             escalations: 0,
             workload_changes: 0,
             actions_retried: 0,
+            abandoned: 0,
             rollbacks: 0,
             monitoring_degraded: 0,
             monitoring_recovered: 0,
@@ -69,6 +72,7 @@ impl ExperimentReport {
                 ControllerEvent::ValidationIneffective { .. } => report.escalations += 1,
                 ControllerEvent::WorkloadChangeInferred { .. } => report.workload_changes += 1,
                 ControllerEvent::ActionRetried { .. } => report.actions_retried += 1,
+                ControllerEvent::ActionAbandoned { .. } => report.abandoned += 1,
                 ControllerEvent::ActionRolledBack { .. } => report.rollbacks += 1,
                 ControllerEvent::MonitoringDegraded { .. } => report.monitoring_degraded += 1,
                 ControllerEvent::MonitoringRecovered { .. } => report.monitoring_recovered += 1,

@@ -47,8 +47,10 @@ impl Scheme {
 /// and has passed — the paper's recurrent-anomaly regime), confirms
 /// alerts through k-of-W filtering, diagnoses faulty VMs and blamed
 /// metrics, actuates prevention on the given cluster, and validates
-/// effectiveness.
-#[derive(Debug)]
+/// effectiveness. The controller is `Clone`, so a driver can snapshot a
+/// trained state once and fork it into many what-if continuations (the
+/// `prepare-tlc` explorer does exactly this).
+#[derive(Debug, Clone)]
 pub struct PrepareController {
     config: PrepareConfig,
     scheme: Scheme,
@@ -88,33 +90,33 @@ pub struct PrepareController {
 }
 
 /// Minimum spacing between two migrations of the same VM (seconds).
-const MIGRATION_COOLDOWN_SECS: u64 = 120;
+pub const MIGRATION_COOLDOWN_SECS: u64 = 120;
 
 /// Consecutive action failures after which an episode is abandoned.
-const MAX_EPISODE_FAILURES: usize = 3;
+pub const MAX_EPISODE_FAILURES: usize = 3;
 
 /// How long an abandoned VM stays suppressed (seconds).
-const SUPPRESSION_SECS: u64 = 60;
+pub const SUPPRESSION_SECS: u64 = 60;
 
 /// Quiet period after model training during which predictive alerts do
 /// not open episodes (reactive response to real violations is unaffected).
-const TRAINING_SETTLE_SECS: u64 = 60;
+pub const TRAINING_SETTLE_SECS: u64 = 60;
 
 /// Maximum scheduled retries of a transiently rejected (hypervisor-busy)
 /// action before the episode gives up on it, counts one failure, and
 /// falls through to the next-ranked candidate attribute.
-const TRANSIENT_RETRY_LIMIT: usize = 4;
+pub const TRANSIENT_RETRY_LIMIT: usize = 4;
 
 /// Backoff base (seconds) for retrying a transiently rejected scaling
 /// action; doubles per attempt up to [`RETRY_BACKOFF_CAP_SECS`].
-const SCALE_RETRY_BASE_SECS: u64 = 5;
+pub const SCALE_RETRY_BASE_SECS: u64 = 5;
 
 /// Backoff base (seconds) for retrying a transiently rejected migration —
 /// migrations are heavier, so they wait longer between attempts.
-const MIGRATE_RETRY_BASE_SECS: u64 = 10;
+pub const MIGRATE_RETRY_BASE_SECS: u64 = 10;
 
 /// Ceiling on any single retry backoff (seconds).
-const RETRY_BACKOFF_CAP_SECS: u64 = 60;
+pub const RETRY_BACKOFF_CAP_SECS: u64 = 60;
 
 impl PrepareController {
     /// Creates a controller for the application running on `vms`.
@@ -728,18 +730,30 @@ impl PrepareController {
                 if let Some(f) = self.filters.get_mut(&vm) {
                     f.reset();
                 }
-                self.suppressed_until
-                    .insert(vm, now + Duration::from_secs(SUPPRESSION_SECS));
+                let suppressed_until = now + Duration::from_secs(SUPPRESSION_SECS);
+                self.suppressed_until.insert(vm, suppressed_until);
+                self.events.push(ControllerEvent::ActionAbandoned {
+                    at: now,
+                    vm,
+                    suppressed_until,
+                });
             }
         }
     }
 
     /// Re-attempts actions whose transient-rejection backoff has elapsed.
+    ///
+    /// A due retry for a VM whose monitoring is degraded stays parked:
+    /// actuating a VM the controller is blind on could not be validated
+    /// (and would race the very infrastructure fault that blinded it), so
+    /// the attempt fires on the first round after monitoring recovers.
     fn process_retries(&mut self, now: Timestamp, slo_violated: bool, cluster: &mut Cluster) {
         let due: Vec<VmId> = self
             .episodes
             .iter()
-            .filter(|(_, ep)| ep.retry_at.is_some_and(|t| now >= t))
+            .filter(|(vm, ep)| {
+                !self.degraded.contains(*vm) && ep.retry_at.is_some_and(|t| now >= t)
+            })
             .map(|(&vm, _)| vm)
             .collect();
         for vm in due {
@@ -1103,6 +1117,20 @@ mod tests {
             "episode abandons at the failure cap"
         );
         assert!(ctl.suppressed_until.contains_key(&VmId(0)));
+        // Abandonment is observable: the terminal event names the VM and
+        // the end of its suppression window.
+        let last_round = Timestamp::from_secs(MAX_EPISODE_FAILURES as u64 * 30);
+        assert!(
+            ctl.events.iter().any(|e| matches!(
+                e,
+                ControllerEvent::ActionAbandoned { at, vm, suppressed_until }
+                    if *vm == VmId(0)
+                        && *at == last_round
+                        && *suppressed_until
+                            == last_round + Duration::from_secs(SUPPRESSION_SECS)
+            )),
+            "abandonment must emit a terminal ActionAbandoned event"
+        );
         // "Nothing to try" is structurally distinguishable from a real
         // execution failure.
         for e in &ctl.events {
@@ -1224,6 +1252,112 @@ mod tests {
             ctl.process_retries(now, true, &mut c);
         }
         assert_eq!(gaps, vec![5, 10, 20, 40]);
+    }
+
+    /// The migration backoff schedule is pinned exactly: 10, 20, 40,
+    /// then capped at 60 seconds — [`TRANSIENT_RETRY_LIMIT`] scheduled
+    /// attempts in total — and the attempt after the final backoff
+    /// exhausts the schedule with a `RetriesExhausted` failure.
+    #[test]
+    fn migrate_retry_backoff_caps_then_exhausts() {
+        let mut c = test_cluster();
+        c.set_hypervisor_busy(true);
+        let mut ctl = mk_controller(Scheme::Prepare);
+        // CPU scaling already judged ineffective: the planner must
+        // escalate straight to migration (§II-D).
+        let mut ep = Episode::open(VmId(0), Timestamp::ZERO, vec![AttributeKind::CpuTotal]);
+        ep.ineffective_resources = vec![prepare_metrics::ScalableResource::Cpu];
+        ctl.episodes.insert(VmId(0), ep);
+        let mut now = Timestamp::ZERO;
+        let mut gaps = Vec::new();
+        ctl.act(VmId(0), now, true, &mut c);
+        while let Some(retry_at) = ctl.episodes[&VmId(0)].retry_at {
+            gaps.push(retry_at.since(now).as_secs());
+            now = retry_at;
+            ctl.process_retries(now, true, &mut c);
+        }
+        assert_eq!(
+            gaps,
+            vec![10, 20, 40, 60],
+            "migrate backoff doubles from 10 s and caps at 60 s"
+        );
+        let attempts: Vec<usize> = ctl
+            .events
+            .iter()
+            .filter_map(|e| match e {
+                ControllerEvent::ActionRetried {
+                    attempt, action, ..
+                } => {
+                    assert!(action.starts_with("migrate "), "retried action: {action}");
+                    Some(*attempt)
+                }
+                _ => None,
+            })
+            .collect();
+        assert_eq!(attempts, vec![1, 2, 3, 4], "max four scheduled attempts");
+        assert!(
+            matches!(
+                ctl.events.last(),
+                Some(ControllerEvent::ActionFailed {
+                    kind: ActionFailureKind::RetriesExhausted,
+                    ..
+                })
+            ),
+            "the post-cap attempt exhausts the schedule"
+        );
+        assert_eq!(ctl.episodes[&VmId(0)].failures, 1);
+        assert!(c.actions().is_empty(), "the VM never moved");
+    }
+
+    /// A migration torn down mid-copy is observed at the next validation
+    /// round as a rollback: the episode's migration mark clears (so the
+    /// move can be re-planned), the cooldown stamp is dropped, and a
+    /// terminal `ActionRolledBack` event names the abandoned target.
+    #[test]
+    fn cancelled_migration_rolls_back_and_replans() {
+        let mut c = test_cluster();
+        let mut ctl = mk_controller(Scheme::Prepare);
+        let mut ep = Episode::open(VmId(0), Timestamp::ZERO, vec![AttributeKind::CpuTotal]);
+        ep.ineffective_resources = vec![prepare_metrics::ScalableResource::Cpu];
+        ctl.episodes.insert(VmId(0), ep);
+        ctl.act(VmId(0), Timestamp::ZERO, true, &mut c);
+        assert!(
+            matches!(
+                ctl.events.last(),
+                Some(ControllerEvent::ActionIssued {
+                    attribute: None,
+                    ..
+                })
+            ),
+            "escalation issues a migration (attribute-less action)"
+        );
+        assert!(c.vm(VmId(0)).is_migrating());
+        let target = ctl.episodes[&VmId(0)].migration_target;
+        assert!(target.is_some());
+        // The infrastructure tears the migration down mid-copy.
+        c.cancel_migration(VmId(0), Timestamp::from_secs(3))
+            .unwrap();
+        ctl.validate_episodes(Timestamp::from_secs(5), false, &mut c);
+        assert!(
+            matches!(
+                ctl.events
+                    .iter()
+                    .rev()
+                    .find(|e| matches!(e, ControllerEvent::ActionRolledBack { .. })),
+                Some(ControllerEvent::ActionRolledBack { vm: VmId(0), .. })
+            ),
+            "the rollback is observable in the event log"
+        );
+        let ep = &ctl.episodes[&VmId(0)];
+        assert!(!ep.migrated, "a rolled-back move may be re-planned");
+        assert_eq!(ep.migration_target, None);
+        assert!(
+            !ctl.last_migration.contains_key(&VmId(0)),
+            "no cooldown for a migration that never happened"
+        );
+        // With the mark cleared, the very next act() re-plans the move.
+        ctl.act(VmId(0), Timestamp::from_secs(40), true, &mut c);
+        assert!(c.vm(VmId(0)).is_migrating(), "the move is re-planned");
     }
 
     /// A monitoring gap is papered over by hold-last-value imputation for

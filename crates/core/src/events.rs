@@ -102,6 +102,19 @@ pub enum ControllerEvent {
         /// When the next attempt is due.
         retry_at: Timestamp,
     },
+    /// The controller gave up on an episode: every ranked attribute (and
+    /// the migration fallback) was exhausted, so prevention abstains and
+    /// the VM's alerts are suppressed for a cool-down. This is the
+    /// observable terminal marker of retry fall-through — silence after
+    /// it is a documented decision, not a blind spot.
+    ActionAbandoned {
+        /// When the episode was abandoned.
+        at: Timestamp,
+        /// The VM whose episode was closed without a remedy.
+        vm: VmId,
+        /// When alert suppression for the VM ends.
+        suppressed_until: Timestamp,
+    },
     /// A live migration timed out mid-copy and the hypervisor rolled the
     /// VM back to its source host.
     ActionRolledBack {
@@ -156,6 +169,7 @@ impl ControllerEvent {
             | ControllerEvent::ActionIssued { at, .. }
             | ControllerEvent::ActionFailed { at, .. }
             | ControllerEvent::ActionRetried { at, .. }
+            | ControllerEvent::ActionAbandoned { at, .. }
             | ControllerEvent::ActionRolledBack { at, .. }
             | ControllerEvent::MonitoringDegraded { at, .. }
             | ControllerEvent::MonitoringRecovered { at, .. }
@@ -209,6 +223,16 @@ impl fmt::Display for ControllerEvent {
                     "[{at}] {vm}: {action} deferred (attempt {attempt}, retrying at {retry_at})"
                 )
             }
+            ControllerEvent::ActionAbandoned {
+                at,
+                vm,
+                suppressed_until,
+            } => {
+                write!(
+                    f,
+                    "[{at}] {vm}: prevention abandoned, suppressed until {suppressed_until}"
+                )
+            }
             ControllerEvent::ActionRolledBack { at, vm, target } => {
                 write!(f, "[{at}] {vm}: migration to {target} rolled back")
             }
@@ -256,6 +280,11 @@ mod tests {
                 action: "scale vm0 cpu to 150".into(),
                 attempt: 1,
                 retry_at: Timestamp::from_secs(10),
+            },
+            ControllerEvent::ActionAbandoned {
+                at: t,
+                vm: VmId(0),
+                suppressed_until: Timestamp::from_secs(65),
             },
             ControllerEvent::ActionRolledBack {
                 at: t,

@@ -97,7 +97,7 @@ pub struct Diagnosis {
 
 /// Tracks per-VM change points for the workload-change inference and
 /// packages diagnoses.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct CauseInference {
     /// One CUSUM per VM on its input-traffic metric (NetIn) — workload
     /// shifts arrive through the network on every component.

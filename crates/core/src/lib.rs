@@ -48,7 +48,11 @@ mod validation;
 
 pub use analysis::{eval_violation_intervals, ExperimentReport};
 pub use config::{ParConfig, PrepareConfig, PreventionPolicy};
-pub use controller::PrepareController;
+pub use controller::{
+    PrepareController, MAX_EPISODE_FAILURES, MIGRATE_RETRY_BASE_SECS, MIGRATION_COOLDOWN_SECS,
+    RETRY_BACKOFF_CAP_SECS, SCALE_RETRY_BASE_SECS, SUPPRESSION_SECS, TRAINING_SETTLE_SECS,
+    TRANSIENT_RETRY_LIMIT,
+};
 pub use events::{ActionFailureKind, ControllerEvent};
 pub use experiment::{
     AppKind, Experiment, ExperimentResult, ExperimentSpec, FaultChoice, Scheme, TrialSummary,

@@ -35,6 +35,11 @@ pub enum Category {
     Hygiene,
     /// Drift between DESIGN.md's experiment index and the crates.
     Fidelity,
+    /// Blind spots in the controller-event audit trail: an event variant
+    /// no registered temporal property references, or a wildcard match
+    /// arm that would silently swallow future variants in checker code.
+    /// Zero tolerance.
+    EventCoverage,
 }
 
 impl Category {
@@ -47,6 +52,7 @@ impl Category {
             Category::HotPath => "hot-path",
             Category::Hygiene => "hygiene",
             Category::Fidelity => "fidelity",
+            Category::EventCoverage => "event-coverage",
         }
     }
 }
@@ -87,6 +93,8 @@ pub const ALL_RULES: &[(&str, Category)] = &[
     ("index-in-loop", Category::PanicDebt),
     ("hot-path-alloc", Category::HotPath),
     ("unused-allow", Category::Hygiene),
+    ("event-coverage", Category::EventCoverage),
+    ("event-wildcard", Category::EventCoverage),
 ];
 
 /// Identifiers whose presence in a function body counts as a finiteness
@@ -130,6 +138,12 @@ pub fn check_workspace(files: &[SourceFile], crate_map: &BTreeMap<String, String
         check_file(f, it, &mut findings);
     }
     transitive_hot_path(files, &parsed, crate_map, &mut findings);
+    for f in files {
+        if event_match_scope(&f.rel_path) {
+            event_wildcard(f, &mut findings);
+        }
+    }
+    event_coverage(files, &mut findings);
     unused_allows(files, &mut findings);
     findings
         .sort_by(|a, b| (a.file.as_str(), a.line, a.rule).cmp(&(b.file.as_str(), b.line, b.rule)));
@@ -911,6 +925,178 @@ fn fn_label(graph: &Graph, parsed: &[FileItems], id: usize) -> Option<String> {
     })
 }
 
+/// Checker/analysis files where `match`es over the controller event
+/// stream must stay exhaustive: the temporal checker crate plus the core
+/// event and trace-analysis modules. A `_` arm there would silently
+/// swallow any variant added later, which is exactly the blind spot the
+/// event-coverage family exists to prevent.
+fn event_match_scope(rel: &str) -> bool {
+    (rel.starts_with("crates/tlc/") && !rel.contains("/tests/"))
+        || rel == "crates/core/src/events.rs"
+        || rel == "crates/core/src/analysis.rs"
+}
+
+/// `_ =>` arms inside a `match` whose body handles `ControllerEvent`
+/// variants, in checker/analysis code. Each wildcard is attributed to
+/// its *innermost* enclosing match, so matches over other enums nested
+/// near event handling stay legal.
+fn event_wildcard(f: &SourceFile, findings: &mut Vec<Finding>) {
+    // Body spans of every `match` expression: the first `{` after the
+    // `match` keyword outside parens/brackets opens the arm block
+    // (struct literals cannot appear bare in a scrutinee).
+    let mut spans: Vec<(usize, usize)> = Vec::new();
+    for k in 0..f.code.len() {
+        if f.cident(k) != Some("match") {
+            continue;
+        }
+        let mut par = 0i64;
+        let mut brk = 0i64;
+        let mut j = k + 1;
+        let open = loop {
+            if f.ctok(j).is_none() {
+                break None;
+            }
+            if f.cpunct(j, '(') {
+                par += 1;
+            } else if f.cpunct(j, ')') {
+                par -= 1;
+            } else if f.cpunct(j, '[') {
+                brk += 1;
+            } else if f.cpunct(j, ']') {
+                brk -= 1;
+            } else if f.cpunct(j, '{') && par == 0 && brk == 0 {
+                break Some(j);
+            }
+            j += 1;
+        };
+        let Some(open) = open else {
+            continue;
+        };
+        spans.push((open, matching(f, open, '{', '}')));
+    }
+    for k in 0..f.code.len() {
+        if f.cident(k) != Some("_") || !f.cpair(k + 1, '=', '>') {
+            continue;
+        }
+        // Innermost enclosing match body = the smallest span around `k`.
+        let enclosing = spans
+            .iter()
+            .filter(|&&(open, close)| open < k && k < close)
+            .min_by_key(|&&(open, close)| close - open);
+        let Some(&(open, close)) = enclosing else {
+            continue;
+        };
+        if !(open..=close).any(|p| f.cident(p) == Some("ControllerEvent")) {
+            continue;
+        }
+        push(
+            f,
+            findings,
+            k,
+            Category::EventCoverage,
+            "event-wildcard",
+            "`_` arm in a match over ControllerEvent: checker code must name every \
+             variant so new events cannot bypass the property catalogue"
+                .into(),
+        );
+    }
+}
+
+/// Variant names (with token positions) of an enum body spanning
+/// `open..close`: identifiers at nesting depth zero that start an arm,
+/// skipping attribute groups and variant payloads.
+fn enum_variants(f: &SourceFile, open: usize, close: usize) -> Vec<(String, usize)> {
+    let mut out = Vec::new();
+    let mut brace = 0i64;
+    let mut par = 0i64;
+    let mut brk = 0i64;
+    let mut expect_variant = true;
+    for k in open + 1..close {
+        if f.cpunct(k, '{') {
+            brace += 1;
+        } else if f.cpunct(k, '}') {
+            brace -= 1;
+        } else if f.cpunct(k, '(') {
+            par += 1;
+        } else if f.cpunct(k, ')') {
+            par -= 1;
+        } else if f.cpunct(k, '[') {
+            brk += 1;
+        } else if f.cpunct(k, ']') {
+            brk -= 1;
+        } else if brace == 0 && par == 0 && brk == 0 {
+            if f.cpunct(k, ',') {
+                expect_variant = true;
+            } else if expect_variant {
+                if let Some(name) = f.cident(k) {
+                    out.push((name.to_string(), k));
+                    expect_variant = false;
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Every `ControllerEvent` variant must be referenced by the temporal
+/// property library: an event nobody checks is an audit-trail blind
+/// spot. References are `ControllerEvent::Variant` token paths in
+/// non-test code of the checker crate.
+fn event_coverage(files: &[SourceFile], findings: &mut Vec<Finding>) {
+    let mut def: Option<(usize, Vec<(String, usize)>)> = None;
+    for (fi, f) in files.iter().enumerate() {
+        for k in 0..f.code.len() {
+            if f.cident(k) == Some("enum")
+                && f.cident(k + 1) == Some("ControllerEvent")
+                && f.cpunct(k + 2, '{')
+            {
+                let close = matching(f, k + 2, '{', '}');
+                def = Some((fi, enum_variants(f, k + 2, close)));
+            }
+        }
+    }
+    let Some((fi, variants)) = def else {
+        return;
+    };
+    let Some(events_file) = files.get(fi) else {
+        return;
+    };
+    let mut referenced: BTreeSet<String> = BTreeSet::new();
+    for f in files {
+        if !f.rel_path.starts_with("crates/tlc/") || f.rel_path.contains("/tests/") {
+            continue;
+        }
+        for k in 0..f.code.len() {
+            if f.cident(k) != Some("ControllerEvent") || !f.cpair(k + 1, ':', ':') {
+                continue;
+            }
+            let Some(name) = f.cident(k + 3) else {
+                continue;
+            };
+            if f.ctok(k).is_some_and(|t| f.in_test_region(t.start)) {
+                continue;
+            }
+            referenced.insert(name.to_string());
+        }
+    }
+    for (name, pos) in variants {
+        if referenced.contains(&name) {
+            continue;
+        }
+        push(
+            events_file,
+            findings,
+            pos,
+            Category::EventCoverage,
+            "event-coverage",
+            format!(
+                "`ControllerEvent::{name}` is not referenced by any registered temporal \
+                 property; extend the prepare-tlc catalogue before shipping the event"
+            ),
+        );
+    }
+}
+
 /// Every allow marker no detector consumed is itself a finding: stale
 /// suppressions hide future regressions.
 fn unused_allows(files: &[SourceFile], findings: &mut Vec<Finding>) {
@@ -1278,5 +1464,78 @@ fn c() { let s = format!(\"x\"); }
         assert_eq!(lines, [1, 2]);
         assert_eq!(findings[0].category.name(), "determinism");
         assert_eq!(findings[1].category.name(), "panic-debt");
+    }
+
+    #[test]
+    fn event_coverage_flags_unreferenced_variants() {
+        let events =
+            "pub enum ControllerEvent {\n    Covered { at: u64 },\n    Orphan { at: u64 },\n}\n";
+        let props = "pub fn p(e: &ControllerEvent) -> bool {\n    \
+                     if let ControllerEvent::Covered { .. } = e { true } else { false }\n}\n";
+        let findings = workspace_findings(&[
+            ("crates/core/src/events.rs", events),
+            ("crates/tlc/src/properties.rs", props),
+        ]);
+        let cov: Vec<_> = findings
+            .iter()
+            .filter(|f| f.rule == "event-coverage")
+            .collect();
+        assert_eq!(cov.len(), 1, "findings: {findings:?}");
+        assert!(cov[0].message.contains("Orphan"));
+        assert_eq!(cov[0].file, "crates/core/src/events.rs");
+        assert_eq!(cov[0].line, 3);
+    }
+
+    #[test]
+    fn event_coverage_ignores_test_only_references() {
+        // A variant only mentioned inside #[cfg(test)] code of the
+        // checker crate is still an uncovered blind spot.
+        let events = "pub enum ControllerEvent {\n    Orphan { at: u64 },\n}\n";
+        let props = "#[cfg(test)]\nmod tests {\n    fn f(e: &ControllerEvent) -> bool {\n        \
+                     matches!(e, ControllerEvent::Orphan { .. })\n    }\n}\n";
+        let findings = workspace_findings(&[
+            ("crates/core/src/events.rs", events),
+            ("crates/tlc/src/properties.rs", props),
+        ]);
+        assert!(
+            findings.iter().any(|f| f.rule == "event-coverage"),
+            "findings: {findings:?}"
+        );
+    }
+
+    #[test]
+    fn event_wildcard_flags_wildcards_in_event_matches() {
+        let bad = "fn f(e: &ControllerEvent) -> u32 {\n    \
+                   match e {\n        ControllerEvent::A { .. } => 1,\n        _ => 0,\n    }\n}\n";
+        let findings = workspace_findings(&[("crates/tlc/src/lib.rs", bad)]);
+        assert!(
+            findings.iter().any(|f| f.rule == "event-wildcard"),
+            "findings: {findings:?}"
+        );
+        // The same code outside the checker/analysis scope is legal.
+        let outside = workspace_findings(&[("crates/core/src/controller.rs", bad)]);
+        assert!(outside.iter().all(|f| f.rule != "event-wildcard"));
+    }
+
+    #[test]
+    fn event_wildcard_attributes_to_the_innermost_match() {
+        // A match over another enum — even nested inside an event match
+        // arm — may use `_` freely; only the event match itself is held
+        // to exhaustiveness.
+        let nested = "fn f(e: &ControllerEvent) -> u32 {\n    \
+                      match e {\n        ControllerEvent::A { n } => match n {\n            \
+                      0 => 1,\n            _ => 2,\n        },\n    }\n}\n";
+        let findings = workspace_findings(&[("crates/tlc/src/lib.rs", nested)]);
+        assert!(
+            findings.iter().all(|f| f.rule != "event-wildcard"),
+            "findings: {findings:?}"
+        );
+        let plain = "fn g(k: Kind) -> u32 {\n    match k {\n        Kind::X => 1,\n        \
+                     _ => 0,\n    }\n}\n";
+        let quiet = workspace_findings(&[("crates/tlc/src/lib.rs", plain)]);
+        assert!(
+            quiet.iter().all(|f| f.rule != "event-wildcard"),
+            "findings: {quiet:?}"
+        );
     }
 }

@@ -131,6 +131,49 @@ fn assert_no_alerts_while_degraded(events: &[ControllerEvent]) {
     }
 }
 
+/// A rollback is only meaningful for a migration that actually started:
+/// every `ActionRolledBack` for a VM must be preceded by a
+/// migration-start `ActionIssued` (attribute-less action) for that same
+/// VM, and each start accounts for at most one rollback.
+fn assert_rollbacks_follow_migration_starts(events: &[ControllerEvent]) {
+    let mut started: BTreeSet<VmId> = BTreeSet::new();
+    for e in events {
+        match e {
+            ControllerEvent::ActionIssued {
+                vm,
+                attribute: None,
+                ..
+            } => {
+                started.insert(*vm);
+            }
+            ControllerEvent::ActionRolledBack { vm, at, .. } => {
+                assert!(
+                    started.remove(vm),
+                    "rollback for {vm} at {at} without a preceding migration start"
+                );
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Run the full registered temporal-property catalogue over a trace and
+/// fail loudly on any violation — the same check `prepare-tlc` applies
+/// in CI, here embedded so a regressing trace fails `cargo test` too.
+fn assert_temporal_properties(label: &str, events: &[ControllerEvent]) {
+    let violations =
+        prepare_tlc::check_all(&prepare_tlc::properties::standard_properties(), events);
+    assert!(
+        violations.is_empty(),
+        "{label}: temporal property violations:\n{}",
+        violations
+            .iter()
+            .map(|v| format!("  {v}"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
 /// Every degradation must be matched by a recovery once the fault windows
 /// close — the loop re-converges instead of staying blind.
 fn assert_monitoring_reconverges(events: &[ControllerEvent]) {
@@ -155,6 +198,8 @@ fn hostile_runs_hold_invariants_and_reconverge() {
         assert_invariants(&r);
         assert_no_alerts_while_degraded(&r.events);
         assert_monitoring_reconverges(&r.events);
+        assert_rollbacks_follow_migration_starts(&r.events);
+        assert_temporal_properties(&format!("chaos seed {seed:#x}"), &r.events);
         let stats = r.chaos_stats.expect("plan was attached");
         assert!(
             stats.dropped > 0 && stats.busy_ticks > 0 && stats.blackout_drops > 0,
@@ -264,7 +309,44 @@ proptest! {
         prop_assert_eq!(a.ticks.len(), 900);
         assert_no_alerts_while_degraded(&a.events);
         assert_monitoring_reconverges(&a.events);
+        assert_rollbacks_follow_migration_starts(&a.events);
         let b = Experiment::new(spec, 9).run();
         prop_assert_eq!(transcript(&a), transcript(&b));
+    }
+
+    // Satellite property: no random fault schedule — however
+    // migration-hostile — can conjure an `ActionRolledBack` out of thin
+    // air. Every rollback is pinned to a migration that demonstrably
+    // started for the same VM. A `MigrationTimeout` window is always
+    // stacked on top of the random faults so the rollback path itself
+    // is exercised, not just vacuously absent.
+    #[test]
+    fn rollbacks_only_follow_migration_starts(
+        seed in 0u64..u64::MAX,
+        timeout_secs in 2u64..20,
+        faults in proptest::collection::vec(arb_fault(), 0..4),
+    ) {
+        let mut plan = ChaosPlan::new(seed).with_fault(
+            t(550),
+            t(750),
+            ChaosKind::MigrationTimeout {
+                timeout: Duration::from_secs(timeout_secs),
+            },
+        );
+        for &(from, until, kind) in &faults {
+            plan = plan.with_fault(t(from), t(until), kind);
+        }
+        let mut spec = ExperimentSpec::paper_default(
+            AppKind::SystemS,
+            FaultChoice::MemLeak,
+            Scheme::Prepare,
+        )
+        .with_chaos(plan);
+        spec.duration = Duration::from_secs(900);
+        spec.first_injection = t(100);
+        spec.injection_duration = Duration::from_secs(200);
+        spec.second_injection = t(550);
+        let r = Experiment::new(spec, 11).run();
+        assert_rollbacks_follow_migration_starts(&r.events);
     }
 }

@@ -20,7 +20,24 @@ use prepare_repro::core::{AppKind, FaultChoice, Scheme};
 const WORKER_COUNTS: [usize; 3] = [1, 2, 7];
 
 fn assert_worker_invariant(app: AppKind, fault: FaultChoice, scheme: Scheme, seed: u64) {
-    let baseline = transcript(&run_with_workers(app, fault, scheme, seed, 1));
+    let sequential = run_with_workers(app, fault, scheme, seed, 1);
+    // Every differential baseline also passes through the registered
+    // temporal-property catalogue: the invariance matrix doubles as the
+    // checker's widest scheme/app/fault coverage inside `cargo test`.
+    let violations = prepare_tlc::check_all(
+        &prepare_tlc::properties::standard_properties(),
+        &sequential.events,
+    );
+    assert!(
+        violations.is_empty(),
+        "{app:?}/{fault:?}/{scheme:?}: temporal property violations:\n{}",
+        violations
+            .iter()
+            .map(|v| format!("  {v}"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    let baseline = transcript(&sequential);
     assert!(
         !baseline.is_empty(),
         "empty baseline for {app:?}/{fault:?}/{scheme:?}"

@@ -48,6 +48,23 @@ fn golden_event_trace_matches_fixture() {
     let got = events_transcript(&result);
     assert!(!got.is_empty(), "scenario produced no events");
 
+    // The golden trace must also satisfy the full temporal-property
+    // catalogue — a fixture that pins a property-violating run is worse
+    // than a drifted one, so this guards the bless path too.
+    let violations = prepare_tlc::check_all(
+        &prepare_tlc::properties::standard_properties(),
+        &result.events,
+    );
+    assert!(
+        violations.is_empty(),
+        "golden trace violates temporal properties:\n{}",
+        violations
+            .iter()
+            .map(|v| format!("  {v}"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+
     if std::env::var_os("PREPARE_BLESS").is_some() {
         std::fs::write(FIXTURE, &got).expect("write golden fixture");
         return;
