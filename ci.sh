@@ -48,6 +48,16 @@ PREPARE_WORKERS=1 cargo test --offline --quiet --workspace
 echo "==> cargo test (PREPARE_WORKERS=4, sharded engine)"
 PREPARE_WORKERS=4 cargo test --offline --quiet --workspace
 
+# The two workspace runs above exercise the default engine: incremental
+# online training (PREPARE_ONLINE unset = enabled). Re-run the
+# end-to-end suites with the from-scratch referee pinned on — traces
+# must be byte-identical either way, so a divergence names this step.
+echo "==> end-to-end suites, online training disabled (PREPARE_ONLINE=0, PREPARE_WORKERS=1)"
+PREPARE_ONLINE=0 PREPARE_WORKERS=1 cargo test --offline --quiet --package prepare-repro
+
+echo "==> end-to-end suites, online training disabled (PREPARE_ONLINE=0, PREPARE_WORKERS=4)"
+PREPARE_ONLINE=0 PREPARE_WORKERS=4 cargo test --offline --quiet --package prepare-repro
+
 # The hostile-infrastructure suite replays two pinned chaos seeds
 # (0xC0FFEE, 0xBADC0DE) plus randomized fault plans, and asserts the
 # traces are byte-identical at every worker count. Run it explicitly at

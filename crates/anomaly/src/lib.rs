@@ -58,6 +58,7 @@ mod monolithic;
 mod outlier;
 mod predictor;
 mod roc;
+mod trainer;
 mod unsupervised;
 
 pub use accuracy::{evaluate_predictions, ConfusionMatrix};
@@ -69,6 +70,7 @@ pub use monolithic::MonolithicPredictor;
 pub use outlier::OutlierDetector;
 pub use predictor::{AnomalyPredictor, PredictorConfig};
 pub use roc::{RocCurve, RocPoint};
+pub use trainer::FleetTrainer;
 pub use unsupervised::{UnsupervisedPrediction, UnsupervisedPredictor};
 
 pub use prepare_tan::TrainError;

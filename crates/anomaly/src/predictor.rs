@@ -51,7 +51,7 @@ impl PredictorConfig {
 /// (the paper: "the attribute value prediction model is periodically
 /// updated with new data measurements"); the classifier stays fixed until
 /// [`retrain_classifier`](AnomalyPredictor::retrain_classifier) is called.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct AnomalyPredictor {
     config: PredictorConfig,
     discretizer: prepare_metrics::VectorDiscretizer,
@@ -94,17 +94,44 @@ impl AnomalyPredictor {
         config: &PredictorConfig,
         par: &prepare_par::ParConfig,
     ) -> Result<Self, TrainError> {
-        if series.is_empty() {
+        let labeled: Vec<(prepare_metrics::MetricVector, Label)> = series
+            .iter()
+            .map(|s| (s.values, Label::from_violation(slo.is_violated_at(s.time))))
+            .collect();
+        Self::train_labeled_par(&labeled, config, par)
+    }
+
+    /// The labeled-rows training core every entry point funnels through:
+    /// [`AnomalyPredictor::train_par`] resolves each sample's label from
+    /// the SLO log and delegates here, and the incremental fleet trainer's
+    /// from-scratch referee replays its retained `(vector, label)` window
+    /// through this exact path. Fitting the discretizer, discretizing the
+    /// batch, building the TAN dataset, and training the per-attribute
+    /// value models all happen in the same order with the same folds as
+    /// the series-based path, so the two produce bit-identical models.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`AnomalyPredictor::train`].
+    pub fn train_labeled_par(
+        labeled: &[(prepare_metrics::MetricVector, Label)],
+        config: &PredictorConfig,
+        par: &prepare_par::ParConfig,
+    ) -> Result<Self, TrainError> {
+        if labeled.is_empty() {
             return Err(TrainError::EmptyDataset);
         }
-        let discretizer = prepare_metrics::VectorDiscretizer::fit(series, config.bins);
-        let rows = discretizer.discretize_series(series, par);
+        let discretizer = prepare_metrics::VectorDiscretizer::fit_vectors(
+            labeled.iter().map(|(v, _)| v),
+            config.bins,
+        );
+        let vectors: Vec<&prepare_metrics::MetricVector> = labeled.iter().map(|(v, _)| v).collect();
+        let rows = prepare_par::par_map(par, vectors, |v| discretizer.discretize(v));
 
         let mut dataset = Dataset::with_uniform_bins(ATTRIBUTE_COUNT, config.bins);
-        for (row, s) in rows.iter().zip(series.iter()) {
-            let label = Label::from_violation(slo.is_violated_at(s.time));
+        for (row, (_, label)) in rows.iter().zip(labeled.iter()) {
             dataset
-                .push(row.clone(), label)
+                .push(row.clone(), *label)
                 .expect("discretized rows always match the dataset schema");
         }
         let classifier = TanClassifier::train(&dataset)?;
@@ -126,6 +153,32 @@ impl AnomalyPredictor {
             classifier,
             last_time: None,
         })
+    }
+
+    /// Assembles a predictor from already-derived components — the final
+    /// step of the incremental trainer, which maintains the discretizer
+    /// basis, Markov count arenas, and TAN sufficient statistics across
+    /// deltas and only materializes model objects here. The assembled
+    /// predictor has no stream position (`last_time` is `None`), exactly
+    /// like a freshly trained one.
+    pub(crate) fn from_parts(
+        config: PredictorConfig,
+        discretizer: prepare_metrics::VectorDiscretizer,
+        value_models: Vec<ValueModel>,
+        classifier: TanClassifier,
+    ) -> Self {
+        assert_eq!(
+            value_models.len(),
+            ATTRIBUTE_COUNT,
+            "one value model per attribute"
+        );
+        AnomalyPredictor {
+            config,
+            discretizer,
+            value_models,
+            classifier,
+            last_time: None,
+        }
     }
 
     /// The model's configuration.

@@ -1,0 +1,873 @@
+//! Incremental online training for a fleet of per-VM predictors.
+//!
+//! Retraining a [`AnomalyPredictor`] from scratch rescans the whole
+//! training window: it re-fits the discretizer, re-discretizes every
+//! sample, re-counts every Markov transition, and re-accumulates every
+//! TAN sufficient statistic. All of those quantities are *additive* in
+//! the samples, so a [`FleetTrainer`] maintains them across rounds and
+//! turns a retrain into (a) applying the delta of samples that entered or
+//! left the window since the last one and (b) deriving fresh model
+//! objects from the maintained state — skipping the window rescan
+//! entirely whenever the discretization basis is stable.
+//!
+//! # Arena layout
+//!
+//! Per-VM model state lives in contiguous struct-of-arrays arenas indexed
+//! by slot (VM) id, not in per-VM heap objects:
+//!
+//! ```text
+//! fallback: [ slot 0: attr 0 (n²) | attr 1 (n²) | … ][ slot 1: … ] …
+//! combined: [ slot 0: attr 0 (n³) | attr 1 (n³) | … ][ slot 1: … ] …
+//! ```
+//!
+//! so a parallel refresh shards the fleet over *contiguous* arena ranges
+//! ([`prepare_par::chunk_ranges`]) and each worker streams one
+//! cache-friendly block instead of chasing per-VM pointers.
+//!
+//! # Exactness contract
+//!
+//! [`FleetTrainer::derive`] is **bit-identical** to retraining from
+//! scratch ([`FleetTrainer::train_reference`], which replays the retained
+//! window through [`AnomalyPredictor::train_labeled_par`]) — equality,
+//! not tolerance. The workspace's replay contract pins traces
+//! byte-for-byte, so an "almost equal" incremental path would silently
+//! fork the trace catalogue. The equality is structural, not numeric
+//! luck: counts are integer-valued `f64` (exact up to 2⁵³, so ±1.0
+//! deltas commute and cancel exactly), and every count→probability
+//! derivation is shared with the from-scratch path rather than
+//! re-implemented. When a new sample widens an attribute's observed
+//! range the discretization basis shifts and every stored count is built
+//! on the wrong bins — the slot is marked *dirty* and the next
+//! [`FleetTrainer::refresh`] rebuilds it wholesale; there is no
+//! incremental shortcut across a basis change.
+
+use crate::{AnomalyPredictor, MarkovKind, PredictorConfig, ValueModel};
+use prepare_metrics::{
+    AttributeKind, DiscreteVector, Discretizer, Label, MetricVector, VectorDiscretizer,
+    ATTRIBUTE_COUNT,
+};
+use prepare_tan::{TanStats, TrainError};
+use std::collections::VecDeque;
+
+/// Incrementally maintained training state for a fleet of per-VM
+/// predictors, one *slot* per VM.
+///
+/// Feed each slot its labeled samples with [`FleetTrainer::push`] (and
+/// age bounded windows with [`FleetTrainer::retire_front`]); call
+/// [`FleetTrainer::refresh`] to rebuild any slots whose discretization
+/// basis shifted, then [`FleetTrainer::derive`] to materialize a trained
+/// predictor — bit-identical to [`FleetTrainer::train_reference`], the
+/// from-scratch rebuild of the same window.
+#[derive(Debug, Clone)]
+pub struct FleetTrainer {
+    config: PredictorConfig,
+    slots: usize,
+    /// Combined-state transition counts, `slots × ATTRIBUTE_COUNT × n³`
+    /// (empty for [`MarkovKind::Simple`], which has no combined table).
+    combined: Vec<f64>,
+    /// First-order transition counts, `slots × ATTRIBUTE_COUNT × n²` —
+    /// the whole model for [`MarkovKind::Simple`], the fallback table for
+    /// [`MarkovKind::TwoDependent`].
+    fallback: Vec<f64>,
+    /// TAN sufficient statistics, one per slot.
+    tan: Vec<TanStats>,
+    /// Running per-attribute min/max over each slot's window
+    /// (`slots × ATTRIBUTE_COUNT`); `None` until a finite value arrives.
+    ranges: Vec<Option<(f64, f64)>>,
+    /// The per-attribute discretizers the counts were accumulated under
+    /// (`slots × ATTRIBUTE_COUNT`). Valid only while the slot is clean.
+    basis: Vec<Discretizer>,
+    /// Retained training windows: the labeled samples the maintained
+    /// statistics summarize, in arrival order.
+    windows: Vec<VecDeque<(MetricVector, Label)>>,
+    /// Each window row discretized under the slot's basis; in sync with
+    /// `windows` only while the slot is clean.
+    discrete: Vec<VecDeque<DiscreteVector>>,
+    /// Slots whose basis shifted: counts are stale until the next
+    /// [`FleetTrainer::refresh`].
+    dirty: Vec<bool>,
+}
+
+/// One slot's freshly rebuilt state (the output of a dirty-slot rebuild,
+/// computed read-only and written back after the parallel phase).
+struct RebuiltSlot {
+    slot: usize,
+    basis: Vec<Discretizer>,
+    discrete: VecDeque<DiscreteVector>,
+    tan: TanStats,
+    combined: Vec<f64>,
+    fallback: Vec<f64>,
+}
+
+impl FleetTrainer {
+    /// Creates a trainer with `slots` empty per-VM windows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slots == 0` or the configuration has zero bins.
+    pub fn new(slots: usize, config: &PredictorConfig) -> Self {
+        assert!(slots > 0, "trainer needs at least one slot");
+        assert!(config.bins > 0, "bin count must be positive");
+        let n = config.bins;
+        let combined_len = match config.markov {
+            MarkovKind::Simple => 0,
+            MarkovKind::TwoDependent => slots * ATTRIBUTE_COUNT * n * n * n,
+        };
+        FleetTrainer {
+            config: config.clone(),
+            slots,
+            combined: vec![0.0; combined_len],
+            fallback: vec![0.0; slots * ATTRIBUTE_COUNT * n * n],
+            tan: (0..slots)
+                .map(|_| TanStats::with_uniform_bins(ATTRIBUTE_COUNT, n))
+                .collect(),
+            ranges: vec![None; slots * ATTRIBUTE_COUNT],
+            basis: (0..slots * ATTRIBUTE_COUNT)
+                .map(|_| Discretizer::fit_span(None, n))
+                .collect(),
+            windows: (0..slots).map(|_| VecDeque::new()).collect(),
+            discrete: (0..slots).map(|_| VecDeque::new()).collect(),
+            dirty: vec![false; slots],
+        }
+    }
+
+    /// Number of slots.
+    pub fn slots(&self) -> usize {
+        self.slots
+    }
+
+    /// Number of retained samples in `slot`'s window.
+    pub fn window_len(&self, slot: usize) -> usize {
+        self.windows[slot].len()
+    }
+
+    /// Whether `slot`'s maintained counts are stale (its basis shifted
+    /// since the last rebuild).
+    pub fn is_dirty(&self, slot: usize) -> bool {
+        self.dirty[slot]
+    }
+
+    fn fb_slice(&mut self, slot: usize, attr: usize) -> &mut [f64] {
+        let n2 = self.config.bins * self.config.bins;
+        let off = (slot * ATTRIBUTE_COUNT + attr) * n2;
+        &mut self.fallback[off..off + n2]
+    }
+
+    fn comb_slice(&mut self, slot: usize, attr: usize) -> &mut [f64] {
+        let n3 = self.config.bins * self.config.bins * self.config.bins;
+        let off = (slot * ATTRIBUTE_COUNT + attr) * n3;
+        &mut self.combined[off..off + n3]
+    }
+
+    /// Appends one labeled sample to `slot`'s window. If the sample stays
+    /// inside the slot's observed value ranges the maintained counts are
+    /// updated in place (the delta fast path); a range-widening sample
+    /// shifts the discretization basis instead, marking the slot dirty
+    /// for the next [`FleetTrainer::refresh`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` is out of range.
+    pub fn push(&mut self, slot: usize, values: &MetricVector, label: Label) {
+        assert!(slot < self.slots, "slot {slot} out of range");
+        self.windows[slot].push_back((*values, label));
+
+        // Running min/max update — the same left-fold `Discretizer::fit`
+        // performs, one element at a time. A bit-level endpoint change
+        // means the refit basis may differ: mark dirty.
+        let mut range_changed = false;
+        for (a, &attr) in AttributeKind::ALL.iter().enumerate() {
+            let v = values.get(attr);
+            if !v.is_finite() {
+                continue;
+            }
+            // xtask-allow: index-in-loop -- arena offset: slot asserted in range, a < ATTRIBUTE_COUNT
+            let r = &mut self.ranges[slot * ATTRIBUTE_COUNT + a];
+            let (nlo, nhi) = match *r {
+                None => (v, v),
+                Some((lo, hi)) => (lo.min(v), hi.max(v)),
+            };
+            if r.map(|(lo, hi)| (lo.to_bits(), hi.to_bits()))
+                != Some((nlo.to_bits(), nhi.to_bits()))
+            {
+                range_changed = true;
+            }
+            *r = Some((nlo, nhi));
+        }
+        if range_changed {
+            self.dirty[slot] = true;
+        }
+        if self.dirty[slot] {
+            return;
+        }
+
+        let row: DiscreteVector = AttributeKind::ALL
+            .iter()
+            .enumerate()
+            .map(|(a, &attr)| self.basis[slot * ATTRIBUTE_COUNT + a].discretize(values.get(attr)))
+            .collect();
+        self.apply_push_deltas(slot, &row, label);
+        self.discrete[slot].push_back(row);
+    }
+
+    /// The delta-apply kernel of [`FleetTrainer::push`]: adds the new
+    /// row's TAN statistics and Markov transition counts (the leading
+    /// first-order transition, plus the combined-state transition once
+    /// two predecessors exist) directly into the arenas.
+    // xtask: hot-path
+    fn apply_push_deltas(&mut self, slot: usize, row: &DiscreteVector, label: Label) {
+        self.tan[slot].add_row(row, label);
+        let n = self.config.bins;
+        let len = self.discrete[slot].len();
+        if len == 0 {
+            return;
+        }
+        let two_dep = self.config.markov == MarkovKind::TwoDependent;
+        // Deliberate flat-arena addressing: rows are ATTRIBUTE_COUNT wide
+        // by construction, symbols are < n from the discretizer, and slot
+        // is asserted in range by the caller.
+        for (a, &next) in row.iter().enumerate() {
+            // xtask-allow: index-in-loop -- len = discrete[slot].len() >= 1 on this path
+            let prev1 = self.discrete[slot][len - 1][a];
+            // xtask-allow: index-in-loop -- symbols < n from the discretizer
+            self.fb_slice(slot, a)[prev1 * n + next] += 1.0;
+            if two_dep && len >= 2 {
+                // xtask-allow: index-in-loop -- len >= 2 checked on this branch
+                let prev2 = self.discrete[slot][len - 2][a];
+                // xtask-allow: index-in-loop -- symbols < n from the discretizer
+                self.comb_slice(slot, a)[(prev2 * n + prev1) * n + next] += 1.0;
+            }
+        }
+    }
+
+    /// Retires the oldest sample of `slot`'s window — the "samples that
+    /// left the window" half of a delta retrain. On the fast path the
+    /// sample's counts are subtracted exactly (integer-valued `f64`, so
+    /// the arena returns to its pre-[`push`](FleetTrainer::push) bits);
+    /// if the retired sample held an attribute's min or max the range is
+    /// rescanned and a shrink marks the slot dirty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` is out of range or its window is empty.
+    pub fn retire_front(&mut self, slot: usize) {
+        assert!(slot < self.slots, "slot {slot} out of range");
+        let (values, label) = self.windows[slot]
+            .pop_front()
+            .expect("retiring from an empty window"); // xtask-allow: expect -- documented panic: the window must be non-empty
+
+        let mut range_changed = false;
+        for (a, &attr) in AttributeKind::ALL.iter().enumerate() {
+            let v = values.get(attr);
+            if !v.is_finite() {
+                continue;
+            }
+            // xtask-allow: index-in-loop -- arena offset: slot asserted in range, a < ATTRIBUTE_COUNT
+            let r = &mut self.ranges[slot * ATTRIBUTE_COUNT + a];
+            let Some((lo, hi)) = *r else {
+                // xtask-allow: unreachable -- a finite value was folded into this range at push time
+                unreachable!("a finite value was pushed, the range cannot be empty")
+            };
+            // A value strictly inside the range cannot have been an
+            // endpoint of the fold; only endpoint hits need a rescan.
+            if lo < v && v < hi {
+                continue;
+            }
+            // xtask-allow: index-in-loop -- slot asserted in range above
+            let rescanned = Self::scan_range(&self.windows[slot], attr);
+            if rescanned.map(|(l, h)| (l.to_bits(), h.to_bits()))
+                != Some((lo.to_bits(), hi.to_bits()))
+            {
+                range_changed = true;
+            }
+            *r = rescanned;
+        }
+        if range_changed {
+            self.dirty[slot] = true;
+        }
+        if self.dirty[slot] {
+            return;
+        }
+
+        let front = self.discrete[slot]
+            .pop_front()
+            .expect("clean slot keeps discrete rows in sync with the window"); // xtask-allow: expect -- clean-slot invariant: discrete mirrors the window
+        self.apply_retire_deltas(slot, &front, label);
+    }
+
+    /// The delta-apply kernel of [`FleetTrainer::retire_front`]:
+    /// subtracts the retired row's TAN statistics, its leading
+    /// first-order transition, and (for the 2-dependent chain) the one
+    /// combined-state transition that loses its full context. The
+    /// second remaining row's first-order transition stays — it simply
+    /// becomes the new leading transition.
+    // xtask: hot-path
+    fn apply_retire_deltas(&mut self, slot: usize, front: &DiscreteVector, label: Label) {
+        self.tan[slot].retire_row(front, label);
+        let n = self.config.bins;
+        if self.discrete[slot].is_empty() {
+            return;
+        }
+        let two_dep = self.config.markov == MarkovKind::TwoDependent;
+        let remaining = self.discrete[slot].len();
+        // Deliberate flat-arena addressing, mirroring `apply_push_deltas`.
+        for (a, &d0) in front.iter().enumerate() {
+            // xtask-allow: index-in-loop -- non-empty checked on this path
+            let d1 = self.discrete[slot][0][a];
+            // xtask-allow: index-in-loop -- symbols < n from the discretizer
+            let cell = &mut self.fb_slice(slot, a)[d0 * n + d1];
+            assert!(*cell >= 1.0, "retiring an unrecorded transition");
+            *cell -= 1.0;
+            if two_dep && remaining >= 2 {
+                // xtask-allow: index-in-loop -- remaining >= 2 checked on this branch
+                let d2 = self.discrete[slot][1][a];
+                // xtask-allow: index-in-loop -- symbols < n from the discretizer
+                let cell = &mut self.comb_slice(slot, a)[(d0 * n + d1) * n + d2];
+                assert!(*cell >= 1.0, "retiring an unrecorded transition");
+                *cell -= 1.0;
+            }
+        }
+    }
+
+    /// The exact range fold of [`Discretizer::fit`] over a window's
+    /// remaining samples: filter to finite, left-fold min/max.
+    fn scan_range(
+        window: &VecDeque<(MetricVector, Label)>,
+        attr: AttributeKind,
+    ) -> Option<(f64, f64)> {
+        let mut range: Option<(f64, f64)> = None;
+        for (v, _) in window {
+            let x = v.get(attr);
+            if !x.is_finite() {
+                continue;
+            }
+            range = Some(match range {
+                None => (x, x),
+                Some((lo, hi)) => (lo.min(x), hi.max(x)),
+            });
+        }
+        range
+    }
+
+    /// Rebuilds every dirty slot from its retained window: refits the
+    /// basis from the maintained ranges, re-discretizes the window, and
+    /// re-counts the arenas. Dirty slots are sharded over contiguous
+    /// chunks ([`prepare_par::chunk_ranges`]); each rebuild reads only
+    /// its own slot's window, so the result is bit-identical for every
+    /// worker count.
+    pub fn refresh(&mut self, par: &prepare_par::ParConfig) {
+        let dirty_slots: Vec<usize> = (0..self.slots).filter(|&s| self.dirty[s]).collect();
+        if dirty_slots.is_empty() {
+            return;
+        }
+        let chunks = prepare_par::chunk_ranges(dirty_slots.len(), par.workers);
+        let rebuilt: Vec<Vec<RebuiltSlot>> = prepare_par::par_map(par, chunks, |range| {
+            range
+                .map(|k| self.rebuild_slot(dirty_slots[k]))
+                .collect::<Vec<RebuiltSlot>>()
+        });
+        for r in rebuilt.into_iter().flatten() {
+            // Scatter write-back: slot ids come from the dirty scan over
+            // 0..self.slots, so every index below is in range.
+            let slot = r.slot;
+            self.basis[slot * ATTRIBUTE_COUNT..(slot + 1) * ATTRIBUTE_COUNT]
+                .iter_mut()
+                .zip(r.basis)
+                .for_each(|(dst, d)| *dst = d);
+            // xtask-allow: index-in-loop -- slot < self.slots
+            self.discrete[slot] = r.discrete;
+            self.tan[slot] = r.tan; // xtask-allow: index-in-loop -- slot < self.slots
+            let n = self.config.bins;
+            let n2 = n * n;
+            self.fallback[slot * ATTRIBUTE_COUNT * n2..(slot + 1) * ATTRIBUTE_COUNT * n2]
+                .copy_from_slice(&r.fallback);
+            if self.config.markov == MarkovKind::TwoDependent {
+                let n3 = n2 * n;
+                self.combined[slot * ATTRIBUTE_COUNT * n3..(slot + 1) * ATTRIBUTE_COUNT * n3]
+                    .copy_from_slice(&r.combined);
+            }
+            self.dirty[slot] = false; // xtask-allow: index-in-loop -- slot < self.slots
+        }
+    }
+
+    /// From-scratch rebuild of one slot's state, read-only (the write
+    /// back happens after the parallel phase).
+    fn rebuild_slot(&self, slot: usize) -> RebuiltSlot {
+        let n = self.config.bins;
+        let basis: Vec<Discretizer> = (0..ATTRIBUTE_COUNT)
+            .map(|a| Discretizer::fit_span(self.ranges[slot * ATTRIBUTE_COUNT + a], n))
+            .collect();
+        let window = &self.windows[slot];
+        let mut tan = TanStats::with_uniform_bins(ATTRIBUTE_COUNT, n);
+        let mut discrete: VecDeque<DiscreteVector> = VecDeque::with_capacity(window.len());
+        for (v, label) in window {
+            let row: DiscreteVector = AttributeKind::ALL
+                .iter()
+                .zip(&basis)
+                .map(|(&attr, d)| d.discretize(v.get(attr)))
+                .collect();
+            tan.add_row(&row, *label);
+            discrete.push_back(row);
+        }
+        let two_dep = self.config.markov == MarkovKind::TwoDependent;
+        let mut fallback = vec![0.0; ATTRIBUTE_COUNT * n * n];
+        let mut combined = vec![
+            0.0;
+            if two_dep {
+                ATTRIBUTE_COUNT * n * n * n
+            } else {
+                0
+            }
+        ];
+        // The same flat addressing as the delta kernels: i walks
+        // 1..len, rows are ATTRIBUTE_COUNT wide, symbols < n.
+        for i in 1..discrete.len() {
+            for a in 0..ATTRIBUTE_COUNT {
+                // xtask-allow: index-in-loop -- i >= 1, rows ATTRIBUTE_COUNT wide
+                let prev1 = discrete[i - 1][a];
+                let next = discrete[i][a]; // xtask-allow: index-in-loop -- i < len
+                                           // xtask-allow: index-in-loop -- symbols < n from the discretizer
+                fallback[a * n * n + prev1 * n + next] += 1.0;
+                if two_dep && i >= 2 {
+                    // xtask-allow: index-in-loop -- i >= 2 checked on this branch
+                    let prev2 = discrete[i - 2][a];
+                    // xtask-allow: index-in-loop -- symbols < n from the discretizer
+                    combined[a * n * n * n + (prev2 * n + prev1) * n + next] += 1.0;
+                }
+            }
+        }
+        RebuiltSlot {
+            slot,
+            basis,
+            discrete,
+            tan,
+            combined,
+            fallback,
+        }
+    }
+
+    /// Materializes a trained predictor from `slot`'s maintained state:
+    /// the basis becomes the discretizer, the arena slices become Markov
+    /// models, and the TAN statistics become the classifier — every
+    /// count→probability derivation shared with the from-scratch path,
+    /// so the result is bit-identical to
+    /// [`FleetTrainer::train_reference`].
+    ///
+    /// # Errors
+    ///
+    /// The same conditions as [`AnomalyPredictor::train`]: an empty
+    /// window or single-class labels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot is dirty — call [`FleetTrainer::refresh`]
+    /// first.
+    pub fn derive(&self, slot: usize) -> Result<AnomalyPredictor, TrainError> {
+        assert!(
+            !self.dirty[slot],
+            "deriving from a dirty slot; call refresh first"
+        );
+        if self.windows[slot].is_empty() {
+            return Err(TrainError::EmptyDataset);
+        }
+        let classifier = self.tan[slot].classifier()?;
+        let discretizer = VectorDiscretizer::from_parts(
+            self.basis[slot * ATTRIBUTE_COUNT..(slot + 1) * ATTRIBUTE_COUNT].to_vec(),
+        );
+        let n = self.config.bins;
+        let n2 = n * n;
+        let n3 = n2 * n;
+        let observations = self.windows[slot].len();
+        let value_models: Vec<ValueModel> = (0..ATTRIBUTE_COUNT)
+            .map(|a| {
+                let fb_off = (slot * ATTRIBUTE_COUNT + a) * n2;
+                let comb: &[f64] = match self.config.markov {
+                    MarkovKind::Simple => &[],
+                    MarkovKind::TwoDependent => {
+                        let off = (slot * ATTRIBUTE_COUNT + a) * n3;
+                        &self.combined[off..off + n3]
+                    }
+                };
+                ValueModel::from_parts(
+                    self.config.markov,
+                    n,
+                    comb,
+                    &self.fallback[fb_off..fb_off + n2],
+                    observations,
+                )
+            })
+            .collect();
+        Ok(AnomalyPredictor::from_parts(
+            self.config.clone(),
+            discretizer,
+            value_models,
+            classifier,
+        ))
+    }
+
+    /// The from-scratch referee: retrains `slot` by replaying its
+    /// retained window through the ordinary
+    /// [`AnomalyPredictor::train_labeled_par`] path (serially), ignoring
+    /// every maintained statistic. [`FleetTrainer::derive`] must equal
+    /// this bit-for-bit; the differential suite and the equivalence
+    /// proptests hold the two paths against each other.
+    ///
+    /// # Errors
+    ///
+    /// The same conditions as [`AnomalyPredictor::train`].
+    pub fn train_reference(&self, slot: usize) -> Result<AnomalyPredictor, TrainError> {
+        let rows: Vec<(MetricVector, Label)> = self.windows[slot].iter().copied().collect();
+        AnomalyPredictor::train_labeled_par(&rows, &self.config, &prepare_par::ParConfig::serial())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predictor::ramp_fixture;
+    use prepare_metrics::{SloLog, TimeSeries};
+    use proptest::prelude::*;
+
+    fn labeled_stream(samples: usize, seed: u64) -> Vec<(MetricVector, Label)> {
+        // A deterministic mixed-scale stream: values grow occasionally so
+        // both the delta fast path and the dirty/rebuild path are hit.
+        (0..samples)
+            .map(|i| {
+                let k = i as u64;
+                let v = MetricVector::from_fn(|a| {
+                    let x = (k * 37 + a.index() as u64 * 13 + seed) % 101;
+                    if (k + seed).is_multiple_of(17) {
+                        x as f64 * 3.0 // occasional range-widening spike
+                    } else {
+                        x as f64
+                    }
+                });
+                let label = Label::from_violation((k * 7 + seed).is_multiple_of(5));
+                (v, label)
+            })
+            .collect()
+    }
+
+    fn assert_same_outcome(
+        got: &Result<AnomalyPredictor, TrainError>,
+        want: &Result<AnomalyPredictor, TrainError>,
+        context: &str,
+    ) {
+        match (got, want) {
+            (Ok(a), Ok(b)) => {
+                assert_eq!(a, b, "{context}: derived model diverged");
+                assert_eq!(
+                    format!("{a:?}"),
+                    format!("{b:?}"),
+                    "{context}: Debug representation diverged"
+                );
+            }
+            (Err(a), Err(b)) => assert_eq!(a, b, "{context}: errors diverged"),
+            _ => panic!("{context}: one path errored, the other did not: {got:?} vs {want:?}"),
+        }
+    }
+
+    #[test]
+    fn derive_equals_reference_after_pushes() {
+        for kind in [MarkovKind::Simple, MarkovKind::TwoDependent] {
+            let config = PredictorConfig {
+                markov: kind,
+                ..PredictorConfig::default()
+            };
+            let mut trainer = FleetTrainer::new(1, &config);
+            for (v, label) in labeled_stream(120, 3) {
+                trainer.push(0, &v, label);
+            }
+            trainer.refresh(&prepare_par::ParConfig::serial());
+            assert_same_outcome(
+                &trainer.derive(0),
+                &trainer.train_reference(0),
+                &format!("{kind:?}"),
+            );
+        }
+    }
+
+    #[test]
+    fn derive_equals_anomaly_train_on_a_series() {
+        // The controller-integration premise: pushing each sample with
+        // its ingest-time SLO label reproduces series+log training.
+        let (series, slo) = ramp_fixture(400, 5, 40, 80.0);
+        let config = PredictorConfig::default();
+        let mut trainer = FleetTrainer::new(1, &config);
+        for s in series.iter() {
+            trainer.push(
+                0,
+                &s.values,
+                Label::from_violation(slo.is_violated_at(s.time)),
+            );
+        }
+        trainer.refresh(&prepare_par::ParConfig::serial());
+        let derived = trainer.derive(0).unwrap();
+        let trained = AnomalyPredictor::train(&series, &slo, &config).unwrap();
+        assert_eq!(derived, trained);
+        assert_eq!(format!("{derived:?}"), format!("{trained:?}"));
+    }
+
+    #[test]
+    fn sliding_window_equals_reference() {
+        let config = PredictorConfig::default();
+        let mut trainer = FleetTrainer::new(1, &config);
+        let stream = labeled_stream(200, 11);
+        for (i, (v, label)) in stream.iter().enumerate() {
+            trainer.push(0, v, *label);
+            if i >= 80 {
+                trainer.retire_front(0);
+            }
+            if i % 23 == 0 {
+                trainer.refresh(&prepare_par::ParConfig::serial());
+                assert_same_outcome(
+                    &trainer.derive(0),
+                    &trainer.train_reference(0),
+                    &format!("step {i}"),
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn empty_window_is_empty_dataset_error() {
+        let trainer = FleetTrainer::new(2, &PredictorConfig::default());
+        assert_eq!(trainer.derive(0), Err(TrainError::EmptyDataset));
+        assert_eq!(trainer.train_reference(0), Err(TrainError::EmptyDataset));
+    }
+
+    #[test]
+    fn single_sample_matches_reference_error() {
+        let mut trainer = FleetTrainer::new(1, &PredictorConfig::default());
+        trainer.push(0, &MetricVector::zeros(), Label::Normal);
+        trainer.refresh(&prepare_par::ParConfig::serial());
+        assert_same_outcome(
+            &trainer.derive(0),
+            &trainer.train_reference(0),
+            "single sample",
+        );
+        assert!(trainer.derive(0).is_err(), "one sample is single-class");
+    }
+
+    #[test]
+    fn full_eviction_restores_the_empty_state() {
+        let config = PredictorConfig::default();
+        let fresh = FleetTrainer::new(1, &config);
+        let mut trainer = FleetTrainer::new(1, &config);
+        for (v, label) in labeled_stream(60, 5) {
+            trainer.push(0, &v, label);
+        }
+        while trainer.window_len(0) > 0 {
+            trainer.retire_front(0);
+        }
+        trainer.refresh(&prepare_par::ParConfig::serial());
+        assert_eq!(trainer.derive(0), Err(TrainError::EmptyDataset));
+        // The arenas are all-zero again, bit for bit.
+        let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<u64>>();
+        assert_eq!(bits(&trainer.fallback), bits(&fresh.fallback));
+        assert_eq!(bits(&trainer.combined), bits(&fresh.combined));
+        assert_eq!(trainer.tan[0], fresh.tan[0]);
+    }
+
+    #[test]
+    fn retiring_an_interior_sample_restores_the_arenas_bit_for_bit() {
+        // T1 trains on [mid, lo, hi, tail…]; retiring `mid` (strictly
+        // inside (lo, hi), so the clean delta fast path) must leave
+        // exactly the arena bytes of T2, which never saw `mid` at all.
+        let config = PredictorConfig::default();
+        let mid = MetricVector::from_fn(|_| 250.0);
+        let lo = MetricVector::from_fn(|_| 0.0);
+        let hi = MetricVector::from_fn(|_| 500.0);
+        let tail: Vec<(MetricVector, Label)> = labeled_stream(50, 4)
+            .into_iter()
+            .map(|(v, l)| (MetricVector::from_fn(|a| v.get(a).clamp(1.0, 499.0)), l))
+            .collect();
+
+        let mut t1 = FleetTrainer::new(1, &config);
+        t1.push(0, &mid, Label::Normal);
+        t1.push(0, &lo, Label::Normal);
+        t1.push(0, &hi, Label::Abnormal);
+        for (v, l) in &tail {
+            t1.push(0, v, *l);
+        }
+        t1.refresh(&prepare_par::ParConfig::serial());
+        assert!(!t1.is_dirty(0));
+        t1.retire_front(0);
+        assert!(
+            !t1.is_dirty(0),
+            "interior retire must stay on the fast path"
+        );
+
+        let mut t2 = FleetTrainer::new(1, &config);
+        t2.push(0, &lo, Label::Normal);
+        t2.push(0, &hi, Label::Abnormal);
+        for (v, l) in &tail {
+            t2.push(0, v, *l);
+        }
+        t2.refresh(&prepare_par::ParConfig::serial());
+
+        let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<u64>>();
+        assert_eq!(bits(&t1.fallback), bits(&t2.fallback));
+        assert_eq!(bits(&t1.combined), bits(&t2.combined));
+        assert_eq!(t1.tan[0], t2.tan[0]);
+        assert_same_outcome(&t1.derive(0), &t2.derive(0), "post-retire");
+    }
+
+    #[test]
+    #[should_panic(expected = "retiring from an empty window")]
+    fn retire_from_empty_window_panics() {
+        let mut trainer = FleetTrainer::new(1, &PredictorConfig::default());
+        trainer.retire_front(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "dirty slot")]
+    fn derive_on_dirty_slot_panics() {
+        let mut trainer = FleetTrainer::new(1, &PredictorConfig::default());
+        trainer.push(0, &MetricVector::zeros(), Label::Normal);
+        assert!(trainer.is_dirty(0), "first push always shifts the basis");
+        let _ = trainer.derive(0);
+    }
+
+    #[test]
+    fn slots_are_independent() {
+        let config = PredictorConfig::default();
+        let mut fleet = FleetTrainer::new(3, &config);
+        let streams: Vec<Vec<(MetricVector, Label)>> = (0..3)
+            .map(|s| labeled_stream(90, s as u64 * 7 + 1))
+            .collect();
+        // Interleave pushes across slots.
+        for i in 0..90 {
+            for (slot, stream) in streams.iter().enumerate() {
+                let (v, label) = &stream[i];
+                fleet.push(slot, v, *label);
+            }
+        }
+        for workers in [1usize, 2, 7] {
+            let mut clone = fleet.clone();
+            clone.refresh(&prepare_par::ParConfig::with_workers(workers));
+            for (slot, stream) in streams.iter().enumerate() {
+                let mut solo = FleetTrainer::new(1, &config);
+                for (v, label) in stream {
+                    solo.push(0, v, *label);
+                }
+                solo.refresh(&prepare_par::ParConfig::serial());
+                assert_same_outcome(
+                    &clone.derive(slot),
+                    &solo.derive(0),
+                    &format!("slot {slot} workers {workers}"),
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn retire_that_shrinks_the_range_marks_dirty_and_rebuilds_exactly() {
+        let config = PredictorConfig::default();
+        let mut trainer = FleetTrainer::new(1, &config);
+        // The first sample is the global max; retiring it must shrink
+        // the range and force a rebuild.
+        let spike = MetricVector::from_fn(|_| 1000.0);
+        trainer.push(0, &spike, Label::Abnormal);
+        for (v, label) in labeled_stream(80, 2) {
+            trainer.push(0, &v, label);
+        }
+        trainer.refresh(&prepare_par::ParConfig::serial());
+        assert!(!trainer.is_dirty(0));
+        trainer.retire_front(0);
+        assert!(trainer.is_dirty(0), "range shrank: counts are stale");
+        trainer.refresh(&prepare_par::ParConfig::serial());
+        assert_same_outcome(
+            &trainer.derive(0),
+            &trainer.train_reference(0),
+            "post-shrink rebuild",
+        );
+    }
+
+    #[test]
+    fn trainer_matches_train_par_for_all_worker_counts() {
+        let (series, slo): (TimeSeries, SloLog) = ramp_fixture(300, 5, 40, 80.0);
+        let config = PredictorConfig::default();
+        let mut trainer = FleetTrainer::new(1, &config);
+        for s in series.iter() {
+            trainer.push(
+                0,
+                &s.values,
+                Label::from_violation(slo.is_violated_at(s.time)),
+            );
+        }
+        trainer.refresh(&prepare_par::ParConfig::serial());
+        let derived = trainer.derive(0).unwrap();
+        for workers in [1usize, 2, 7] {
+            let par = prepare_par::ParConfig::with_workers(workers);
+            let trained = AnomalyPredictor::train_par(&series, &slo, &config, &par).unwrap();
+            assert_eq!(derived, trained, "workers={workers}");
+        }
+    }
+
+    proptest! {
+        // Random labeled streams with occasional spikes: after an
+        // arbitrary interleaving of pushes and front-retirements, the
+        // incremental derivation equals the from-scratch rebuild
+        // exactly — including which error it returns.
+        #[test]
+        fn derive_always_equals_reference(input in arb_ops()) {
+            let (kind, ops) = input;
+            let config = PredictorConfig {
+                markov: kind,
+                ..PredictorConfig::default()
+            };
+            let mut trainer = FleetTrainer::new(1, &config);
+            for op in &ops {
+                match op {
+                    Op::Push(v, label) => {
+                        let vector = MetricVector::from_fn(|a| v[a.index() % v.len()]);
+                        trainer.push(0, &vector, *label);
+                    }
+                    Op::Retire => {
+                        if trainer.window_len(0) > 0 {
+                            trainer.retire_front(0);
+                        }
+                    }
+                }
+            }
+            trainer.refresh(&prepare_par::ParConfig::serial());
+            let derived = trainer.derive(0);
+            let reference = trainer.train_reference(0);
+            match (&derived, &reference) {
+                (Ok(a), Ok(b)) => {
+                    prop_assert_eq!(a, b);
+                    prop_assert_eq!(format!("{a:?}"), format!("{b:?}"));
+                }
+                (Err(a), Err(b)) => prop_assert_eq!(a, b),
+                _ => prop_assert!(false, "outcome kind diverged: {:?} vs {:?}", derived, reference),
+            }
+        }
+    }
+
+    #[derive(Debug, Clone)]
+    enum Op {
+        Push(Vec<f64>, Label),
+        Retire,
+    }
+
+    fn arb_ops() -> impl Strategy<Value = (MarkovKind, Vec<Op>)> {
+        let value = proptest::collection::vec(0usize..200, 3);
+        let op = (value, any::<bool>(), 0usize..4).prop_map(|(vals, abnormal, retire)| {
+            if retire == 0 {
+                Op::Retire
+            } else {
+                let label = Label::from_violation(abnormal);
+                Op::Push(vals.into_iter().map(|x| x as f64 * 1.5).collect(), label)
+            }
+        });
+        (any::<bool>(), proptest::collection::vec(op, 1..60)).prop_map(|(simple, ops)| {
+            let kind = if simple {
+                MarkovKind::Simple
+            } else {
+                MarkovKind::TwoDependent
+            };
+            (kind, ops)
+        })
+    }
+}

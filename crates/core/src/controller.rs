@@ -6,11 +6,11 @@ use crate::{
     ActionFailureKind, CauseInference, ControllerEvent, Episode, PlannedAction, PrepareConfig,
     PreventionPlanner, ValidationOutcome,
 };
-use prepare_anomaly::{AlertFilter, AnomalyPredictor, Vote};
+use prepare_anomaly::{AlertFilter, AnomalyPredictor, FleetTrainer, Vote};
 use prepare_cloudsim::Cluster;
 use prepare_metrics::{
-    AttributeKind, Duration, LastValueImputer, MetricSample, SloLog, StampedSample, TimeSeries,
-    Timestamp, VmId,
+    AttributeKind, Duration, Label, LastValueImputer, MetricSample, SloLog, StampedSample,
+    TimeSeries, Timestamp, VmId,
 };
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -86,6 +86,12 @@ pub struct PrepareController {
     trained_at: Option<Timestamp>,
     last_retrain: Option<Timestamp>,
     last_workload_change: bool,
+    /// The incremental training state (`config.online_training`): every
+    /// usable sample is folded into per-VM count arenas at ingest, and
+    /// training rounds *derive* models from the maintained statistics
+    /// instead of rescanning each VM's series. Slot `i` holds `vms[i]`.
+    /// `None` runs the from-scratch reference path on every round.
+    trainer: Option<FleetTrainer>,
     events: Vec<ControllerEvent>,
 }
 
@@ -141,6 +147,9 @@ impl PrepareController {
             .map(|&vm| (vm, LastValueImputer::new()))
             .collect();
         let violation_filter = AlertFilter::new(config.filter_k, config.filter_w);
+        let trainer = config
+            .online_training
+            .then(|| FleetTrainer::new(vms.len(), &config.predictor));
         PrepareController {
             config,
             scheme,
@@ -160,6 +169,7 @@ impl PrepareController {
             trained_at: None,
             last_retrain: None,
             last_workload_change: false,
+            trainer,
             events: Vec::new(),
         }
     }
@@ -326,6 +336,20 @@ impl PrepareController {
             }
         }
         self.slo.record(now, slo_violated);
+        if let Some(trainer) = self.trainer.as_mut() {
+            // Fold the round's evidence into the online count arenas.
+            // Every usable sample is stamped `now` (late deliveries are
+            // re-timed, imputed replays are re-stamped) and the SLO log
+            // is append-only over strictly increasing rounds, so the
+            // ingest-time label equals the label a from-scratch rebuild
+            // would derive from the log later.
+            let label = Label::from_violation(slo_violated);
+            for (vm, sample) in &usable {
+                if let Some(slot) = self.vms.iter().position(|v| v == vm) {
+                    trainer.push(slot, &sample.values, label);
+                }
+            }
+        }
         self.inference.observe(&usable);
         let violation_confirmed = self.violation_filter.push(slo_violated);
 
@@ -368,7 +392,22 @@ impl PrepareController {
     /// Training reads only the VM's own series plus the shared SLO log,
     /// so the fitted models are bit-identical to the sequential loop for
     /// any worker count; VMs whose fit fails come back as `None`.
-    fn train_implicated(&self, implicated: &[VmId]) -> Vec<Option<(VmId, AnomalyPredictor)>> {
+    ///
+    /// With online training the models are *derived* from the fleet
+    /// trainer's maintained count arenas instead of re-scanning each
+    /// series — [`FleetTrainer::derive`] is bit-identical to the
+    /// from-scratch `train` call the reference arm makes, so the two
+    /// arms produce the same traces (the CI harness diffs them).
+    fn train_implicated(&mut self, implicated: &[VmId]) -> Vec<Option<(VmId, AnomalyPredictor)>> {
+        if let Some(trainer) = self.trainer.as_mut() {
+            trainer.refresh(&self.config.par);
+            let trainer = &*trainer;
+            let vms = &self.vms;
+            return prepare_par::par_map(&self.config.par, implicated.to_vec(), |vm| {
+                let slot = vms.iter().position(|&v| v == vm)?;
+                trainer.derive(slot).ok().map(|p| (vm, p))
+            });
+        }
         prepare_par::par_map(&self.config.par, implicated.to_vec(), |vm| {
             let series = self.series.get(&vm)?;
             AnomalyPredictor::train(series, &self.slo, &self.config.predictor)

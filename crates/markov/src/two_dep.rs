@@ -35,8 +35,11 @@ use std::sync::OnceLock;
 #[derive(Clone)]
 pub struct TwoDependentMarkov {
     n: usize,
-    /// counts[prev * n + cur][next] — transitions out of combined states.
-    counts: Vec<Vec<f64>>,
+    /// Flat transition counts out of combined states:
+    /// `counts[(prev * n + cur) * n + next]`. Contiguous so arena-backed
+    /// trainers can memcpy whole models in and out of struct-of-arrays
+    /// storage.
+    counts: Vec<f64>,
     /// First-order fallback for unseen combined states.
     fallback: SimpleMarkov,
     alpha: f64,
@@ -96,7 +99,7 @@ impl TwoDependentMarkov {
         assert!(alpha.is_finite() && alpha >= 0.0, "alpha must be >= 0");
         TwoDependentMarkov {
             n,
-            counts: vec![vec![0.0; n]; n * n],
+            counts: vec![0.0; n * n * n],
             fallback: SimpleMarkov::with_smoothing(n, alpha),
             alpha,
             prev: None,
@@ -104,6 +107,109 @@ impl TwoDependentMarkov {
             observations: 0,
             table: OnceLock::new(),
         }
+    }
+
+    /// Rebuilds a predictor from flat combined (`n³`) and first-order
+    /// fallback (`n²`) transition counts — the constructor the
+    /// arena-backed incremental trainer uses. The position anchor starts
+    /// cleared, matching a freshly trained-then-`reset_position` model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`, `alpha` is not finite and non-negative, or
+    /// either counts vector has the wrong length.
+    pub fn from_parts(
+        n: usize,
+        alpha: f64,
+        counts: Vec<f64>,
+        fallback_counts: Vec<f64>,
+        observations: usize,
+    ) -> Self {
+        assert!(n > 0, "state count must be positive");
+        assert!(alpha.is_finite() && alpha >= 0.0, "alpha must be >= 0");
+        assert_eq!(counts.len(), n * n * n, "combined counts must be n^3");
+        TwoDependentMarkov {
+            n,
+            counts,
+            fallback: SimpleMarkov::from_parts(n, alpha, fallback_counts, observations),
+            alpha,
+            prev: None,
+            current: None,
+            observations,
+            table: OnceLock::new(),
+        }
+    }
+
+    /// Read-only view of the flat combined transition counts
+    /// (`counts[(prev * n + cur) * n + next]`).
+    pub fn counts(&self) -> &[f64] {
+        &self.counts
+    }
+
+    /// Read-only view of the first-order fallback's flat counts.
+    pub fn fallback_counts(&self) -> &[f64] {
+        self.fallback.counts()
+    }
+
+    /// Applies a +1 delta for a full-context transition
+    /// `(prev, cur) → next`, updating the combined counts *and* the
+    /// first-order fallback (`cur → next`) the way [`Self::observe`]
+    /// would. Both the combined and the fallback snapshot are
+    /// invalidated: the combined table's unseen rows are derived from
+    /// fallback counts, so a fallback delta alone can go stale.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any state is out of range.
+    pub fn record_transition(&mut self, prev: usize, cur: usize, next: usize) {
+        assert!(
+            prev < self.n && cur < self.n && next < self.n,
+            "state out of range"
+        );
+        self.counts[(prev * self.n + cur) * self.n + next] += 1.0;
+        self.fallback.record_transition(cur, next);
+        self.table.take();
+    }
+
+    /// Applies a −1 delta for a full-context transition, retiring one
+    /// previously recorded `(prev, cur) → next` (and its fallback
+    /// `cur → next`). `record` followed by `retire` restores both count
+    /// arrays bit-for-bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any state is out of range or the combined cell is
+    /// already zero.
+    pub fn retire_transition(&mut self, prev: usize, cur: usize, next: usize) {
+        assert!(
+            prev < self.n && cur < self.n && next < self.n,
+            "state out of range"
+        );
+        let cell = &mut self.counts[(prev * self.n + cur) * self.n + next];
+        assert!(
+            *cell >= 1.0,
+            "retiring unrecorded transition ({prev}, {cur}) -> {next}"
+        );
+        *cell -= 1.0;
+        self.fallback.retire_transition(cur, next);
+        self.table.take();
+    }
+
+    /// Applies a +1 delta for a window's *leading* transition
+    /// `cur → next` — the first step of a sequence, which has no
+    /// two-state context and therefore lands only in the first-order
+    /// fallback. Invalidates the combined snapshot too (its unseen rows
+    /// read fallback counts).
+    pub fn record_leading_transition(&mut self, cur: usize, next: usize) {
+        self.fallback.record_transition(cur, next);
+        self.table.take();
+    }
+
+    /// Retires a window's leading transition (see
+    /// [`Self::record_leading_transition`]).
+    pub fn retire_leading_transition(&mut self, cur: usize, next: usize) {
+        self.fallback.retire_transition(cur, next);
+        self.table.take();
     }
 
     /// Trains from a whole sequence (observing each element in order).
@@ -121,7 +227,8 @@ impl TwoDependentMarkov {
     /// Distribution over the next single state out of combined state
     /// `(prev, cur)`, falling back to first-order stats for unseen rows.
     fn next_given(&self, prev: usize, cur: usize) -> StateDistribution {
-        let row = &self.counts[prev * self.n + cur];
+        let pc = prev * self.n + cur;
+        let row = &self.counts[pc * self.n..(pc + 1) * self.n];
         let total: f64 = row.iter().sum();
         if total > 0.0 {
             let weights: Vec<f64> = row.iter().map(|c| c + self.alpha).collect();
@@ -255,7 +362,7 @@ impl ValuePredictor for TwoDependentMarkov {
     fn observe(&mut self, state: usize) {
         assert!(state < self.n, "state {state} out of range (n={})", self.n);
         if let (Some(p), Some(c)) = (self.prev, self.current) {
-            self.counts[p * self.n + c][state] += 1.0;
+            self.counts[(p * self.n + c) * self.n + state] += 1.0;
         }
         self.fallback.observe(state);
         self.prev = self.current;
@@ -458,5 +565,89 @@ mod tests {
         let _ = a.predict(3); // a has a built table, b does not
         assert_eq!(a, b);
         assert_eq!(format!("{a:?}"), format!("{b:?}"));
+    }
+
+    #[test]
+    fn delta_recorded_window_equals_trained_model() {
+        // The windowed delta algebra: observing a sequence is one leading
+        // (first-order only) transition plus full-context transitions.
+        let seq = [0usize, 1, 2, 1, 0, 0, 1, 2, 2, 1];
+        let mut trained = TwoDependentMarkov::new(3);
+        trained.train(&seq);
+        trained.reset_position();
+
+        let mut delta = TwoDependentMarkov::new(3);
+        delta.record_leading_transition(seq[0], seq[1]);
+        for w in seq.windows(3) {
+            delta.record_transition(w[0], w[1], w[2]);
+        }
+        let rebuilt = TwoDependentMarkov::from_parts(
+            3,
+            0.02,
+            delta.counts().to_vec(),
+            delta.fallback_counts().to_vec(),
+            seq.len(),
+        );
+        assert_eq!(trained, rebuilt);
+        for steps in 0..5 {
+            assert_eq!(trained.predict(steps), rebuilt.predict(steps));
+        }
+    }
+
+    #[test]
+    fn record_then_retire_restores_both_count_arrays_bit_for_bit() {
+        let mut m = TwoDependentMarkov::new(3);
+        m.train(&[0, 1, 2, 1, 0, 1]);
+        let combined = m.counts().to_vec();
+        let fallback = m.fallback_counts().to_vec();
+        m.record_leading_transition(2, 0);
+        m.record_transition(2, 0, 1);
+        m.record_transition(0, 1, 1);
+        m.retire_transition(0, 1, 1);
+        m.retire_transition(2, 0, 1);
+        m.retire_leading_transition(2, 0);
+        let bits = |v: &[f64]| v.iter().map(|c| c.to_bits()).collect::<Vec<u64>>();
+        assert_eq!(bits(m.counts()), bits(&combined));
+        assert_eq!(bits(m.fallback_counts()), bits(&fallback));
+    }
+
+    #[test]
+    fn fallback_only_delta_invalidates_combined_snapshot() {
+        // Seeded stale-snapshot bug: the combined table's unseen rows are
+        // derived from fallback counts, so a *fallback-only* delta that
+        // skipped `table.take()` would leave the n²×n snapshot stale.
+        let mut m = TwoDependentMarkov::with_smoothing(3, 0.0);
+        for i in 0..20 {
+            m.observe(i % 2); // combined rows for states {0,1} only
+        }
+        m.observe(2); // anchor on the never-trained (1, 2) pair
+        let stale = m.predict(1); // builds the table; (1,2) row is fallback-derived
+        for _ in 0..6 {
+            m.record_leading_transition(2, 0); // fallback-only delta
+        }
+        assert_ne!(m.predict(1), stale, "delta must change the prediction");
+        for steps in 0..5 {
+            assert_eq!(m.predict(steps), m.predict_reference(steps));
+        }
+    }
+
+    #[test]
+    fn full_context_delta_invalidates_combined_snapshot() {
+        let mut m = TwoDependentMarkov::new(3);
+        m.train(&[0, 1, 2, 0, 1]);
+        let stale = m.predict(1); // builds the table; anchored on (0, 1)
+        for _ in 0..8 {
+            m.record_transition(0, 1, 1);
+        }
+        assert_ne!(m.predict(1), stale, "delta must change the prediction");
+        for steps in 0..5 {
+            assert_eq!(m.predict(steps), m.predict_reference(steps));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "retiring unrecorded transition")]
+    fn retire_rejects_unrecorded_transition() {
+        TwoDependentMarkov::new(2).retire_transition(0, 0, 1);
     }
 }

@@ -3,7 +3,7 @@
 //! dependency structure from.
 
 use crate::Dataset;
-use prepare_metrics::{debug_assert_finite, Label};
+use prepare_metrics::debug_assert_finite;
 
 /// Estimates `I(X_i ; X_j | C)` from the dataset with add-one smoothing on
 /// the joint counts:
@@ -17,6 +17,7 @@ use prepare_metrics::{debug_assert_finite, Label};
 /// # Panics
 ///
 /// Panics if `i` or `j` is out of range or `i == j`.
+// xtask-allow: missing-finite-guard -- delegates to cmi_from_joints, which guards its result
 pub fn conditional_mutual_information(ds: &Dataset, i: usize, j: usize) -> f64 {
     assert!(
         i < ds.n_attributes() && j < ds.n_attributes(),
@@ -26,27 +27,44 @@ pub fn conditional_mutual_information(ds: &Dataset, i: usize, j: usize) -> f64 {
 
     let ci = ds.cardinality(i);
     let cj = ds.cardinality(j);
-    let mut total_mi = 0.0;
     let n_total = ds.len() as f64;
     // xtask-allow: float-eq -- cast from usize; exact zero means the dataset is empty
     if n_total == 0.0 {
         return 0.0;
     }
 
-    for class in [Label::Normal, Label::Abnormal] {
-        // Joint and marginal counts within this class.
-        let mut joint = vec![vec![0.0f64; cj]; ci];
+    let mut joints = [vec![vec![0.0f64; cj]; ci], vec![vec![0.0f64; cj]; ci]];
+    for (row, label) in ds.iter() {
+        joints[label.is_abnormal() as usize][row[i]][row[j]] += 1.0;
+    }
+    cmi_from_joints(&joints, n_total)
+}
+
+/// The CMI derivation shared by the dataset path above and the
+/// incremental sufficient-statistics trainer: per-class joint count
+/// tables in, smoothed mutual information out.
+///
+/// Marginals and class totals are re-derived here by summing the joint
+/// table. All counts are integer-valued f64 (exact up to 2^53), so the
+/// sums equal the per-row accumulation they replace bit-for-bit, and the
+/// smoothing loop below — kept verbatim — produces bit-identical output
+/// for both callers.
+pub(crate) fn cmi_from_joints(joints: &[Vec<Vec<f64>>; 2], n_total: f64) -> f64 {
+    let mut total_mi = 0.0;
+    for joint in joints {
+        // joints[0] is the normal class, joints[1] abnormal — the same
+        // class order as the row scan this replaced.
+        let ci = joint.len();
+        let cj = joint.first().map_or(0, Vec::len);
         let mut mi_marg = vec![0.0f64; ci];
         let mut mj_marg = vec![0.0f64; cj];
         let mut n_class = 0.0f64;
-        for (row, label) in ds.iter() {
-            if label != class {
-                continue;
+        for (row, mi_m) in joint.iter().zip(mi_marg.iter_mut()) {
+            for (&c, mj_m) in row.iter().zip(mj_marg.iter_mut()) {
+                *mi_m += c;
+                *mj_m += c;
+                n_class += c;
             }
-            joint[row[i]][row[j]] += 1.0;
-            mi_marg[row[i]] += 1.0;
-            mj_marg[row[j]] += 1.0;
-            n_class += 1.0;
         }
         // xtask-allow: float-eq -- n_class counts rows in whole increments; exact zero means "class absent"
         if n_class == 0.0 {
@@ -74,6 +92,7 @@ pub fn conditional_mutual_information(ds: &Dataset, i: usize, j: usize) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use prepare_metrics::Label;
 
     fn build(rows: &[(Vec<usize>, Label)], cards: Vec<usize>) -> Dataset {
         let mut ds = Dataset::new(cards);

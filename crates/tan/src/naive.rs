@@ -20,6 +20,16 @@ impl RootCpt {
         for (row, label) in ds.iter() {
             counts[label.is_abnormal() as usize][row[attr]] += 1.0;
         }
+        Self::from_counts(counts, alpha)
+    }
+
+    /// Derives the smoothed log-probability table from per-class value
+    /// counts. This is the *only* count→probability code path: both the
+    /// dataset rebuild ([`RootCpt::fit`]) and the incremental
+    /// sufficient-statistics trainer go through it, so bit-identity
+    /// between the two is structural, not coincidental.
+    pub(crate) fn from_counts(counts: [Vec<f64>; 2], alpha: f64) -> Self {
+        let card = counts[0].len();
         let log_p: [Vec<f64>; 2] = counts.map(|cs| {
             let total: f64 = cs.iter().sum::<f64>() + alpha * card as f64;
             cs.iter().map(|c| ((c + alpha) / total).ln()).collect()
@@ -49,10 +59,19 @@ pub struct NaiveBayes {
 }
 
 pub(crate) fn log_prior_ratio(ds: &Dataset) -> Result<f64, TrainError> {
-    if ds.is_empty() {
+    log_prior_ratio_from_counts(ds.len(), ds.class_counts())
+}
+
+/// The prior derivation shared by the dataset path and the incremental
+/// sufficient-statistics trainer: same error precedence (empty before
+/// single-class), same arithmetic.
+pub(crate) fn log_prior_ratio_from_counts(
+    rows: usize,
+    (normal, abnormal): (usize, usize),
+) -> Result<f64, TrainError> {
+    if rows == 0 {
         return Err(TrainError::EmptyDataset);
     }
-    let (normal, abnormal) = ds.class_counts();
     if normal == 0 {
         return Err(TrainError::SingleClass(Label::Abnormal));
     }

@@ -8,7 +8,7 @@ use prepare_metrics::{debug_assert_finite, Label};
 /// Class- and parent-conditional probability table:
 /// `P(a_i = v | a_p = u, C = c)`, Laplace-smoothed.
 #[derive(Debug, Clone, PartialEq)]
-struct EdgeCpt {
+pub(crate) struct EdgeCpt {
     /// log_p[c][u][v]
     log_p: [Vec<Vec<f64>>; 2],
 }
@@ -24,6 +24,16 @@ impl EdgeCpt {
         for (row, label) in ds.iter() {
             counts[label.is_abnormal() as usize][row[parent]][row[attr]] += 1.0;
         }
+        Self::from_counts(counts, alpha)
+    }
+
+    /// Derives the smoothed log-probability table from
+    /// `counts[class][parent value][value]`. The only count→probability
+    /// path for edge CPTs: the dataset rebuild and the incremental
+    /// sufficient-statistics trainer both go through it, so bit-identity
+    /// between the two is structural, not coincidental.
+    pub(crate) fn from_counts(counts: [Vec<Vec<f64>>; 2], alpha: f64) -> Self {
+        let card = counts[0].first().map_or(0, Vec::len);
         let log_p: [Vec<Vec<f64>>; 2] = counts.map(|by_parent| {
             by_parent
                 .into_iter()
@@ -52,7 +62,7 @@ impl EdgeCpt {
 }
 
 #[derive(Debug, Clone, PartialEq)]
-enum Cpt {
+pub(crate) enum Cpt {
     Root(RootCpt),
     Edge { parent: usize, table: EdgeCpt },
 }
@@ -94,6 +104,23 @@ pub struct TanClassifier {
 }
 
 impl TanClassifier {
+    /// Assembles a classifier from already-derived parts — the back door
+    /// the incremental sufficient-statistics trainer uses after deriving
+    /// CPTs via the shared `from_counts` paths.
+    pub(crate) fn from_parts(
+        cpts: Vec<Cpt>,
+        parents: Vec<Option<usize>>,
+        log_prior_ratio: f64,
+        cardinalities: Vec<usize>,
+    ) -> Self {
+        TanClassifier {
+            cpts,
+            parents,
+            log_prior_ratio,
+            cardinalities,
+        }
+    }
+
     /// The Eq. 2 impact strength `L_i` of attribute `i` for input `x`.
     fn strength_of(&self, x: &[usize], i: usize, cpt: &Cpt) -> f64 {
         let v = clamp_value(x, i, self.cardinalities[i]);

@@ -58,3 +58,20 @@ pub fn run_with_workers(
     spec.config = spec.config.with_workers(workers);
     Experiment::new(spec, seed).run()
 }
+
+/// [`run_with_workers`] with the incremental online-training path pinned
+/// explicitly (rather than inherited from `PREPARE_ONLINE`), so tests can
+/// diff the delta-apply trainer against the from-scratch rebuild.
+pub fn run_with_workers_online(
+    app: AppKind,
+    fault: FaultChoice,
+    scheme: Scheme,
+    seed: u64,
+    workers: usize,
+    online: bool,
+) -> ExperimentResult {
+    let mut spec = ExperimentSpec::paper_default(app, fault, scheme);
+    spec.config = spec.config.with_workers(workers);
+    spec.config.online_training = online;
+    Experiment::new(spec, seed).run()
+}

@@ -12,7 +12,7 @@
 
 mod common;
 
-use common::{run_with_workers, transcript};
+use common::{run_with_workers, run_with_workers_online, transcript};
 use prepare_repro::core::{AppKind, FaultChoice, Scheme};
 
 /// Worker counts the engine must be invariant over. 1 is the sequential
@@ -93,6 +93,44 @@ fn no_intervention_scheme_is_worker_invariant() {
         Scheme::NoIntervention,
         7,
     );
+}
+
+#[test]
+fn online_training_matches_from_scratch_rebuild() {
+    // The incremental trainer must be invisible in the transcript: a run
+    // whose training rounds *derive* models from the delta-maintained
+    // count arenas must be byte-identical to a run that rescans each VM's
+    // full series — at every worker count, since the online refresh also
+    // shards (over contiguous arena ranges rather than strided VM ids).
+    for (app, fault) in [
+        (AppKind::SystemS, FaultChoice::MemLeak),
+        (AppKind::Rubis, FaultChoice::CpuHog),
+    ] {
+        let offline = transcript(&run_with_workers_online(
+            app,
+            fault,
+            Scheme::Prepare,
+            42,
+            1,
+            false,
+        ));
+        assert!(!offline.is_empty(), "empty offline baseline");
+        for workers in WORKER_COUNTS {
+            let online = transcript(&run_with_workers_online(
+                app,
+                fault,
+                Scheme::Prepare,
+                42,
+                workers,
+                true,
+            ));
+            assert!(
+                online == offline,
+                "online-training transcript diverged from the from-scratch \
+                 baseline for {app:?}/{fault:?} at workers={workers}"
+            );
+        }
+    }
 }
 
 #[test]
