@@ -457,18 +457,19 @@ mod tests {
         let (series, slo) = ramp_fixture(400, 5, 40, 80.0);
         let cfg = PredictorConfig::default();
         let baseline = AnomalyPredictor::train(&series, &slo, &cfg).unwrap();
-        let baseline_repr = format!("{baseline:?}");
+        let baseline_pred = baseline.predict(Duration::from_secs(25));
         for workers in [1usize, 2, 7] {
             let par = prepare_par::ParConfig::with_workers(workers);
             let p = AnomalyPredictor::train_par(&series, &slo, &cfg, &par).unwrap();
+            assert_eq!(p, baseline, "trained model diverged at workers={workers}");
+            let pred = p.predict(Duration::from_secs(25));
+            assert_eq!(pred, baseline_pred);
+            // The streaming fingerprint is the audit identity the bench
+            // uses in place of Debug strings; it must agree too.
             assert_eq!(
-                format!("{p:?}"),
-                baseline_repr,
-                "trained model diverged at workers={workers}"
-            );
-            assert_eq!(
-                p.predict(Duration::from_secs(25)),
-                baseline.predict(Duration::from_secs(25))
+                pred.fingerprint(),
+                baseline_pred.fingerprint(),
+                "prediction fingerprint diverged at workers={workers}"
             );
         }
     }

@@ -86,6 +86,14 @@ pub struct FleetTrainer {
     /// Slots whose basis shifted: counts are stale until the next
     /// [`FleetTrainer::refresh`].
     dirty: Vec<bool>,
+    /// Per-slot window-content generation: bumped by every
+    /// [`push`](FleetTrainer::push) and
+    /// [`retire_front`](FleetTrainer::retire_front). A cached derivation
+    /// is valid exactly while the slot's generation is unchanged.
+    generation: Vec<u64>,
+    /// Memoized [`derive`](FleetTrainer::derive) results keyed on the
+    /// generation they were derived at (successful derivations only).
+    cache: Vec<Option<(u64, AnomalyPredictor)>>,
 }
 
 /// One slot's freshly rebuilt state (the output of a dirty-slot rebuild,
@@ -128,6 +136,8 @@ impl FleetTrainer {
             windows: (0..slots).map(|_| VecDeque::new()).collect(),
             discrete: (0..slots).map(|_| VecDeque::new()).collect(),
             dirty: vec![false; slots],
+            generation: vec![0; slots],
+            cache: (0..slots).map(|_| None).collect(),
         }
     }
 
@@ -170,6 +180,9 @@ impl FleetTrainer {
     /// Panics if `slot` is out of range.
     pub fn push(&mut self, slot: usize, values: &MetricVector, label: Label) {
         assert!(slot < self.slots, "slot {slot} out of range");
+        if let Some(g) = self.generation.get_mut(slot) {
+            *g = g.wrapping_add(1);
+        }
         self.windows[slot].push_back((*values, label));
 
         // Running min/max update — the same left-fold `Discretizer::fit`
@@ -252,6 +265,9 @@ impl FleetTrainer {
     /// Panics if `slot` is out of range or its window is empty.
     pub fn retire_front(&mut self, slot: usize) {
         assert!(slot < self.slots, "slot {slot} out of range");
+        if let Some(g) = self.generation.get_mut(slot) {
+            *g = g.wrapping_add(1);
+        }
         let (values, label) = self.windows[slot]
             .pop_front()
             .expect("retiring from an empty window"); // xtask-allow: expect -- documented panic: the window must be non-empty
@@ -503,6 +519,75 @@ impl FleetTrainer {
             value_models,
             classifier,
         ))
+    }
+
+    /// Whether `slot` holds a cached derivation that is still valid (no
+    /// [`push`](FleetTrainer::push) or
+    /// [`retire_front`](FleetTrainer::retire_front) since it was
+    /// derived). Serving a valid cache entry skips the count→probability
+    /// derivation entirely.
+    pub fn is_cached(&self, slot: usize) -> bool {
+        self.cache
+            .get(slot)
+            .and_then(|c| c.as_ref())
+            .is_some_and(|(gen, _)| Some(gen) == self.generation.get(slot))
+    }
+
+    /// Batch [`derive`](FleetTrainer::derive) with generation-keyed
+    /// memoization: slots whose window is unchanged since their last
+    /// derivation are served from the cache (a clone of the stored
+    /// model, bit-identical to re-deriving); only stale slots re-derive,
+    /// sharded over workers. Results come back in the order of `slots`
+    /// and are exactly what [`derive`](FleetTrainer::derive) returns for
+    /// each slot — error outcomes included.
+    ///
+    /// # Errors
+    ///
+    /// Per slot, the same conditions as [`FleetTrainer::derive`] (errors
+    /// are recomputed each call, never cached — they are cheap).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any slot is dirty or out of range — call
+    /// [`FleetTrainer::refresh`] first.
+    pub fn derive_cached_batch(
+        &mut self,
+        slots: &[usize],
+        par: &prepare_par::ParConfig,
+    ) -> Vec<Result<AnomalyPredictor, TrainError>> {
+        let mut stale: Vec<usize> = Vec::new();
+        for &slot in slots {
+            if !self.is_cached(slot) && !stale.contains(&slot) {
+                stale.push(slot);
+            }
+        }
+        let derived: Vec<Result<AnomalyPredictor, TrainError>> =
+            prepare_par::par_map(par, stale.clone(), |slot| self.derive(slot));
+        let mut fresh: std::collections::BTreeMap<usize, Result<AnomalyPredictor, TrainError>> =
+            std::collections::BTreeMap::new();
+        for (slot, result) in stale.into_iter().zip(derived) {
+            if let Some(entry) = self.cache.get_mut(slot) {
+                *entry = match (&result, self.generation.get(slot)) {
+                    (Ok(p), Some(&gen)) => Some((gen, p.clone())),
+                    _ => None,
+                };
+            }
+            fresh.insert(slot, result);
+        }
+        slots
+            .iter()
+            .map(|slot| {
+                if let Some(r) = fresh.get(slot) {
+                    r.clone()
+                } else if let Some(Some((_, p))) = self.cache.get(*slot) {
+                    Ok(p.clone())
+                } else {
+                    // Unreachable by construction: every requested slot
+                    // was either just derived or was a valid cache hit.
+                    Err(TrainError::EmptyDataset)
+                }
+            })
+            .collect()
     }
 
     /// The from-scratch referee: retrains `slot` by replaying its
@@ -803,6 +888,86 @@ mod tests {
             let trained = AnomalyPredictor::train_par(&series, &slo, &config, &par).unwrap();
             assert_eq!(derived, trained, "workers={workers}");
         }
+    }
+
+    #[test]
+    fn cached_batch_is_bit_identical_to_eager_derive() {
+        let config = PredictorConfig::default();
+        let mut trainer = FleetTrainer::new(4, &config);
+        for slot in 0..4 {
+            for (v, label) in labeled_stream(100, slot as u64 * 5 + 1) {
+                trainer.push(slot, &v, label);
+            }
+        }
+        trainer.refresh(&prepare_par::ParConfig::serial());
+        let slots = [0usize, 1, 2, 3];
+        let batch = trainer.derive_cached_batch(&slots, &prepare_par::ParConfig::serial());
+        for (&slot, got) in slots.iter().zip(&batch) {
+            assert_same_outcome(got, &trainer.derive(slot), &format!("cold slot {slot}"));
+            assert!(trainer.is_cached(slot), "slot {slot} should be cached");
+        }
+
+        // Mutate only slots 1 and 3: the others must stay cached and the
+        // re-derived ones must match eager derivation again.
+        for (v, label) in labeled_stream(20, 99) {
+            trainer.push(1, &v, label);
+            trainer.push(3, &v, label);
+        }
+        assert!(trainer.is_cached(0) && trainer.is_cached(2));
+        assert!(!trainer.is_cached(1) && !trainer.is_cached(3));
+        trainer.refresh(&prepare_par::ParConfig::serial());
+        let batch = trainer.derive_cached_batch(&slots, &prepare_par::ParConfig::serial());
+        for (&slot, got) in slots.iter().zip(&batch) {
+            assert_same_outcome(got, &trainer.derive(slot), &format!("warm slot {slot}"));
+        }
+
+        // Retiring also invalidates.
+        trainer.retire_front(2);
+        assert!(!trainer.is_cached(2));
+    }
+
+    #[test]
+    fn cached_batch_is_worker_count_invariant() {
+        let config = PredictorConfig::default();
+        let mut base = FleetTrainer::new(5, &config);
+        for slot in 0..5 {
+            for (v, label) in labeled_stream(80, slot as u64 * 3 + 2) {
+                base.push(slot, &v, label);
+            }
+        }
+        base.refresh(&prepare_par::ParConfig::serial());
+        let slots = [3usize, 0, 4, 1, 2];
+        let mut serial = base.clone();
+        let want = serial.derive_cached_batch(&slots, &prepare_par::ParConfig::serial());
+        for workers in [2usize, 7] {
+            let mut clone = base.clone();
+            let got =
+                clone.derive_cached_batch(&slots, &prepare_par::ParConfig::with_workers(workers));
+            for ((&slot, g), w) in slots.iter().zip(&got).zip(&want) {
+                assert_same_outcome(g, w, &format!("slot {slot} workers {workers}"));
+            }
+        }
+    }
+
+    #[test]
+    fn cached_batch_preserves_error_outcomes() {
+        let config = PredictorConfig::default();
+        let mut trainer = FleetTrainer::new(2, &config);
+        for (v, label) in labeled_stream(60, 8) {
+            trainer.push(0, &v, label);
+        }
+        trainer.refresh(&prepare_par::ParConfig::serial());
+        // Slot 1 is empty: the batch must report EmptyDataset for it and
+        // must not cache the error.
+        let batch = trainer.derive_cached_batch(&[0, 1], &prepare_par::ParConfig::serial());
+        assert!(batch[0].is_ok());
+        assert_eq!(batch[1], Err(TrainError::EmptyDataset));
+        assert!(trainer.is_cached(0));
+        assert!(!trainer.is_cached(1));
+        // Duplicate slots in one request are served consistently.
+        let dup = trainer.derive_cached_batch(&[0, 0, 1], &prepare_par::ParConfig::serial());
+        assert_same_outcome(&dup[0], &dup[1], "duplicate request");
+        assert_eq!(dup[2], Err(TrainError::EmptyDataset));
     }
 
     proptest! {

@@ -22,7 +22,8 @@
 
 #![forbid(unsafe_code)]
 
-use prepare_anomaly::{AnomalyPredictor, FleetTrainer, PredictorConfig};
+use prepare_anomaly::{AnomalyPredictor, FleetTrainer, Prediction, PredictorConfig};
+use prepare_cloudsim::{FleetSim, FleetSpec, TickMode};
 use prepare_metrics::{
     AttributeKind, Duration, Label, MetricSample, MetricVector, SloLog, TimeSeries, Timestamp,
 };
@@ -42,6 +43,18 @@ const SAMPLES: u64 = 240;
 
 /// Timed trials per cell; the best (minimum) is reported.
 const TRIALS: usize = 3;
+
+/// Simulator fleet sizes swept (number of simulated VMs).
+const SIM_FLEETS: [usize; 2] = [4096, 16384];
+
+/// Simulated ticks (seconds) per fleet run — 50 simulated minutes, long
+/// enough that the start-up transient (every VM awake until its Load5
+/// ring saturates, ~30 ticks) stops dominating the sparse path's
+/// steady-state active fraction.
+const SIM_TICKS: u64 = 3000;
+
+/// Timed trials per fleet cell (each trial is a full fresh run).
+const SIM_TRIALS: usize = 2;
 
 /// One VM's training trace: a noisy baseline with a mid-run anomalous
 /// window (CPU pinned), phase-shifted per VM so models differ.
@@ -91,6 +104,38 @@ struct Cell {
     predict_ms: f64,
 }
 
+struct FleetCell {
+    vms: usize,
+    ticks: u64,
+    dense_ms: f64,
+    sparse_ms: f64,
+    active_fraction: f64,
+    dense_vm_ticks_per_sec: f64,
+    sparse_vm_ticks_per_sec: f64,
+}
+
+/// One timed cloudsim fleet run in the given tick mode. Every run builds
+/// a fresh simulator so trials are independent; returns the trace (for
+/// the bit-identity audit), the wall-clock milliseconds, and the
+/// fraction of logical VM-ticks the mode actually stepped.
+fn fleet_run(
+    spec: &FleetSpec,
+    mode: TickMode,
+    par: &ParConfig,
+) -> (prepare_cloudsim::FleetTrace, f64, f64) {
+    let mut sim = match FleetSim::new(spec.clone()) {
+        Ok(sim) => sim,
+        Err(err) => {
+            eprintln!("fleet spec does not fit its hosts: {err:?}");
+            std::process::exit(1);
+        }
+    };
+    let t0 = Instant::now();
+    let trace = sim.run(mode, par);
+    let wall_ms = t0.elapsed().as_secs_f64() * 1000.0;
+    (trace, wall_ms, sim.active_fraction())
+}
+
 fn main() {
     let hardware_workers = std::thread::available_parallelism()
         .map(std::num::NonZeroUsize::get)
@@ -109,7 +154,7 @@ fn main() {
     for &n_vms in &FLEETS {
         let mut rng = StdRng::seed_from_u64(42);
         let traces: Vec<TimeSeries> = (0..n_vms).map(|vm| vm_trace(vm, &mut rng)).collect();
-        let mut baseline: Option<(f64, Vec<String>)> = None;
+        let mut baseline: Option<(f64, Vec<u64>)> = None;
 
         // Untimed warmup: fault in the traces and warm the allocator so
         // the first timed configuration (workers = 1) is not penalized.
@@ -214,8 +259,10 @@ fn main() {
             }
 
             // Determinism audit: every worker count must reproduce the
-            // sequential run bit-for-bit.
-            let fingerprint: Vec<String> = predictions.iter().map(|p| format!("{p:?}")).collect();
+            // sequential run bit-for-bit. The streaming FNV fingerprint
+            // replaces the old per-prediction Debug strings — no String
+            // allocation on the audited predict leg.
+            let fingerprint: Vec<u64> = predictions.iter().map(Prediction::fingerprint).collect();
             let base_train = match &baseline {
                 None => {
                     baseline = Some((train_ms, fingerprint));
@@ -249,6 +296,78 @@ fn main() {
         }
     }
 
+    // Fleet-scale simulator sweep: the same simulated fleet run dense
+    // (every VM stepped every tick — the referee) and sparse (provably
+    // quiescent VMs skipped, their samples backfilled in closed form).
+    // The sparse trace must equal the dense trace byte for byte before
+    // any number is reported; throughput is logical VM-ticks per second
+    // of wall clock, so the sparse column credits skipped-but-accounted
+    // VM-ticks only because the audit proves skipping changed nothing.
+    println!("\n== Fleet-scale cloudsim: dense referee vs sparse event-driven ticks ==");
+    println!(
+        "{:>7} {:>7} {:>11} {:>11} {:>9} {:>14} {:>14}",
+        "VMs", "ticks", "dense (ms)", "sparse(ms)", "active", "dense VMt/s", "sparse VMt/s"
+    );
+    let mut fleet_cells: Vec<FleetCell> = Vec::new();
+    let fleet_par = ParConfig::with_workers(1);
+    for &n_vms in &SIM_FLEETS {
+        let mut spec = FleetSpec::new(n_vms, SIM_TICKS, 0xF1EE7 + n_vms as u64);
+        // Mostly-quiescent composition: keep the default ~6% hot VM
+        // population but shift their workload every 2 simulated minutes
+        // instead of every 40 s. With 40-tick epochs a hot VM spends
+        // ~25 ticks re-saturating its Load5 ring after each shift and
+        // never actually goes quiet.
+        spec.epoch_ticks = 120;
+        // Untimed warmup pass (also anchors the audit trace).
+        let (reference, _, _) = fleet_run(&spec, TickMode::Dense, &fleet_par);
+        let mut dense_ms = f64::INFINITY;
+        let mut sparse_ms = f64::INFINITY;
+        let mut active_fraction = 1.0;
+        for _ in 0..SIM_TRIALS {
+            let (dense_trace, d_ms, _) = fleet_run(&spec, TickMode::Dense, &fleet_par);
+            let (sparse_trace, s_ms, active) = fleet_run(&spec, TickMode::Sparse, &fleet_par);
+            // Bit-identity audit gates every reported number.
+            assert!(
+                dense_trace == reference && sparse_trace == reference,
+                "sparse/dense fleet traces diverged at vms={n_vms}"
+            );
+            dense_ms = dense_ms.min(d_ms);
+            sparse_ms = sparse_ms.min(s_ms);
+            active_fraction = active;
+        }
+        let vm_ticks = (n_vms as u64 * SIM_TICKS) as f64;
+        let cell = FleetCell {
+            vms: n_vms,
+            ticks: SIM_TICKS,
+            dense_ms,
+            sparse_ms,
+            active_fraction,
+            dense_vm_ticks_per_sec: vm_ticks / (dense_ms / 1000.0),
+            sparse_vm_ticks_per_sec: vm_ticks / (sparse_ms / 1000.0),
+        };
+        println!(
+            "{:>7} {:>7} {:>11.1} {:>11.1} {:>9.3} {:>14.0} {:>14.0}",
+            cell.vms,
+            cell.ticks,
+            cell.dense_ms,
+            cell.sparse_ms,
+            cell.active_fraction,
+            cell.dense_vm_ticks_per_sec,
+            cell.sparse_vm_ticks_per_sec,
+        );
+        fleet_cells.push(cell);
+    }
+    // The tentpole claim: on a mostly-quiescent 4096-VM fleet at one
+    // worker the sparse path must be at least 3× the dense wall clock.
+    if let Some(c) = fleet_cells.iter().find(|c| c.vms == 4096) {
+        assert!(
+            c.dense_ms >= 3.0 * c.sparse_ms,
+            "sparse tick path under 3x dense at 4096 VMs: dense {:.1} ms, sparse {:.1} ms",
+            c.dense_ms,
+            c.sparse_ms
+        );
+    }
+
     let mut json = String::new();
     json.push_str("{\n");
     json.push_str("  \"bench\": \"scaling\",\n");
@@ -280,6 +399,30 @@ fn main() {
             base_predict / c.predict_ms,
             c.train_ms / c.online_ms,
             if i + 1 == cells.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str(
+        "  \"fleet_note\": \"cloudsim fleet throughput in logical VM-ticks per second of wall \
+         clock at one worker; the sparse event-driven path skips provably quiescent VMs and is \
+         asserted byte-identical to the dense referee before numbers are reported; \
+         active_fraction is the share of VM-ticks the sparse path actually stepped\",\n",
+    );
+    json.push_str("  \"fleet\": [\n");
+    for (i, c) in fleet_cells.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"vms\": {}, \"ticks\": {}, \"dense_ms\": {:.3}, \"sparse_ms\": {:.3}, \
+             \"active_fraction\": {:.4}, \"dense_vm_ticks_per_sec\": {:.0}, \
+             \"sparse_vm_ticks_per_sec\": {:.0}, \"sparse_speedup\": {:.3}}}{}\n",
+            c.vms,
+            c.ticks,
+            c.dense_ms,
+            c.sparse_ms,
+            c.active_fraction,
+            c.dense_vm_ticks_per_sec,
+            c.sparse_vm_ticks_per_sec,
+            c.dense_ms / c.sparse_ms,
+            if i + 1 == fleet_cells.len() { "" } else { "," }
         ));
     }
     json.push_str("  ]\n}\n");

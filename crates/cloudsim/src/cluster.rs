@@ -3,7 +3,7 @@
 
 use crate::{
     ActionKind, ActionRecord, ActuationCosts, Demand, HostSpec, MigrateError, PlacementError,
-    ScaleError, ServiceQuality,
+    PlacementStore, ScaleError, ServiceQuality,
 };
 use prepare_metrics::{Duration, Timestamp, VmId};
 use std::fmt;
@@ -116,6 +116,10 @@ pub struct Cluster {
     vms: Vec<VmState>,
     actions: Vec<ActionRecord>,
     costs: ActuationCosts,
+    /// Incremental per-host committed/free capacity, kept in sync by
+    /// every mutation below; see [`PlacementStore`] for the bit-exactness
+    /// contract against the legacy occupant scan.
+    placement: PlacementStore,
     /// When set, the hypervisor control plane transiently rejects
     /// scaling/migration requests with `HypervisorBusy`. Driven per tick
     /// by the chaos engine; always `false` in a benign cluster.
@@ -130,6 +134,7 @@ impl Cluster {
             vms: Vec::new(),
             actions: Vec::new(),
             costs: ActuationCosts::default(),
+            placement: PlacementStore::default(),
             hypervisor_busy: false,
         }
     }
@@ -166,7 +171,14 @@ impl Cluster {
             spec,
             background_cpu: 0.0,
         });
+        self.placement.add_host(spec);
         HostId(self.hosts.len() - 1)
+    }
+
+    /// The incremental placement store: O(1) per-host free capacity,
+    /// resident sets, and fit checks.
+    pub fn placement(&self) -> &PlacementStore {
+        &self.placement
     }
 
     /// Sets the host's background (co-tenant) CPU load. The simulation's
@@ -202,16 +214,12 @@ impl Cluster {
     }
 
     /// The fraction (≤ 1) by which CPU caps of VMs on `host` are squeezed
-    /// by background load.
+    /// by background load. The allocation sum comes from the placement
+    /// store (O(1)), bit-identical to the legacy resident scan.
     fn contention_squeeze(&self, host: HostId) -> f64 {
         let spec = self.hosts[host.0].spec;
         let available = (spec.cpu_capacity - self.hosts[host.0].background_cpu).max(0.0);
-        let total_alloc: f64 = self
-            .vms
-            .iter()
-            .filter(|v| v.host == host)
-            .map(|v| v.cpu_alloc)
-            .sum();
+        let total_alloc = self.placement.resident_cpu(host);
         if total_alloc <= 0.0 {
             1.0
         } else {
@@ -272,6 +280,7 @@ impl Cluster {
             cpu_backlog_secs: 0.0,
             paging_debt_mb: 0.0,
         });
+        self.placement.attach_resident(id.0, host, &self.vms);
         crate::invariants::debug_validate(self);
         Ok(id)
     }
@@ -293,8 +302,21 @@ impl Cluster {
 
     /// Free capacity `(cpu, mem_mb)` on a host. Migrating VMs count
     /// against *both* source and destination (the destination reserves
-    /// room for the incoming copy).
+    /// room for the incoming copy). Served from the placement store in
+    /// O(1); bit-identical to [`Cluster::host_free_scan`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the host is unknown.
     pub fn host_free(&self, host: HostId) -> (f64, f64) {
+        assert!(host.0 < self.hosts.len(), "unknown host {host}");
+        self.placement.free(host).unwrap_or((0.0, 0.0))
+    }
+
+    /// The legacy O(VMs) free-capacity scan, kept as the referee for the
+    /// placement store: `debug_validate` bit-compares the two after every
+    /// mutation, and the placement tests do so explicitly.
+    pub fn host_free_scan(&self, host: HostId) -> (f64, f64) {
         let spec = self.hosts[host.0].spec;
         let mut cpu = spec.cpu_capacity;
         let mut mem = spec.mem_capacity_mb;
@@ -353,6 +375,7 @@ impl Cluster {
         state.cpu_alloc = new_alloc;
         // A downward scale immediately re-caps whatever the VM was using.
         state.cpu_used = state.cpu_used.min(new_alloc);
+        self.placement.refresh_host(host, &self.vms);
         self.actions.push(ActionRecord {
             time: now,
             vm,
@@ -396,6 +419,7 @@ impl Cluster {
         state.mem_alloc_mb = new_alloc_mb;
         // Ballooning below the resident set evicts immediately.
         state.mem_used_mb = state.mem_used_mb.min(new_alloc_mb);
+        self.placement.refresh_host(host, &self.vms);
         self.actions.push(ActionRecord {
             time: now,
             vm,
@@ -414,9 +438,20 @@ impl Cluster {
     /// (§II-D). Uses the worst-fit policy: the chosen host keeps the most
     /// headroom, so follow-up scaling of the relocated VM can succeed.
     pub fn find_migration_target(&self, vm: VmId) -> Option<HostId> {
+        self.find_migration_target_with(vm, &crate::WorstFit)
+    }
+
+    /// [`Cluster::find_migration_target`] with an explicit placement
+    /// policy — the store-backed search the prevention planner routes
+    /// through.
+    pub fn find_migration_target_with(
+        &self,
+        vm: VmId,
+        policy: &dyn crate::PlacementPolicy,
+    ) -> Option<HostId> {
         let state = self.get_vm(vm)?;
         self.find_host(
-            crate::PlacementPolicy::WorstFit,
+            policy,
             state.cpu_alloc,
             state.mem_alloc_mb,
             Some(state.host),
@@ -463,6 +498,7 @@ impl Cluster {
             started_at: now,
             completes_at: now + duration,
         });
+        self.placement.attach_incoming(vm.0, target, &self.vms);
         self.actions.push(ActionRecord {
             time: now,
             vm,
@@ -496,6 +532,7 @@ impl Cluster {
             .take()
             .ok_or(MigrateError::NotMigrating(vm))?;
         let from = state.host;
+        self.placement.detach_incoming(vm.0, m.target, &self.vms);
         self.actions.push(ActionRecord {
             time: now,
             vm,
@@ -509,13 +546,19 @@ impl Cluster {
     /// Advances the cluster clock to `now`, completing any migration whose
     /// switch-over time has arrived.
     pub fn advance(&mut self, now: Timestamp) {
-        for vm in &mut self.vms {
+        let mut completed: Vec<(usize, HostId, HostId)> = Vec::new();
+        for (idx, vm) in self.vms.iter_mut().enumerate() {
             if let Some(m) = vm.migration {
                 if now >= m.completes_at {
+                    let from = vm.host;
                     vm.host = m.target;
                     vm.migration = None;
+                    completed.push((idx, from, m.target));
                 }
             }
+        }
+        for (idx, from, to) in completed {
+            self.placement.complete_migration(idx, from, to, &self.vms);
         }
         crate::invariants::debug_validate(self);
     }

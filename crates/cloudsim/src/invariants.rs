@@ -14,6 +14,9 @@
 //! 3. **Migration endpoints** — an in-flight migration targets a known
 //!    host that differs from the VM's current one, and its completion
 //!    time does not precede its start.
+//! 4. **Placement-store parity** — the incremental store's free-capacity
+//!    numbers are *bit-identical* to the legacy occupant scan, and its
+//!    occupant sets match the VMs' actual residency/migration state.
 
 use crate::cluster::CPU_BACKLOG_CAP_SECS;
 use crate::Cluster;
@@ -45,6 +48,28 @@ pub(crate) fn debug_validate(c: &Cluster) {
             c.background_load(host).is_finite() && c.background_load(host) >= 0.0,
             "invariant: {host} background load must be finite and non-negative"
         );
+        // Placement-store parity: the incremental account must equal the
+        // from-scratch occupant scan bit-for-bit, and the occupant sets
+        // must mirror the VMs' actual residency / in-flight migrations.
+        let (scan_cpu, scan_mem) = c.host_free_scan(host);
+        debug_assert!(
+            free_cpu.to_bits() == scan_cpu.to_bits() && free_mem.to_bits() == scan_mem.to_bits(),
+            "invariant: {host} placement store drifted from the occupant scan \
+             (store {free_cpu}/{free_mem}, scan {scan_cpu}/{scan_mem})"
+        );
+        let (residents, incoming) = c.placement().occupant_sets(host);
+        for id in c.vm_ids() {
+            let vm = c.vm(id);
+            debug_assert!(
+                residents.contains(&id.0) == (vm.host == host),
+                "invariant: {host} resident set out of sync for {id}"
+            );
+            let inbound = vm.migration.is_some_and(|m| m.target == host);
+            debug_assert!(
+                incoming.contains(&id.0) == inbound,
+                "invariant: {host} incoming set out of sync for {id}"
+            );
+        }
     }
     for id in c.vm_ids() {
         let vm = c.vm(id);

@@ -39,6 +39,7 @@ mod actions;
 mod chaos;
 mod cluster;
 mod costs;
+mod fleet;
 mod invariants;
 mod monitor;
 mod placement;
@@ -50,6 +51,9 @@ pub use cluster::{
     Cluster, HostId, MigrationState, VmState, CPU_BACKLOG_CAP_SECS, PAGE_IN_RATE_MB_PER_SEC,
 };
 pub use costs::{ActuationCosts, TABLE1_COSTS};
+pub use fleet::{FleetEvent, FleetMonitor, FleetSim, FleetSpec, FleetTrace, TickMode, DENSE_ENV};
 pub use monitor::Monitor;
-pub use placement::PlacementPolicy;
+pub use placement::{
+    AntiAffinity, BestFit, FirstFit, PlacementPolicy, PlacementRequest, PlacementStore, WorstFit,
+};
 pub use spec::{Demand, HostSpec, ServiceQuality};

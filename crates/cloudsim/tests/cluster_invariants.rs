@@ -2,7 +2,7 @@
 //! hypervisor operations may oversubscribe a host, strand a VM, or drive
 //! the demand-resolution integrators out of their bounds.
 
-use prepare_cloudsim::{Cluster, Demand, HostId, HostSpec, PlacementPolicy};
+use prepare_cloudsim::{Cluster, Demand, HostId, HostSpec, WorstFit};
 use prepare_metrics::{Timestamp, VmId};
 use proptest::prelude::*;
 
@@ -60,7 +60,7 @@ proptest! {
         let vms: Vec<VmId> = (0..4)
             .map(|_| {
                 cluster
-                    .place_vm(PlacementPolicy::WorstFit, 100.0, 512.0)
+                    .place_vm(&WorstFit, 100.0, 512.0)
                     .expect("four empty hosts fit four VMs")
             })
             .collect();

@@ -20,6 +20,35 @@ pub enum PreventionPolicy {
     MigrationFirst,
 }
 
+/// Which placement policy picks live-migration target hosts.
+///
+/// Every variant routes through the cluster's incremental
+/// [`prepare_cloudsim::PlacementStore`]; the default mirrors the paper's
+/// "host with matching resources" search as worst-fit (the chosen host
+/// keeps the most headroom, so follow-up scaling of the relocated VM can
+/// succeed), which is also what the trace catalogue was pinned under.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum MigrationTargetPolicy {
+    /// Maximize the target's remaining headroom (the pinned default).
+    #[default]
+    WorstFit,
+    /// Minimize leftover headroom — pack migrations tightly.
+    BestFit,
+    /// First host (lowest id) that fits.
+    FirstFit,
+}
+
+impl MigrationTargetPolicy {
+    /// The cloudsim placement policy implementing this knob.
+    pub fn as_policy(self) -> &'static dyn prepare_cloudsim::PlacementPolicy {
+        match self {
+            MigrationTargetPolicy::WorstFit => &prepare_cloudsim::WorstFit,
+            MigrationTargetPolicy::BestFit => &prepare_cloudsim::BestFit,
+            MigrationTargetPolicy::FirstFit => &prepare_cloudsim::FirstFit,
+        }
+    }
+}
+
 /// All tunables of the PREPARE controller.
 #[derive(Debug, Clone, PartialEq)]
 pub struct PrepareConfig {
@@ -34,6 +63,8 @@ pub struct PrepareConfig {
     pub filter_w: usize,
     /// Prevention action preference.
     pub policy: PreventionPolicy,
+    /// Placement policy for choosing live-migration target hosts.
+    pub migration_policy: MigrationTargetPolicy,
     /// Resource sizing: new allocation = observed demand × this factor.
     pub scale_factor: f64,
     /// Length of the look-back / look-ahead windows used to validate
@@ -112,6 +143,7 @@ impl Default for PrepareConfig {
             filter_k: 3,
             filter_w: 4,
             policy: PreventionPolicy::ScalingFirst,
+            migration_policy: MigrationTargetPolicy::WorstFit,
             scale_factor: 1.3,
             validation_window: Duration::from_secs(30),
             min_training_samples: 40,

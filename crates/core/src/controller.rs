@@ -136,7 +136,8 @@ impl PrepareController {
         let recency = config.predictor.sampling_interval.as_secs() * 3;
         let inference =
             CauseInference::with_par(&vms, config.workload_change_quorum, recency, config.par);
-        let planner = PreventionPlanner::new(config.policy, config.scale_factor);
+        let planner = PreventionPlanner::new(config.policy, config.scale_factor)
+            .with_migration_target_policy(config.migration_policy);
         let filters = vms
             .iter()
             .map(|&vm| (vm, AlertFilter::new(config.filter_k, config.filter_w)))
@@ -395,18 +396,34 @@ impl PrepareController {
     ///
     /// With online training the models are *derived* from the fleet
     /// trainer's maintained count arenas instead of re-scanning each
-    /// series — [`FleetTrainer::derive`] is bit-identical to the
-    /// from-scratch `train` call the reference arm makes, so the two
-    /// arms produce the same traces (the CI harness diffs them).
+    /// series — [`FleetTrainer::derive_cached_batch`] is bit-identical
+    /// to the from-scratch `train` call the reference arm makes, so the
+    /// two arms produce the same traces (the CI harness diffs them).
+    /// The batch call memoizes per-slot derivations on a window
+    /// generation counter, so only VMs whose windows changed since the
+    /// last round actually re-derive.
     fn train_implicated(&mut self, implicated: &[VmId]) -> Vec<Option<(VmId, AnomalyPredictor)>> {
         if let Some(trainer) = self.trainer.as_mut() {
             trainer.refresh(&self.config.par);
-            let trainer = &*trainer;
-            let vms = &self.vms;
-            return prepare_par::par_map(&self.config.par, implicated.to_vec(), |vm| {
-                let slot = vms.iter().position(|&v| v == vm)?;
-                trainer.derive(slot).ok().map(|p| (vm, p))
-            });
+            let slots: Vec<Option<usize>> = implicated
+                .iter()
+                .map(|vm| self.vms.iter().position(|v| v == vm))
+                .collect();
+            let wanted: Vec<usize> = slots.iter().filter_map(|s| *s).collect();
+            let derived = trainer.derive_cached_batch(&wanted, &self.config.par);
+            let by_slot: BTreeMap<usize, AnomalyPredictor> = wanted
+                .into_iter()
+                .zip(derived)
+                .filter_map(|(slot, r)| r.ok().map(|p| (slot, p)))
+                .collect();
+            return implicated
+                .iter()
+                .zip(slots)
+                .map(|(vm, slot)| {
+                    let slot = slot?;
+                    by_slot.get(&slot).map(|p| (*vm, p.clone()))
+                })
+                .collect();
         }
         prepare_par::par_map(&self.config.par, implicated.to_vec(), |vm| {
             let series = self.series.get(&vm)?;

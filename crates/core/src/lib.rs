@@ -47,7 +47,7 @@ mod prevention;
 mod validation;
 
 pub use analysis::{eval_violation_intervals, ExperimentReport};
-pub use config::{ParConfig, PrepareConfig, PreventionPolicy, ONLINE_ENV};
+pub use config::{MigrationTargetPolicy, ParConfig, PrepareConfig, PreventionPolicy, ONLINE_ENV};
 pub use controller::{
     PrepareController, MAX_EPISODE_FAILURES, MIGRATE_RETRY_BASE_SECS, MIGRATION_COOLDOWN_SECS,
     RETRY_BACKOFF_CAP_SECS, SCALE_RETRY_BASE_SECS, SUPPRESSION_SECS, TRAINING_SETTLE_SECS,

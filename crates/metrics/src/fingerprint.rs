@@ -1,0 +1,140 @@
+//! Streaming 64-bit fingerprints for determinism audits.
+//!
+//! Replay contracts across the workspace compare whole model/trace states
+//! for bit-identity. Formatting both sides with `format!("{:?}")` and
+//! comparing strings works, but allocates a `String` per compared cell —
+//! on the scaling bench's predict leg that is one allocation per VM per
+//! audit. [`Fingerprint64`] streams the same information through an
+//! FNV-1a fold instead: `f64`s are hashed by their exact bit patterns, so
+//! two states fingerprint equal iff every streamed word is bit-identical,
+//! with zero heap traffic.
+//!
+//! This is an audit checksum, not a cryptographic hash: collisions are
+//! possible in principle, which is why the bench keeps a full `PartialEq`
+//! comparison on the model side and uses fingerprints for the per-cell
+//! fast path.
+
+/// FNV-1a 64-bit offset basis.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a 64-bit prime.
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// A streaming FNV-1a fingerprint accumulator.
+///
+/// Feed words with the `write_*` methods and read the digest with
+/// [`Fingerprint64::finish`]. All writes are allocation-free.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fingerprint64 {
+    state: u64,
+}
+
+impl Default for Fingerprint64 {
+    fn default() -> Self {
+        Fingerprint64::new()
+    }
+}
+
+impl Fingerprint64 {
+    /// A fresh accumulator at the FNV offset basis.
+    pub const fn new() -> Self {
+        Fingerprint64 { state: FNV_OFFSET }
+    }
+
+    /// Folds one byte.
+    // xtask: hot-path
+    pub fn write_u8(&mut self, b: u8) {
+        self.state ^= u64::from(b);
+        self.state = self.state.wrapping_mul(FNV_PRIME);
+    }
+
+    /// Folds a 64-bit word, low byte first.
+    // xtask: hot-path
+    pub fn write_u64(&mut self, w: u64) {
+        for b in w.to_le_bytes() {
+            self.write_u8(b);
+        }
+    }
+
+    /// Folds a `usize` (as 64 bits).
+    // xtask: hot-path
+    pub fn write_usize(&mut self, w: usize) {
+        self.write_u64(w as u64);
+    }
+
+    /// Folds an `f64` by its exact IEEE-754 bit pattern: two values
+    /// fingerprint equal iff they are bit-identical (`0.0` and `-0.0`
+    /// differ; every NaN payload is distinct).
+    // xtask: hot-path
+    pub fn write_f64(&mut self, v: f64) {
+        self.write_u64(v.to_bits());
+    }
+
+    /// Folds a byte slice, length-prefixed so concatenations cannot
+    /// collide with shifted boundaries.
+    pub fn write_bytes(&mut self, bytes: &[u8]) {
+        self.write_usize(bytes.len());
+        for &b in bytes {
+            self.write_u8(b);
+        }
+    }
+
+    /// The current digest.
+    pub const fn finish(&self) -> u64 {
+        self.state
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_fingerprint_is_the_offset_basis() {
+        assert_eq!(Fingerprint64::new().finish(), FNV_OFFSET);
+    }
+
+    #[test]
+    fn matches_reference_fnv1a_on_bytes() {
+        // FNV-1a("a") is a published test vector.
+        let mut fp = Fingerprint64::new();
+        fp.write_u8(b'a');
+        assert_eq!(fp.finish(), 0xaf63_dc4c_8601_ec8c);
+    }
+
+    #[test]
+    fn f64_uses_exact_bits() {
+        let mut a = Fingerprint64::new();
+        a.write_f64(0.0);
+        let mut b = Fingerprint64::new();
+        b.write_f64(-0.0);
+        assert_ne!(a.finish(), b.finish(), "signed zeros are distinct states");
+
+        let mut c = Fingerprint64::new();
+        c.write_f64(1.5);
+        let mut d = Fingerprint64::new();
+        d.write_f64(1.5);
+        assert_eq!(c.finish(), d.finish());
+    }
+
+    #[test]
+    fn order_matters() {
+        let mut a = Fingerprint64::new();
+        a.write_u64(1);
+        a.write_u64(2);
+        let mut b = Fingerprint64::new();
+        b.write_u64(2);
+        b.write_u64(1);
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn length_prefix_separates_concatenations() {
+        let mut a = Fingerprint64::new();
+        a.write_bytes(b"ab");
+        a.write_bytes(b"c");
+        let mut b = Fingerprint64::new();
+        b.write_bytes(b"a");
+        b.write_bytes(b"bc");
+        assert_ne!(a.finish(), b.finish());
+    }
+}

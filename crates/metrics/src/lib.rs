@@ -31,11 +31,13 @@
 mod attr;
 mod changepoint;
 mod discretize;
+mod fingerprint;
 pub mod guard;
 pub mod json;
 mod label;
 mod sample;
 mod series;
+mod soa;
 mod staleness;
 mod stats;
 mod time;
@@ -44,9 +46,11 @@ mod trace;
 pub use attr::{AttributeKind, ScalableResource, VmId, ATTRIBUTE_COUNT};
 pub use changepoint::{ChangePoint, CusumDetector};
 pub use discretize::{DiscreteVector, Discretizer, VectorDiscretizer};
+pub use fingerprint::Fingerprint64;
 pub use label::{Label, Labeler, SloLog};
 pub use sample::{MetricSample, MetricVector};
 pub use series::{SeriesStats, SlidingWindow, TimeSeries};
+pub use soa::SoaMetricStore;
 pub use staleness::{
     AttributeStamps, Freshness, LastValueImputer, StalenessBudget, StampedSample,
     DEFAULT_STALENESS_SECS,

@@ -1,0 +1,510 @@
+//! Struct-of-arrays metric storage for fleet-scale monitoring.
+//!
+//! The per-VM [`crate::TimeSeries`] keeps an array-of-structs
+//! `Vec<MetricSample>` per VM — fine for tens of VMs, but at 10k–100k VMs
+//! the monitor's hot loops (ingest one sample per VM per round, staleness
+//! sweeps, windowed discretization) each walk thousands of tiny
+//! heap-separated vectors. [`SoaMetricStore`] transposes that layout:
+//! one arena per store, slot-indexed like the trainer arenas, with every
+//! `(attribute, ring-position)` column stored contiguously across slots.
+//! When the fleet samples synchronously — all slots at the same ring
+//! position — an ingest round writes 13 contiguous column segments
+//! instead of `vms` scattered vectors, and per-attribute scans read
+//! sequential memory.
+//!
+//! Semantics are pinned by a naive per-slot `Vec` reference model in the
+//! test suite: every operation (push, bulk backfill, clear, staleness
+//! query) must match the reference bit-for-bit under randomized
+//! interleavings.
+
+use crate::{Duration, MetricSample, MetricVector, Timestamp, ATTRIBUTE_COUNT};
+
+/// Fixed-capacity ring-buffered metric windows for `slots` VMs, stored
+/// struct-of-arrays.
+///
+/// Layout: `values[(attr * capacity + pos) * slots + slot]` — for a given
+/// attribute and ring position, all slots are adjacent. `times` is shared
+/// across attributes: `times[pos * slots + slot]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SoaMetricStore {
+    slots: usize,
+    capacity: usize,
+    values: Vec<f64>,
+    times: Vec<u64>,
+    len: Vec<usize>,
+    head: Vec<usize>,
+    last_ingest: Vec<Option<u64>>,
+}
+
+impl SoaMetricStore {
+    /// A store for `slots` VMs, each keeping a window of the most recent
+    /// `capacity` samples. `capacity` must be non-zero.
+    pub fn new(slots: usize, capacity: usize) -> Self {
+        let cap = capacity.max(1);
+        SoaMetricStore {
+            slots,
+            capacity: cap,
+            values: vec![0.0; ATTRIBUTE_COUNT * cap * slots],
+            times: vec![0; cap * slots],
+            len: vec![0; slots],
+            head: vec![0; slots],
+            last_ingest: vec![None; slots],
+        }
+    }
+
+    /// Number of slots.
+    pub fn slots(&self) -> usize {
+        self.slots
+    }
+
+    /// Ring capacity (window length) per slot.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of samples currently held for `slot`.
+    pub fn len(&self, slot: usize) -> usize {
+        self.len.get(slot).copied().unwrap_or(0)
+    }
+
+    /// True when `slot` holds no samples.
+    pub fn is_empty(&self, slot: usize) -> bool {
+        self.len(slot) == 0
+    }
+
+    /// Ring position of the `i`-th oldest entry of `slot`.
+    fn pos_of(&self, slot: usize, i: usize) -> usize {
+        let head = self.head.get(slot).copied().unwrap_or(0);
+        (head + i) % self.capacity
+    }
+
+    fn write_entry(&mut self, slot: usize, pos: usize, time: u64, v: &MetricVector) {
+        if let Some(t) = self.times.get_mut(pos * self.slots + slot) {
+            *t = time;
+        }
+        for (a, &val) in v.as_slice().iter().enumerate() {
+            let idx = (a * self.capacity + pos) * self.slots + slot;
+            if let Some(cell) = self.values.get_mut(idx) {
+                *cell = val;
+            }
+        }
+    }
+
+    /// Appends one sample to `slot`, evicting the oldest entry once the
+    /// window is full. Timestamps are expected to be non-decreasing per
+    /// slot (the monitor's sampling clock only moves forward).
+    // xtask: hot-path
+    pub fn push(&mut self, slot: usize, time: Timestamp, v: &MetricVector) {
+        let (pos, advance) = {
+            let len = self.len.get(slot).copied().unwrap_or(0);
+            if len < self.capacity {
+                (self.pos_of(slot, len), false)
+            } else {
+                (self.pos_of(slot, 0), true)
+            }
+        };
+        self.write_entry(slot, pos, time.as_secs(), v);
+        if advance {
+            if let Some(h) = self.head.get_mut(slot) {
+                *h = (*h + 1) % self.capacity;
+            }
+        } else if let Some(l) = self.len.get_mut(slot) {
+            *l += 1;
+        }
+        if let Some(li) = self.last_ingest.get_mut(slot) {
+            *li = Some(time.as_secs());
+        }
+    }
+
+    /// Ingests `count` copies of the same vector at `start`,
+    /// `start + interval`, …, exactly as if [`SoaMetricStore::push`] had
+    /// been called `count` times — but in closed form: once `count`
+    /// reaches the window capacity the cost is `O(capacity)` regardless
+    /// of how long the span was. This is the sparse tick path's backfill
+    /// primitive for quiescent VMs whose sample vector is provably
+    /// constant over the skipped rounds.
+    pub fn fill_repeat(
+        &mut self,
+        slot: usize,
+        start: Timestamp,
+        interval: Duration,
+        count: usize,
+        v: &MetricVector,
+    ) {
+        if count == 0 {
+            return;
+        }
+        if count < self.capacity {
+            for i in 0..count {
+                let t = Timestamp::from_secs(start.as_secs() + i as u64 * interval.as_secs());
+                self.push(slot, t, v);
+            }
+            return;
+        }
+        // The whole window ends up holding the last `capacity` of the new
+        // samples; replay where repeated pushes would have left the head.
+        let old_len = self.len.get(slot).copied().unwrap_or(0);
+        let overwrites = old_len + count - self.capacity;
+        let old_head = self.head.get(slot).copied().unwrap_or(0);
+        let new_head = (old_head + overwrites) % self.capacity;
+        let first_kept = count - self.capacity;
+        for k in 0..self.capacity {
+            let pos = (new_head + k) % self.capacity;
+            let t = start.as_secs() + (first_kept + k) as u64 * interval.as_secs();
+            self.write_entry(slot, pos, t, v);
+        }
+        if let Some(h) = self.head.get_mut(slot) {
+            *h = new_head;
+        }
+        if let Some(l) = self.len.get_mut(slot) {
+            *l = self.capacity;
+        }
+        if let Some(li) = self.last_ingest.get_mut(slot) {
+            *li = Some(start.as_secs() + (count as u64 - 1) * interval.as_secs());
+        }
+    }
+
+    /// The `i`-th oldest sample of `slot`, if present.
+    pub fn get(&self, slot: usize, i: usize) -> Option<MetricSample> {
+        if slot >= self.slots || i >= self.len(slot) {
+            return None;
+        }
+        let pos = self.pos_of(slot, i);
+        let time = self.times.get(pos * self.slots + slot).copied()?;
+        let mut v = MetricVector::zeros();
+        for (a, attr) in crate::AttributeKind::ALL.iter().enumerate() {
+            let idx = (a * self.capacity + pos) * self.slots + slot;
+            v.set(*attr, self.values.get(idx).copied().unwrap_or(0.0));
+        }
+        Some(MetricSample::new(Timestamp::from_secs(time), v))
+    }
+
+    /// The most recent sample of `slot`, if any.
+    pub fn latest(&self, slot: usize) -> Option<MetricSample> {
+        let len = self.len(slot);
+        if len == 0 {
+            None
+        } else {
+            self.get(slot, len - 1)
+        }
+    }
+
+    /// Iterates `slot`'s samples oldest → newest.
+    pub fn iter_slot(&self, slot: usize) -> impl Iterator<Item = MetricSample> + '_ {
+        (0..self.len(slot)).filter_map(move |i| self.get(slot, i))
+    }
+
+    /// The contiguous cross-slot column for one `(attribute, ring
+    /// position)` cell: `slice[slot]` is that slot's value at ring
+    /// position `pos`. Positions are physical (not head-relative);
+    /// synchronized fleets keep all heads equal so a sampling round's
+    /// writes land in exactly one such column per attribute.
+    pub fn column_slice(&self, attr: usize, pos: usize) -> &[f64] {
+        let start = (attr * self.capacity + pos) * self.slots;
+        self.values.get(start..start + self.slots).unwrap_or(&[])
+    }
+
+    /// Drops all samples held for `slot` (VM evicted / recycled). The
+    /// staleness clock resets too.
+    pub fn clear_slot(&mut self, slot: usize) {
+        if let Some(l) = self.len.get_mut(slot) {
+            *l = 0;
+        }
+        if let Some(h) = self.head.get_mut(slot) {
+            *h = 0;
+        }
+        if let Some(li) = self.last_ingest.get_mut(slot) {
+            *li = None;
+        }
+    }
+
+    /// Time of the most recent ingest into `slot`, if any.
+    pub fn last_ingest(&self, slot: usize) -> Option<Timestamp> {
+        self.last_ingest
+            .get(slot)
+            .copied()
+            .flatten()
+            .map(Timestamp::from_secs)
+    }
+
+    /// Slots whose most recent ingest is older than `budget` at `now`
+    /// (or that never ingested), ascending. This is the monitor's
+    /// staleness sweep: one linear pass over two small arrays instead of
+    /// chasing per-VM heap allocations.
+    pub fn stale_slots(&self, now: Timestamp, budget: Duration) -> Vec<usize> {
+        self.last_ingest
+            .iter()
+            .enumerate()
+            .filter(|(_, li)| match li {
+                Some(t) => now.as_secs().saturating_sub(*t) > budget.as_secs(),
+                None => true,
+            })
+            .map(|(slot, _)| slot)
+            .collect()
+    }
+
+    /// Folds every slot's window (oldest → newest, head-normalized) and
+    /// staleness clock into `fp`. Two stores fingerprint equal iff their
+    /// logical contents are bit-identical, regardless of physical head
+    /// positions.
+    pub fn fingerprint_into(&self, fp: &mut crate::Fingerprint64) {
+        fp.write_usize(self.slots);
+        fp.write_usize(self.capacity);
+        for slot in 0..self.slots {
+            fp.write_usize(self.len(slot));
+            for s in self.iter_slot(slot) {
+                fp.write_u64(s.time.as_secs());
+                for &v in s.values.as_slice() {
+                    fp.write_f64(v);
+                }
+            }
+            match self.last_ingest(slot) {
+                Some(t) => {
+                    fp.write_u8(1);
+                    fp.write_u64(t.as_secs());
+                }
+                None => fp.write_u8(0),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Fingerprint64;
+    use proptest::prelude::*;
+
+    /// The reference model: per-slot growable `Vec`s with front eviction.
+    struct NaiveStore {
+        capacity: usize,
+        slots: Vec<Vec<MetricSample>>,
+        last_ingest: Vec<Option<Timestamp>>,
+    }
+
+    impl NaiveStore {
+        fn new(slots: usize, capacity: usize) -> Self {
+            NaiveStore {
+                capacity: capacity.max(1),
+                slots: vec![Vec::new(); slots],
+                last_ingest: vec![None; slots],
+            }
+        }
+
+        fn push(&mut self, slot: usize, time: Timestamp, v: &MetricVector) {
+            let w = &mut self.slots[slot];
+            w.push(MetricSample::new(time, *v));
+            if w.len() > self.capacity {
+                w.remove(0);
+            }
+            self.last_ingest[slot] = Some(time);
+        }
+
+        fn fill_repeat(
+            &mut self,
+            slot: usize,
+            start: Timestamp,
+            interval: Duration,
+            count: usize,
+            v: &MetricVector,
+        ) {
+            for i in 0..count {
+                let t = Timestamp::from_secs(start.as_secs() + i as u64 * interval.as_secs());
+                self.push(slot, t, v);
+            }
+        }
+
+        fn clear_slot(&mut self, slot: usize) {
+            self.slots[slot].clear();
+            self.last_ingest[slot] = None;
+        }
+
+        fn stale_slots(&self, now: Timestamp, budget: Duration) -> Vec<usize> {
+            self.last_ingest
+                .iter()
+                .enumerate()
+                .filter(|(_, li)| match li {
+                    Some(t) => now.as_secs().saturating_sub(t.as_secs()) > budget.as_secs(),
+                    None => true,
+                })
+                .map(|(slot, _)| slot)
+                .collect()
+        }
+    }
+
+    fn assert_equivalent(soa: &SoaMetricStore, naive: &NaiveStore) {
+        for (slot, window) in naive.slots.iter().enumerate() {
+            assert_eq!(soa.len(slot), window.len(), "slot {slot} length");
+            let got: Vec<MetricSample> = soa.iter_slot(slot).collect();
+            assert_eq!(&got, window, "slot {slot} contents");
+            assert_eq!(
+                soa.latest(slot),
+                window.last().copied(),
+                "slot {slot} latest"
+            );
+            assert_eq!(soa.last_ingest(slot), naive.last_ingest[slot]);
+        }
+    }
+
+    fn vec_from_seed(seed: u64) -> MetricVector {
+        // splitmix64 per attribute; values in [0, 100).
+        MetricVector::from_fn(|a| {
+            let mut z = seed
+                .wrapping_add(a.index() as u64)
+                .wrapping_mul(0x9e37_79b9_7f4a_7c15);
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            (z ^ (z >> 31)) as f64 % 100.0
+        })
+    }
+
+    #[test]
+    fn push_evicts_oldest_when_full() {
+        let mut soa = SoaMetricStore::new(2, 3);
+        let mut naive = NaiveStore::new(2, 3);
+        for i in 0..7u64 {
+            let v = vec_from_seed(i);
+            soa.push(0, Timestamp::from_secs(i * 5), &v);
+            naive.push(0, Timestamp::from_secs(i * 5), &v);
+        }
+        assert_equivalent(&soa, &naive);
+        assert_eq!(soa.len(0), 3);
+        assert_eq!(soa.get(0, 0).unwrap().time.as_secs(), 20);
+        assert_eq!(soa.len(1), 0);
+    }
+
+    #[test]
+    fn fill_repeat_matches_repeated_pushes_across_the_wrap() {
+        for warmup in [0usize, 1, 3, 5] {
+            for count in [0usize, 1, 4, 5, 6, 17] {
+                let mut soa = SoaMetricStore::new(1, 5);
+                let mut naive = NaiveStore::new(1, 5);
+                for i in 0..warmup {
+                    let v = vec_from_seed(i as u64);
+                    soa.push(0, Timestamp::from_secs(i as u64 * 5), &v);
+                    naive.push(0, Timestamp::from_secs(i as u64 * 5), &v);
+                }
+                let start = Timestamp::from_secs(warmup as u64 * 5);
+                let v = vec_from_seed(99);
+                soa.fill_repeat(0, start, Duration::from_secs(5), count, &v);
+                naive.fill_repeat(0, start, Duration::from_secs(5), count, &v);
+                assert_equivalent(&soa, &naive);
+            }
+        }
+    }
+
+    #[test]
+    fn column_slice_is_cross_slot() {
+        let mut soa = SoaMetricStore::new(4, 2);
+        for slot in 0..4 {
+            let v = vec_from_seed(slot as u64);
+            soa.push(slot, Timestamp::ZERO, &v);
+        }
+        // All heads at 0, so ring position 0 holds every slot's first sample.
+        let col = soa.column_slice(0, 0);
+        assert_eq!(col.len(), 4);
+        for (slot, &got) in col.iter().enumerate() {
+            assert_eq!(got, vec_from_seed(slot as u64).as_slice()[0]);
+        }
+    }
+
+    #[test]
+    fn staleness_sweep_matches_reference() {
+        let mut soa = SoaMetricStore::new(3, 4);
+        let mut naive = NaiveStore::new(3, 4);
+        let v = vec_from_seed(7);
+        soa.push(0, Timestamp::from_secs(10), &v);
+        naive.push(0, Timestamp::from_secs(10), &v);
+        soa.push(1, Timestamp::from_secs(40), &v);
+        naive.push(1, Timestamp::from_secs(40), &v);
+        let now = Timestamp::from_secs(50);
+        let budget = Duration::from_secs(15);
+        assert_eq!(soa.stale_slots(now, budget), vec![0, 2]);
+        assert_eq!(soa.stale_slots(now, budget), naive.stale_slots(now, budget));
+    }
+
+    #[test]
+    fn clear_slot_resets_window_and_staleness() {
+        let mut soa = SoaMetricStore::new(2, 4);
+        let mut naive = NaiveStore::new(2, 4);
+        let v = vec_from_seed(1);
+        soa.push(0, Timestamp::from_secs(5), &v);
+        naive.push(0, Timestamp::from_secs(5), &v);
+        soa.clear_slot(0);
+        naive.clear_slot(0);
+        assert_equivalent(&soa, &naive);
+        assert!(soa.is_empty(0));
+        assert!(soa.last_ingest(0).is_none());
+    }
+
+    #[test]
+    fn fingerprint_is_head_position_independent() {
+        // Same logical contents reached via different physical histories.
+        let mut a = SoaMetricStore::new(1, 3);
+        let mut b = SoaMetricStore::new(1, 3);
+        let v = vec_from_seed(3);
+        // `a` wraps twice before reaching [t=15, t=20, t=25].
+        for t in [0u64, 5, 10, 15, 20, 25] {
+            a.push(0, Timestamp::from_secs(t), &v);
+        }
+        // `b` wraps five times to the same logical window.
+        for t in [0u64, 1, 2, 3, 4, 15, 20, 25] {
+            b.push(0, Timestamp::from_secs(t), &v);
+        }
+        let mut fa = Fingerprint64::new();
+        a.fingerprint_into(&mut fa);
+        let mut fb = Fingerprint64::new();
+        b.fingerprint_into(&mut fb);
+        assert_eq!(fa.finish(), fb.finish());
+    }
+
+    proptest! {
+        #[test]
+        fn soa_matches_naive_reference_under_random_ops(
+            ops in proptest::collection::vec(
+                (0usize..4, 0usize..4, 0u64..50, 0usize..9, 0u64..1_000_000),
+                1..60,
+            )
+        ) {
+            // op codes: 0-1 push, 2 fill_repeat, 3 clear_slot (stale query
+            // checked after every op).
+            const SLOTS: usize = 4;
+            const CAP: usize = 5;
+            let mut soa = SoaMetricStore::new(SLOTS, CAP);
+            let mut naive = NaiveStore::new(SLOTS, CAP);
+            let mut clock: u64 = 0;
+            for (kind, slot, dt, count, seed) in ops {
+                clock += dt;
+                let now = Timestamp::from_secs(clock);
+                let v = vec_from_seed(seed);
+                match kind {
+                    0 | 1 => {
+                        soa.push(slot, now, &v);
+                        naive.push(slot, now, &v);
+                    }
+                    2 => {
+                        let iv = Duration::from_secs(5);
+                        soa.fill_repeat(slot, now, iv, count, &v);
+                        naive.fill_repeat(slot, now, iv, count, &v);
+                        clock += (count as u64).saturating_sub(1) * 5;
+                    }
+                    _ => {
+                        soa.clear_slot(slot);
+                        naive.clear_slot(slot);
+                    }
+                }
+                let budget = Duration::from_secs(15);
+                let now = Timestamp::from_secs(clock);
+                prop_assert_eq!(
+                    soa.stale_slots(now, budget),
+                    naive.stale_slots(now, budget)
+                );
+            }
+            for (slot, window) in naive.slots.iter().enumerate() {
+                let got: Vec<MetricSample> = soa.iter_slot(slot).collect();
+                prop_assert_eq!(&got, window);
+                prop_assert_eq!(soa.last_ingest(slot), naive.last_ingest[slot]);
+            }
+        }
+    }
+}

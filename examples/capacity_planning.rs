@@ -8,7 +8,7 @@
 //! ```
 
 use prepare_repro::apps::{Application, FaultPlan, SystemS};
-use prepare_repro::cloudsim::{Cluster, HostSpec, PlacementPolicy};
+use prepare_repro::cloudsim::{BestFit, Cluster, FirstFit, HostSpec, PlacementPolicy, WorstFit};
 use prepare_repro::metrics::Timestamp;
 
 fn main() {
@@ -56,11 +56,7 @@ fn main() {
 
     // 3. Placement policies: pack 6 equal VMs onto 3 hosts three ways.
     println!("\nplacement of six 60-CPU VMs on three VCL hosts:");
-    for policy in [
-        PlacementPolicy::FirstFit,
-        PlacementPolicy::BestFit,
-        PlacementPolicy::WorstFit,
-    ] {
+    for policy in [&FirstFit as &dyn PlacementPolicy, &BestFit, &WorstFit] {
         let mut c = Cluster::new();
         for _ in 0..3 {
             c.add_host(HostSpec::vcl_default());
@@ -70,6 +66,6 @@ fn main() {
             let vm = c.place_vm(policy, 60.0, 512.0).expect("capacity exists");
             placements.push(c.vm(vm).host.0);
         }
-        println!("  {policy:?}: hosts {placements:?}");
+        println!("  {}: hosts {placements:?}", policy.name());
     }
 }
