@@ -14,7 +14,7 @@ echo "==> cargo xtask lint"
 # Build untimed, then hold the lint itself (which prints per-rule
 # finding counts and its own wall time) to a 10-second budget.
 cargo build --offline --quiet --package xtask
-lint_out="$(cargo run --offline --quiet --package xtask -- lint)" || {
+lint_out="$(cargo run --offline --quiet --package xtask -- lint --json target/lint-report.json)" || {
   echo "$lint_out"
   exit 1
 }

@@ -46,14 +46,14 @@ impl KMeans {
         // Farthest-point ("k-means++-like" but deterministic) seeding.
         let mut centroids: Vec<Vec<f64>> = vec![points[0].clone()];
         while centroids.len() < k {
-            let far = points
-                .iter()
-                .max_by(|a, b| {
-                    let da = nearest_distance(a, &centroids);
-                    let db = nearest_distance(b, &centroids);
-                    da.total_cmp(&db)
-                })
-                .expect("non-empty");
+            let Some(far) = points.iter().max_by(|a, b| {
+                let da = nearest_distance(a, &centroids);
+                let db = nearest_distance(b, &centroids);
+                da.total_cmp(&db)
+            }) else {
+                debug_assert!(false, "points non-empty: data[0] was read above");
+                break; // no points left to seed from; keep the centroids we have
+            };
             centroids.push(far.clone());
         }
 

@@ -16,6 +16,7 @@
 
 #![forbid(unsafe_code)]
 
+use prepare_bench::harness::{measured_ms, write_bench_json};
 use prepare_cloudsim::{ChaosKind, ChaosPlan, ChaosStats, HostId};
 use prepare_core::{
     AppKind, Experiment, ExperimentReport, ExperimentResult, ExperimentSpec, FaultChoice, Scheme,
@@ -105,7 +106,7 @@ fn run(
     spec.config = spec.config.with_workers(workers);
     let t0 = Instant::now();
     let result = Experiment::new(spec, SEED).run();
-    let wall_ms = t0.elapsed().as_secs_f64() * 1000.0;
+    let wall_ms = measured_ms(t0);
     prepare_bench::harness::assert_trace_clean(
         &format!("{app:?}/{scheme:?}/chaos={chaos_seed:?}/workers={workers}"),
         &result.events,
@@ -228,9 +229,5 @@ fn main() {
         ));
     }
     json.push_str("  ]\n}\n");
-    if let Err(err) = std::fs::write("BENCH_chaos.json", &json) {
-        eprintln!("failed to write BENCH_chaos.json: {err}");
-        std::process::exit(1);
-    }
-    println!("wrote BENCH_chaos.json");
+    write_bench_json("BENCH_chaos.json", &json);
 }

@@ -22,6 +22,7 @@
 #![forbid(unsafe_code)]
 
 use prepare_anomaly::{AnomalyPredictor, Prediction, PredictorConfig};
+use prepare_bench::harness::{measured_ms, write_bench_json};
 use prepare_metrics::{
     AttributeKind, Duration, MetricSample, MetricVector, SloLog, TimeSeries, Timestamp,
 };
@@ -114,7 +115,7 @@ fn best_of(
             };
             black_box(preds);
         }
-        let per_tick_us = t0.elapsed().as_secs_f64() * 1e6 / ticks.len() as f64;
+        let per_tick_us = measured_ms(t0) * 1e3 / ticks.len() as f64;
         best = best.min(per_tick_us);
     }
     best
@@ -200,9 +201,5 @@ fn main() {
         "  \"before_per_tick_us\": {before_us:.3},\n  \"after_per_tick_us\": {after_us:.3},\n  \"speedup\": {speedup:.3}\n"
     ));
     json.push_str("}\n");
-    if let Err(err) = std::fs::write("BENCH_hotpath.json", &json) {
-        eprintln!("failed to write BENCH_hotpath.json: {err}");
-        std::process::exit(1);
-    }
-    println!("wrote BENCH_hotpath.json");
+    write_bench_json("BENCH_hotpath.json", &json);
 }

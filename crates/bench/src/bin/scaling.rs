@@ -23,6 +23,7 @@
 #![forbid(unsafe_code)]
 
 use prepare_anomaly::{AnomalyPredictor, FleetTrainer, Prediction, PredictorConfig};
+use prepare_bench::harness::{measured_ms, write_bench_json};
 use prepare_cloudsim::{FleetSim, FleetSpec, TickMode};
 use prepare_metrics::{
     AttributeKind, Duration, Label, MetricSample, MetricVector, SloLog, TimeSeries, Timestamp,
@@ -132,7 +133,7 @@ fn fleet_run(
     };
     let t0 = Instant::now();
     let trace = sim.run(mode, par);
-    let wall_ms = t0.elapsed().as_secs_f64() * 1000.0;
+    let wall_ms = measured_ms(t0);
     (trace, wall_ms, sim.active_fraction())
 }
 
@@ -195,7 +196,7 @@ fn main() {
                 let trained = prepare_par::par_map(&par, traces.iter().collect(), |series| {
                     AnomalyPredictor::train(series, &slo, &config)
                 });
-                let elapsed_ms = t0.elapsed().as_secs_f64() * 1000.0;
+                let elapsed_ms = measured_ms(t0);
                 match trained.into_iter().collect() {
                     Ok(fleet) => models = fleet,
                     Err(err) => {
@@ -220,7 +221,7 @@ fn main() {
                         .derive(slot)
                         .expect("bench trace contains both classes") // xtask-allow: expect -- bench aborts loudly on impossible input
                 });
-                online_ms = online_ms.min(t2.elapsed().as_secs_f64() * 1000.0);
+                online_ms = online_ms.min(measured_ms(t2));
                 derived = out;
             }
             // Equivalence audit: the derived models must be bit-identical
@@ -254,7 +255,7 @@ fn main() {
                 let preds = prepare_par::par_map(&par, anchored.iter().collect(), |(m, _)| {
                     m.predict(Duration::from_secs(60))
                 });
-                predict_ms = predict_ms.min(t1.elapsed().as_secs_f64() * 1000.0);
+                predict_ms = predict_ms.min(measured_ms(t1));
                 predictions = preds;
             }
 
@@ -426,9 +427,5 @@ fn main() {
         ));
     }
     json.push_str("  ]\n}\n");
-    if let Err(err) = std::fs::write("BENCH_scaling.json", &json) {
-        eprintln!("failed to write BENCH_scaling.json: {err}");
-        std::process::exit(1);
-    }
-    println!("wrote BENCH_scaling.json");
+    write_bench_json("BENCH_scaling.json", &json);
 }

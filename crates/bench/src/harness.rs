@@ -25,6 +25,28 @@ pub fn assert_trace_clean(label: &str, events: &[ControllerEvent]) {
     );
 }
 
+/// Milliseconds elapsed since `t0`. The single point where bench wall
+/// time becomes data: everything downstream carries a clean value, so
+/// the taint engine can prove the measurement never feeds simulation
+/// state or a trace fingerprint.
+// xtask: taint-sanitize nondet -- measured wall time is the bench's payload; it is reported, never fed back into simulation or fingerprints
+pub fn measured_ms(t0: std::time::Instant) -> f64 {
+    t0.elapsed().as_secs_f64() * 1000.0
+}
+
+/// Writes one `BENCH_*.json` artifact. Marked as a determinism sink:
+/// any nondet-tainted value (iteration order, raw clock reads, pointer
+/// keys) reaching the emitted JSON is a lint finding — measured times
+/// must come through [`measured_ms`].
+// xtask: taint-sink nondet
+pub fn write_bench_json(name: &str, json: &str) {
+    if let Err(err) = std::fs::write(name, json) {
+        eprintln!("failed to write {name}: {err}");
+        std::process::exit(1);
+    }
+    println!("wrote {name}");
+}
+
 /// Seeds used for the repeated-trial experiments ("We repeat each
 /// experiment five times").
 pub const TRIAL_SEEDS: [u64; 5] = [1, 2, 3, 4, 5];

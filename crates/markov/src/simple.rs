@@ -111,6 +111,7 @@ impl SimpleMarkov {
     }
 
     /// Read-only view of the flat row-major transition counts.
+    // xtask: taint-source count
     pub fn counts(&self) -> &[f64] {
         &self.counts
     }

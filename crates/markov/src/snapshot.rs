@@ -48,6 +48,7 @@ impl TransitionTable {
 /// buffer with this instead of materializing a fresh distribution per
 /// step, and must not divide a second time (a second division by a sum
 /// of ≈ 1.0 would perturb the last bit).
+// xtask: derive-boundary -- the sanctioned counts/weights -> probabilities division; callers receive derived values
 pub(crate) fn normalize_in_place(buf: &mut [f64]) {
     let total: f64 = buf.iter().sum();
     if total < 1e-12 {

@@ -142,6 +142,7 @@ impl TwoDependentMarkov {
 
     /// Read-only view of the flat combined transition counts
     /// (`counts[(prev * n + cur) * n + next]`).
+    // xtask: taint-source count
     pub fn counts(&self) -> &[f64] {
         &self.counts
     }

@@ -66,7 +66,10 @@ impl AttributeKind {
         Self::ALL
             .iter()
             .position(|&a| a == self)
-            .expect("attribute present in ALL")
+            .unwrap_or_else(|| {
+                debug_assert!(false, "every AttributeKind variant is listed in ALL");
+                0
+            })
     }
 
     /// Attribute at canonical index `i`, if in range.

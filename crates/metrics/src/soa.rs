@@ -458,6 +458,85 @@ mod tests {
         assert_eq!(fa.finish(), fb.finish());
     }
 
+    #[test]
+    fn fingerprint_of_empty_windows_is_well_defined() {
+        // A never-used slot and a pushed-then-cleared slot are logically
+        // identical (no samples, no staleness clock) and must fingerprint
+        // equal — and differ from a slot holding one sample.
+        let fresh = SoaMetricStore::new(2, 3);
+        let mut cleared = SoaMetricStore::new(2, 3);
+        cleared.push(0, Timestamp::from_secs(7), &vec_from_seed(7));
+        cleared.clear_slot(0);
+        let mut fa = Fingerprint64::new();
+        fresh.fingerprint_into(&mut fa);
+        let mut fb = Fingerprint64::new();
+        cleared.fingerprint_into(&mut fb);
+        assert_eq!(fa.finish(), fb.finish());
+
+        let mut occupied = SoaMetricStore::new(2, 3);
+        occupied.push(0, Timestamp::from_secs(7), &vec_from_seed(7));
+        let mut fc = Fingerprint64::new();
+        occupied.fingerprint_into(&mut fc);
+        assert_ne!(fa.finish(), fc.finish());
+    }
+
+    #[test]
+    fn fingerprint_at_exact_capacity_wrap_boundary() {
+        // Exactly-full window with head 0 vs the same logical window
+        // reached by wrapping exactly once (head 1): equal fingerprints.
+        let v = vec_from_seed(11);
+        let mut full = SoaMetricStore::new(1, 3);
+        for t in [5u64, 10, 15] {
+            full.push(0, Timestamp::from_secs(t), &v);
+        }
+        let mut wrapped = SoaMetricStore::new(1, 3);
+        for t in [0u64, 5, 10, 15] {
+            wrapped.push(0, Timestamp::from_secs(t), &v);
+        }
+        assert_eq!(full.len(0), 3);
+        assert_eq!(wrapped.len(0), 3);
+        let mut fa = Fingerprint64::new();
+        full.fingerprint_into(&mut fa);
+        let mut fb = Fingerprint64::new();
+        wrapped.fingerprint_into(&mut fb);
+        assert_eq!(fa.finish(), fb.finish());
+
+        // One sample short of capacity is a different logical window even
+        // though the stored cells for the missing position may coincide.
+        let mut short = SoaMetricStore::new(1, 3);
+        for t in [5u64, 10] {
+            short.push(0, Timestamp::from_secs(t), &v);
+        }
+        let mut fc = Fingerprint64::new();
+        short.fingerprint_into(&mut fc);
+        assert_ne!(fa.finish(), fc.finish());
+    }
+
+    #[test]
+    fn fingerprint_separates_single_attribute_lanes() {
+        // The same scalar written into different attribute lanes must not
+        // collide: the fingerprint walks lanes in a fixed order.
+        let attrs = crate::AttributeKind::ALL;
+        let mut lane_a = MetricVector::zeros();
+        lane_a.set(attrs[0], 42.5);
+        let mut lane_b = MetricVector::zeros();
+        lane_b.set(attrs[1], 42.5);
+
+        let mut sa = SoaMetricStore::new(1, 2);
+        sa.push(0, Timestamp::ZERO, &lane_a);
+        let mut sb = SoaMetricStore::new(1, 2);
+        sb.push(0, Timestamp::ZERO, &lane_b);
+        let mut fa = Fingerprint64::new();
+        sa.fingerprint_into(&mut fa);
+        let mut fb = Fingerprint64::new();
+        sb.fingerprint_into(&mut fb);
+        assert_ne!(fa.finish(), fb.finish());
+
+        // And a single-lane store round-trips through get() exactly.
+        let got = sa.get(0, 0).expect("sample present");
+        assert_eq!(got.values.as_slice(), lane_a.as_slice());
+    }
+
     proptest! {
         #[test]
         fn soa_matches_naive_reference_under_random_ops(

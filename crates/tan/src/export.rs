@@ -18,12 +18,12 @@ impl TanClassifier {
         let label =
             |i: usize| -> String { names.get(i).cloned().unwrap_or_else(|| format!("a{i}")) };
         let strengths = probe.map(|x| self.attribute_strengths(x));
-        let top = strengths.as_ref().map(|s| {
+        // A probe over zero attributes simply highlights nothing.
+        let top = strengths.as_ref().and_then(|s| {
             s.iter()
                 .enumerate()
                 .max_by(|a, b| a.1.total_cmp(b.1))
                 .map(|(i, _)| i)
-                .expect("non-empty")
         });
 
         let mut out = String::from("digraph tan {\n  rankdir=TB;\n");

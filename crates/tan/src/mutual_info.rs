@@ -49,6 +49,7 @@ pub fn conditional_mutual_information(ds: &Dataset, i: usize, j: usize) -> f64 {
 /// sums equal the per-row accumulation they replace bit-for-bit, and the
 /// smoothing loop below — kept verbatim — produces bit-identical output
 /// for both callers.
+// xtask: derive-boundary -- the sanctioned joint-count -> smoothed mutual information derivation
 pub(crate) fn cmi_from_joints(joints: &[Vec<Vec<f64>>; 2], n_total: f64) -> f64 {
     let mut total_mi = 0.0;
     for joint in joints {

@@ -28,6 +28,7 @@ impl RootCpt {
     /// dataset rebuild ([`RootCpt::fit`]) and the incremental
     /// sufficient-statistics trainer go through it, so bit-identity
     /// between the two is structural, not coincidental.
+    // xtask: derive-boundary -- the sanctioned count -> smoothed log-probability derivation for root CPTs
     pub(crate) fn from_counts(counts: [Vec<f64>; 2], alpha: f64) -> Self {
         let card = counts[0].len();
         let log_p: [Vec<f64>; 2] = counts.map(|cs| {
@@ -65,6 +66,7 @@ pub(crate) fn log_prior_ratio(ds: &Dataset) -> Result<f64, TrainError> {
 /// The prior derivation shared by the dataset path and the incremental
 /// sufficient-statistics trainer: same error precedence (empty before
 /// single-class), same arithmetic.
+// xtask: derive-boundary -- the sanctioned class-count -> log prior ratio derivation
 pub(crate) fn log_prior_ratio_from_counts(
     rows: usize,
     (normal, abnormal): (usize, usize),

@@ -172,6 +172,7 @@ impl TanStats {
     /// joint table — transposed when the parent is the higher-indexed
     /// attribute. Transposition permutes exact integers, so the result
     /// equals the dataset scan bit-for-bit.
+    // xtask: taint-source count
     fn edge_counts(&self, attr: usize, parent: usize) -> [Vec<Vec<f64>>; 2] {
         if parent < attr {
             self.joints[self.pair_index(parent, attr)].clone()

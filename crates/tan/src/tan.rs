@@ -32,6 +32,7 @@ impl EdgeCpt {
     /// path for edge CPTs: the dataset rebuild and the incremental
     /// sufficient-statistics trainer both go through it, so bit-identity
     /// between the two is structural, not coincidental.
+    // xtask: derive-boundary -- the sanctioned count -> smoothed log-probability derivation for edge CPTs
     pub(crate) fn from_counts(counts: [Vec<Vec<f64>>; 2], alpha: f64) -> Self {
         let card = counts[0].first().map_or(0, Vec::len);
         let log_p: [Vec<Vec<f64>>; 2] = counts.map(|by_parent| {

@@ -35,6 +35,25 @@ pub struct Graph {
     pub edges: Vec<Vec<FnId>>,
 }
 
+/// One `name(…)` call site inside a function body, with its resolution.
+/// The dataflow engine maps argument spans to callee parameters through
+/// these; `callees` is empty for std/unresolvable calls.
+#[derive(Debug, Clone)]
+pub struct CallSite {
+    /// Code position of the callee name token.
+    pub pos: usize,
+    /// Code position of the argument list's `(`.
+    pub paren: usize,
+    /// Workspace functions this call can reach (empty = std/unknown).
+    pub callees: Vec<FnId>,
+    /// Code position of the receiver identifier for `recv.name(…)`
+    /// method calls whose receiver is a plain identifier.
+    pub recv: Option<usize>,
+}
+
+/// Per-function call sites, indexed by [`FnId`].
+pub type Sites = Vec<Vec<CallSite>>;
+
 /// Method names so common in std that an unknown-receiver fallback edge
 /// on them would connect the graph into one blob. Calls to these through
 /// an *unresolved* receiver create no edge; a receiver narrowed to a
@@ -182,13 +201,15 @@ pub fn crate_dir(rel: &str) -> String {
     }
 }
 
-/// Builds the call graph. `crate_map` maps crate identifiers
-/// (`prepare_markov`) to their directory prefix (`crates/markov`).
-pub fn build(
+/// Builds the call graph plus every function's resolved call sites (one
+/// resolution pass serves both the graph and the dataflow engine).
+/// `crate_map` maps crate identifiers (`prepare_markov`) to their
+/// directory prefix (`crates/markov`).
+pub fn build_with_sites(
     files: &[SourceFile],
     items: &[FileItems],
     crate_map: &BTreeMap<String, String>,
-) -> Graph {
+) -> (Graph, Sites) {
     let mut fns: Vec<FnRef> = Vec::new();
     for (fi, fitems) in items.iter().enumerate() {
         for ii in 0..fitems.fns.len() {
@@ -242,10 +263,17 @@ pub fn build(
     };
 
     let mut edges: Vec<Vec<FnId>> = Vec::with_capacity(fns.len());
+    let mut sites: Sites = Vec::with_capacity(fns.len());
     for r in &fns {
-        edges.push(resolver.edges_of(*r));
+        let s = resolver.sites_of(*r);
+        let mut out: BTreeSet<FnId> = BTreeSet::new();
+        for site in &s {
+            out.extend(site.callees.iter().copied());
+        }
+        edges.push(out.into_iter().collect());
+        sites.push(s);
     }
-    Graph { fns, edges }
+    (Graph { fns, edges }, sites)
 }
 
 impl Graph {
@@ -322,7 +350,7 @@ impl<'a> View<'a> {
 }
 
 impl<'a> Resolver<'a> {
-    fn edges_of(&self, r: FnRef) -> Vec<FnId> {
+    fn sites_of(&self, r: FnRef) -> Vec<CallSite> {
         let (Some(file), Some(fitems)) = (self.files.get(r.file), self.items.get(r.file)) else {
             return Vec::new();
         };
@@ -336,7 +364,7 @@ impl<'a> Resolver<'a> {
         let own_dir = crate_dir(&file.rel_path);
         let env = self.build_env(&v, fitems, r.item, open, close);
 
-        let mut out: BTreeSet<FnId> = BTreeSet::new();
+        let mut sites: Vec<CallSite> = Vec::new();
         let mut j = open + 1;
         while j < close {
             if !v.is_ident(j) {
@@ -358,9 +386,13 @@ impl<'a> Resolver<'a> {
                 j += 1;
                 continue;
             }
+            let mut out: BTreeSet<FnId> = BTreeSet::new();
+            let mut recv = None;
+            let mut is_call = true;
             if j > 0 && v.is_punct(j - 1, '.') {
                 // Method call: narrow by receiver when possible.
                 self.resolve_method(&v, &env, j, w, &mut out);
+                recv = j.checked_sub(2).filter(|&k| v.is_ident(k));
             } else if j >= 2 && v.is_path_sep(j - 2) {
                 self.resolve_path(
                     &v,
@@ -373,10 +405,20 @@ impl<'a> Resolver<'a> {
                 );
             } else if !(j > 0 && v.text(j - 1) == "fn") {
                 self.resolve_free(fitems, &own_dir, w, &mut out);
+            } else {
+                is_call = false; // nested `fn name(` definition
+            }
+            if is_call {
+                sites.push(CallSite {
+                    pos: j,
+                    paren: after,
+                    callees: out.into_iter().collect(),
+                    recv,
+                });
             }
             j = after;
         }
-        out.into_iter().collect()
+        sites
     }
 
     fn skip_angles(&self, v: &View<'a>, k: usize) -> usize {
@@ -650,7 +692,7 @@ mod tests {
         let mut crate_map = BTreeMap::new();
         crate_map.insert("prepare_markov".to_string(), "crates/markov".to_string());
         crate_map.insert("prepare_tan".to_string(), "crates/tan".to_string());
-        let graph = build(&files, &items, &crate_map);
+        let (graph, _sites) = build_with_sites(&files, &items, &crate_map);
         (files, items, graph)
     }
 

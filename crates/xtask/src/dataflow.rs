@@ -1,0 +1,1275 @@
+//! Interprocedural def-use/taint engine over the token stream.
+//!
+//! Per-function assignment graphs are built from let-bindings,
+//! reassignments and call argument→return flow; interprocedural
+//! propagation runs per-function summaries (which params flow to the
+//! return value, to sinks, or into inexact ops) to fixpoint over the
+//! workspace call graph. Three zero-tolerance rule families ride on it:
+//!
+//! * `determinism-taint` — values tainted by HashMap/HashSet iteration
+//!   order, `Instant`/`SystemTime`, thread ids or pointer-derived keys
+//!   must not reach trace-visible sinks (`ControllerEvent` construction,
+//!   `fingerprint*` functions, `// xtask: taint-sink nondet` fns).
+//! * `exactness-taint` — count-kind f64 values (armed by
+//!   `// xtask: taint-source count`) may only flow through exact ops
+//!   until a `// xtask: derive-boundary` function; division,
+//!   multiplication by a non-power-of-two or an inexact float method on
+//!   a count elsewhere is a finding.
+//! * `shard-purity` — functions reachable from `par_map`/
+//!   `par_for_each_mut` shard closures must not take locks, touch
+//!   atomics, or write statics: the workers-N ≡ workers-1 byte-identity
+//!   proof becomes structural instead of test-only.
+//!
+//! The taint domain is a `u64` bitset: low 32 bits mean "depends on
+//! param i", bit 32 is the `nondet` kind, bit 33 the `count` kind.
+//! Findings are reported in the frame where a kind-tainted *value*
+//! meets a sink or inexact op; taint that enters through a parameter is
+//! the caller's responsibility via the summary, so nothing is reported
+//! twice.
+
+use crate::callgraph::{CallSite, FnId, Graph, Sites};
+use crate::items::{FileItems, FnItem, TaintMark};
+use crate::lexer::TokenKind;
+use crate::rules::{matching, push, Category, Finding};
+use crate::scan::SourceFile;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Low 32 bits: the value depends on the corresponding parameter.
+const PARAM_MASK: u64 = 0xFFFF_FFFF;
+/// Nondeterminism kind: iteration order, wall clock, thread id, pointer.
+const NONDET: u64 = 1 << 32;
+/// Count kind: integer-valued f64 sufficient statistics.
+const COUNT: u64 = 1 << 33;
+const KIND_MASK: u64 = NONDET | COUNT;
+
+fn kind_bit(name: &str) -> u64 {
+    match name {
+        "nondet" => NONDET,
+        "count" => COUNT,
+        _ => 0,
+    }
+}
+
+fn rule_for(bit: u64) -> &'static str {
+    if bit & NONDET != 0 {
+        "determinism-taint"
+    } else {
+        "exactness-taint"
+    }
+}
+
+/// Iteration methods that expose HashMap/HashSet traversal order.
+const ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "into_iter",
+    "into_keys",
+    "into_values",
+    "keys",
+    "values",
+    "values_mut",
+    "drain",
+    "retain",
+];
+
+/// Float methods that round: a count flowing in stops being exact.
+const INEXACT_METHODS: &[&str] = &[
+    "sqrt", "exp", "exp2", "exp_m1", "ln", "ln_1p", "log2", "log10", "powf", "powi", "recip",
+    "cbrt", "hypot", "sin", "cos", "tan",
+];
+
+/// Length-style accessors whose result is untainted by the receiver.
+const UNTAINTED_METHODS: &[&str] = &["len", "is_empty", "capacity"];
+
+/// One function's dataflow summary, iterated to fixpoint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+struct Summary {
+    /// Taint of the return value (param bits + kind bits).
+    ret: u64,
+    /// Params that flow into a nondet sink inside (caller reports).
+    sink_nondet: u32,
+    /// Params that flow into a count sink inside.
+    sink_count: u32,
+    /// Params that flow into an inexact op inside a non-boundary fn.
+    inexact: u32,
+}
+
+/// Runs the engine: global Jacobi fixpoint over summaries, then one
+/// recording pass that emits findings, then the shard-purity and
+/// orphan-marker passes.
+pub fn check(
+    files: &[SourceFile],
+    parsed: &[FileItems],
+    graph: &Graph,
+    sites: &Sites,
+    findings: &mut Vec<Finding>,
+) {
+    let n = graph.fns.len();
+    let mut summaries = vec![Summary::default(); n];
+    let mut used: BTreeSet<(usize, usize)> = BTreeSet::new();
+    let mut seen: BTreeSet<(usize, usize, &'static str)> = BTreeSet::new();
+    for _round in 0..8 {
+        let mut next = vec![Summary::default(); n];
+        for (id, slot) in next.iter_mut().enumerate() {
+            *slot = analyze(
+                files, parsed, graph, sites, &summaries, id, &mut used, &mut seen, None,
+            );
+        }
+        let changed = next != summaries;
+        summaries = next;
+        if !changed {
+            break;
+        }
+    }
+    // Recording pass against the converged summaries. Marker-use facts
+    // from the fixpoint rounds may be stale; recompute them here.
+    used.clear();
+    for id in 0..n {
+        analyze(
+            files,
+            parsed,
+            graph,
+            sites,
+            &summaries,
+            id,
+            &mut used,
+            &mut seen,
+            Some(findings),
+        );
+    }
+    shard_purity(files, parsed, graph, sites, findings);
+    orphan_markers(files, parsed, &used, findings);
+}
+
+/// True when this function participates in dataflow at all.
+fn analyzed(f: &SourceFile, item: &FnItem) -> bool {
+    f.policy.determinism && !item.in_test
+}
+
+#[allow(clippy::too_many_arguments)]
+fn analyze(
+    files: &[SourceFile],
+    parsed: &[FileItems],
+    graph: &Graph,
+    sites: &Sites,
+    summaries: &[Summary],
+    id: FnId,
+    used: &mut BTreeSet<(usize, usize)>,
+    seen: &mut BTreeSet<(usize, usize, &'static str)>,
+    mut out: Option<&mut Vec<Finding>>,
+) -> Summary {
+    let Some(&r) = graph.fns.get(id) else {
+        return Summary::default();
+    };
+    let (Some(f), Some(item)) = (
+        files.get(r.file),
+        parsed.get(r.file).and_then(|it| it.fns.get(r.item)),
+    ) else {
+        return Summary::default();
+    };
+    if !analyzed(f, item) {
+        return Summary::default();
+    }
+    let mut summ = Summary::default();
+    if let Some((open, close)) = item.body {
+        let site_map: BTreeMap<usize, &CallSite> = sites
+            .get(id)
+            .map(|v| v.iter().map(|s| (s.pos, s)).collect())
+            .unwrap_or_default();
+        let mut vars: BTreeMap<String, u64> = BTreeMap::new();
+        let mut hash_vars: BTreeSet<String> = BTreeSet::new();
+        for (i, p) in item.params.iter().enumerate().take(32) {
+            let mut t = 1u64 << i;
+            if p.ty.contains("Instant") || p.ty.contains("SystemTime") {
+                t |= NONDET;
+            }
+            vars.insert(p.name.clone(), t);
+            if p.ty.contains("HashMap") || p.ty.contains("HashSet") {
+                hash_vars.insert(p.name.clone());
+            }
+        }
+        // Inner fixpoint: loop-carried assignments converge in a few
+        // passes because taint only ever grows.
+        for _pass in 0..3 {
+            let prev_vars = vars.clone();
+            let prev_summ = summ;
+            summ.ret = 0;
+            let mut a = Analyzer {
+                parsed,
+                graph,
+                summaries,
+                f,
+                fi: r.file,
+                item,
+                site_map: &site_map,
+                vars: &mut vars,
+                hash_vars: &mut hash_vars,
+                boundary: item.derive_boundary.is_some(),
+                summ: &mut summ,
+                used,
+                seen,
+                out: out.as_deref_mut(),
+            };
+            a.walk_body(open, close);
+            if vars == prev_vars
+                && (Summary {
+                    ret: summ.ret,
+                    ..prev_summ
+                }) == summ
+            {
+                break;
+            }
+        }
+    }
+    if item.ret.is_empty() {
+        summ.ret = 0;
+    }
+    if let Some(m) = &item.taint_source {
+        summ.ret |= kind_bit(&m.kind);
+    }
+    if let Some(m) = &item.taint_sanitize {
+        let kb = kind_bit(&m.kind);
+        if summ.ret & kb != 0 {
+            used.insert((r.file, m.line));
+        }
+        summ.ret &= !kb;
+    }
+    summ
+}
+
+/// Walks one function body, threading the variable environment.
+struct Analyzer<'a, 'b> {
+    parsed: &'a [FileItems],
+    graph: &'a Graph,
+    summaries: &'a [Summary],
+    f: &'a SourceFile,
+    fi: usize,
+    item: &'a FnItem,
+    site_map: &'a BTreeMap<usize, &'a CallSite>,
+    vars: &'a mut BTreeMap<String, u64>,
+    hash_vars: &'a mut BTreeSet<String>,
+    boundary: bool,
+    summ: &'a mut Summary,
+    used: &'a mut BTreeSet<(usize, usize)>,
+    seen: &'a mut BTreeSet<(usize, usize, &'static str)>,
+    out: Option<&'b mut Vec<Finding>>,
+}
+
+impl<'a, 'b> Analyzer<'a, 'b> {
+    fn walk_body(&mut self, open: usize, close: usize) {
+        let mut seg_start = open + 1;
+        let mut tail = 0u64;
+        for j in open + 1..=close {
+            let is_end = j == close || self.f.cpunct(j, ';');
+            if !is_end {
+                continue;
+            }
+            let (s, e) = (seg_start, j);
+            seg_start = j + 1;
+            if s >= e {
+                continue;
+            }
+            let v = self.statement(s, e);
+            if j == close {
+                tail = v;
+            }
+            // `return expr` anywhere in the segment feeds the return.
+            if let Some(rk) = (s..e).find(|&k| self.f.cident(k) == Some("return")) {
+                let v = self.eval(rk + 1, e);
+                self.summ.ret |= v;
+            }
+        }
+        self.summ.ret |= tail;
+    }
+
+    /// One `;`-delimited segment: handles the earliest binding construct
+    /// (`let`, `for … in`, assignment) and evaluates the rest. Returns
+    /// the segment's value taint.
+    fn statement(&mut self, s: usize, e: usize) -> u64 {
+        let first_let = (s..e).find(|&k| self.f.cident(k) == Some("let"));
+        let first_for = (s..e).find(|&k| {
+            self.f.cident(k) == Some("for") && {
+                // A loop header, not `impl T for U`: an `in` word before
+                // the segment ends or a brace opens.
+                (k + 1..e).any(|j| self.f.cident(j) == Some("in"))
+            }
+        });
+        match (first_let, first_for) {
+            (Some(l), f4) if f4.is_none_or(|fk| l < fk) => {
+                let _ = self.eval(s, l);
+                self.handle_let(l, e)
+            }
+            (_, Some(fk)) => {
+                let _ = self.eval(s, fk);
+                self.handle_for(fk, e)
+            }
+            _ => {
+                if let Some(eq) = self.find_assign(s, e) {
+                    let rhs = self.eval(eq + 1, e);
+                    let _ = self.eval(s, eq);
+                    if let Some(name) = (s..eq).find_map(|k| self.f.cident(k)) {
+                        *self.vars.entry(name.to_string()).or_insert(0) |= rhs;
+                    }
+                    rhs
+                } else {
+                    self.eval(s, e)
+                }
+            }
+        }
+    }
+
+    /// Position of a plain assignment `=` in `[s, e)`, skipping
+    /// comparison operators.
+    fn find_assign(&self, s: usize, e: usize) -> Option<usize> {
+        (s..e).find(|&k| {
+            self.f.cpunct(k, '=')
+                && !self.f.cpair(k, '=', '=')
+                && !self.f.cpair(k, '=', '>')
+                && !k.checked_sub(1).is_some_and(|p| {
+                    self.f.cpair(p, '=', '=')
+                        || self.f.cpair(p, '!', '=')
+                        || self.f.cpair(p, '<', '=')
+                        || self.f.cpair(p, '>', '=')
+                })
+        })
+    }
+
+    /// `let [mut] PAT [: TY] = RHS` starting at the `let` keyword.
+    fn handle_let(&mut self, l: usize, e: usize) -> u64 {
+        let eq = self.find_assign(l, e);
+        let bound_end = eq.unwrap_or(e);
+        // Explicit annotation: first `:` (not `::`) before the `=`.
+        let colon = (l + 1..bound_end).find(|&k| {
+            self.f.cpunct(k, ':')
+                && !self.f.cpair(k, ':', ':')
+                && !k.checked_sub(1).is_some_and(|p| self.f.cpair(p, ':', ':'))
+        });
+        let pat_end = colon.unwrap_or(bound_end);
+        let names: Vec<String> = (l + 1..pat_end)
+            .filter_map(|k| self.f.cident(k))
+            .filter(|w| !matches!(*w, "mut" | "ref" | "Some" | "Ok" | "Err"))
+            .map(str::to_string)
+            .collect();
+        let mut extra = 0u64;
+        let mut hashed = false;
+        if let Some(c) = colon {
+            for k in c + 1..bound_end {
+                match self.f.cident(k) {
+                    Some("Instant" | "SystemTime") => extra |= NONDET,
+                    Some("HashMap" | "HashSet") => hashed = true,
+                    _ => {}
+                }
+            }
+        }
+        let rhs = match eq {
+            Some(eq) => {
+                hashed |=
+                    (eq + 1..e).any(|k| matches!(self.f.cident(k), Some("HashMap" | "HashSet")));
+                self.eval(eq + 1, e)
+            }
+            None => 0,
+        };
+        for name in names {
+            self.vars.insert(name.clone(), rhs | extra);
+            if hashed {
+                self.hash_vars.insert(name);
+            }
+        }
+        rhs | extra
+    }
+
+    /// `for PAT in ITER { … }` starting at the `for` keyword: binds the
+    /// pattern names to the iterated expression's taint, then processes
+    /// the remainder of the segment.
+    fn handle_for(&mut self, fk: usize, e: usize) -> u64 {
+        let Some(inp) = (fk + 1..e).find(|&k| self.f.cident(k) == Some("in")) else {
+            return self.eval(fk + 1, e);
+        };
+        let brace = (inp + 1..e).find(|&k| self.f.cpunct(k, '{')).unwrap_or(e);
+        let iter = self.eval(inp + 1, brace);
+        for k in fk + 1..inp {
+            if let Some(w) = self.f.cident(k) {
+                if !matches!(w, "mut" | "ref") {
+                    *self.vars.entry(w.to_string()).or_insert(0) |= iter;
+                }
+            }
+        }
+        if brace < e {
+            self.statement(brace + 1, e)
+        } else {
+            0
+        }
+    }
+
+    /// Evaluates an expression span, returning its taint. Sinks and
+    /// inexact ops inside are reported as side effects.
+    fn eval(&mut self, s: usize, e: usize) -> u64 {
+        let f = self.f;
+        let mut acc = 0u64;
+        let mut last = 0u64;
+        let mut j = s;
+        while j < e {
+            if let Some(w) = f.cident(j) {
+                if w == "as" {
+                    // Pointer casts mint address-derived values.
+                    if f.cpunct(j + 1, '*') && matches!(f.cident(j + 2), Some("const" | "mut")) {
+                        acc |= NONDET;
+                        last |= NONDET;
+                    }
+                    j += 1;
+                    continue;
+                }
+                if w == "ControllerEvent" && f.cpair(j + 1, ':', ':') && f.cident(j + 3).is_some() {
+                    let op = j + 4;
+                    let pair = if f.cpunct(op, '{') {
+                        Some(('{', '}'))
+                    } else if f.cpunct(op, '(') {
+                        Some(('(', ')'))
+                    } else {
+                        None
+                    };
+                    if let Some((oc, cc)) = pair {
+                        let close = matching(f, op, oc, cc).min(e);
+                        // A match/`if let` *pattern* is not construction.
+                        let is_pattern = f.cpair(close + 1, '=', '>')
+                            || (f.cpunct(close + 1, '=') && !f.cpair(close + 1, '=', '='));
+                        let inner = self.eval(op + 1, close);
+                        if !is_pattern {
+                            self.sink_hit(NONDET, inner, j, "ControllerEvent construction");
+                        }
+                        acc |= inner;
+                        last = inner;
+                        j = close + 1;
+                        continue;
+                    }
+                }
+                if let Some(&site) = self.site_map.get(&j) {
+                    let close = matching(f, site.paren, '(', ')').min(e);
+                    let method = j > 0 && f.cpunct(j - 1, '.');
+                    let mut args: Vec<u64> = Vec::new();
+                    if method {
+                        let recv = site
+                            .recv
+                            .and_then(|rk| f.cident(rk))
+                            .and_then(|n| self.vars.get(n))
+                            .copied();
+                        args.push(recv.unwrap_or(last));
+                    }
+                    for (a, b) in split_args(f, site.paren, close) {
+                        args.push(self.eval(a, b));
+                    }
+                    let res = self.apply_call(w, site, j, method, &args);
+                    if method {
+                        // A method may store its arguments in the
+                        // receiver (`table.record(tainted)`) — but only
+                        // the arguments: a getter whose *result* carries
+                        // a kind (a `taint-source count` accessor) does
+                        // not contaminate the object it reads from.
+                        if let Some(name) = site.recv.and_then(|rk| f.cident(rk)) {
+                            let stored = args.iter().skip(1).fold(0, |x, y| x | y) & KIND_MASK;
+                            if stored != 0 {
+                                *self.vars.entry(name.to_string()).or_insert(0) |= stored;
+                            }
+                        }
+                    }
+                    acc |= res;
+                    last = res;
+                    j = close + 1;
+                    continue;
+                }
+                if f.cpunct(j + 1, '!') {
+                    // Macro: evaluate the delimited arguments as a span.
+                    let op = j + 2;
+                    let pair = if f.cpunct(op, '(') {
+                        Some(('(', ')'))
+                    } else if f.cpunct(op, '[') {
+                        Some(('[', ']'))
+                    } else if f.cpunct(op, '{') {
+                        Some(('{', '}'))
+                    } else {
+                        None
+                    };
+                    if let Some((oc, cc)) = pair {
+                        let close = matching(f, op, oc, cc).min(e);
+                        let inner = self.eval(op + 1, close);
+                        acc |= inner;
+                        last = inner;
+                        j = close + 1;
+                        continue;
+                    }
+                }
+                let mut t = self.vars.get(w).copied().unwrap_or(0);
+                match w {
+                    "Instant" | "SystemTime" | "ThreadId" => t |= NONDET,
+                    "thread"
+                        if f.cpair(j + 1, ':', ':')
+                            && matches!(f.cident(j + 3), Some("current" | "id")) =>
+                    {
+                        t |= NONDET
+                    }
+                    _ => {}
+                }
+                acc |= t;
+                last = t;
+                j += 1;
+                continue;
+            }
+            if f.cpunct(j, '(') || f.cpunct(j, '{') || f.cpunct(j, '[') {
+                let (oc, cc) = match f.ctext(j).as_bytes()[0] {
+                    b'(' => ('(', ')'),
+                    b'{' => ('{', '}'),
+                    _ => ('[', ']'),
+                };
+                let close = matching(f, j, oc, cc).min(e);
+                let inner = self.eval(j + 1, close);
+                acc |= inner;
+                last |= inner;
+                j = close + 1;
+                continue;
+            }
+            if f.cpunct(j, '/') {
+                let rhs_at = if f.cpair(j, '/', '=') { j + 2 } else { j + 1 };
+                let rhs = self.peek_operand(rhs_at, e);
+                self.op_hit(last | rhs, j, "division");
+                j = rhs_at;
+                continue;
+            }
+            if f.cpunct(j, '*') && self.is_binary_mul(j) {
+                let rhs_at = if f.cpair(j, '*', '=') { j + 2 } else { j + 1 };
+                let lhs_pow2 = j.checked_sub(1).is_some_and(|p| self.lit_pow2(p));
+                let rhs_pow2 =
+                    self.lit_pow2(rhs_at) || (f.cpunct(rhs_at, '-') && self.lit_pow2(rhs_at + 1));
+                if !(lhs_pow2 || rhs_pow2) {
+                    let rhs = self.peek_operand(rhs_at, e);
+                    self.op_hit(last | rhs, j, "multiplication by a non-power-of-two");
+                }
+                j = rhs_at;
+                continue;
+            }
+            j += 1;
+        }
+        acc
+    }
+
+    /// Taint of the operand starting at `k` (ident lookup only; calls
+    /// and literals resolve to 0 here — the main scan still visits them).
+    fn peek_operand(&self, k: usize, e: usize) -> u64 {
+        let mut j = k;
+        while j < e
+            && (self.f.cpunct(j, '(')
+                || self.f.cpunct(j, '&')
+                || self.f.cpunct(j, '-')
+                || self.f.cpunct(j, '*'))
+        {
+            j += 1;
+        }
+        self.f
+            .cident(j)
+            .and_then(|w| self.vars.get(w))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// True when `*` at `j` is binary multiplication (the previous token
+    /// ends a value expression) rather than a deref or raw-pointer type.
+    fn is_binary_mul(&self, j: usize) -> bool {
+        let Some(p) = j.checked_sub(1) else {
+            return false;
+        };
+        if self.f.cpunct(p, ')') || self.f.cpunct(p, ']') {
+            return true;
+        }
+        if self.f.ckind(p) == Some(TokenKind::Num) {
+            return true;
+        }
+        self.f.cident(p).is_some_and(|w| {
+            !matches!(
+                w,
+                "as" | "in" | "return" | "if" | "else" | "match" | "mut" | "const" | "let"
+            )
+        })
+    }
+
+    /// True when the token at `p` is a numeric literal that parses to a
+    /// positive power of two (zero mantissa bits): scaling by it is
+    /// exact for f64 counts.
+    fn lit_pow2(&self, p: usize) -> bool {
+        if self.f.ckind(p) != Some(TokenKind::Num) {
+            return false;
+        }
+        let text: String = self.f.ctext(p).chars().filter(|&c| c != '_').collect();
+        let text = text
+            .trim_end_matches("f64")
+            .trim_end_matches("f32")
+            .trim_end_matches('.');
+        text.parse::<f64>()
+            .is_ok_and(|v| v.is_finite() && v > 0.0 && v.to_bits() & ((1u64 << 52) - 1) == 0)
+    }
+
+    /// Applies one call: propagates through callee summaries and marker
+    /// contracts, or models the std surface for unresolved calls.
+    fn apply_call(
+        &mut self,
+        name: &str,
+        site: &CallSite,
+        pos: usize,
+        method: bool,
+        args: &[u64],
+    ) -> u64 {
+        let all: u64 = args.iter().fold(0, |a, b| a | b);
+        let mut res;
+        if site.callees.is_empty() {
+            res = all;
+            match name {
+                "as_ptr" | "as_mut_ptr" => res |= NONDET,
+                w if UNTAINTED_METHODS.contains(&w) && method => res = 0,
+                _ => {}
+            }
+            if method {
+                if ITER_METHODS.contains(&name) {
+                    let hashed = site
+                        .recv
+                        .and_then(|rk| self.f.cident(rk))
+                        .is_some_and(|n| self.hash_vars.contains(n));
+                    if hashed {
+                        res |= NONDET;
+                    }
+                }
+                if INEXACT_METHODS.contains(&name) {
+                    self.op_hit(args[0], pos, &format!("`.{name}()`"));
+                }
+            }
+        } else {
+            res = 0;
+            for &cid in &site.callees {
+                let Some(&cr) = self.graph.fns.get(cid) else {
+                    continue;
+                };
+                let Some(citem) = self.parsed.get(cr.file).and_then(|it| it.fns.get(cr.item))
+                else {
+                    continue;
+                };
+                let summ = self.summaries.get(cid).copied().unwrap_or_default();
+                res |= summ.ret & KIND_MASK;
+                let cboundary = citem.derive_boundary.is_some();
+                for (i, &at) in args.iter().enumerate().take(32) {
+                    let bit = 1u32 << i;
+                    if summ.ret & (1u64 << i) != 0 {
+                        res |= at;
+                    }
+                    if summ.sink_nondet & bit != 0 {
+                        self.sink_hit(NONDET, at, pos, name);
+                    }
+                    if summ.sink_count & bit != 0 {
+                        self.sink_hit(COUNT, at, pos, name);
+                    }
+                    if summ.inexact & bit != 0 && !cboundary {
+                        self.op_hit(at, pos, &format!("an inexact op inside `{name}`"));
+                    }
+                }
+                if let Some(m) = &citem.taint_sink {
+                    self.sink_hit(kind_bit(&m.kind), all, pos, name);
+                }
+                if cboundary {
+                    if all & COUNT != 0 {
+                        self.mark_used(cr.file, citem.derive_boundary.as_ref());
+                    }
+                    // Derived probabilities leaving a boundary are no
+                    // longer counts.
+                    res &= !COUNT;
+                }
+                if let Some(m) = &citem.taint_sanitize {
+                    let kb = kind_bit(&m.kind);
+                    if (res | all) & kb != 0 {
+                        self.mark_used(cr.file, citem.taint_sanitize.as_ref());
+                    }
+                    res &= !kb;
+                }
+            }
+        }
+        if name.starts_with("fingerprint") {
+            self.sink_hit(NONDET, all, pos, name);
+        }
+        res
+    }
+
+    fn mark_used(&mut self, file: usize, m: Option<&TaintMark>) {
+        if let Some(m) = m {
+            self.used.insert((file, m.line));
+        }
+    }
+
+    /// A value met a sink of the given kind: report when the kind bit is
+    /// set; record param responsibility either way.
+    fn sink_hit(&mut self, kb: u64, taint: u64, pos: usize, what: &str) {
+        if kb == 0 {
+            return;
+        }
+        if taint & kb != 0 {
+            let noun = if kb == NONDET {
+                "nondeterministic"
+            } else {
+                "count-tainted"
+            };
+            self.report(
+                pos,
+                rule_for(kb),
+                format!(
+                    "{noun} value reaches trace-visible sink `{what}`; route it through a \
+                     `// xtask: taint-sanitize` fn or derive it deterministically"
+                ),
+            );
+        }
+        let bits = (taint & PARAM_MASK) as u32;
+        if kb == NONDET {
+            self.summ.sink_nondet |= bits;
+        } else {
+            self.summ.sink_count |= bits;
+        }
+    }
+
+    /// A value met an inexact op: inside a derive-boundary the marker is
+    /// consumed; elsewhere a count-kind value is a finding, and param
+    /// responsibility is recorded for callers.
+    fn op_hit(&mut self, taint: u64, pos: usize, what: &str) {
+        if self.boundary {
+            if taint & (COUNT | PARAM_MASK) != 0 {
+                self.mark_used(self.fi, self.item.derive_boundary.as_ref());
+            }
+            return;
+        }
+        if taint & COUNT != 0 {
+            self.report(
+                pos,
+                "exactness-taint",
+                format!(
+                    "count-kind f64 flows through {what} outside a derive-boundary; only \
+                     exact ops may touch counts — move the derivation behind a \
+                     `// xtask: derive-boundary` fn"
+                ),
+            );
+        }
+        self.summ.inexact |= (taint & PARAM_MASK) as u32;
+    }
+
+    fn report(&mut self, pos: usize, rule: &'static str, message: String) {
+        let Some(out) = self.out.as_deref_mut() else {
+            return;
+        };
+        if !self.seen.insert((self.fi, pos, rule)) {
+            return;
+        }
+        push(self.f, out, pos, Category::Taint, rule, message);
+    }
+}
+
+/// Top-level comma-separated argument spans of `(open … close)`.
+fn split_args(f: &SourceFile, open: usize, close: usize) -> Vec<(usize, usize)> {
+    let mut out = Vec::new();
+    let mut depth = 0i64;
+    let mut start = open + 1;
+    for j in open + 1..close {
+        if f.cpunct(j, '(') || f.cpunct(j, '[') || f.cpunct(j, '{') {
+            depth += 1;
+        } else if f.cpunct(j, ')') || f.cpunct(j, ']') || f.cpunct(j, '}') {
+            depth -= 1;
+        } else if depth == 0 && f.cpunct(j, ',') {
+            out.push((start, j));
+            start = j + 1;
+        }
+    }
+    if start < close {
+        out.push((start, close));
+    }
+    out
+}
+
+/// Tokens that break shard purity inside a parallel closure.
+fn impure_sites(f: &SourceFile, s: usize, e: usize) -> Vec<(usize, String)> {
+    const ATOMIC_OPS: &[&str] = &[
+        "fetch_add",
+        "fetch_sub",
+        "fetch_or",
+        "fetch_and",
+        "fetch_xor",
+        "compare_exchange",
+        "compare_exchange_weak",
+    ];
+    let mut out = Vec::new();
+    let mut k = s;
+    while k < e {
+        let prev_dot = k.checked_sub(1).is_some_and(|p| f.cpunct(p, '.'));
+        match f.cident(k) {
+            Some(w @ ("lock" | "try_lock")) if prev_dot && f.cpunct(k + 1, '(') => {
+                out.push((k, format!(".{w}()")));
+            }
+            Some(w) if prev_dot && ATOMIC_OPS.contains(&w) => {
+                out.push((k, format!(".{w}(…)")));
+            }
+            Some("static") if f.cident(k + 1) == Some("mut") => {
+                out.push((k, "static mut".into()));
+            }
+            Some("thread_local") => out.push((k, "thread_local".into())),
+            Some(w)
+                if w.len() > 1
+                    && w.chars().any(|c| c.is_ascii_uppercase())
+                    && w.chars()
+                        .all(|c| c.is_ascii_uppercase() || c == '_' || c.is_ascii_digit())
+                    && f.cpunct(k + 1, '=')
+                    && !f.cpair(k + 1, '=', '=')
+                    && !f.cpair(k + 1, '=', '>') =>
+            {
+                out.push((k, format!("write to static `{w}`")));
+            }
+            _ => {}
+        }
+        k += 1;
+    }
+    out
+}
+
+/// The shard-purity rule: every closure passed to `par_map` /
+/// `par_for_each_mut`, and every workspace function reachable from it,
+/// must be free of locks, atomics and static writes — that is what
+/// makes the ordered-merge worker proof structural.
+fn shard_purity(
+    files: &[SourceFile],
+    parsed: &[FileItems],
+    graph: &Graph,
+    sites: &Sites,
+    findings: &mut Vec<Finding>,
+) {
+    let mut seen: BTreeSet<(usize, usize)> = BTreeSet::new();
+    for (id, &r) in graph.fns.iter().enumerate() {
+        let (Some(f), Some(item)) = (
+            files.get(r.file),
+            parsed.get(r.file).and_then(|it| it.fns.get(r.item)),
+        ) else {
+            continue;
+        };
+        if !analyzed(f, item) || item.body.is_none() {
+            continue;
+        }
+        let own_sites = sites.get(id).map(Vec::as_slice).unwrap_or(&[]);
+        for site in own_sites {
+            if !matches!(f.cident(site.pos), Some("par_map" | "par_for_each_mut")) {
+                continue;
+            }
+            let close = matching(f, site.paren, '(', ')');
+            for (a, b) in split_args(f, site.paren, close) {
+                // A closure argument: a top-level `|` opens the params.
+                let Some(bar) = (a..b).find(|&k| {
+                    f.cpunct(k, '|')
+                        && !f.cpair(k, '|', '|')
+                        && !k.checked_sub(1).is_some_and(|p| f.cpair(p, '|', '|'))
+                }) else {
+                    continue;
+                };
+                // Direct impurity inside the closure body.
+                for (pos, what) in impure_sites(f, bar, b) {
+                    if seen.insert((r.file, pos)) {
+                        push(
+                            f,
+                            findings,
+                            pos,
+                            Category::Taint,
+                            "shard-purity",
+                            format!(
+                                "`{what}` inside a shard closure of `{}` breaks the \
+                                 workers-N ≡ workers-1 determinism proof",
+                                item.name
+                            ),
+                        );
+                    }
+                }
+                // Transitive impurity through everything the closure calls.
+                let roots: Vec<FnId> = own_sites
+                    .iter()
+                    .filter(|s2| s2.pos > bar && s2.pos < b)
+                    .flat_map(|s2| s2.callees.iter().copied())
+                    .collect();
+                for root in roots {
+                    for (cid, chain) in graph.reachable_with_chains(root) {
+                        let Some(&cr) = graph.fns.get(cid) else {
+                            continue;
+                        };
+                        let (Some(cf), Some(citem)) = (
+                            files.get(cr.file),
+                            parsed.get(cr.file).and_then(|it| it.fns.get(cr.item)),
+                        ) else {
+                            continue;
+                        };
+                        let Some((copen, cclose)) = citem.body else {
+                            continue;
+                        };
+                        let hits = impure_sites(cf, copen + 1, cclose);
+                        if hits.is_empty() {
+                            continue;
+                        }
+                        let route: Vec<String> = chain
+                            .iter()
+                            .filter_map(|&x| {
+                                let xr = graph.fns.get(x)?;
+                                let xi = parsed.get(xr.file)?.fns.get(xr.item)?;
+                                Some(match &xi.self_ty {
+                                    Some(t) => format!("{t}::{}", xi.name),
+                                    None => xi.name.clone(),
+                                })
+                            })
+                            .collect();
+                        let route = route.join(" -> ");
+                        for (pos, what) in hits {
+                            if seen.insert((cr.file, pos)) {
+                                push(
+                                    cf,
+                                    findings,
+                                    pos,
+                                    Category::Taint,
+                                    "shard-purity",
+                                    format!(
+                                        "`{what}` is reachable from a shard closure of \
+                                         `{}`: {route}",
+                                        item.name
+                                    ),
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// A sanitize/derive-boundary marker that suppressed nothing in the
+/// final recording pass is stale and hides future regressions — the
+/// same hygiene contract as `unused-allow`.
+fn orphan_markers(
+    files: &[SourceFile],
+    parsed: &[FileItems],
+    used: &BTreeSet<(usize, usize)>,
+    findings: &mut Vec<Finding>,
+) {
+    for (fi, (f, it)) in files.iter().zip(parsed).enumerate() {
+        if !f.policy.determinism {
+            continue;
+        }
+        for item in &it.fns {
+            if item.in_test {
+                continue;
+            }
+            let marks = [
+                ("taint-sanitize", item.taint_sanitize.as_ref()),
+                ("derive-boundary", item.derive_boundary.as_ref()),
+            ];
+            for (label, m) in marks {
+                let Some(m) = m else {
+                    continue;
+                };
+                if used.contains(&(fi, m.line)) {
+                    continue;
+                }
+                findings.push(Finding {
+                    file: f.rel_path.clone(),
+                    line: m.line,
+                    category: Category::Hygiene,
+                    rule: "orphan-marker",
+                    message: format!(
+                        "`// xtask: {label}` on `{}` suppresses nothing; delete the stale marker",
+                        item.name
+                    ),
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::rules::check_workspace;
+    use crate::scan::SourceFile;
+    use crate::scan::{analyze_for_tests, policy_for};
+    use std::collections::BTreeMap;
+
+    fn findings_of(sources: &[(&str, &str)]) -> Vec<(String, usize, &'static str)> {
+        let files: Vec<SourceFile> = sources
+            .iter()
+            .map(|(rel, src)| analyze_for_tests((*rel).into(), (*src).into(), policy_for(rel)))
+            .collect();
+        let mut crate_map = BTreeMap::new();
+        crate_map.insert("prepare_markov".to_string(), "crates/markov".to_string());
+        crate_map.insert("prepare_tan".to_string(), "crates/tan".to_string());
+        check_workspace(&files, &crate_map)
+            .into_iter()
+            .map(|f| (f.file, f.line, f.rule))
+            .collect()
+    }
+
+    fn rules_of(src: &str) -> Vec<&'static str> {
+        findings_of(&[("crates/x/src/lib.rs", src)])
+            .into_iter()
+            .map(|(_, _, r)| r)
+            .collect()
+    }
+
+    // --- determinism-taint -------------------------------------------
+
+    #[test]
+    fn instant_elapsed_reaching_fingerprint_is_a_finding() {
+        // A bench file: wall-clock reads are policy-legal there, but the
+        // measured value still must not reach a fingerprint.
+        let src = "\
+fn fingerprint_trace(x: f64) -> u64 { x.to_bits() }
+fn bench() -> u64 {
+    let t0 = Instant::now();
+    let ms = t0.elapsed().as_secs_f64();
+    fingerprint_trace(ms)
+}
+";
+        let got = findings_of(&[("crates/bench/src/lib.rs", src)]);
+        assert!(
+            got.iter().any(|(_, _, r)| *r == "determinism-taint"),
+            "findings: {got:?}"
+        );
+    }
+
+    #[test]
+    fn taint_flows_interprocedurally_through_helpers() {
+        // Source -> helper (param to ret) -> helper2 -> sink: the kind
+        // bit must survive two summary hops.
+        let src = "\
+// xtask: taint-source nondet
+fn ptr_key() -> usize { 0 }
+fn pass1(x: usize) -> usize { x }
+fn pass2(x: usize) -> usize { pass1(x) }
+fn fingerprint_state(x: usize) -> usize { x }
+fn emit() -> usize {
+    let k = ptr_key();
+    let v = pass2(k);
+    fingerprint_state(v)
+}
+";
+        assert!(
+            rules_of(src).contains(&"determinism-taint"),
+            "findings: {:?}",
+            rules_of(src)
+        );
+    }
+
+    #[test]
+    fn sink_summaries_report_at_the_tainted_call_site() {
+        // The helper passes its param to a fingerprint; only the caller
+        // that feeds it a tainted value is reported.
+        let src = "\
+// xtask: taint-source nondet
+fn src_v() -> u64 { 0 }
+fn fingerprint_x(x: u64) -> u64 { x }
+fn helper(v: u64) -> u64 { fingerprint_x(v) }
+fn clean() -> u64 { helper(1) }
+fn dirty() -> u64 { helper(src_v()) }
+";
+        let got = rules_of(src);
+        assert_eq!(
+            got.iter().filter(|r| **r == "determinism-taint").count(),
+            1,
+            "findings: {got:?}"
+        );
+    }
+
+    #[test]
+    fn hash_iteration_order_taints_values() {
+        let src = "\
+fn fingerprint_keys(k: usize) -> usize { k }
+fn f(m: &HashMap<usize, usize>) -> usize {
+    let mut acc = 0;
+    for k in m.keys() {
+        acc = fingerprint_keys(acc + k);
+    }
+    acc
+}
+";
+        let got = rules_of(src);
+        assert!(got.contains(&"determinism-taint"), "findings: {got:?}");
+    }
+
+    #[test]
+    fn controller_event_construction_is_a_sink() {
+        let src = "\
+// xtask: taint-source nondet
+fn wobbly() -> u64 { 0 }
+fn emit(events: &mut Vec<ControllerEvent>) {
+    let at = wobbly();
+    events.push(ControllerEvent::ActionIssued { at });
+}
+";
+        let got = rules_of(src);
+        assert!(got.contains(&"determinism-taint"), "findings: {got:?}");
+        // Match *patterns* over events are not construction.
+        let pat = "\
+fn inspect(e: &ControllerEvent) -> u64 {
+    match e {
+        ControllerEvent::ActionIssued { at } => *at,
+    }
+}
+";
+        assert!(rules_of(pat).is_empty(), "findings: {:?}", rules_of(pat));
+    }
+
+    #[test]
+    fn sanitize_marker_cleanses_and_is_consumed() {
+        let src = "\
+fn fingerprint_trace(x: f64) -> u64 { x.to_bits() }
+// xtask: taint-sanitize nondet -- measurement is the payload
+fn measured(t0: Instant) -> f64 { t0.elapsed().as_secs_f64() }
+fn bench() -> u64 {
+    let t0 = Instant::now();
+    fingerprint_trace(measured(t0))
+}
+";
+        let got = findings_of(&[("crates/bench/src/lib.rs", src)]);
+        assert!(got.is_empty(), "findings: {got:?}");
+    }
+
+    // --- exactness-taint ---------------------------------------------
+
+    #[test]
+    fn count_division_outside_a_boundary_is_a_finding() {
+        let src = "\
+struct Stats { c: f64 }
+impl Stats {
+    // xtask: taint-source count
+    fn counts(&self) -> f64 { self.c }
+    fn mean(&self) -> f64 { self.counts() / 3.0 }
+}
+";
+        let got = rules_of(src);
+        assert!(got.contains(&"exactness-taint"), "findings: {got:?}");
+    }
+
+    #[test]
+    fn exact_ops_and_pow2_scaling_stay_clean() {
+        let src = "\
+struct Stats { c: f64 }
+impl Stats {
+    // xtask: taint-source count
+    fn counts(&self) -> f64 { self.c }
+    fn total(&self) -> f64 { self.counts() + self.counts() - 1.0 }
+    fn halved(&self) -> f64 { self.counts() * 0.5 }
+    fn bits(&self) -> u64 { self.counts().to_bits() }
+}
+";
+        let got = rules_of(src);
+        assert!(!got.contains(&"exactness-taint"), "findings: {got:?}");
+    }
+
+    #[test]
+    fn derive_boundary_absorbs_count_taint() {
+        let src = "\
+struct Stats { c: f64 }
+impl Stats {
+    // xtask: taint-source count
+    fn counts(&self) -> f64 { self.c }
+    fn classify(&self) -> f64 { prob(self.counts(), 10.0) }
+}
+// xtask: derive-boundary -- counts become probabilities here
+fn prob(c: f64, n: f64) -> f64 { c / n }
+";
+        let got = rules_of(src);
+        assert!(
+            !got.contains(&"exactness-taint") && !got.contains(&"orphan-marker"),
+            "findings: {got:?}"
+        );
+    }
+
+    #[test]
+    fn inexact_method_on_count_is_a_finding() {
+        let src = "\
+struct Stats { c: f64 }
+impl Stats {
+    // xtask: taint-source count
+    fn counts(&self) -> f64 { self.c }
+    fn entropy(&self) -> f64 { self.counts().ln() }
+}
+";
+        let got = rules_of(src);
+        assert!(got.contains(&"exactness-taint"), "findings: {got:?}");
+    }
+
+    // --- shard-purity ------------------------------------------------
+
+    #[test]
+    fn lock_in_a_shard_closure_is_a_finding() {
+        let src = "\
+fn refresh(&self, pool: &Pool) {
+    par_map(pool, self.slots(), |slot| self.shared.lock().rebuild(slot));
+}
+";
+        let got = rules_of(src);
+        assert!(got.contains(&"shard-purity"), "findings: {got:?}");
+    }
+
+    #[test]
+    fn impurity_reachable_from_a_shard_closure_reports_the_route() {
+        let src = "\
+fn rebuild(slot: usize) -> usize { tally(slot) }
+fn tally(slot: usize) -> usize { COUNTER.fetch_add(1); slot }
+fn refresh(pool: &Pool, slots: Vec<usize>) {
+    par_map(pool, slots, |slot| rebuild(slot));
+}
+";
+        let got = rules_of(src);
+        assert!(got.contains(&"shard-purity"), "findings: {got:?}");
+    }
+
+    #[test]
+    fn pure_shard_closures_pass() {
+        let src = "\
+fn rebuild(slot: usize) -> usize { slot + 1 }
+fn refresh(pool: &Pool, slots: Vec<usize>) {
+    par_map(pool, slots, |slot| rebuild(slot));
+}
+";
+        let got = rules_of(src);
+        assert!(!got.contains(&"shard-purity"), "findings: {got:?}");
+    }
+
+    // --- orphan markers ----------------------------------------------
+
+    #[test]
+    fn orphan_sanitize_marker_is_a_finding() {
+        // The sanitizer never sees nondet taint: the marker is stale.
+        let src = "\
+// xtask: taint-sanitize nondet -- claims to cleanse, cleanses nothing
+fn already_clean(x: f64) -> f64 { x }
+fn caller() -> f64 { already_clean(1.0) }
+";
+        let got = rules_of(src);
+        assert_eq!(got, vec!["orphan-marker"], "findings: {got:?}");
+    }
+
+    #[test]
+    fn orphan_boundary_marker_is_a_finding() {
+        // A derive-boundary with no inexact op inside and no count taint
+        // arriving suppresses nothing.
+        let src = "\
+// xtask: derive-boundary -- nothing derived here
+fn add(a: f64, b: f64) -> f64 { a + b }
+fn caller() -> f64 { add(1.0, 2.0) }
+";
+        let got = rules_of(src);
+        assert_eq!(got, vec!["orphan-marker"], "findings: {got:?}");
+    }
+
+    #[test]
+    fn pointer_casts_taint_keys() {
+        let src = "\
+fn fingerprint_key(k: usize) -> usize { k }
+fn f(v: &Vec<u8>) -> usize {
+    let k = v.as_ptr() as usize;
+    fingerprint_key(k)
+}
+";
+        let got = rules_of(src);
+        assert!(got.contains(&"determinism-taint"), "findings: {got:?}");
+    }
+}

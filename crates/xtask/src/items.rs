@@ -16,6 +16,16 @@ pub struct Param {
     pub ty: String,
 }
 
+/// One `// xtask: taint-…` marker armed on a function, with the 1-based
+/// line it came from (for orphan-marker attribution).
+#[derive(Debug, Clone)]
+pub struct TaintMark {
+    /// Taint kind the marker names (`nondet`, `count`).
+    pub kind: String,
+    /// 1-based line of the marker comment.
+    pub line: usize,
+}
+
 /// One `fn` item.
 #[derive(Debug, Clone)]
 pub struct FnItem {
@@ -36,6 +46,16 @@ pub struct FnItem {
     pub body: Option<(usize, usize)>,
     /// Armed by a preceding [`HOT_PATH_MARKER`] comment.
     pub hot: bool,
+    /// `// xtask: taint-source <kind>` — the return value carries taint.
+    pub taint_source: Option<TaintMark>,
+    /// `// xtask: taint-sink <kind>` — tainted arguments are findings.
+    pub taint_sink: Option<TaintMark>,
+    /// `// xtask: taint-sanitize <kind> -- reason` — the return value is
+    /// cleansed of the kind. Requires a justification after `--`.
+    pub taint_sanitize: Option<TaintMark>,
+    /// `// xtask: derive-boundary -- reason` — count-kind taint may flow
+    /// through inexact ops here. Requires a justification after `--`.
+    pub derive_boundary: Option<TaintMark>,
     /// True when the item sits inside a `#[cfg(test)]` region.
     pub in_test: bool,
 }
@@ -124,6 +144,67 @@ impl FileItems {
 
 /// Comment marker that arms the next `fn` as a hot-path root.
 pub const HOT_PATH_MARKER: &str = "xtask: hot-path";
+
+/// Marker: the next fn's return value carries taint of the named kind.
+pub const TAINT_SOURCE_MARKER: &str = "xtask: taint-source";
+/// Marker: tainted arguments reaching the next fn are findings.
+pub const TAINT_SINK_MARKER: &str = "xtask: taint-sink";
+/// Marker: the next fn cleanses its return value of the named kind.
+pub const TAINT_SANITIZE_MARKER: &str = "xtask: taint-sanitize";
+/// Marker: count taint may flow through inexact ops in the next fn.
+pub const DERIVE_BOUNDARY_MARKER: &str = "xtask: derive-boundary";
+
+/// What a marker comment arms on the function that follows it.
+#[derive(Debug, Clone)]
+enum MarkKind {
+    Hot,
+    Source(String),
+    Sink(String),
+    Sanitize(String),
+    Boundary,
+}
+
+/// Parses one comment body into a marker, if it is one. Sanitize and
+/// derive-boundary markers suppress findings, so — like allow markers —
+/// they are only registered when a `-- reason` justification follows.
+fn parse_marker(body: &str) -> Option<MarkKind> {
+    if body.starts_with(HOT_PATH_MARKER) {
+        return Some(MarkKind::Hot);
+    }
+    let kind_of = |rest: &str| {
+        rest.split("--")
+            .next()
+            .unwrap_or("")
+            .split_whitespace()
+            .next()
+            .map(str::to_string)
+    };
+    let reasoned = |rest: &str| {
+        rest.split("--")
+            .nth(1)
+            .is_some_and(|r| !r.trim().is_empty())
+    };
+    // Longest prefixes first: `taint-source` must not match `taint-s…`.
+    if let Some(rest) = body.strip_prefix(TAINT_SANITIZE_MARKER) {
+        if reasoned(rest) {
+            return kind_of(rest).map(MarkKind::Sanitize);
+        }
+        return None;
+    }
+    if let Some(rest) = body.strip_prefix(TAINT_SOURCE_MARKER) {
+        return kind_of(rest).map(MarkKind::Source);
+    }
+    if let Some(rest) = body.strip_prefix(TAINT_SINK_MARKER) {
+        return kind_of(rest).map(MarkKind::Sink);
+    }
+    if let Some(rest) = body.strip_prefix(DERIVE_BOUNDARY_MARKER) {
+        if reasoned(rest) {
+            return Some(MarkKind::Boundary);
+        }
+        return None;
+    }
+    None
+}
 
 /// Walks one file's code tokens and extracts items.
 pub fn parse_file(f: &SourceFile) -> FileItems {
@@ -219,15 +300,17 @@ impl<'a> Parser<'a> {
 
     fn run(&self) -> FileItems {
         let mut items = FileItems::default();
-        // Hot-path marks: code position of the first token after each
-        // marker comment. The token stream keeps comments, so the marker
-        // cannot come from a string literal.
-        let mut marks: Vec<usize> = Vec::new();
+        // Marker comments arm the next `fn`: code position of the first
+        // token after each marker, plus what it arms. The token stream
+        // keeps comments, so a marker cannot come from a string literal.
+        let mut marks: Vec<(usize, usize, MarkKind)> = Vec::new();
         for (i, t) in self.f.tokens.iter().enumerate() {
-            if t.kind.is_trivia() && comment_body(t.text(&self.f.text)).starts_with(HOT_PATH_MARKER)
-            {
+            if !t.kind.is_trivia() {
+                continue;
+            }
+            if let Some(kind) = parse_marker(comment_body(t.text(&self.f.text))) {
                 let after = self.f.code.partition_point(|&c| c < i);
-                marks.push(after);
+                marks.push((after, t.line, kind));
             }
         }
 
@@ -268,10 +351,21 @@ impl<'a> Parser<'a> {
             k += 1;
         }
 
-        // Arm hot-path roots: each marker arms the next `fn` after it.
-        for m in marks {
-            if let Some(item) = items.fns.iter_mut().find(|f| f.fn_pos >= m) {
-                item.hot = true;
+        // Arm markers: each one arms the next `fn` after it.
+        for (m, line, kind) in marks {
+            let Some(item) = items.fns.iter_mut().find(|f| f.fn_pos >= m) else {
+                continue;
+            };
+            let mark = |k: &str| TaintMark {
+                kind: k.to_string(),
+                line,
+            };
+            match kind {
+                MarkKind::Hot => item.hot = true,
+                MarkKind::Source(k) => item.taint_source = Some(mark(&k)),
+                MarkKind::Sink(k) => item.taint_sink = Some(mark(&k)),
+                MarkKind::Sanitize(k) => item.taint_sanitize = Some(mark(&k)),
+                MarkKind::Boundary => item.derive_boundary = Some(mark("count")),
             }
         }
         items
@@ -507,6 +601,10 @@ impl<'a> Parser<'a> {
             fn_pos: k,
             body,
             hot: false,
+            taint_source: None,
+            taint_sink: None,
+            taint_sanitize: None,
+            derive_boundary: None,
             in_test: self.f.in_test_region(self.offset(k)),
         }
     }
@@ -715,6 +813,56 @@ fn cold() {}
         let items = items_of(src);
         assert!(items.fns[0].hot);
         assert!(!items.fns[1].hot);
+    }
+
+    #[test]
+    fn taint_markers_arm_the_next_fn() {
+        let src = "\
+// xtask: taint-source nondet
+fn src() -> f64 { 0.0 }
+// xtask: taint-sink nondet
+fn sink(x: f64) {}
+// xtask: taint-sanitize nondet -- measured wall time is the payload
+fn cleanse(x: f64) -> f64 { x }
+// xtask: derive-boundary -- counts become probabilities here
+fn derive(c: f64) -> f64 { c }
+fn plain() {}
+";
+        let items = items_of(src);
+        assert_eq!(
+            items.fns[0].taint_source.as_ref().map(|m| m.kind.as_str()),
+            Some("nondet")
+        );
+        assert_eq!(
+            items.fns[1].taint_sink.as_ref().map(|m| m.kind.as_str()),
+            Some("nondet")
+        );
+        let san = items.fns[2]
+            .taint_sanitize
+            .as_ref()
+            .expect("sanitize armed");
+        assert_eq!((san.kind.as_str(), san.line), ("nondet", 5));
+        assert!(items.fns[3].derive_boundary.is_some());
+        let f4 = &items.fns[4];
+        assert!(
+            f4.taint_source.is_none()
+                && f4.taint_sink.is_none()
+                && f4.taint_sanitize.is_none()
+                && f4.derive_boundary.is_none()
+        );
+    }
+
+    #[test]
+    fn suppressing_markers_require_reasons() {
+        let src = "\
+// xtask: taint-sanitize nondet
+fn a(x: f64) -> f64 { x }
+// xtask: derive-boundary
+fn b(c: f64) -> f64 { c }
+";
+        let items = items_of(src);
+        assert!(items.fns[0].taint_sanitize.is_none());
+        assert!(items.fns[1].derive_boundary.is_none());
     }
 
     #[test]

@@ -9,6 +9,7 @@
 
 mod baseline;
 mod callgraph;
+mod dataflow;
 mod fidelity;
 mod items;
 mod legacy;
@@ -32,10 +33,12 @@ Commands:
   lint --update-baseline  rewrite the panic-debt ratchet (refuses increases)
   lint --list             print every finding, including baselined debt
   lint --root <dir>       analyze another checkout of this workspace
+  lint --json <path>      also write a machine-readable report (per-rule
+                          counts, findings with file:line spans, timings)
 
-The lint exits non-zero on: any determinism, nan-safety, hot-path,
-hygiene (unused allow) or fidelity finding, or any panic-debt count
-above its baseline entry.
+The lint exits non-zero on: any determinism, nan-safety, taint,
+hot-path, hygiene (unused allow) or fidelity finding, or any panic-debt
+count above its baseline entry.
 ";
 
 fn main() -> ExitCode {
@@ -45,6 +48,7 @@ fn main() -> ExitCode {
             let update = args.iter().any(|a| a == "--update-baseline");
             let list = args.iter().any(|a| a == "--list");
             let mut root = workspace_root();
+            let mut json: Option<PathBuf> = None;
             let mut rest = args.iter().skip(1);
             while let Some(flag) = rest.next() {
                 match flag.as_str() {
@@ -56,13 +60,20 @@ fn main() -> ExitCode {
                             return ExitCode::FAILURE;
                         }
                     },
+                    "--json" => match rest.next() {
+                        Some(path) => json = Some(PathBuf::from(path)),
+                        None => {
+                            eprintln!("--json needs a file path\n\n{USAGE}");
+                            return ExitCode::FAILURE;
+                        }
+                    },
                     bad => {
                         eprintln!("unknown flag `{bad}`\n\n{USAGE}");
                         return ExitCode::FAILURE;
                     }
                 }
             }
-            match run_lint(&root, update, list) {
+            match run_lint(&root, update, list, json.as_deref()) {
                 Ok(clean) => {
                     if clean {
                         ExitCode::SUCCESS
@@ -103,8 +114,89 @@ fn print_finding(f: &Finding) {
     );
 }
 
+/// Minimal JSON string escape (quotes, backslashes, control chars).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders the machine-readable lint report: per-rule counts, every
+/// actionable finding with its file:line span, timings and debt totals.
+fn json_report(
+    files_scanned: usize,
+    wall_ms: u128,
+    rule_counts: &BTreeMap<&str, usize>,
+    hard: &[Finding],
+    over_budget: &[&Finding],
+    debt_total: usize,
+    baseline_total: usize,
+) -> String {
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"files_scanned\": {files_scanned},\n"));
+    out.push_str(&format!("  \"wall_ms\": {wall_ms},\n"));
+    out.push_str(&format!(
+        "  \"panic_debt\": {{ \"total\": {debt_total}, \"baseline\": {baseline_total}, \
+         \"new_sites\": {} }},\n",
+        over_budget.len()
+    ));
+    let rules: Vec<String> = rules::ALL_RULES
+        .iter()
+        .map(|(rule, _)| {
+            format!(
+                "    \"{rule}\": {}",
+                rule_counts.get(rule).copied().unwrap_or(0)
+            )
+        })
+        .collect();
+    out.push_str(&format!("  \"rules\": {{\n{}\n  }},\n", rules.join(",\n")));
+    let findings: Vec<String> = hard
+        .iter()
+        .chain(over_budget.iter().copied())
+        .map(|f| {
+            format!(
+                "    {{ \"file\": \"{}\", \"line\": {}, \"category\": \"{}\", \
+                 \"rule\": \"{}\", \"message\": \"{}\" }}",
+                json_escape(&f.file),
+                f.line,
+                f.category.name(),
+                f.rule,
+                json_escape(&f.message)
+            )
+        })
+        .collect();
+    if findings.is_empty() {
+        out.push_str("  \"findings\": []\n");
+    } else {
+        out.push_str(&format!(
+            "  \"findings\": [\n{}\n  ]\n",
+            findings.join(",\n")
+        ));
+    }
+    out.push('}');
+    out.push('\n');
+    out
+}
+
 /// Runs the full lint. Returns `Ok(true)` when the tree is clean.
-fn run_lint(root: &Path, update_baseline: bool, list_all: bool) -> Result<bool, String> {
+fn run_lint(
+    root: &Path,
+    update_baseline: bool,
+    list_all: bool,
+    json: Option<&Path>,
+) -> Result<bool, String> {
     // xtask-allow: wall-clock -- lint self-timing, reported to CI, never simulated
     let t0 = Instant::now();
     let files = scan::load_workspace(root)?;
@@ -218,7 +310,21 @@ fn run_lint(root: &Path, update_baseline: bool, list_all: bool) -> Result<bool, 
         .map(|(rule, _)| format!("{rule}={}", rule_counts.get(rule).copied().unwrap_or(0)))
         .collect();
     println!("per-rule: {}", per_rule.join(" "));
-    println!("lint wall time: {} ms", t0.elapsed().as_millis());
+    let wall_ms = t0.elapsed().as_millis();
+    println!("lint wall time: {wall_ms} ms");
+    if let Some(path) = json {
+        let report = json_report(
+            files.len(),
+            wall_ms,
+            &rule_counts,
+            &hard_findings,
+            &over_budget,
+            debt_total,
+            baseline_total,
+        );
+        std::fs::write(path, report).map_err(|e| format!("writing {}: {e}", path.display()))?;
+        println!("wrote {}", path.display());
+    }
     println!(
         "xtask lint: {} files scanned; zero-tolerance findings: {}; \
          panic debt {debt_total} (baseline {baseline_total}); new debt sites: {}",
@@ -249,7 +355,7 @@ mod tests {
     /// criterion wired straight into `cargo test`.
     #[test]
     fn committed_tree_is_clean() {
-        let clean = run_lint(&workspace_root(), false, false).expect("lint runs");
+        let clean = run_lint(&workspace_root(), false, false, None).expect("lint runs");
         assert!(
             clean,
             "`cargo xtask lint` reports findings on the committed tree"

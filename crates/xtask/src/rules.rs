@@ -40,6 +40,10 @@ pub enum Category {
     /// arm that would silently swallow future variants in checker code.
     /// Zero tolerance.
     EventCoverage,
+    /// Interprocedural taint contracts ([`crate::dataflow`]):
+    /// determinism-taint, exactness-taint and shard-purity. Zero
+    /// tolerance.
+    Taint,
 }
 
 impl Category {
@@ -53,6 +57,7 @@ impl Category {
             Category::Hygiene => "hygiene",
             Category::Fidelity => "fidelity",
             Category::EventCoverage => "event-coverage",
+            Category::Taint => "taint",
         }
     }
 }
@@ -93,8 +98,12 @@ pub const ALL_RULES: &[(&str, Category)] = &[
     ("index-in-loop", Category::PanicDebt),
     ("hot-path-alloc", Category::HotPath),
     ("unused-allow", Category::Hygiene),
+    ("orphan-marker", Category::Hygiene),
     ("event-coverage", Category::EventCoverage),
     ("event-wildcard", Category::EventCoverage),
+    ("determinism-taint", Category::Taint),
+    ("exactness-taint", Category::Taint),
+    ("shard-purity", Category::Taint),
 ];
 
 /// Identifiers whose presence in a function body counts as a finiteness
@@ -137,7 +146,10 @@ pub fn check_workspace(files: &[SourceFile], crate_map: &BTreeMap<String, String
     for (f, it) in files.iter().zip(&parsed) {
         check_file(f, it, &mut findings);
     }
-    transitive_hot_path(files, &parsed, crate_map, &mut findings);
+    // One resolution pass serves the hot-path rule and the taint engine.
+    let (graph, sites) = callgraph::build_with_sites(files, &parsed, crate_map);
+    transitive_hot_path(files, &parsed, &graph, &mut findings);
+    crate::dataflow::check(files, &parsed, &graph, &sites, &mut findings);
     for f in files {
         if event_match_scope(&f.rel_path) {
             event_wildcard(f, &mut findings);
@@ -178,7 +190,7 @@ fn check_file(f: &SourceFile, it: &FileItems, findings: &mut Vec<Finding>) {
 /// Records a finding anchored at code position `k`, unless it sits in a
 /// test region or an allow marker covers it. Consulting the marker also
 /// marks it used.
-fn push(
+pub(crate) fn push(
     f: &SourceFile,
     findings: &mut Vec<Finding>,
     k: usize,
@@ -206,7 +218,7 @@ fn push(
 
 /// Code position of the punct matching `open_c` at position `open`
 /// (depth-matched over `open_c`/`close_c`); `code.len()` if unmatched.
-fn matching(f: &SourceFile, open: usize, open_c: char, close_c: char) -> usize {
+pub(crate) fn matching(f: &SourceFile, open: usize, open_c: char, close_c: char) -> usize {
     let mut depth = 0i64;
     let mut j = open;
     loop {
@@ -838,13 +850,12 @@ fn time_sites(f: &SourceFile, open: usize, close: usize) -> Vec<(usize, String)>
 fn transitive_hot_path(
     files: &[SourceFile],
     parsed: &[FileItems],
-    crate_map: &BTreeMap<String, String>,
+    graph: &Graph,
     findings: &mut Vec<Finding>,
 ) {
     if !parsed.iter().any(|it| it.fns.iter().any(|x| x.hot)) {
         return;
     }
-    let graph = callgraph::build(files, parsed, crate_map);
     let mut seen: BTreeSet<(usize, usize)> = BTreeSet::new();
     let mut seen_time: BTreeSet<(usize, usize)> = BTreeSet::new();
     for root in 0..graph.fns.len() {
@@ -882,7 +893,7 @@ fn transitive_hot_path(
             }
             let route: Vec<String> = chain
                 .iter()
-                .filter_map(|&cid| fn_label(&graph, parsed, cid))
+                .filter_map(|&cid| fn_label(graph, parsed, cid))
                 .collect();
             let route = route.join(" -> ");
             for (pos, what) in sites {
