@@ -85,4 +85,15 @@ PREPARE_DENSE_TICK=1 PREPARE_WORKERS=1 cargo test --offline --quiet --test fleet
 echo "==> fleet differential suite, dense referee pinned (PREPARE_DENSE_TICK=1, PREPARE_WORKERS=4)"
 PREPARE_DENSE_TICK=1 PREPARE_WORKERS=4 cargo test --offline --quiet --test fleet_differential
 
+# The crash-point sweep proves recovery equivalence: a controller killed
+# before any post-prefix round and rebuilt from its last checkpoint plus
+# the write-ahead journal suffix must be byte-identical to the
+# uninterrupted referee (events, model fingerprints, cluster state), at
+# pinned worker counts {1,2,7} and under random multi-crash schedules.
+echo "==> crash-point recovery sweep (PREPARE_WORKERS=1)"
+PREPARE_WORKERS=1 cargo test --offline --quiet --test recovery
+
+echo "==> crash-point recovery sweep (PREPARE_WORKERS=4)"
+PREPARE_WORKERS=4 cargo test --offline --quiet --test recovery
+
 echo "ci.sh: all checks passed"

@@ -4,6 +4,7 @@
 //! alerts in the recent *W* predictions. [...] We set *k* to be 3 and *W*
 //! to be 4 in our experiments."
 
+use prepare_metrics::persist::{Persist, PersistError, Reader, Writer};
 use std::collections::VecDeque;
 
 /// One round's input to the k-of-W filter.
@@ -25,6 +26,7 @@ pub enum Vote {
 }
 
 /// Majority-vote filter over the most recent `W` predictions.
+// xtask: checkpoint
 #[derive(Debug, Clone, PartialEq)]
 pub struct AlertFilter {
     k: usize,
@@ -116,6 +118,30 @@ impl AlertFilter {
 impl Default for AlertFilter {
     fn default() -> Self {
         AlertFilter::paper_default()
+    }
+}
+
+impl Persist for AlertFilter {
+    fn store(&self, w: &mut Writer) {
+        w.put_usize(self.k);
+        w.put_usize(self.w);
+        self.recent.store(w);
+        w.put_u64(self.abstentions);
+    }
+    fn load(r: &mut Reader<'_>) -> Result<Self, PersistError> {
+        let k = r.get_usize()?;
+        let w = r.get_usize()?;
+        let recent: VecDeque<bool> = Persist::load(r)?;
+        let abstentions = r.get_u64()?;
+        if k == 0 || w == 0 || k > w || recent.len() > w {
+            return Err(PersistError::Invalid("AlertFilter window invariants"));
+        }
+        Ok(AlertFilter {
+            k,
+            w,
+            recent,
+            abstentions,
+        })
     }
 }
 
@@ -314,6 +340,31 @@ mod tests {
             assert_eq!(a.push(alert), b.push_vote(vote));
         }
         assert_eq!(a, b);
+    }
+
+    /// A restored filter continues confirming exactly where the original
+    /// left off — mid-window evidence and the abstention odometer survive.
+    #[test]
+    fn persist_round_trip_preserves_window_and_odometer() {
+        let mut f = AlertFilter::new(3, 4);
+        f.push_vote(Vote::Alert);
+        f.push_vote(Vote::Abstain);
+        f.push_vote(Vote::Alert);
+        let bytes = prepare_metrics::persist::to_bytes(&f);
+        let mut restored: AlertFilter = prepare_metrics::persist::from_bytes(&bytes).unwrap();
+        assert_eq!(restored, f);
+        assert_eq!(restored.abstentions(), 1);
+        // The next alert completes k=3 on both copies.
+        assert_eq!(restored.push(true), f.push(true));
+        assert!(restored.is_confirmed());
+    }
+
+    #[test]
+    fn persist_load_rejects_k_greater_than_w() {
+        let f = AlertFilter::new(3, 4);
+        let mut bytes = prepare_metrics::persist::to_bytes(&f);
+        bytes[..8].copy_from_slice(&9u64.to_le_bytes());
+        assert!(prepare_metrics::persist::from_bytes::<AlertFilter>(&bytes).is_err());
     }
 
     /// After an actuation the controller resets the filter so stale

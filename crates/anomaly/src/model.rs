@@ -1,6 +1,7 @@
 //! Selection between the two attribute value predictors.
 
 use prepare_markov::{SimpleMarkov, StateDistribution, TwoDependentMarkov, ValuePredictor};
+use prepare_metrics::persist::{Persist, PersistError, Reader, Writer};
 
 /// Which Markov model to use for attribute value prediction — the axis of
 /// the Fig. 11 comparison.
@@ -89,6 +90,50 @@ impl ValueModel {
     }
 }
 
+impl Persist for MarkovKind {
+    fn store(&self, w: &mut Writer) {
+        w.put_u8(match self {
+            MarkovKind::Simple => 0,
+            MarkovKind::TwoDependent => 1,
+        });
+    }
+    fn load(r: &mut Reader<'_>) -> Result<Self, PersistError> {
+        match r.get_u8()? {
+            0 => Ok(MarkovKind::Simple),
+            1 => Ok(MarkovKind::TwoDependent),
+            tag => Err(PersistError::BadTag {
+                what: "MarkovKind",
+                tag,
+            }),
+        }
+    }
+}
+
+impl Persist for ValueModel {
+    fn store(&self, w: &mut Writer) {
+        match self {
+            ValueModel::Simple(m) => {
+                w.put_u8(0);
+                m.store(w);
+            }
+            ValueModel::TwoDependent(m) => {
+                w.put_u8(1);
+                m.store(w);
+            }
+        }
+    }
+    fn load(r: &mut Reader<'_>) -> Result<Self, PersistError> {
+        match r.get_u8()? {
+            0 => Ok(ValueModel::Simple(Persist::load(r)?)),
+            1 => Ok(ValueModel::TwoDependent(Persist::load(r)?)),
+            tag => Err(PersistError::BadTag {
+                what: "ValueModel",
+                tag,
+            }),
+        }
+    }
+}
+
 impl ValuePredictor for ValueModel {
     fn n_states(&self) -> usize {
         match self {
@@ -166,6 +211,37 @@ mod tests {
     #[test]
     fn default_kind_is_two_dependent() {
         assert_eq!(MarkovKind::default(), MarkovKind::TwoDependent);
+    }
+
+    #[test]
+    fn persist_round_trips_both_kinds_with_anchor() {
+        for kind in [MarkovKind::Simple, MarkovKind::TwoDependent] {
+            let mut m = ValueModel::new(kind, 5);
+            for i in 0..60 {
+                m.observe((i * 2 + i / 7) % 5);
+            }
+            let bytes = prepare_metrics::persist::to_bytes(&m);
+            let mut restored: ValueModel = prepare_metrics::persist::from_bytes(&bytes).unwrap();
+            assert_eq!(restored, m, "kind {kind:?}");
+            // Unlike from_parts, Persist keeps the mid-stream anchor:
+            // predictions continue identically without re-observing.
+            assert_eq!(
+                restored.predict(2).as_slice(),
+                m.predict(2).as_slice(),
+                "kind {kind:?}"
+            );
+            restored.observe(3);
+            m.observe(3);
+            assert_eq!(restored, m);
+        }
+    }
+
+    #[test]
+    fn persist_rejects_unknown_model_tag() {
+        let m = ValueModel::new(MarkovKind::Simple, 3);
+        let mut bytes = prepare_metrics::persist::to_bytes(&m);
+        bytes[0] = 7;
+        assert!(prepare_metrics::persist::from_bytes::<ValueModel>(&bytes).is_err());
     }
 
     #[test]

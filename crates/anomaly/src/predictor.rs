@@ -3,6 +3,7 @@
 
 use crate::{ConfusionMatrix, MarkovKind, Prediction, ValueModel};
 use prepare_markov::ValuePredictor;
+use prepare_metrics::persist::{Persist, PersistError, Reader, Writer};
 #[cfg(test)]
 use prepare_metrics::AttributeKind;
 use prepare_metrics::{
@@ -11,6 +12,7 @@ use prepare_metrics::{
 use prepare_tan::{Classifier, Dataset, TanClassifier, TrainError};
 
 /// Tunables of the anomaly prediction model.
+// xtask: checkpoint
 #[derive(Debug, Clone, PartialEq)]
 pub struct PredictorConfig {
     /// Number of discretization bins per attribute (the paper's Fig. 2
@@ -51,6 +53,7 @@ impl PredictorConfig {
 /// (the paper: "the attribute value prediction model is periodically
 /// updated with new data measurements"); the classifier stays fixed until
 /// [`retrain_classifier`](AnomalyPredictor::retrain_classifier) is called.
+// xtask: checkpoint
 #[derive(Debug, Clone, PartialEq)]
 pub struct AnomalyPredictor {
     config: PredictorConfig,
@@ -58,6 +61,62 @@ pub struct AnomalyPredictor {
     value_models: Vec<ValueModel>,
     classifier: TanClassifier,
     last_time: Option<Timestamp>,
+}
+
+impl Persist for PredictorConfig {
+    fn store(&self, w: &mut Writer) {
+        w.put_usize(self.bins);
+        self.sampling_interval.store(w);
+        self.markov.store(w);
+    }
+    fn load(r: &mut Reader<'_>) -> Result<Self, PersistError> {
+        let bins = r.get_usize()?;
+        let sampling_interval = Duration::load(r)?;
+        let markov = MarkovKind::load(r)?;
+        if bins == 0 {
+            return Err(PersistError::Invalid("PredictorConfig bins"));
+        }
+        Ok(PredictorConfig {
+            bins,
+            sampling_interval,
+            markov,
+        })
+    }
+}
+
+impl Persist for AnomalyPredictor {
+    fn store(&self, w: &mut Writer) {
+        self.config.store(w);
+        self.discretizer.store(w);
+        self.value_models.store(w);
+        self.classifier.store(w);
+        self.last_time.store(w);
+    }
+    fn load(r: &mut Reader<'_>) -> Result<Self, PersistError> {
+        let config = PredictorConfig::load(r)?;
+        let discretizer = prepare_metrics::VectorDiscretizer::load(r)?;
+        let value_models: Vec<ValueModel> = Persist::load(r)?;
+        let classifier = TanClassifier::load(r)?;
+        let last_time: Option<Timestamp> = Persist::load(r)?;
+        if value_models.len() != ATTRIBUTE_COUNT {
+            return Err(PersistError::Invalid("AnomalyPredictor model arity"));
+        }
+        if value_models
+            .iter()
+            .any(|m| m.n_states() != config.bins || m.kind() != config.markov)
+        {
+            return Err(PersistError::Invalid(
+                "AnomalyPredictor model/config mismatch",
+            ));
+        }
+        Ok(AnomalyPredictor {
+            config,
+            discretizer,
+            value_models,
+            classifier,
+            last_time,
+        })
+    }
 }
 
 impl AnomalyPredictor {
@@ -577,6 +636,48 @@ mod tests {
             p.predict_horizons(&horizons),
             p.predict_horizons_reference(&horizons)
         );
+    }
+
+    /// A restored predictor continues its stream bit-identically: the
+    /// anchor (`last_time` and every Markov position) survives, so the
+    /// next observe/predict pair agrees exactly with the original.
+    #[test]
+    fn persist_round_trip_continues_stream_bit_identically() {
+        let (series, slo) = ramp_fixture(400, 5, 40, 80.0);
+        let cfg = PredictorConfig::default();
+        let mut p = AnomalyPredictor::train(&series, &slo, &cfg).unwrap();
+        for s in series.iter().take(38) {
+            p.observe(s);
+        }
+        let bytes = prepare_metrics::persist::to_bytes(&p);
+        let mut restored: AnomalyPredictor = prepare_metrics::persist::from_bytes(&bytes).unwrap();
+        assert_eq!(restored, p);
+        let horizons = [Duration::from_secs(5), Duration::from_secs(25)];
+        assert_eq!(
+            restored.predict_horizons(&horizons),
+            p.predict_horizons(&horizons)
+        );
+        for s in series.iter().skip(38).take(20) {
+            restored.observe(s);
+            p.observe(s);
+        }
+        assert_eq!(restored, p);
+        assert_eq!(
+            restored.predict(Duration::from_secs(25)).fingerprint(),
+            p.predict(Duration::from_secs(25)).fingerprint()
+        );
+    }
+
+    #[test]
+    fn persist_load_rejects_model_config_mismatch() {
+        let (series, slo) = ramp_fixture(300, 5, 40, 80.0);
+        let cfg = PredictorConfig::default();
+        let p = AnomalyPredictor::train(&series, &slo, &cfg).unwrap();
+        let mut bytes = prepare_metrics::persist::to_bytes(&p);
+        // Corrupt the configured bin count: the value models no longer
+        // match and the load must fail rather than mis-predict.
+        bytes[..8].copy_from_slice(&7u64.to_le_bytes());
+        assert!(prepare_metrics::persist::from_bytes::<AnomalyPredictor>(&bytes).is_err());
     }
 
     #[test]

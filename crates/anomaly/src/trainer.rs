@@ -42,6 +42,7 @@
 //! incremental shortcut across a basis change.
 
 use crate::{AnomalyPredictor, MarkovKind, PredictorConfig, ValueModel};
+use prepare_metrics::persist::{Persist, PersistError, Reader, Writer};
 use prepare_metrics::{
     AttributeKind, DiscreteVector, Discretizer, Label, MetricVector, VectorDiscretizer,
     ATTRIBUTE_COUNT,
@@ -58,6 +59,7 @@ use std::collections::VecDeque;
 /// basis shifted, then [`FleetTrainer::derive`] to materialize a trained
 /// predictor — bit-identical to [`FleetTrainer::train_reference`], the
 /// from-scratch rebuild of the same window.
+// xtask: checkpoint
 #[derive(Debug, Clone)]
 pub struct FleetTrainer {
     config: PredictorConfig,
@@ -93,7 +95,78 @@ pub struct FleetTrainer {
     generation: Vec<u64>,
     /// Memoized [`derive`](FleetTrainer::derive) results keyed on the
     /// generation they were derived at (successful derivations only).
+    // xtask: ephemeral -- memo cache, re-derived on demand after restore
     cache: Vec<Option<(u64, AnomalyPredictor)>>,
+}
+
+impl Persist for FleetTrainer {
+    fn store(&self, w: &mut Writer) {
+        self.config.store(w);
+        w.put_usize(self.slots);
+        self.combined.store(w);
+        self.fallback.store(w);
+        self.tan.store(w);
+        self.ranges.store(w);
+        self.basis.store(w);
+        self.windows.store(w);
+        self.discrete.store(w);
+        self.dirty.store(w);
+        self.generation.store(w);
+    }
+    fn load(r: &mut Reader<'_>) -> Result<Self, PersistError> {
+        let config = PredictorConfig::load(r)?;
+        let slots = r.get_usize()?;
+        let combined: Vec<f64> = Persist::load(r)?;
+        let fallback: Vec<f64> = Persist::load(r)?;
+        let tan: Vec<prepare_tan::TanStats> = Persist::load(r)?;
+        let ranges: Vec<Option<(f64, f64)>> = Persist::load(r)?;
+        let basis: Vec<Discretizer> = Persist::load(r)?;
+        let windows: Vec<VecDeque<(MetricVector, Label)>> = Persist::load(r)?;
+        let discrete: Vec<VecDeque<DiscreteVector>> = Persist::load(r)?;
+        let dirty: Vec<bool> = Persist::load(r)?;
+        let generation: Vec<u64> = Persist::load(r)?;
+        if slots == 0 {
+            return Err(PersistError::Invalid("FleetTrainer slot count"));
+        }
+        let n = config.bins;
+        let combined_want = match config.markov {
+            MarkovKind::Simple => 0,
+            MarkovKind::TwoDependent => slots * ATTRIBUTE_COUNT * n * n * n,
+        };
+        if combined.len() != combined_want
+            || fallback.len() != slots * ATTRIBUTE_COUNT * n * n
+            || tan.len() != slots
+            || ranges.len() != slots * ATTRIBUTE_COUNT
+            || basis.len() != slots * ATTRIBUTE_COUNT
+            || windows.len() != slots
+            || discrete.len() != slots
+            || dirty.len() != slots
+            || generation.len() != slots
+        {
+            return Err(PersistError::Invalid("FleetTrainer arena arity"));
+        }
+        // A clean slot keeps its discretized rows in sync with its
+        // retained window; a mismatch means the bytes are corrupt.
+        for ((is_dirty, rows), window) in dirty.iter().zip(&discrete).zip(&windows) {
+            if !is_dirty && rows.len() != window.len() {
+                return Err(PersistError::Invalid("FleetTrainer clean-slot window sync"));
+            }
+        }
+        Ok(FleetTrainer {
+            config,
+            slots,
+            combined,
+            fallback,
+            tan,
+            ranges,
+            basis,
+            windows,
+            discrete,
+            dirty,
+            generation,
+            cache: (0..slots).map(|_| None).collect(),
+        })
+    }
 }
 
 /// One slot's freshly rebuilt state (the output of a dirty-slot rebuild,
@@ -968,6 +1041,65 @@ mod tests {
         let dup = trainer.derive_cached_batch(&[0, 0, 1], &prepare_par::ParConfig::serial());
         assert_same_outcome(&dup[0], &dup[1], "duplicate request");
         assert_eq!(dup[2], Err(TrainError::EmptyDataset));
+    }
+
+    /// A restored trainer is observationally identical: it derives the
+    /// same models, and continuing the stream (pushes, retirements,
+    /// refreshes) on both copies keeps them in lockstep — the crash
+    /// recovery contract for the training plane.
+    #[test]
+    fn persist_round_trip_continues_training_bit_identically() {
+        let config = PredictorConfig::default();
+        let mut trainer = FleetTrainer::new(3, &config);
+        let streams: Vec<Vec<(MetricVector, Label)>> = (0..3)
+            .map(|s| labeled_stream(120, s as u64 * 7 + 1))
+            .collect();
+        for (slot, stream) in streams.iter().enumerate() {
+            for (v, label) in &stream[..90] {
+                trainer.push(slot, v, *label);
+            }
+        }
+        // Leave slot 2 dirty on purpose: dirtiness must survive restore.
+        trainer.refresh(&prepare_par::ParConfig::serial());
+        trainer.push(2, &MetricVector::from_fn(|_| 9999.0), Label::Abnormal);
+        assert!(trainer.is_dirty(2));
+
+        let bytes = prepare_metrics::persist::to_bytes(&trainer);
+        let mut restored: FleetTrainer = prepare_metrics::persist::from_bytes(&bytes).unwrap();
+        assert!(restored.is_dirty(2));
+        assert_same_outcome(&restored.derive(0), &trainer.derive(0), "restored slot 0");
+
+        for (slot, stream) in streams.iter().enumerate() {
+            for (v, label) in &stream[90..] {
+                trainer.push(slot, v, *label);
+                restored.push(slot, v, *label);
+            }
+            trainer.retire_front(slot);
+            restored.retire_front(slot);
+        }
+        trainer.refresh(&prepare_par::ParConfig::serial());
+        restored.refresh(&prepare_par::ParConfig::serial());
+        for slot in 0..3 {
+            assert_same_outcome(
+                &restored.derive(slot),
+                &trainer.derive(slot),
+                &format!("continued slot {slot}"),
+            );
+        }
+    }
+
+    #[test]
+    fn persist_load_rejects_slot_arity_mismatch() {
+        let mut trainer = FleetTrainer::new(2, &PredictorConfig::default());
+        for (v, label) in labeled_stream(40, 6) {
+            trainer.push(0, &v, label);
+        }
+        let mut bytes = prepare_metrics::persist::to_bytes(&trainer);
+        // The slot count sits right after the config (bins u64 + secs u64
+        // + markov tag byte); shrinking it desynchronizes every arena.
+        let off = 8 + 8 + 1;
+        bytes[off..off + 8].copy_from_slice(&1u64.to_le_bytes());
+        assert!(prepare_metrics::persist::from_bytes::<FleetTrainer>(&bytes).is_err());
     }
 
     proptest! {

@@ -90,6 +90,16 @@ pub enum ChaosKind {
         /// The blacked-out host.
         host: HostId,
     },
+    /// Each tick, the controller process is killed with this probability
+    /// and immediately resurrected from its last durable checkpoint +
+    /// journal. The engine only decides *when* the crash happens — the
+    /// experiment loop polls [`ChaosEngine::controller_crashed`] and
+    /// performs the kill/restore through
+    /// `prepare_core::RecoveryManager::{crash_image, recover}`.
+    ControllerCrash {
+        /// Per-tick crash probability in `[0, 1]`.
+        probability: f64,
+    },
 }
 
 /// One scheduled fault: a kind active over `[from, until)`.
@@ -157,6 +167,8 @@ pub struct ChaosStats {
     pub busy_ticks: u64,
     /// In-flight migrations torn down by `MigrationTimeout`.
     pub aborted_migrations: u64,
+    /// Controller kills decided by `ControllerCrash` coins.
+    pub controller_crashes: u64,
 }
 
 /// Executes a [`ChaosPlan`] against the monitoring and actuation plane.
@@ -233,6 +245,26 @@ impl ChaosEngine {
                 self.stats.aborted_migrations += 1;
             }
         }
+    }
+
+    /// Per-tick controller-crash poll: true when an active
+    /// [`ChaosKind::ControllerCrash`] fault kills the controller this
+    /// tick. The decision is a keyed coin — independent of delivery
+    /// order and worker count — so a crash schedule replays exactly.
+    /// The caller owns the actual kill/resurrect (snapshotting the
+    /// crash image and running recovery); the engine just counts it.
+    pub fn controller_crashed(&mut self, now: Timestamp) -> bool {
+        let tick = now.as_secs();
+        let crashed = self.plan.faults.iter().enumerate().any(|(idx, fault)| {
+            let ChaosKind::ControllerCrash { probability } = fault.kind else {
+                return false;
+            };
+            fault.active(now) && coin(self.plan.seed, idx as u64, 0, tick) < probability
+        });
+        if crashed {
+            self.stats.controller_crashes += 1;
+        }
+        crashed
     }
 
     /// Routes one freshly rendered sample for `vm` (currently on `host`)
@@ -588,6 +620,82 @@ mod tests {
         }
         assert_eq!(c.vm(vm).host, h1);
         assert_eq!(e.stats().aborted_migrations, 1);
+    }
+
+    #[test]
+    fn controller_crash_fires_only_in_window_and_replays() {
+        let plan = ChaosPlan::new(0xDEAD).with_fault(
+            t(10),
+            t(20),
+            ChaosKind::ControllerCrash { probability: 1.0 },
+        );
+        let mut e = ChaosEngine::new(plan.clone());
+        assert!(!e.controller_crashed(t(9)));
+        for s in 10..20 {
+            assert!(e.controller_crashed(t(s)), "in-window kill at t={s}");
+        }
+        assert!(!e.controller_crashed(t(20)), "window is half-open");
+        assert_eq!(e.stats().controller_crashes, 10);
+
+        // A probabilistic schedule is a pure function of (seed, tick):
+        // two engines agree tick by tick, and the decision at a tick
+        // does not depend on how many polls happened before it.
+        let plan = ChaosPlan::new(7).with_fault(
+            t(0),
+            t(1000),
+            ChaosKind::ControllerCrash { probability: 0.3 },
+        );
+        let mut a = ChaosEngine::new(plan.clone());
+        let mut b = ChaosEngine::new(plan);
+        let schedule_a: Vec<bool> = (0..1000).map(|s| a.controller_crashed(t(s))).collect();
+        let schedule_b: Vec<bool> = (0..1000)
+            .rev()
+            .map(|s| b.controller_crashed(t(s)))
+            .collect();
+        let schedule_b: Vec<bool> = schedule_b.into_iter().rev().collect();
+        assert_eq!(schedule_a, schedule_b);
+        let crashes = schedule_a.iter().filter(|&&c| c).count();
+        assert!(
+            (200..400).contains(&crashes),
+            "p=0.3 over 1k ticks crashed {crashes} times"
+        );
+        assert_eq!(a.stats().controller_crashes, crashes as u64);
+    }
+
+    #[test]
+    fn controller_crash_leaves_the_data_plane_untouched() {
+        // A crash coin must not perturb drop/delay decisions: the same
+        // monitoring schedule plays out with and without the crash fault.
+        let base = ChaosPlan::new(0xFEED).with_fault(
+            t(0),
+            t(100),
+            ChaosKind::DropSamples {
+                vm: None,
+                probability: 0.4,
+            },
+        );
+        let with_crash = base.clone().with_fault(
+            t(0),
+            t(100),
+            ChaosKind::ControllerCrash { probability: 0.5 },
+        );
+        let run = |mut e: ChaosEngine, poll: bool| {
+            let mut log = Vec::new();
+            for s in 0..100 {
+                if poll {
+                    e.controller_crashed(t(s));
+                }
+                log.push(
+                    e.deliver(VmId(0), HostId(0), sample_at(s, 1.0), t(s))
+                        .is_some(),
+                );
+            }
+            log
+        };
+        assert_eq!(
+            run(ChaosEngine::new(base), false),
+            run(ChaosEngine::new(with_crash), true)
+        );
     }
 
     #[test]

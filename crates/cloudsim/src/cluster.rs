@@ -18,6 +18,17 @@ impl fmt::Display for HostId {
     }
 }
 
+impl prepare_metrics::persist::Persist for HostId {
+    fn store(&self, w: &mut prepare_metrics::persist::Writer) {
+        w.put_usize(self.0);
+    }
+    fn load(
+        r: &mut prepare_metrics::persist::Reader<'_>,
+    ) -> Result<Self, prepare_metrics::persist::PersistError> {
+        Ok(HostId(r.get_usize()?))
+    }
+}
+
 /// An in-flight live migration.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MigrationState {

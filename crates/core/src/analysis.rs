@@ -76,7 +76,13 @@ impl ExperimentReport {
                 ControllerEvent::ActionRolledBack { .. } => report.rollbacks += 1,
                 ControllerEvent::MonitoringDegraded { .. } => report.monitoring_degraded += 1,
                 ControllerEvent::MonitoringRecovered { .. } => report.monitoring_recovered += 1,
-                ControllerEvent::ModelsTrained { .. } => {}
+                // Training and crash-recovery bookkeeping events carry no
+                // effectiveness signal for the paper's §III comparisons.
+                ControllerEvent::ModelsTrained { .. }
+                | ControllerEvent::ControllerCrashed { .. }
+                | ControllerEvent::CheckpointTaken { .. }
+                | ControllerEvent::JournalTruncated { .. }
+                | ControllerEvent::RecoveryCompleted { .. } => {}
             }
         }
         report

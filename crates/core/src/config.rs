@@ -1,6 +1,7 @@
 //! Controller tunables, defaulting to the paper's experimental settings.
 
 use prepare_anomaly::PredictorConfig;
+use prepare_metrics::persist::{Persist, PersistError, Reader, Writer};
 use prepare_metrics::{Duration, StalenessBudget};
 pub use prepare_par::ParConfig;
 
@@ -50,6 +51,7 @@ impl MigrationTargetPolicy {
 }
 
 /// All tunables of the PREPARE controller.
+// xtask: checkpoint
 #[derive(Debug, Clone, PartialEq)]
 pub struct PrepareConfig {
     /// Per-VM anomaly predictor settings (bins, sampling interval, Markov
@@ -105,6 +107,7 @@ pub struct PrepareConfig {
     /// Any value produces bit-identical traces — `workers = 1` is the
     /// plain sequential loop; larger counts shard by VM with an ordered
     /// merge (see the `prepare-par` crate).
+    // xtask: ephemeral -- runtime worker config, supplied by the recovering process
     pub par: ParConfig,
     /// Use the incremental online trainer
     /// ([`prepare_anomaly::FleetTrainer`]) for training rounds: samples
@@ -188,6 +191,107 @@ impl PrepareConfig {
         self.par = ParConfig::with_workers(workers);
         self
     }
+
+    /// Serializes every tunable that shapes controller *behavior*. The
+    /// worker count (`par`) is deliberately excluded: it is a property of
+    /// the process, not the computation — every worker count produces the
+    /// same trace, and the recovering process supplies its own.
+    pub fn store_state(&self, w: &mut Writer) {
+        self.predictor.store(w);
+        self.look_ahead.store(w);
+        w.put_usize(self.filter_k);
+        w.put_usize(self.filter_w);
+        self.policy.store(w);
+        self.migration_policy.store(w);
+        w.put_f64(self.scale_factor);
+        self.validation_window.store(w);
+        w.put_usize(self.min_training_samples);
+        self.retrain_interval.store(w);
+        self.post_anomaly_quiet.store(w);
+        w.put_f64(self.workload_change_quorum);
+        self.staleness.store(w);
+        w.put_bool(self.online_training);
+    }
+
+    /// Decodes a configuration serialized by
+    /// [`PrepareConfig::store_state`], adopting `par` from the running
+    /// process.
+    ///
+    /// # Errors
+    ///
+    /// Any [`PersistError`] on a torn buffer, plus
+    /// [`PersistError::Invalid`] when the decoded tunables are
+    /// internally inconsistent.
+    pub fn load_state(r: &mut Reader<'_>, par: ParConfig) -> Result<Self, PersistError> {
+        let config = PrepareConfig {
+            predictor: Persist::load(r)?,
+            look_ahead: Persist::load(r)?,
+            filter_k: r.get_usize()?,
+            filter_w: r.get_usize()?,
+            policy: Persist::load(r)?,
+            migration_policy: Persist::load(r)?,
+            scale_factor: r.get_f64()?,
+            validation_window: Persist::load(r)?,
+            min_training_samples: r.get_usize()?,
+            retrain_interval: Persist::load(r)?,
+            post_anomaly_quiet: Persist::load(r)?,
+            workload_change_quorum: r.get_f64()?,
+            staleness: Persist::load(r)?,
+            par,
+            online_training: r.get_bool()?,
+        };
+        if config.filter_k == 0
+            || config.filter_k > config.filter_w
+            // `partial_cmp` keeps NaN rejected (it compares as None).
+            || config.scale_factor.partial_cmp(&1.0) != Some(std::cmp::Ordering::Greater)
+            || config.look_ahead.is_zero()
+            || config.validation_window.is_zero()
+            || !(0.0..=1.0).contains(&config.workload_change_quorum)
+        {
+            return Err(PersistError::Invalid("PrepareConfig tunables"));
+        }
+        Ok(config)
+    }
+}
+
+impl Persist for PreventionPolicy {
+    fn store(&self, w: &mut Writer) {
+        w.put_u8(match self {
+            PreventionPolicy::ScalingFirst => 0,
+            PreventionPolicy::MigrationFirst => 1,
+        });
+    }
+    fn load(r: &mut Reader<'_>) -> Result<Self, PersistError> {
+        match r.get_u8()? {
+            0 => Ok(PreventionPolicy::ScalingFirst),
+            1 => Ok(PreventionPolicy::MigrationFirst),
+            tag => Err(PersistError::BadTag {
+                what: "PreventionPolicy",
+                tag,
+            }),
+        }
+    }
+}
+
+impl Persist for MigrationTargetPolicy {
+    fn store(&self, w: &mut Writer) {
+        w.put_u8(match self {
+            MigrationTargetPolicy::WorstFit => 0,
+            MigrationTargetPolicy::BestFit => 1,
+            MigrationTargetPolicy::FirstFit => 2,
+        });
+    }
+    fn load(r: &mut Reader<'_>) -> Result<Self, PersistError> {
+        match r.get_u8()? {
+            0 => Ok(MigrationTargetPolicy::WorstFit),
+            1 => Ok(MigrationTargetPolicy::BestFit),
+            2 => Ok(MigrationTargetPolicy::FirstFit),
+            tag => Err(PersistError::BadTag {
+                what: "MigrationTargetPolicy",
+                tag,
+            }),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -223,5 +327,65 @@ mod tests {
             ..PrepareConfig::default()
         };
         c.validate();
+    }
+
+    #[test]
+    fn state_round_trips_with_supplied_workers() {
+        let config = PrepareConfig {
+            filter_k: 2,
+            filter_w: 5,
+            policy: PreventionPolicy::MigrationFirst,
+            migration_policy: MigrationTargetPolicy::BestFit,
+            retrain_interval: None,
+            online_training: false,
+            par: ParConfig::with_workers(3),
+            ..PrepareConfig::default()
+        };
+        let mut w = Writer::new();
+        config.store_state(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        let mut back = PrepareConfig::load_state(&mut r, ParConfig::with_workers(7)).unwrap();
+        assert!(r.is_exhausted());
+        assert_eq!(back.par.workers, 7, "par comes from the running process");
+        back.par = config.par;
+        assert_eq!(back, config, "everything but par round-trips exactly");
+    }
+
+    #[test]
+    fn load_state_rejects_inconsistent_tunables() {
+        let config = PrepareConfig::default();
+        let mut w = Writer::new();
+        config.store_state(&mut w);
+        let mut bytes = w.into_bytes();
+        // filter_k sits right after PredictorConfig (bins u64 + interval
+        // u64 + markov tag) + look_ahead u64: corrupt it to 0.
+        let off = 8 + 8 + 1 + 8;
+        bytes[off..off + 8].copy_from_slice(&0u64.to_le_bytes());
+        let mut r = Reader::new(&bytes);
+        assert_eq!(
+            PrepareConfig::load_state(&mut r, ParConfig::serial()),
+            Err(PersistError::Invalid("PrepareConfig tunables"))
+        );
+    }
+
+    #[test]
+    fn policy_enums_reject_unknown_tags() {
+        let mut r = Reader::new(&[7u8]);
+        assert!(matches!(
+            MigrationTargetPolicy::load(&mut r),
+            Err(PersistError::BadTag {
+                what: "MigrationTargetPolicy",
+                ..
+            })
+        ));
+        let mut r = Reader::new(&[5u8]);
+        assert!(matches!(
+            PreventionPolicy::load(&mut r),
+            Err(PersistError::BadTag {
+                what: "PreventionPolicy",
+                ..
+            })
+        ));
     }
 }

@@ -7,11 +7,13 @@ use crate::{
     PreventionPlanner, ValidationOutcome,
 };
 use prepare_anomaly::{AlertFilter, AnomalyPredictor, FleetTrainer, Vote};
-use prepare_cloudsim::Cluster;
+use prepare_cloudsim::{Cluster, HostId};
+use prepare_metrics::persist::{Persist, PersistError, Reader, Writer};
 use prepare_metrics::{
-    AttributeKind, Duration, Label, LastValueImputer, MetricSample, SloLog, StampedSample,
-    TimeSeries, Timestamp, VmId,
+    AttributeKind, Duration, Fingerprint64, Label, LastValueImputer, MetricSample,
+    ScalableResource, SloLog, StampedSample, TimeSeries, Timestamp, VmId,
 };
+use prepare_par::ParConfig;
 use std::collections::{BTreeMap, BTreeSet};
 
 /// The three anomaly management schemes compared throughout §III.
@@ -39,6 +41,259 @@ impl Scheme {
     }
 }
 
+impl Persist for Scheme {
+    fn store(&self, w: &mut Writer) {
+        w.put_u8(match self {
+            Scheme::Prepare => 0,
+            Scheme::Reactive => 1,
+            Scheme::NoIntervention => 2,
+        });
+    }
+    fn load(r: &mut Reader<'_>) -> Result<Self, PersistError> {
+        match r.get_u8()? {
+            0 => Ok(Scheme::Prepare),
+            1 => Ok(Scheme::Reactive),
+            2 => Ok(Scheme::NoIntervention),
+            tag => Err(PersistError::BadTag {
+                what: "Scheme",
+                tag,
+            }),
+        }
+    }
+}
+
+/// The failure summary of an executed prevention action, exactly as the
+/// control loop consumed it: whether a bounded retry is expected to clear
+/// it, and the hypervisor's error text (which feeds the event log).
+///
+/// This is what the write-ahead journal records for an `execute` touch —
+/// enough to re-drive the controller's failure handling bit-identically
+/// without re-contacting the cluster.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExecFailure {
+    /// True when the error was transient (hypervisor control plane busy).
+    pub transient: bool,
+    /// The error's display text.
+    pub message: String,
+}
+
+/// One recorded cluster interaction from a control round.
+///
+/// The journal stores the *replies* the cluster gave, not the requests:
+/// on recovery the replayed controller consumes these instead of touching
+/// the live cluster, which structurally rules out issuing a duplicate
+/// actuation for a round that already ran before the crash.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ClusterReply {
+    /// Outcome of a planner `plan` query.
+    Plan(Option<PlannedAction>),
+    /// Outcome of a planner `execute` call (`None` = success).
+    Execute(Option<ExecFailure>),
+    /// Migration-relevant snapshot of one VM read during validation.
+    VmState {
+        /// Whether a live migration was in flight.
+        migrating: bool,
+        /// The host the VM was on.
+        host: HostId,
+    },
+}
+
+impl Persist for ExecFailure {
+    fn store(&self, w: &mut Writer) {
+        self.transient.store(w);
+        self.message.store(w);
+    }
+    fn load(r: &mut Reader<'_>) -> Result<Self, PersistError> {
+        Ok(ExecFailure {
+            transient: bool::load(r)?,
+            message: String::load(r)?,
+        })
+    }
+}
+
+impl Persist for ClusterReply {
+    fn store(&self, w: &mut Writer) {
+        match self {
+            ClusterReply::Plan(a) => {
+                w.put_u8(0);
+                a.store(w);
+            }
+            ClusterReply::Execute(f) => {
+                w.put_u8(1);
+                f.store(w);
+            }
+            ClusterReply::VmState { migrating, host } => {
+                w.put_u8(2);
+                migrating.store(w);
+                host.store(w);
+            }
+        }
+    }
+    fn load(r: &mut Reader<'_>) -> Result<Self, PersistError> {
+        Ok(match r.get_u8()? {
+            0 => ClusterReply::Plan(Option::load(r)?),
+            1 => ClusterReply::Execute(Option::load(r)?),
+            2 => ClusterReply::VmState {
+                migrating: bool::load(r)?,
+                host: HostId::load(r)?,
+            },
+            tag => {
+                return Err(PersistError::BadTag {
+                    what: "ClusterReply",
+                    tag,
+                })
+            }
+        })
+    }
+}
+
+/// The controller's window onto the cluster for one control round: either
+/// the live cluster (recording every reply), or a recorded reply stream
+/// being replayed during crash recovery.
+///
+/// Recovery replays journaled rounds through [`ClusterIo::Replay`]: the
+/// controller's internal state evolves exactly as it did before the
+/// crash, but plan/execute/inspect touches consume the recorded replies —
+/// the live cluster, which already absorbed those actuations, is never
+/// contacted again.
+#[derive(Debug)]
+pub enum ClusterIo<'a> {
+    /// Drive the real cluster, logging each reply for the journal.
+    Live {
+        /// The cluster being actuated.
+        cluster: &'a mut Cluster,
+        /// Replies in touch order, ready for the journal.
+        log: Vec<ClusterReply>,
+    },
+    /// Consume a journaled reply stream instead of touching the cluster.
+    Replay {
+        /// The recorded replies, in touch order.
+        replies: &'a [ClusterReply],
+        /// Next reply to consume.
+        pos: usize,
+    },
+}
+
+impl<'a> ClusterIo<'a> {
+    /// A live window that records every reply.
+    pub fn live(cluster: &'a mut Cluster) -> Self {
+        ClusterIo::Live {
+            cluster,
+            log: Vec::new(),
+        }
+    }
+
+    /// A replay window over a journaled reply stream.
+    pub fn replay(replies: &'a [ClusterReply]) -> Self {
+        ClusterIo::Replay { replies, pos: 0 }
+    }
+
+    /// The recorded replies of a live round (empty for replay).
+    pub fn into_log(self) -> Vec<ClusterReply> {
+        match self {
+            ClusterIo::Live { log, .. } => log,
+            ClusterIo::Replay { .. } => Vec::new(),
+        }
+    }
+
+    fn next_reply(&mut self, expected: &'static str) -> &'a ClusterReply {
+        match self {
+            ClusterIo::Live { .. } => unreachable!("next_reply is replay-only"), // xtask-allow: unreachable -- private method, only called from Replay arms
+            ClusterIo::Replay { replies, pos } => {
+                let reply = replies.get(*pos).unwrap_or_else(|| {
+                    // Continuing a diverged replay would rebuild a controller
+                    // whose state silently disagrees with the journal.
+                    // xtask-allow: panic -- documented crash-consistency contract
+                    panic!("journal replay diverged: ran out of replies wanting {expected}")
+                });
+                *pos += 1;
+                reply
+            }
+        }
+    }
+
+    /// Asserts every recorded reply was consumed — a replayed round that
+    /// leaves replies behind took a different branch than the original.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a replay window with unconsumed replies.
+    pub fn assert_drained(&self) {
+        if let ClusterIo::Replay { replies, pos } = self {
+            assert!(
+                *pos == replies.len(),
+                "journal replay diverged: {} of {} replies unconsumed",
+                replies.len() - pos,
+                replies.len()
+            );
+        }
+    }
+
+    fn plan(
+        &mut self,
+        planner: &PreventionPlanner,
+        vm: VmId,
+        ranked: &[AttributeKind],
+        allow_migration: bool,
+        ineffective: &[ScalableResource],
+    ) -> Option<PlannedAction> {
+        match self {
+            ClusterIo::Live { cluster, log } => {
+                let action = planner.plan(cluster, vm, ranked, allow_migration, ineffective);
+                log.push(ClusterReply::Plan(action));
+                action
+            }
+            ClusterIo::Replay { .. } => match self.next_reply("Plan") {
+                ClusterReply::Plan(action) => *action,
+                other => panic!("journal replay diverged: wanted Plan, recorded {other:?}"), // xtask-allow: panic -- documented crash-consistency contract
+            },
+        }
+    }
+
+    fn execute(
+        &mut self,
+        planner: &PreventionPlanner,
+        action: PlannedAction,
+        now: Timestamp,
+    ) -> Option<ExecFailure> {
+        match self {
+            ClusterIo::Live { cluster, log } => {
+                let failure = planner
+                    .execute(cluster, action, now)
+                    .err()
+                    .map(|e| ExecFailure {
+                        transient: e.is_transient(),
+                        message: e.to_string(),
+                    });
+                log.push(ClusterReply::Execute(failure.clone()));
+                failure
+            }
+            ClusterIo::Replay { .. } => match self.next_reply("Execute") {
+                ClusterReply::Execute(failure) => failure.clone(),
+                other => panic!("journal replay diverged: wanted Execute, recorded {other:?}"), // xtask-allow: panic -- documented crash-consistency contract
+            },
+        }
+    }
+
+    fn vm_state(&mut self, vm: VmId) -> (bool, HostId) {
+        match self {
+            ClusterIo::Live { cluster, log } => {
+                let state = cluster.vm(vm);
+                let snapshot = (state.is_migrating(), state.host);
+                log.push(ClusterReply::VmState {
+                    migrating: snapshot.0,
+                    host: snapshot.1,
+                });
+                snapshot
+            }
+            ClusterIo::Replay { .. } => match self.next_reply("VmState") {
+                ClusterReply::VmState { migrating, host } => (*migrating, *host),
+                other => panic!("journal replay diverged: wanted VmState, recorded {other:?}"), // xtask-allow: panic -- documented crash-consistency contract
+            },
+        }
+    }
+}
+
 /// The PREPARE controller for one distributed application.
 ///
 /// Feed it one batch of per-VM samples per sampling interval via
@@ -50,6 +305,7 @@ impl Scheme {
 /// effectiveness. The controller is `Clone`, so a driver can snapshot a
 /// trained state once and fork it into many what-if continuations (the
 /// `prepare-tlc` explorer does exactly this).
+// xtask: checkpoint
 #[derive(Debug, Clone)]
 pub struct PrepareController {
     config: PrepareConfig,
@@ -60,6 +316,7 @@ pub struct PrepareController {
     predictors: BTreeMap<VmId, AnomalyPredictor>,
     filters: BTreeMap<VmId, AlertFilter>,
     inference: CauseInference,
+    // xtask: ephemeral -- pure function of config, rebuilt on restore
     planner: PreventionPlanner,
     /// k-of-W debounce over the *observed* SLO status: the reactive
     /// trigger (and the reactive baseline scheme) confirms a violation
@@ -273,6 +530,63 @@ impl PrepareController {
         slo_violated: bool,
         cluster: &mut Cluster,
     ) -> Vec<ControllerEvent> {
+        let mut io = ClusterIo::live(cluster);
+        self.round(now, readings, slo_violated, &mut io)
+    }
+
+    /// [`PrepareController::on_readings`], additionally returning every
+    /// cluster reply the round consumed — the payload the write-ahead
+    /// journal records so the round can later be replayed without a
+    /// cluster.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a reading belongs to a VM this controller does not
+    /// manage.
+    pub fn on_readings_recorded(
+        &mut self,
+        now: Timestamp,
+        readings: &[(VmId, StampedSample)],
+        slo_violated: bool,
+        cluster: &mut Cluster,
+    ) -> (Vec<ControllerEvent>, Vec<ClusterReply>) {
+        let mut io = ClusterIo::live(cluster);
+        let events = self.round(now, readings, slo_violated, &mut io);
+        (events, io.into_log())
+    }
+
+    /// Re-drives one journaled round during crash recovery. The round's
+    /// cluster touches consume `replies` (recorded by
+    /// [`PrepareController::on_readings_recorded`] before the crash)
+    /// instead of contacting the live cluster, so an actuation the
+    /// cluster already absorbed is never issued twice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a reading belongs to an unmanaged VM, or if the replayed
+    /// round diverges from the recorded reply stream — that means the
+    /// restored controller state does not match the state that produced
+    /// the journal, which recovery must not paper over.
+    pub fn on_readings_replay(
+        &mut self,
+        now: Timestamp,
+        readings: &[(VmId, StampedSample)],
+        slo_violated: bool,
+        replies: &[ClusterReply],
+    ) -> Vec<ControllerEvent> {
+        let mut io = ClusterIo::replay(replies);
+        let events = self.round(now, readings, slo_violated, &mut io);
+        io.assert_drained();
+        events
+    }
+
+    fn round(
+        &mut self,
+        now: Timestamp,
+        readings: &[(VmId, StampedSample)],
+        slo_violated: bool,
+        io: &mut ClusterIo<'_>,
+    ) -> Vec<ControllerEvent> {
         let events_before = self.events.len();
 
         // Resolve this round's usable per-VM evidence.
@@ -359,9 +673,9 @@ impl PrepareController {
             if self.is_trained() {
                 self.maybe_retrain(now, slo_violated);
                 self.observe_predictors(&usable);
-                self.predictive_round(now, slo_violated, violation_confirmed, cluster);
-                self.validate_episodes(now, slo_violated, cluster);
-                self.process_retries(now, slo_violated, cluster);
+                self.predictive_round(now, slo_violated, violation_confirmed, io);
+                self.validate_episodes(now, slo_violated, io);
+                self.process_retries(now, slo_violated, io);
             }
         }
 
@@ -525,7 +839,7 @@ impl PrepareController {
         now: Timestamp,
         slo_violated: bool,
         violation_confirmed: bool,
-        cluster: &mut Cluster,
+        io: &mut ClusterIo<'_>,
     ) {
         let mut confirmed: Vec<(VmId, Vec<AttributeKind>)> = Vec::new();
 
@@ -590,7 +904,7 @@ impl PrepareController {
                 ranked_attributes: ranking.clone(),
             });
             self.episodes.insert(vm, Episode::open(vm, now, ranking));
-            self.act(vm, now, slo_violated, cluster);
+            self.act(vm, now, slo_violated, io);
         }
 
         // Reactive path: the violation is already here and no predictive
@@ -606,7 +920,7 @@ impl PrepareController {
                 self.events
                     .push(ControllerEvent::ReactiveTriggered { at: now, vm });
                 self.episodes.insert(vm, Episode::open(vm, now, ranking));
-                self.act(vm, now, slo_violated, cluster);
+                self.act(vm, now, slo_violated, io);
             }
         }
     }
@@ -673,7 +987,7 @@ impl PrepareController {
     /// but healthy state must not trigger it. Under the migration-first
     /// policy, early (pre-violation) migration is the whole point
     /// (Fig. 9), so it stays allowed.
-    fn act(&mut self, vm: VmId, now: Timestamp, slo_violated: bool, cluster: &mut Cluster) {
+    fn act(&mut self, vm: VmId, now: Timestamp, slo_violated: bool, io: &mut ClusterIo<'_>) {
         let Some(episode) = self.episodes.get_mut(&vm) else {
             return;
         };
@@ -692,16 +1006,16 @@ impl PrepareController {
             crate::PreventionPolicy::ScalingFirst => slo_violated,
         };
         let allow_migration = !episode.migrated && !recently_migrated && migration_warranted;
-        let action = self.planner.plan(
-            cluster,
+        let action = io.plan(
+            &self.planner,
             vm,
             &episode.candidates,
             allow_migration,
             &episode.ineffective_resources,
         );
         let failure = match action {
-            Some(a) => match self.planner.execute(cluster, a, now) {
-                Ok(()) => {
+            Some(a) => match io.execute(&self.planner, a, now) {
+                None => {
                     let was_migration = matches!(a, PlannedAction::Migrate { .. });
                     if was_migration {
                         self.last_migration.insert(vm, now);
@@ -725,8 +1039,8 @@ impl PrepareController {
                     });
                     None
                 }
-                Err(err)
-                    if err.is_transient() && episode.transient_attempts < TRANSIENT_RETRY_LIMIT =>
+                Some(err)
+                    if err.transient && episode.transient_attempts < TRANSIENT_RETRY_LIMIT =>
                 {
                     // The hypervisor control plane is busy: defer, don't
                     // fail. Backoff doubles per attempt, capped.
@@ -748,13 +1062,13 @@ impl PrepareController {
                     });
                     None
                 }
-                Err(err) => {
-                    let kind = if err.is_transient() {
+                Some(err) => {
+                    let kind = if err.transient {
                         ActionFailureKind::RetriesExhausted
                     } else {
                         ActionFailureKind::ExecutionFailed
                     };
-                    Some((err.to_string(), kind))
+                    Some((err.message, kind))
                 }
             },
             None => Some((
@@ -803,7 +1117,7 @@ impl PrepareController {
     /// actuating a VM the controller is blind on could not be validated
     /// (and would race the very infrastructure fault that blinded it), so
     /// the attempt fires on the first round after monitoring recovers.
-    fn process_retries(&mut self, now: Timestamp, slo_violated: bool, cluster: &mut Cluster) {
+    fn process_retries(&mut self, now: Timestamp, slo_violated: bool, io: &mut ClusterIo<'_>) {
         let due: Vec<VmId> = self
             .episodes
             .iter()
@@ -813,12 +1127,12 @@ impl PrepareController {
             .map(|(&vm, _)| vm)
             .collect();
         for vm in due {
-            self.act(vm, now, slo_violated, cluster);
+            self.act(vm, now, slo_violated, io);
         }
     }
 
     /// Runs the look-back/look-ahead validation over open episodes.
-    fn validate_episodes(&mut self, now: Timestamp, slo_violated: bool, cluster: &mut Cluster) {
+    fn validate_episodes(&mut self, now: Timestamp, slo_violated: bool, io: &mut ClusterIo<'_>) {
         let window = self.config.validation_window;
         let mut resolved = Vec::new();
         let mut escalate = Vec::new();
@@ -834,12 +1148,12 @@ impl PrepareController {
             let Some(target) = ep.migration_target else {
                 continue;
             };
-            let state = cluster.vm(vm);
-            if state.is_migrating() {
+            let (migrating, host) = io.vm_state(vm);
+            if migrating {
                 continue;
             }
             ep.migration_target = None;
-            if state.host != target {
+            if host != target {
                 ep.migrated = false;
                 // Fresh attempt after the validation window, via the
                 // stalled-episode path.
@@ -878,10 +1192,17 @@ impl PrepareController {
             // escalate a working mitigation into a disruptive one.
             let still_anomalous = slo_violated;
             let changed = match (episode.active_attribute(), episode.last_action_at) {
-                (Some(attr), Some(acted)) => usage_changed(&self.series[&vm], attr, acted, window),
+                (Some(attr), Some(acted)) => {
+                    // Episodes only open on VMs that have delivered
+                    // readings, so a series always exists; a missing one
+                    // just reads as "no usage change yet".
+                    let series = self.series.get(&vm);
+                    debug_assert!(series.is_some(), "episode open for {vm:?} without a series");
+                    series.is_some_and(|series| usage_changed(series, attr, acted, window))
+                }
                 // Migration-only episodes: "usage change" is the host move
                 // itself having completed.
-                (None, Some(_)) => !cluster.vm(vm).is_migrating() && episode.migrated,
+                (None, Some(_)) => !io.vm_state(vm).0 && episode.migrated,
                 _ => false,
             };
             match episode.validate(now, window, still_anomalous, changed) {
@@ -915,11 +1236,134 @@ impl PrepareController {
                 ep.mark_resource_ineffective();
                 ep.advance_candidate();
             }
-            self.act(vm, now, slo_violated, cluster);
+            self.act(vm, now, slo_violated, io);
         }
         for vm in retry {
-            self.act(vm, now, slo_violated, cluster);
+            self.act(vm, now, slo_violated, io);
         }
+    }
+
+    /// Appends an externally produced event (checkpoint/journal/recovery
+    /// bookkeeping from the recovery manager) to the controller's log.
+    pub(crate) fn record_event(&mut self, event: ControllerEvent) {
+        self.events.push(event);
+    }
+
+    /// Serializes everything *except* the event log: the state whose
+    /// byte-identity the recovery-equivalence proofs compare. A recovered
+    /// controller's log legitimately carries extra crash/recovery events,
+    /// so the log must not perturb [`PrepareController::model_fingerprint`].
+    fn store_core(&self, w: &mut Writer) {
+        self.config.store_state(w);
+        self.scheme.store(w);
+        self.vms.store(w);
+        self.series.store(w);
+        self.slo.store(w);
+        self.predictors.store(w);
+        self.filters.store(w);
+        self.inference.store_state(w);
+        self.violation_filter.store(w);
+        self.episodes.store(w);
+        self.last_migration.store(w);
+        self.suppressed_until.store(w);
+        self.imputers.store(w);
+        self.degraded.store(w);
+        self.trained_at.store(w);
+        self.last_retrain.store(w);
+        self.last_workload_change.store(w);
+        self.trainer.store(w);
+    }
+
+    /// Serializes the complete controller state — models, filters, vote
+    /// windows, episodes with their retry/backoff machines, staleness
+    /// bookkeeping, and the event log — through the exact binary codec.
+    /// The planner is not stored: it is a pure function of the config and
+    /// is rebuilt on restore.
+    pub fn store_state(&self, w: &mut Writer) {
+        self.store_core(w);
+        self.events.store(w);
+    }
+
+    /// Restores a controller checkpointed by
+    /// [`PrepareController::store_state`], adopting the worker
+    /// configuration of the recovering process.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`PersistError`] when the bytes are truncated, carry
+    /// unknown tags, or violate controller invariants (empty VM set,
+    /// inconsistent tunables).
+    pub fn load_state(r: &mut Reader<'_>, par: ParConfig) -> Result<Self, PersistError> {
+        let config = PrepareConfig::load_state(r, par)?;
+        let scheme = Scheme::load(r)?;
+        let vms = Vec::<VmId>::load(r)?;
+        if vms.is_empty() {
+            return Err(PersistError::Invalid("PrepareController vms"));
+        }
+        let series = BTreeMap::load(r)?;
+        let slo = SloLog::load(r)?;
+        let predictors = BTreeMap::load(r)?;
+        let filters = BTreeMap::load(r)?;
+        let inference = CauseInference::load_state(r, config.par)?;
+        let violation_filter = AlertFilter::load(r)?;
+        let episodes = BTreeMap::load(r)?;
+        let last_migration = BTreeMap::load(r)?;
+        let suppressed_until = BTreeMap::load(r)?;
+        let imputers = BTreeMap::load(r)?;
+        let degraded = BTreeSet::load(r)?;
+        let trained_at = Option::load(r)?;
+        let last_retrain = Option::load(r)?;
+        let last_workload_change = bool::load(r)?;
+        let trainer = Option::load(r)?;
+        let events = Vec::load(r)?;
+        let planner = PreventionPlanner::new(config.policy, config.scale_factor)
+            .with_migration_target_policy(config.migration_policy);
+        Ok(PrepareController {
+            config,
+            scheme,
+            vms,
+            series,
+            slo,
+            predictors,
+            filters,
+            inference,
+            planner,
+            violation_filter,
+            episodes,
+            last_migration,
+            suppressed_until,
+            imputers,
+            degraded,
+            trained_at,
+            last_retrain,
+            last_workload_change,
+            trainer,
+            events,
+        })
+    }
+
+    /// FNV-1a fingerprint of the serialized core state (everything except
+    /// the event log). Two controllers with equal fingerprints hold
+    /// byte-identical models, filters, and episode machines — the
+    /// equality the crash-point sweep asserts between a recovered
+    /// controller and its uninterrupted referee.
+    pub fn model_fingerprint(&self) -> u64 {
+        let mut w = Writer::new();
+        self.store_core(&mut w);
+        let mut fp = Fingerprint64::new();
+        fp.write_bytes(&w.into_bytes());
+        fp.finish()
+    }
+
+    /// Size in bytes of the serialized core state (everything except the
+    /// event log) — the figure [`ControllerEvent::CheckpointTaken`]
+    /// reports, chosen so referee and recovered runs (whose logs differ
+    /// by the crash/recovery events) emit byte-identical checkpoints
+    /// bookkeeping.
+    pub fn core_state_bytes(&self) -> usize {
+        let mut w = Writer::new();
+        self.store_core(&mut w);
+        w.len()
     }
 }
 
@@ -1157,7 +1601,7 @@ mod tests {
         );
         for round in 1..=MAX_EPISODE_FAILURES {
             let now = Timestamp::from_secs(round as u64 * 30);
-            ctl.act(VmId(0), now, true, &mut c);
+            ctl.act(VmId(0), now, true, &mut ClusterIo::live(&mut c));
             let failed = ctl
                 .events
                 .iter()
@@ -1209,7 +1653,7 @@ mod tests {
             VmId(0),
             Episode::open(VmId(0), Timestamp::ZERO, vec![AttributeKind::CpuTotal]),
         );
-        ctl.act(VmId(0), Timestamp::ZERO, true, &mut c);
+        ctl.act(VmId(0), Timestamp::ZERO, true, &mut ClusterIo::live(&mut c));
         {
             let ep = &ctl.episodes[&VmId(0)];
             assert_eq!(ep.transient_attempts, 1);
@@ -1224,11 +1668,20 @@ mod tests {
             Some(ControllerEvent::ActionRetried { attempt: 1, .. })
         ));
         // Before the backoff elapses, act() is a no-op.
-        ctl.act(VmId(0), Timestamp::from_secs(2), true, &mut c);
+        ctl.act(
+            VmId(0),
+            Timestamp::from_secs(2),
+            true,
+            &mut ClusterIo::live(&mut c),
+        );
         assert_eq!(ctl.episodes[&VmId(0)].transient_attempts, 1);
         // The control plane recovers; the due retry issues the action.
         c.set_hypervisor_busy(false);
-        ctl.process_retries(Timestamp::from_secs(SCALE_RETRY_BASE_SECS), true, &mut c);
+        ctl.process_retries(
+            Timestamp::from_secs(SCALE_RETRY_BASE_SECS),
+            true,
+            &mut ClusterIo::live(&mut c),
+        );
         assert!(matches!(
             ctl.events.last(),
             Some(ControllerEvent::ActionIssued { .. })
@@ -1255,13 +1708,13 @@ mod tests {
             ),
         );
         let mut now = Timestamp::ZERO;
-        ctl.act(VmId(0), now, true, &mut c);
+        ctl.act(VmId(0), now, true, &mut ClusterIo::live(&mut c));
         for _ in 0..TRANSIENT_RETRY_LIMIT {
             let Some(retry_at) = ctl.episodes[&VmId(0)].retry_at else {
                 break;
             };
             now = retry_at;
-            ctl.process_retries(now, true, &mut c);
+            ctl.process_retries(now, true, &mut ClusterIo::live(&mut c));
         }
         let retried = ctl
             .events
@@ -1301,11 +1754,11 @@ mod tests {
         );
         let mut now = Timestamp::ZERO;
         let mut gaps = Vec::new();
-        ctl.act(VmId(0), now, true, &mut c);
+        ctl.act(VmId(0), now, true, &mut ClusterIo::live(&mut c));
         while let Some(retry_at) = ctl.episodes[&VmId(0)].retry_at {
             gaps.push(retry_at.since(now).as_secs());
             now = retry_at;
-            ctl.process_retries(now, true, &mut c);
+            ctl.process_retries(now, true, &mut ClusterIo::live(&mut c));
         }
         assert_eq!(gaps, vec![5, 10, 20, 40]);
     }
@@ -1326,11 +1779,11 @@ mod tests {
         ctl.episodes.insert(VmId(0), ep);
         let mut now = Timestamp::ZERO;
         let mut gaps = Vec::new();
-        ctl.act(VmId(0), now, true, &mut c);
+        ctl.act(VmId(0), now, true, &mut ClusterIo::live(&mut c));
         while let Some(retry_at) = ctl.episodes[&VmId(0)].retry_at {
             gaps.push(retry_at.since(now).as_secs());
             now = retry_at;
-            ctl.process_retries(now, true, &mut c);
+            ctl.process_retries(now, true, &mut ClusterIo::live(&mut c));
         }
         assert_eq!(
             gaps,
@@ -1376,7 +1829,7 @@ mod tests {
         let mut ep = Episode::open(VmId(0), Timestamp::ZERO, vec![AttributeKind::CpuTotal]);
         ep.ineffective_resources = vec![prepare_metrics::ScalableResource::Cpu];
         ctl.episodes.insert(VmId(0), ep);
-        ctl.act(VmId(0), Timestamp::ZERO, true, &mut c);
+        ctl.act(VmId(0), Timestamp::ZERO, true, &mut ClusterIo::live(&mut c));
         assert!(
             matches!(
                 ctl.events.last(),
@@ -1393,7 +1846,7 @@ mod tests {
         // The infrastructure tears the migration down mid-copy.
         c.cancel_migration(VmId(0), Timestamp::from_secs(3))
             .unwrap();
-        ctl.validate_episodes(Timestamp::from_secs(5), false, &mut c);
+        ctl.validate_episodes(Timestamp::from_secs(5), false, &mut ClusterIo::live(&mut c));
         assert!(
             matches!(
                 ctl.events
@@ -1412,7 +1865,12 @@ mod tests {
             "no cooldown for a migration that never happened"
         );
         // With the mark cleared, the very next act() re-plans the move.
-        ctl.act(VmId(0), Timestamp::from_secs(40), true, &mut c);
+        ctl.act(
+            VmId(0),
+            Timestamp::from_secs(40),
+            true,
+            &mut ClusterIo::live(&mut c),
+        );
         assert!(c.vm(VmId(0)).is_migrating(), "the move is re-planned");
     }
 
@@ -1498,6 +1956,109 @@ mod tests {
         }
         assert_eq!(a.events, b.events);
         assert_eq!(c1, c2);
+    }
+
+    /// The tentpole equivalence at unit scale: checkpoint a mid-scenario
+    /// controller, restore it, and both copies must evolve byte-
+    /// identically (events, cluster effects, and core-state fingerprint)
+    /// through two more anomaly cycles.
+    #[test]
+    fn checkpoint_restores_byte_identical_controller() {
+        let mut c = test_cluster();
+        let mut ctl = mk_controller(Scheme::Prepare);
+        drive(&mut ctl, &mut c, 0..200);
+        assert!(ctl.is_trained(), "checkpoint must capture trained models");
+        let mut w = Writer::new();
+        ctl.store_state(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        let mut back =
+            PrepareController::load_state(&mut r, ctl.config.par).expect("checkpoint loads");
+        assert!(r.is_exhausted(), "no trailing checkpoint bytes");
+        assert_eq!(back.model_fingerprint(), ctl.model_fingerprint());
+        assert_eq!(back.events, ctl.events);
+        let mut c2 = c.clone();
+        drive(&mut ctl, &mut c, 200..440);
+        drive(&mut back, &mut c2, 200..440);
+        assert_eq!(ctl.events, back.events, "post-restore traces diverged");
+        assert_eq!(c, c2, "post-restore cluster effects diverged");
+        assert_eq!(back.model_fingerprint(), ctl.model_fingerprint());
+    }
+
+    /// A controller fed only recorded cluster replies (no cluster at all)
+    /// tracks the live controller bit-for-bit — the property journal
+    /// replay stands on.
+    #[test]
+    fn recorded_rounds_replay_without_a_cluster() {
+        let mut c = test_cluster();
+        let mut live = mk_controller(Scheme::Prepare);
+        let mut ghost = mk_controller(Scheme::Prepare);
+        for i in 0..360u64 {
+            let t = i * 5;
+            let phase = i % 120;
+            let free = match phase {
+                0..=39 => 500.0,
+                40..=89 => 500.0 - (phase - 39) as f64 * 10.0,
+                90..=109 => 0.0,
+                _ => 500.0,
+            };
+            let violated = free < 50.0;
+            let readings = vec![
+                (VmId(0), StampedSample::fresh(sample_for(t, 40.0, free))),
+                (VmId(1), StampedSample::fresh(sample_for(t, 30.0, 400.0))),
+            ];
+            let now = Timestamp::from_secs(t);
+            let (ev_live, replies) = live.on_readings_recorded(now, &readings, violated, &mut c);
+            let ev_ghost = ghost.on_readings_replay(now, &readings, violated, &replies);
+            assert_eq!(ev_live, ev_ghost, "round {i}");
+        }
+        assert!(live.is_trained(), "scenario must exercise the full loop");
+        assert!(
+            live.events
+                .iter()
+                .any(|e| matches!(e, ControllerEvent::ActionIssued { .. })),
+            "scenario must exercise actuation"
+        );
+        assert_eq!(live.model_fingerprint(), ghost.model_fingerprint());
+        // The replies themselves survive the journal codec.
+        let mut c2 = test_cluster();
+        let mut probe = mk_controller(Scheme::Prepare);
+        drive(&mut probe, &mut c2, 0..1);
+        let round: Vec<ClusterReply> = vec![
+            ClusterReply::Plan(Some(PlannedAction::ScaleCpu {
+                vm: VmId(0),
+                to: 130.0,
+            })),
+            ClusterReply::Execute(Some(ExecFailure {
+                transient: true,
+                message: "hypervisor busy".into(),
+            })),
+            ClusterReply::VmState {
+                migrating: false,
+                host: HostId(1),
+            },
+        ];
+        let back: Vec<ClusterReply> =
+            prepare_metrics::persist::from_bytes(&prepare_metrics::persist::to_bytes(&round))
+                .unwrap();
+        assert_eq!(back, round);
+    }
+
+    #[test]
+    fn scheme_round_trips_and_rejects_unknown_tags() {
+        for s in [Scheme::Prepare, Scheme::Reactive, Scheme::NoIntervention] {
+            let back: Scheme =
+                prepare_metrics::persist::from_bytes(&prepare_metrics::persist::to_bytes(&s))
+                    .unwrap();
+            assert_eq!(back, s);
+        }
+        assert!(matches!(
+            prepare_metrics::persist::from_bytes::<Scheme>(&[3u8]).unwrap_err(),
+            PersistError::BadTag {
+                what: "Scheme",
+                tag: 3
+            }
+        ));
     }
 
     #[test]

@@ -296,7 +296,13 @@ impl Experiment {
             }
             cluster.clear_background_loads();
             for (idx, target_vm, host_cpu) in faults.interference(now) {
-                let host = *pinned_hosts[idx].get_or_insert_with(|| cluster.vm(target_vm).host);
+                // `idx` enumerates the same injection list the pin table
+                // was sized from, so the slot always exists.
+                let Some(slot) = pinned_hosts.get_mut(idx) else {
+                    debug_assert!(false, "interference injection {idx} has no pin slot");
+                    continue;
+                };
+                let host = *slot.get_or_insert_with(|| cluster.vm(target_vm).host);
                 cluster.set_background_load(host, host_cpu);
             }
             let rate = workload.rate(now, &mut rng) * faults.workload_multiplier(now);

@@ -6,6 +6,7 @@
 //! runs continuously: simultaneous change points across all components
 //! mean *workload change*, not an internal fault.
 
+use prepare_metrics::persist::{Persist, PersistError, Reader, Writer};
 use prepare_metrics::{
     AttributeKind, CusumDetector, MetricSample, SloLog, TimeSeries, Timestamp, VmId,
 };
@@ -97,6 +98,7 @@ pub struct Diagnosis {
 
 /// Tracks per-VM change points for the workload-change inference and
 /// packages diagnoses.
+// xtask: checkpoint
 #[derive(Debug, Clone)]
 pub struct CauseInference {
     /// One CUSUM per VM on its input-traffic metric (NetIn) — workload
@@ -107,6 +109,7 @@ pub struct CauseInference {
     /// How recent (seconds) a change point must be to count.
     recency_secs: u64,
     /// Shard configuration for the per-VM detector updates.
+    // xtask: ephemeral -- runtime worker config, supplied by the recovering process
     par: ParConfig,
 }
 
@@ -175,6 +178,32 @@ impl CauseInference {
             workload_change: self.workload_change(now),
             faulty,
         }
+    }
+
+    /// Serializes the inference state (detectors and tunables) for a
+    /// controller checkpoint. The shard configuration is ephemeral: the
+    /// recovering process supplies its own.
+    pub fn store_state(&self, w: &mut Writer) {
+        self.detectors.store(w);
+        self.quorum.store(w);
+        self.recency_secs.store(w);
+    }
+
+    /// Restores inference state written by [`CauseInference::store_state`],
+    /// adopting the worker configuration of the recovering process.
+    pub fn load_state(r: &mut Reader<'_>, par: ParConfig) -> Result<Self, PersistError> {
+        let detectors = BTreeMap::load(r)?;
+        let quorum = f64::load(r)?;
+        let recency_secs = u64::load(r)?;
+        if !(0.0..=1.0).contains(&quorum) {
+            return Err(PersistError::Invalid("CauseInference quorum"));
+        }
+        Ok(CauseInference {
+            detectors,
+            quorum,
+            recency_secs,
+            par,
+        })
     }
 }
 
@@ -325,6 +354,57 @@ mod tests {
     fn empty_vm_set_never_infers_change() {
         let ci = CauseInference::new(&[], 0.8, 30);
         assert!(!ci.workload_change(Timestamp::from_secs(0)));
+    }
+
+    #[test]
+    fn state_round_trips_mid_stream() {
+        let vms: Vec<VmId> = (0..3).map(VmId).collect();
+        let mut ci = CauseInference::new(&vms, 0.8, 30);
+        for t in 0..50u64 {
+            let base = if t < 40 { 100.0 } else { 260.0 };
+            let w = if t % 2 == 0 { 1.0 } else { -1.0 };
+            feed(&mut ci, &vms, t * 5, &[base + w, base - w, base + 2.0 * w]);
+        }
+        let mut w = prepare_metrics::persist::Writer::new();
+        ci.store_state(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = prepare_metrics::persist::Reader::new(&bytes);
+        let back =
+            CauseInference::load_state(&mut r, ParConfig::with_workers(7)).expect("state loads");
+        assert!(r.is_exhausted());
+        assert_eq!(
+            format!("{:?}", back.detectors),
+            format!("{:?}", ci.detectors)
+        );
+        assert_eq!(back.quorum.to_bits(), ci.quorum.to_bits());
+        assert_eq!(back.recency_secs, ci.recency_secs);
+        // Both copies must keep evolving identically after the restore.
+        let mut back = back;
+        for t in 50..60u64 {
+            feed(&mut ci, &vms, t * 5, &[260.0, 261.0, 262.0]);
+            feed(&mut back, &vms, t * 5, &[260.0, 261.0, 262.0]);
+            let now = Timestamp::from_secs(t * 5);
+            assert_eq!(back.workload_change(now), ci.workload_change(now));
+        }
+    }
+
+    #[test]
+    fn load_state_rejects_out_of_range_quorum() {
+        let ci = CauseInference::new(&[VmId(0)], 0.8, 30);
+        let mut w = prepare_metrics::persist::Writer::new();
+        ci.store_state(&mut w);
+        let mut bytes = w.into_bytes();
+        // The quorum f64 sits right after the detector map; corrupt it to
+        // an impossible value (2.0) by patching the last 16 bytes, which
+        // are quorum followed by recency_secs.
+        let n = bytes.len();
+        bytes[n - 16..n - 8].copy_from_slice(&2.0f64.to_bits().to_le_bytes());
+        let mut r = prepare_metrics::persist::Reader::new(&bytes);
+        let err = CauseInference::load_state(&mut r, ParConfig::serial()).unwrap_err();
+        assert!(matches!(
+            err,
+            prepare_metrics::persist::PersistError::Invalid("CauseInference quorum")
+        ));
     }
 }
 

@@ -44,14 +44,15 @@ mod events;
 mod experiment;
 mod inference;
 mod prevention;
+mod recovery;
 mod validation;
 
 pub use analysis::{eval_violation_intervals, ExperimentReport};
 pub use config::{MigrationTargetPolicy, ParConfig, PrepareConfig, PreventionPolicy, ONLINE_ENV};
 pub use controller::{
-    PrepareController, MAX_EPISODE_FAILURES, MIGRATE_RETRY_BASE_SECS, MIGRATION_COOLDOWN_SECS,
-    RETRY_BACKOFF_CAP_SECS, SCALE_RETRY_BASE_SECS, SUPPRESSION_SECS, TRAINING_SETTLE_SECS,
-    TRANSIENT_RETRY_LIMIT,
+    ClusterIo, ClusterReply, ExecFailure, PrepareController, MAX_EPISODE_FAILURES,
+    MIGRATE_RETRY_BASE_SECS, MIGRATION_COOLDOWN_SECS, RETRY_BACKOFF_CAP_SECS,
+    SCALE_RETRY_BASE_SECS, SUPPRESSION_SECS, TRAINING_SETTLE_SECS, TRANSIENT_RETRY_LIMIT,
 };
 pub use events::{ActionFailureKind, ControllerEvent};
 pub use experiment::{
@@ -61,4 +62,7 @@ pub use inference::{
     implicated_vms, implicated_vms_par, implication_score, CauseInference, Diagnosis,
 };
 pub use prevention::{ActuationError, PlannedAction, PreventionPlanner};
+pub use recovery::{
+    Checkpoint, CrashImage, Journal, JournalScan, RecoveryManager, TickRecord, CHECKPOINT_MAGIC,
+};
 pub use validation::{Episode, ValidationOutcome};

@@ -8,6 +8,7 @@
 
 use crate::{MigrationTargetPolicy, PreventionPolicy};
 use prepare_cloudsim::{Cluster, HostId, MigrateError, PlacementError, ScaleError};
+use prepare_metrics::persist::{Persist, PersistError, Reader, Writer};
 use prepare_metrics::{AttributeKind, ScalableResource, Timestamp, VmId};
 use std::fmt;
 
@@ -116,6 +117,50 @@ impl fmt::Display for PlannedAction {
             PlannedAction::ScaleMem { vm, to } => write!(f, "scale {vm} mem to {to:.0}MB"),
             PlannedAction::Migrate { vm, target } => write!(f, "migrate {vm} to {target}"),
         }
+    }
+}
+
+impl Persist for PlannedAction {
+    fn store(&self, w: &mut Writer) {
+        match self {
+            PlannedAction::ScaleCpu { vm, to } => {
+                w.put_u8(0);
+                vm.store(w);
+                to.store(w);
+            }
+            PlannedAction::ScaleMem { vm, to } => {
+                w.put_u8(1);
+                vm.store(w);
+                to.store(w);
+            }
+            PlannedAction::Migrate { vm, target } => {
+                w.put_u8(2);
+                vm.store(w);
+                target.store(w);
+            }
+        }
+    }
+    fn load(r: &mut Reader<'_>) -> Result<Self, PersistError> {
+        Ok(match r.get_u8()? {
+            0 => PlannedAction::ScaleCpu {
+                vm: VmId::load(r)?,
+                to: f64::load(r)?,
+            },
+            1 => PlannedAction::ScaleMem {
+                vm: VmId::load(r)?,
+                to: f64::load(r)?,
+            },
+            2 => PlannedAction::Migrate {
+                vm: VmId::load(r)?,
+                target: HostId::load(r)?,
+            },
+            tag => {
+                return Err(PersistError::BadTag {
+                    what: "PlannedAction",
+                    tag,
+                })
+            }
+        })
     }
 }
 
@@ -619,6 +664,38 @@ mod tests {
             matches!(action, PlannedAction::ScaleMem { .. }),
             "got {action}"
         );
+    }
+
+    #[test]
+    fn planned_actions_round_trip_through_persist() {
+        let actions = [
+            PlannedAction::ScaleCpu {
+                vm: VmId(3),
+                to: 162.5,
+            },
+            PlannedAction::ScaleMem {
+                vm: VmId(9),
+                to: 1024.0,
+            },
+            PlannedAction::Migrate {
+                vm: VmId(0),
+                target: HostId(4),
+            },
+        ];
+        for a in actions {
+            let back: PlannedAction =
+                prepare_metrics::persist::from_bytes(&prepare_metrics::persist::to_bytes(&a))
+                    .unwrap();
+            assert_eq!(back, a);
+        }
+        let err = prepare_metrics::persist::from_bytes::<PlannedAction>(&[7u8]).unwrap_err();
+        assert!(matches!(
+            err,
+            PersistError::BadTag {
+                what: "PlannedAction",
+                tag: 7
+            }
+        ));
     }
 
     #[test]

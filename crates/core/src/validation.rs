@@ -8,6 +8,7 @@
 //! TAN model) until the performance anomaly is gone."
 
 use prepare_cloudsim::HostId;
+use prepare_metrics::persist::{Persist, PersistError, Reader, Writer};
 use prepare_metrics::{AttributeKind, Duration, ScalableResource, TimeSeries, Timestamp, VmId};
 
 /// Outcome of validating one prevention action.
@@ -30,6 +31,7 @@ pub enum ValidationOutcome {
 
 /// An open anomaly-handling episode for one VM: the confirmed diagnosis,
 /// the remaining candidate attributes, and the action trail.
+// xtask: checkpoint
 #[derive(Debug, Clone, PartialEq)]
 pub struct Episode {
     /// The faulty VM.
@@ -166,6 +168,50 @@ impl Episode {
     }
 }
 
+impl Persist for Episode {
+    fn store(&self, w: &mut Writer) {
+        self.vm.store(w);
+        self.opened.store(w);
+        self.candidates.store(w);
+        self.last_action_at.store(w);
+        w.put_bool(self.migrated);
+        w.put_usize(self.actions_taken);
+        w.put_usize(self.failures);
+        w.put_usize(self.attempts_on_candidate);
+        self.last_resource.store(w);
+        self.ineffective_resources.store(w);
+        self.retry_at.store(w);
+        w.put_usize(self.transient_attempts);
+        self.migration_target.store(w);
+    }
+    fn load(r: &mut Reader<'_>) -> Result<Self, PersistError> {
+        let episode = Episode {
+            vm: Persist::load(r)?,
+            opened: Persist::load(r)?,
+            candidates: Persist::load(r)?,
+            last_action_at: Persist::load(r)?,
+            migrated: r.get_bool()?,
+            actions_taken: r.get_usize()?,
+            failures: r.get_usize()?,
+            attempts_on_candidate: r.get_usize()?,
+            last_resource: Persist::load(r)?,
+            ineffective_resources: Persist::load(r)?,
+            retry_at: Persist::load(r)?,
+            transient_attempts: r.get_usize()?,
+            migration_target: Persist::load(r)?,
+        };
+        // The action trail can only count actions that were issued, and a
+        // retry can only be pending for an episode that has attempted
+        // something transiently.
+        if episode.attempts_on_candidate > episode.actions_taken
+            || (episode.retry_at.is_some() && episode.transient_attempts == 0)
+        {
+            return Err(PersistError::Invalid("Episode action trail"));
+        }
+        Ok(episode)
+    }
+}
+
 /// Compares the blamed attribute's mean usage in the look-back window
 /// `[acted - window, acted)` against the look-ahead window
 /// `[acted, acted + window)`: returns `true` when the relative change
@@ -278,6 +324,40 @@ mod tests {
         }
         assert!(usage_changed(&series, AttributeKind::FreeMem, t(50), w(30)));
         assert!(!usage_changed(&series, AttributeKind::NetIn, t(50), w(30)));
+    }
+
+    #[test]
+    fn persist_round_trips_mid_episode_state() {
+        let mut e = Episode::open(
+            VmId(3),
+            t(40),
+            vec![AttributeKind::FreeMem, AttributeKind::CpuTotal],
+        );
+        e.record_action(t(45), false);
+        e.last_resource = Some(ScalableResource::Memory);
+        e.mark_resource_ineffective();
+        e.record_action(t(80), true);
+        e.migration_target = Some(HostId(2));
+        e.retry_at = Some(t(95));
+        e.transient_attempts = 2;
+        let bytes = prepare_metrics::persist::to_bytes(&e);
+        let back: Episode = prepare_metrics::persist::from_bytes(&bytes).unwrap();
+        assert_eq!(back, e);
+    }
+
+    #[test]
+    fn persist_rejects_inconsistent_action_trail() {
+        let mut e = Episode::open(VmId(0), t(0), vec![AttributeKind::CpuTotal]);
+        e.record_action(t(5), false);
+        let mut bytes = prepare_metrics::persist::to_bytes(&e);
+        // `actions_taken` sits after vm (8) + opened (8) + candidates
+        // (8 + 1 per entry) + last_action_at (1 + 8) + migrated (1).
+        let off = 8 + 8 + (8 + 1) + (1 + 8) + 1;
+        bytes[off..off + 8].copy_from_slice(&0u64.to_le_bytes());
+        assert_eq!(
+            prepare_metrics::persist::from_bytes::<Episode>(&bytes),
+            Err(PersistError::Invalid("Episode action trail"))
+        );
     }
 
     #[test]

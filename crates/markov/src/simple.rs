@@ -3,6 +3,7 @@
 
 use crate::snapshot::{normalize_in_place, TransitionTable};
 use crate::{StateDistribution, ValuePredictor};
+use prepare_metrics::persist::{Persist, PersistError, Reader, Writer};
 use std::fmt;
 use std::sync::OnceLock;
 
@@ -19,6 +20,7 @@ use std::sync::OnceLock;
 /// a fresh allocation per step. Outputs are bit-identical to the kept
 /// naive path ([`SimpleMarkov::predict_reference`]); the crate's
 /// differential proptests assert it.
+// xtask: checkpoint
 #[derive(Clone)]
 pub struct SimpleMarkov {
     n: usize,
@@ -33,7 +35,7 @@ pub struct SimpleMarkov {
     /// Frozen transition rows, built on first use after an observation and
     /// invalidated by `observe`/`reset_position`. Derived state only: it is
     /// excluded from `Debug` and `PartialEq`.
-    table: OnceLock<TransitionTable>,
+    table: OnceLock<TransitionTable>, // xtask: ephemeral -- derived snapshot, rebuilt lazily on first predict
 }
 
 impl fmt::Debug for SimpleMarkov {
@@ -241,6 +243,40 @@ impl SimpleMarkov {
             Some(c) => StateDistribution::point(self.n, c),
             None => StateDistribution::uniform(self.n),
         }
+    }
+}
+
+impl Persist for SimpleMarkov {
+    fn store(&self, w: &mut Writer) {
+        w.put_usize(self.n);
+        w.put_f64(self.alpha);
+        self.counts.store(w);
+        self.current.store(w);
+        w.put_usize(self.observations);
+    }
+    fn load(r: &mut Reader<'_>) -> Result<Self, PersistError> {
+        let n = r.get_usize()?;
+        let alpha = r.get_f64()?;
+        let counts: Vec<f64> = Persist::load(r)?;
+        let current: Option<usize> = Persist::load(r)?;
+        let observations = r.get_usize()?;
+        if n == 0 || !(alpha.is_finite() && alpha >= 0.0) {
+            return Err(PersistError::Invalid("SimpleMarkov parameters"));
+        }
+        if counts.len() != n * n {
+            return Err(PersistError::Invalid("SimpleMarkov counts arity"));
+        }
+        if current.is_some_and(|c| c >= n) {
+            return Err(PersistError::Invalid("SimpleMarkov position"));
+        }
+        Ok(SimpleMarkov {
+            n,
+            counts,
+            alpha,
+            current,
+            observations,
+            table: OnceLock::new(),
+        })
     }
 }
 
@@ -474,5 +510,38 @@ mod tests {
     #[should_panic(expected = "retiring unrecorded transition")]
     fn retire_rejects_unrecorded_transition() {
         SimpleMarkov::new(2).retire_transition(0, 1);
+    }
+
+    #[test]
+    fn persist_preserves_mid_stream_position() {
+        // Unlike `from_parts` (which clears the anchor), a checkpoint taken
+        // mid-stream must restore `current` so the next prediction and the
+        // next observation land identically.
+        let mut m = SimpleMarkov::new(3);
+        m.train(&[0, 1, 2, 0, 1, 1, 2]);
+        let mut w = prepare_metrics::Writer::new();
+        m.store(&mut w);
+        let mut r = prepare_metrics::Reader::new(w.bytes());
+        let mut back = SimpleMarkov::load(&mut r).expect("decodes");
+        assert_eq!(back, m);
+        for steps in 0..5 {
+            assert_eq!(back.predict(steps), m.predict(steps));
+        }
+        back.observe(0);
+        m.observe(0);
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn persist_load_rejects_corrupt_arity() {
+        let mut m = SimpleMarkov::new(3);
+        m.train(&[0, 1, 2]);
+        let mut w = prepare_metrics::Writer::new();
+        m.store(&mut w);
+        let mut bytes = w.into_bytes();
+        // Corrupt n (first u64) to mismatch the counts length.
+        bytes[..8].copy_from_slice(&4u64.to_le_bytes());
+        let mut r = prepare_metrics::Reader::new(&bytes);
+        assert!(SimpleMarkov::load(&mut r).is_err());
     }
 }

@@ -13,6 +13,7 @@
 
 use crate::snapshot::TransitionTable;
 use crate::{SimpleMarkov, StateDistribution, ValuePredictor};
+use prepare_metrics::persist::{Persist, PersistError, Reader, Writer};
 use std::fmt;
 use std::sync::OnceLock;
 
@@ -32,6 +33,7 @@ use std::sync::OnceLock;
 /// bit-identical to the kept naive path
 /// ([`TwoDependentMarkov::predict_reference`]); the crate's differential
 /// proptests assert it.
+// xtask: checkpoint
 #[derive(Clone)]
 pub struct TwoDependentMarkov {
     n: usize,
@@ -49,7 +51,7 @@ pub struct TwoDependentMarkov {
     /// Frozen `n² × n` transition rows, built on first use after an
     /// observation and invalidated by `observe`/`reset_position`. Derived
     /// state only: excluded from `Debug` and `PartialEq`.
-    table: OnceLock<TransitionTable>,
+    table: OnceLock<TransitionTable>, // xtask: ephemeral -- derived snapshot, rebuilt lazily on first predict
 }
 
 impl fmt::Debug for TwoDependentMarkov {
@@ -355,6 +357,46 @@ impl TwoDependentMarkov {
     }
 }
 
+impl Persist for TwoDependentMarkov {
+    fn store(&self, w: &mut Writer) {
+        w.put_usize(self.n);
+        w.put_f64(self.alpha);
+        self.counts.store(w);
+        self.fallback.store(w);
+        self.prev.store(w);
+        self.current.store(w);
+        w.put_usize(self.observations);
+    }
+    fn load(r: &mut Reader<'_>) -> Result<Self, PersistError> {
+        let n = r.get_usize()?;
+        let alpha = r.get_f64()?;
+        let counts: Vec<f64> = Persist::load(r)?;
+        let fallback = SimpleMarkov::load(r)?;
+        let prev: Option<usize> = Persist::load(r)?;
+        let current: Option<usize> = Persist::load(r)?;
+        let observations = r.get_usize()?;
+        if n == 0 || !(alpha.is_finite() && alpha >= 0.0) {
+            return Err(PersistError::Invalid("TwoDependentMarkov parameters"));
+        }
+        if counts.len() != n * n * n || fallback.n_states() != n {
+            return Err(PersistError::Invalid("TwoDependentMarkov counts arity"));
+        }
+        if prev.is_some_and(|p| p >= n) || current.is_some_and(|c| c >= n) {
+            return Err(PersistError::Invalid("TwoDependentMarkov position"));
+        }
+        Ok(TwoDependentMarkov {
+            n,
+            counts,
+            fallback,
+            alpha,
+            prev,
+            current,
+            observations,
+            table: OnceLock::new(),
+        })
+    }
+}
+
 impl ValuePredictor for TwoDependentMarkov {
     fn n_states(&self) -> usize {
         self.n
@@ -650,5 +692,28 @@ mod tests {
     #[should_panic(expected = "retiring unrecorded transition")]
     fn retire_rejects_unrecorded_transition() {
         TwoDependentMarkov::new(2).retire_transition(0, 0, 1);
+    }
+
+    #[test]
+    fn persist_preserves_mid_stream_anchor() {
+        let wave = [0usize, 1, 2, 1];
+        let mut m = TwoDependentMarkov::with_smoothing(3, 0.0);
+        for i in 0..50 {
+            m.observe(wave[i % 4]);
+        }
+        let mut w = prepare_metrics::Writer::new();
+        m.store(&mut w);
+        let mut r = prepare_metrics::Reader::new(w.bytes());
+        let mut back = TwoDependentMarkov::load(&mut r).expect("decodes");
+        assert_eq!(back, m);
+        // The (prev, cur) anchor survived: both continue identically.
+        for steps in 0..5 {
+            assert_eq!(back.predict(steps), m.predict(steps));
+        }
+        for i in 50..60 {
+            back.observe(wave[i % 4]);
+            m.observe(wave[i % 4]);
+        }
+        assert_eq!(back, m);
     }
 }

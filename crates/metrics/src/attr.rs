@@ -144,6 +144,25 @@ impl fmt::Display for ScalableResource {
     }
 }
 
+impl crate::persist::Persist for ScalableResource {
+    fn store(&self, w: &mut crate::persist::Writer) {
+        w.put_u8(match self {
+            ScalableResource::Cpu => 0,
+            ScalableResource::Memory => 1,
+        });
+    }
+    fn load(r: &mut crate::persist::Reader<'_>) -> Result<Self, crate::persist::PersistError> {
+        match r.get_u8()? {
+            0 => Ok(ScalableResource::Cpu),
+            1 => Ok(ScalableResource::Memory),
+            tag => Err(crate::persist::PersistError::BadTag {
+                what: "ScalableResource",
+                tag,
+            }),
+        }
+    }
+}
+
 /// Identifier of a virtual machine (one application component per VM, as in
 /// the paper's per-PE / per-tier deployment).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]

@@ -7,6 +7,7 @@
 //! attribute values. The paper does not commit to a bin count; we default
 //! to 10 and expose it as a parameter (swept in tests / ablations).
 
+use crate::persist::{Persist, PersistError, Reader, Writer};
 use crate::{AttributeKind, MetricVector, TimeSeries, ATTRIBUTE_COUNT};
 
 /// A discretized metric vector: one bin index per attribute, in canonical
@@ -199,8 +200,8 @@ impl VectorDiscretizer {
     pub fn fit_many<'a>(series: impl IntoIterator<Item = &'a TimeSeries>, bins: usize) -> Self {
         let mut merged: Vec<Vec<f64>> = vec![Vec::new(); ATTRIBUTE_COUNT];
         for s in series {
-            for (i, a) in AttributeKind::ALL.iter().enumerate() {
-                merged[i].extend(s.attribute_values(*a));
+            for (vals, a) in merged.iter_mut().zip(AttributeKind::ALL.iter()) {
+                vals.extend(s.attribute_values(*a));
             }
         }
         let per_attr = merged
@@ -242,6 +243,39 @@ impl VectorDiscretizer {
     ) -> Vec<DiscreteVector> {
         let samples: Vec<&MetricVector> = series.iter().map(|s| &s.values).collect();
         prepare_par::par_map(par, samples, |v| self.discretize(v))
+    }
+}
+
+impl Persist for Discretizer {
+    fn store(&self, w: &mut Writer) {
+        w.put_f64(self.lo);
+        w.put_f64(self.hi);
+        w.put_usize(self.bins);
+    }
+    fn load(r: &mut Reader<'_>) -> Result<Self, PersistError> {
+        let lo = r.get_f64()?;
+        let hi = r.get_f64()?;
+        let bins = r.get_usize()?;
+        if !(lo.is_finite() && hi.is_finite() && lo <= hi) {
+            return Err(PersistError::Invalid("Discretizer bounds"));
+        }
+        if bins == 0 {
+            return Err(PersistError::Invalid("Discretizer bin count"));
+        }
+        Ok(Discretizer { lo, hi, bins })
+    }
+}
+
+impl Persist for VectorDiscretizer {
+    fn store(&self, w: &mut Writer) {
+        self.per_attr.store(w);
+    }
+    fn load(r: &mut Reader<'_>) -> Result<Self, PersistError> {
+        let per_attr: Vec<Discretizer> = Persist::load(r)?;
+        if per_attr.len() != ATTRIBUTE_COUNT {
+            return Err(PersistError::Invalid("VectorDiscretizer arity"));
+        }
+        Ok(VectorDiscretizer { per_attr })
     }
 }
 
@@ -371,6 +405,23 @@ mod tests {
     #[should_panic(expected = "one discretizer per attribute")]
     fn from_parts_rejects_wrong_arity() {
         VectorDiscretizer::from_parts(vec![Discretizer::new(0.0, 1.0, 2)]);
+    }
+
+    #[test]
+    fn discretizer_persist_round_trips_exact_bounds() {
+        let d = Discretizer::fit(&[3.0, -1.5, 8.25, 1.0 / 3.0], 7);
+        let back: Discretizer = crate::persist::from_bytes(&crate::persist::to_bytes(&d)).unwrap();
+        assert_eq!(back, d);
+        assert_eq!(back.lo().to_bits(), d.lo().to_bits());
+        let mut series = TimeSeries::new();
+        for t in 0..20u64 {
+            let v = MetricVector::from_fn(|a| (a.index() as f64 + 0.5) * t as f64);
+            series.push(MetricSample::new(Timestamp::from_secs(t), v));
+        }
+        let vd = VectorDiscretizer::fit(&series, 10);
+        let back: VectorDiscretizer =
+            crate::persist::from_bytes(&crate::persist::to_bytes(&vd)).unwrap();
+        assert_eq!(back, vd);
     }
 
     #[test]

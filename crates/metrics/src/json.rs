@@ -480,6 +480,63 @@ mod tests {
         assert!(JsonValue::parse(&deep).is_err());
     }
 
+    fn assert_number_round_trips(f: f64) {
+        let text = JsonValue::Number(f).to_string().expect("finite");
+        let back = JsonValue::parse(&text).expect("parses");
+        assert_eq!(
+            back.as_number().map(f64::to_bits),
+            Some(f.to_bits()),
+            "{text}"
+        );
+    }
+
+    proptest::proptest! {
+        // The checkpoint subsystem leans on exact numeric round-trips, so
+        // pin the whole representable range: raw-bit floats (masked to
+        // finite — clearing the exponent yields subnormals and ±0.0) and
+        // integer-valued counts against the 2^53 exactness cliff.
+        #[test]
+        fn extreme_floats_round_trip_bit_exactly(
+            bits in 0u64..=u64::MAX,
+            off in 0u64..4096,
+            sub_bits in 0u64..=u64::MAX,
+        ) {
+            let f = f64::from_bits(bits);
+            if f.is_finite() {
+                assert_number_round_trips(f);
+            }
+            // Force a subnormal (or signed zero) by clearing the exponent.
+            let sub = f64::from_bits(sub_bits & 0x800f_ffff_ffff_ffff);
+            assert_number_round_trips(sub);
+            // Integer-valued counts at and just under 2^53 stay exact.
+            let count = 9_007_199_254_740_992u64 - off;
+            assert_number_round_trips(count as f64);
+            let v = JsonValue::Number(count as f64);
+            proptest::prop_assert_eq!(v.as_u64(), Some(count));
+        }
+    }
+
+    #[test]
+    fn pinned_extreme_floats_round_trip() {
+        for f in [
+            0.0,
+            -0.0,
+            5e-324, // smallest subnormal
+            f64::MIN_POSITIVE / 2.0,
+            f64::MIN_POSITIVE,
+            f64::MAX,
+            f64::MIN,
+            9_007_199_254_740_991.0,
+            9_007_199_254_740_992.0,
+        ] {
+            assert_number_round_trips(f);
+        }
+        // -0.0 keeps its sign through the text form.
+        let text = JsonValue::Number(-0.0).to_string().expect("finite");
+        let back = JsonValue::parse(&text).expect("parses").as_number();
+        assert!(back.is_some_and(|f| f.is_sign_negative()));
+    }
+
     #[test]
     fn object_field_order_is_preserved() {
         let v = JsonValue::parse(r#"{"z":1,"a":2}"#).expect("parses");

@@ -5,6 +5,7 @@
 //! [`SloLog`] records violation intervals as the application reports them;
 //! [`Labeler`] then tags any metric sample *normal*/*abnormal* by timestamp.
 
+use crate::persist::{Persist, PersistError, Reader, Writer};
 use crate::{Duration, MetricSample, Timestamp};
 use std::fmt;
 
@@ -184,6 +185,28 @@ impl SloLog {
     }
 }
 
+impl Persist for Label {
+    fn store(&self, w: &mut Writer) {
+        w.put_bool(self.is_abnormal());
+    }
+    fn load(r: &mut Reader<'_>) -> Result<Self, PersistError> {
+        Ok(Label::from_violation(r.get_bool()?))
+    }
+}
+
+impl Persist for SloLog {
+    fn store(&self, w: &mut Writer) {
+        self.intervals.store(w);
+        self.last_seen.store(w);
+    }
+    fn load(r: &mut Reader<'_>) -> Result<Self, PersistError> {
+        let intervals = Persist::load(r)?;
+        let last_seen = Persist::load(r)?;
+        SloLog::from_raw_parts(intervals, last_seen)
+            .map_err(|_| PersistError::Invalid("SloLog interval invariants"))
+    }
+}
+
 /// Labels metric samples against an [`SloLog`] by timestamp matching.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct Labeler;
@@ -264,6 +287,26 @@ mod tests {
         assert_eq!(labeler.label(&abnormal, &log), Label::Abnormal);
         let labels = labeler.label_all(&[normal, abnormal], &log);
         assert_eq!(labels, vec![Label::Normal, Label::Abnormal]);
+    }
+
+    #[test]
+    fn slo_log_round_trips_including_open_interval() {
+        let log = log_from(&[(0, false), (5, true), (15, false), (20, true)]);
+        let back: SloLog = crate::persist::from_bytes(&crate::persist::to_bytes(&log)).unwrap();
+        assert_eq!(back, log);
+        assert!(back.is_violated_at(t(25)));
+        let empty: SloLog =
+            crate::persist::from_bytes(&crate::persist::to_bytes(&SloLog::new())).unwrap();
+        assert_eq!(empty, SloLog::new());
+    }
+
+    #[test]
+    fn slo_log_load_rejects_overlapping_intervals() {
+        let mut w = crate::persist::Writer::new();
+        vec![(t(0), Some(t(10))), (t(5), Some(t(20)))].store(&mut w);
+        Some(t(20)).store(&mut w);
+        let res: Result<SloLog, _> = crate::persist::from_bytes(&w.into_bytes());
+        assert!(matches!(res, Err(PersistError::Invalid(_))));
     }
 
     #[test]

@@ -35,6 +35,7 @@ mod fingerprint;
 pub mod guard;
 pub mod json;
 mod label;
+pub mod persist;
 mod sample;
 mod series;
 mod soa;
@@ -48,6 +49,7 @@ pub use changepoint::{ChangePoint, CusumDetector};
 pub use discretize::{DiscreteVector, Discretizer, VectorDiscretizer};
 pub use fingerprint::Fingerprint64;
 pub use label::{Label, Labeler, SloLog};
+pub use persist::{Persist, PersistError, Reader, Writer};
 pub use sample::{MetricSample, MetricVector};
 pub use series::{SeriesStats, SlidingWindow, TimeSeries};
 pub use soa::SoaMetricStore;

@@ -1,5 +1,6 @@
 //! Time-series storage and windowed statistics over metric samples.
 
+use crate::persist::{Persist, PersistError, Reader, Writer};
 use crate::{mean, std_dev, AttributeKind, MetricSample, MetricVector, Timestamp};
 use std::collections::VecDeque;
 
@@ -233,6 +234,34 @@ impl SlidingWindow {
     }
 }
 
+impl Persist for TimeSeries {
+    fn store(&self, w: &mut Writer) {
+        self.samples.store(w);
+    }
+    fn load(r: &mut Reader<'_>) -> Result<Self, PersistError> {
+        let samples: Vec<MetricSample> = Persist::load(r)?;
+        if samples.windows(2).any(|p| p[1].time < p[0].time) {
+            return Err(PersistError::Invalid("TimeSeries samples out of order"));
+        }
+        Ok(TimeSeries { samples })
+    }
+}
+
+impl Persist for SlidingWindow {
+    fn store(&self, w: &mut Writer) {
+        w.put_usize(self.capacity);
+        self.values.store(w);
+    }
+    fn load(r: &mut Reader<'_>) -> Result<Self, PersistError> {
+        let capacity = r.get_usize()?;
+        let values: VecDeque<f64> = Persist::load(r)?;
+        if capacity == 0 || values.len() > capacity {
+            return Err(PersistError::Invalid("SlidingWindow capacity"));
+        }
+        Ok(SlidingWindow { capacity, values })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -289,6 +318,29 @@ mod tests {
         assert_eq!(st.mean, 4.0);
         assert_eq!(st.min, 0.0);
         assert_eq!(st.max, 8.0);
+    }
+
+    #[test]
+    fn series_and_window_round_trip() {
+        let ts: TimeSeries = (0..10).map(|t| sample(t * 5, t as f64)).collect();
+        let back: TimeSeries = crate::persist::from_bytes(&crate::persist::to_bytes(&ts)).unwrap();
+        assert_eq!(back, ts);
+        let mut w = SlidingWindow::new(3);
+        w.push(1.0);
+        w.push(-0.0);
+        let back: SlidingWindow =
+            crate::persist::from_bytes(&crate::persist::to_bytes(&w)).unwrap();
+        assert_eq!(back, w);
+        assert_eq!(back.capacity(), 3);
+    }
+
+    #[test]
+    fn series_load_rejects_out_of_order_samples() {
+        // Hand-craft a buffer with two samples whose times are inverted.
+        let mut wtr = crate::persist::Writer::new();
+        vec![sample(10, 0.0), sample(5, 0.0)].store(&mut wtr);
+        let res: Result<TimeSeries, _> = crate::persist::from_bytes(&wtr.into_bytes());
+        assert!(matches!(res, Err(PersistError::Invalid(_))));
     }
 
     #[test]

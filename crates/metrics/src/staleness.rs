@@ -17,6 +17,7 @@
 //!   imputation self-expires once the budget runs out — a gap can be
 //!   papered over for a few rounds, never forever.
 
+use crate::persist::{Persist, PersistError, Reader, Writer};
 use crate::{AttributeKind, Duration, MetricSample, Timestamp, ATTRIBUTE_COUNT};
 
 /// Per-attribute collection timestamps for one [`StampedSample`].
@@ -184,6 +185,50 @@ impl LastValueImputer {
     }
 }
 
+impl Persist for AttributeStamps {
+    fn store(&self, w: &mut Writer) {
+        self.0.store(w);
+    }
+    fn load(r: &mut Reader<'_>) -> Result<Self, PersistError> {
+        Ok(AttributeStamps(Persist::load(r)?))
+    }
+}
+
+impl Persist for StampedSample {
+    fn store(&self, w: &mut Writer) {
+        self.sample.store(w);
+        self.stamps.store(w);
+    }
+    fn load(r: &mut Reader<'_>) -> Result<Self, PersistError> {
+        Ok(StampedSample {
+            sample: MetricSample::load(r)?,
+            stamps: AttributeStamps::load(r)?,
+        })
+    }
+}
+
+impl Persist for StalenessBudget {
+    fn store(&self, w: &mut Writer) {
+        self.per_attribute.store(w);
+    }
+    fn load(r: &mut Reader<'_>) -> Result<Self, PersistError> {
+        Ok(StalenessBudget {
+            per_attribute: Persist::load(r)?,
+        })
+    }
+}
+
+impl Persist for LastValueImputer {
+    fn store(&self, w: &mut Writer) {
+        self.last.store(w);
+    }
+    fn load(r: &mut Reader<'_>) -> Result<Self, PersistError> {
+        Ok(LastValueImputer {
+            last: Option::load(r)?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -238,6 +283,28 @@ mod tests {
             budget.freshness(Timestamp::from_secs(100), &s),
             Freshness::Stale
         );
+    }
+
+    #[test]
+    fn staleness_state_round_trips() {
+        let mut s = StampedSample::fresh(sample_at(100, 1.5));
+        s.stamps.set(AttributeKind::NetIn, Timestamp::from_secs(80));
+        let mut budget = StalenessBudget::uniform(Duration::from_secs(10));
+        budget.set(AttributeKind::Load5, Duration::from_secs(60));
+        let mut imp = LastValueImputer::new();
+        imp.observe(&s);
+        let s2: StampedSample = crate::persist::from_bytes(&crate::persist::to_bytes(&s)).unwrap();
+        assert_eq!(s2, s);
+        let b2: StalenessBudget =
+            crate::persist::from_bytes(&crate::persist::to_bytes(&budget)).unwrap();
+        assert_eq!(b2, budget);
+        let i2: LastValueImputer =
+            crate::persist::from_bytes(&crate::persist::to_bytes(&imp)).unwrap();
+        assert_eq!(i2, imp);
+        let empty: LastValueImputer =
+            crate::persist::from_bytes(&crate::persist::to_bytes(&LastValueImputer::new()))
+                .unwrap();
+        assert_eq!(empty, LastValueImputer::new());
     }
 
     #[test]

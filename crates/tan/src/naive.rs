@@ -3,6 +3,7 @@
 //! attribution is unreliable, not because its accuracy was poor).
 
 use crate::{Classifier, Dataset, TrainError};
+use prepare_metrics::persist::{Persist, PersistError, Reader, Writer};
 use prepare_metrics::Label;
 
 /// Class-conditional probability table for one attribute with no attribute
@@ -48,6 +49,19 @@ impl RootCpt {
     /// The two class-conditional log-probability rows, normal class first.
     pub(crate) fn rows(&self) -> impl Iterator<Item = &[f64]> {
         self.log_p.iter().map(Vec::as_slice)
+    }
+}
+
+impl Persist for RootCpt {
+    fn store(&self, w: &mut Writer) {
+        self.log_p.store(w);
+    }
+    fn load(r: &mut Reader<'_>) -> Result<Self, PersistError> {
+        let log_p: [Vec<f64>; 2] = Persist::load(r)?;
+        if log_p[0].len() != log_p[1].len() || log_p[0].is_empty() {
+            return Err(PersistError::Invalid("RootCpt table shape"));
+        }
+        Ok(RootCpt { log_p })
     }
 }
 

@@ -3,6 +3,7 @@
 
 use crate::naive::{clamp_value, log_prior_ratio, RootCpt};
 use crate::{chow_liu_tree, Classifier, Dataset, TrainError};
+use prepare_metrics::persist::{Persist, PersistError, Reader, Writer};
 use prepare_metrics::{debug_assert_finite, Label};
 
 /// Class- and parent-conditional probability table:
@@ -66,6 +67,45 @@ impl EdgeCpt {
 pub(crate) enum Cpt {
     Root(RootCpt),
     Edge { parent: usize, table: EdgeCpt },
+}
+
+impl Persist for EdgeCpt {
+    fn store(&self, w: &mut Writer) {
+        self.log_p.store(w);
+    }
+    fn load(r: &mut Reader<'_>) -> Result<Self, PersistError> {
+        let log_p: [Vec<Vec<f64>>; 2] = Persist::load(r)?;
+        if log_p[0].len() != log_p[1].len() {
+            return Err(PersistError::Invalid("EdgeCpt table shape"));
+        }
+        Ok(EdgeCpt { log_p })
+    }
+}
+
+impl Persist for Cpt {
+    fn store(&self, w: &mut Writer) {
+        match self {
+            Cpt::Root(t) => {
+                w.put_u8(0);
+                t.store(w);
+            }
+            Cpt::Edge { parent, table } => {
+                w.put_u8(1);
+                w.put_usize(*parent);
+                table.store(w);
+            }
+        }
+    }
+    fn load(r: &mut Reader<'_>) -> Result<Self, PersistError> {
+        match r.get_u8()? {
+            0 => Ok(Cpt::Root(RootCpt::load(r)?)),
+            1 => Ok(Cpt::Edge {
+                parent: r.get_usize()?,
+                table: EdgeCpt::load(r)?,
+            }),
+            tag => Err(PersistError::BadTag { what: "Cpt", tag }),
+        }
+    }
 }
 
 /// The impact strength `L_i` of one attribute on an abnormal verdict
@@ -216,6 +256,37 @@ impl TanClassifier {
     }
 }
 
+impl Persist for TanClassifier {
+    fn store(&self, w: &mut Writer) {
+        self.cpts.store(w);
+        self.parents.store(w);
+        w.put_f64(self.log_prior_ratio);
+        self.cardinalities.store(w);
+    }
+    fn load(r: &mut Reader<'_>) -> Result<Self, PersistError> {
+        let cpts: Vec<Cpt> = Persist::load(r)?;
+        let parents: Vec<Option<usize>> = Persist::load(r)?;
+        let log_prior_ratio = r.get_f64()?;
+        let cardinalities: Vec<usize> = Persist::load(r)?;
+        let n = cpts.len();
+        if parents.len() != n || cardinalities.len() != n || n == 0 {
+            return Err(PersistError::Invalid("TanClassifier arity"));
+        }
+        if parents.iter().any(|p| p.is_some_and(|i| i >= n)) {
+            return Err(PersistError::Invalid("TanClassifier parent index"));
+        }
+        if cardinalities.contains(&0) {
+            return Err(PersistError::Invalid("TanClassifier cardinality"));
+        }
+        Ok(TanClassifier {
+            cpts,
+            parents,
+            log_prior_ratio,
+            cardinalities,
+        })
+    }
+}
+
 impl Classifier for TanClassifier {
     fn train(ds: &Dataset) -> Result<Self, TrainError> {
         let log_prior_ratio = log_prior_ratio(ds)?;
@@ -331,6 +402,27 @@ mod tests {
             assert_eq!(v.score, tan.score(&x));
             assert_eq!(v.probability, tan.abnormal_probability(&x));
             assert_eq!(v.ranked, tan.ranked_strengths(&x));
+        }
+    }
+
+    #[test]
+    fn persist_round_trip_is_bit_identical() {
+        let tan = TanClassifier::train(&leak_dataset()).unwrap();
+        let mut w = prepare_metrics::Writer::new();
+        tan.store(&mut w);
+        let mut r = prepare_metrics::Reader::new(w.bytes());
+        let back = TanClassifier::load(&mut r).expect("decodes");
+        assert_eq!(back, tan);
+        let bits = |t: &TanClassifier| {
+            t.log_cpt_rows()
+                .iter()
+                .flatten()
+                .map(|p| p.to_bits())
+                .collect::<Vec<u64>>()
+        };
+        assert_eq!(bits(&back), bits(&tan));
+        for x in [[0usize, 3, 1], [3, 0, 1], [1, 1, 2]] {
+            assert_eq!(back.evaluate(&x), tan.evaluate(&x));
         }
     }
 

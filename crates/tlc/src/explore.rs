@@ -3,11 +3,18 @@
 //! Pinned chaos plans can only reach the orderings someone thought to
 //! write down. This explorer drives the real controller on a tiny
 //! 2-host / 3-VM cluster through a synthetic recurring memory-leak
-//! anomaly and enumerates *every* single fault and *every* unordered
-//! pair of distinct faults from a fixed catalogue, each over every
-//! combination of a fixed set of activation windows — fault A before B,
-//! B before A, and overlapping. Every resulting event trace is checked
-//! against the full registered property catalogue.
+//! anomaly and enumerates *every* single fault over every activation
+//! window and *every* unordered pair of distinct faults over every
+//! distinct temporal relation of the window set — overlapping, A
+//! adjacent-before B, B adjacent-before A, A gapped-before B, and the
+//! reverse. Every resulting event trace is checked against the full
+//! registered property catalogue.
+//!
+//! Every case runs under a [`RecoveryManager`]: the controller journals
+//! each round and checkpoints periodically, and the catalogue's
+//! [`ChaosKind::ControllerCrash`] entry kills and resurrects it
+//! mid-scenario — so crash recovery is explored interleaved with every
+//! monitoring- and actuation-plane fault, not just in isolation.
 //!
 //! Everything is fixed (catalogue, windows, seeds, synthetic workload),
 //! so the exploration is deterministic: same binary, same cases, same
@@ -16,7 +23,7 @@
 use crate::properties::standard_properties;
 use crate::{check_all, Violation};
 use prepare_cloudsim::{ChaosEngine, ChaosKind, ChaosPlan, Cluster, HostId, HostSpec};
-use prepare_core::{ControllerEvent, PrepareConfig, PrepareController, Scheme};
+use prepare_core::{ControllerEvent, PrepareConfig, PrepareController, RecoveryManager, Scheme};
 use prepare_metrics::{
     AttributeKind, Duration, MetricSample, MetricVector, StampedSample, Timestamp, VmId,
 };
@@ -49,13 +56,24 @@ const PREFIX_SECS: u64 = 880;
 /// activations.
 const WINDOWS: [(u64, u64); 3] = [(880, 960), (960, 1040), (1040, 1120)];
 
+/// Control rounds between checkpoints for the explorer's recovery
+/// manager: 8 rounds × 5 s = 40 s, comfortably inside the
+/// `checkpoint-liveness` window the property catalogue enforces, and
+/// short enough that the many explored crash points each replay only a
+/// small journal suffix (the sweep shares the lint's CI time budget).
+const CHECKPOINT_EVERY_ROUNDS: u64 = 8;
+
 /// The fixed fault catalogue, by index. Probabilities are 1.0 so a
 /// window's effect does not depend on coin flips. One representative
 /// per fault class: monitoring loss on the leaking VM, a frozen sensor
-/// on the blamed attribute, actuation rejection, migration failure, and
-/// a whole-host observability blackout. (`DelaySamples` is left to the
+/// on the blamed attribute, actuation rejection, migration failure, a
+/// whole-host observability blackout, and a controller kill that forces
+/// checkpoint + journal recovery. (`DelaySamples` is left to the
 /// randomized chaos suite — for the checker's purposes its staleness
-/// effect is subsumed by `DropSamples`.)
+/// effect is subsumed by `DropSamples`. The crash fault keeps a
+/// sub-1.0 probability on purpose: the seeded coins then scatter kills
+/// across different rounds of each window, instead of crashing every
+/// round the same way.)
 fn catalogue() -> Vec<ChaosKind> {
     vec![
         ChaosKind::DropSamples {
@@ -71,6 +89,7 @@ fn catalogue() -> Vec<ChaosKind> {
             timeout: Duration::from_secs(3),
         },
         ChaosKind::HostBlackout { host: HostId(0) },
+        ChaosKind::ControllerCrash { probability: 0.35 },
     ]
 }
 
@@ -155,27 +174,16 @@ pub struct Prefix {
     controller: PrepareController,
 }
 
-/// Drives one simulated second, sampling the controller on
-/// [`SAMPLING_SECS`] boundaries. `chaos` is `None` on the fault-free
-/// prefix (faults only activate later, so the engine has nothing to do).
-fn step(
+/// The scenario's inputs for the sampling round at time `t` (which must
+/// be a [`SAMPLING_SECS`] boundary): the delivered readings — routed
+/// through the chaos engine's monitoring-plane faults when one is active
+/// — and the SLO status.
+fn round_inputs(
     t: u64,
-    cluster: &mut Cluster,
-    controller: &mut PrepareController,
+    cluster: &Cluster,
     chaos: Option<&mut ChaosEngine>,
-) {
+) -> (Vec<(VmId, StampedSample)>, bool) {
     let now = Timestamp::from_secs(t);
-    cluster.advance(now);
-    let chaos = match chaos {
-        Some(c) => {
-            c.tick(cluster, now);
-            Some(c)
-        }
-        None => None,
-    };
-    if !t.is_multiple_of(SAMPLING_SECS) {
-        return;
-    }
     let i = t / SAMPLING_SECS;
     let free = leak_free_mem(i);
     let violated = free < 50.0;
@@ -197,6 +205,18 @@ fn step(
             .map(|&(vm, sample)| (vm, StampedSample::fresh(sample)))
             .collect(),
     };
+    (readings, violated)
+}
+
+/// Drives one fault-free simulated second of the shared prefix,
+/// sampling the controller on [`SAMPLING_SECS`] boundaries.
+fn step(t: u64, cluster: &mut Cluster, controller: &mut PrepareController) {
+    let now = Timestamp::from_secs(t);
+    cluster.advance(now);
+    if !t.is_multiple_of(SAMPLING_SECS) {
+        return;
+    }
+    let (readings, violated) = round_inputs(t, cluster, None);
     controller.on_readings(now, &readings, violated, cluster);
 }
 
@@ -220,7 +240,7 @@ pub fn build_prefix() -> Option<Prefix> {
     let vms = vec![VmId(0), VmId(1), VmId(2)];
     let mut controller = PrepareController::new(vms, PrepareConfig::default(), Scheme::Prepare);
     for t in 0..PREFIX_SECS {
-        step(t, &mut cluster, &mut controller, None);
+        step(t, &mut cluster, &mut controller);
     }
     Some(Prefix {
         cluster,
@@ -230,9 +250,16 @@ pub fn build_prefix() -> Option<Prefix> {
 
 /// Runs one interleaving from a shared prefix and returns the
 /// controller's full event trace (prefix events included).
+///
+/// The case's controller runs under a [`RecoveryManager`] (write-ahead
+/// journal, checkpoint every [`CHECKPOINT_EVERY_ROUNDS`] rounds), so
+/// every explored trace carries checkpoint bookkeeping — and a
+/// [`ChaosKind::ControllerCrash`] fault can kill the controller
+/// mid-scenario and resurrect it from the durable artifacts, with the
+/// property catalogue checking the crash never duplicates an actuation.
 pub fn run_case_from(prefix: &Prefix, case: &Case) -> Vec<ControllerEvent> {
     let mut cluster = prefix.cluster.clone();
-    let mut controller = prefix.controller.clone();
+    let mut manager = RecoveryManager::new(prefix.controller.clone(), CHECKPOINT_EVERY_ROUNDS);
 
     let mut plan = ChaosPlan::new(COIN_SEED);
     let kinds = catalogue();
@@ -247,11 +274,35 @@ pub fn run_case_from(prefix: &Prefix, case: &Case) -> Vec<ControllerEvent> {
         );
     }
     let mut chaos = ChaosEngine::new(plan);
+    let par = ParConfig::from_env();
 
     for t in PREFIX_SECS..ROUNDS * SAMPLING_SECS {
-        step(t, &mut cluster, &mut controller, Some(&mut chaos));
+        let now = Timestamp::from_secs(t);
+        cluster.advance(now);
+        chaos.tick(&mut cluster, now);
+        if !t.is_multiple_of(SAMPLING_SECS) {
+            continue;
+        }
+        // A kill decided this round strikes before the round runs: the
+        // process dies, and a fresh one rebuilds the exact pre-crash
+        // controller from the last checkpoint plus the journal suffix,
+        // then handles the round like any other. The cluster (the
+        // outside world) keeps its state across the crash.
+        if chaos.controller_crashed(now) {
+            let image = manager.crash_image();
+            let Ok(recovered) = RecoveryManager::recover(&image, CHECKPOINT_EVERY_ROUNDS, par, now)
+            else {
+                // A checkpoint this process just sealed cannot be corrupt;
+                // bailing with an empty trace fails the coverage tests
+                // loudly instead of checking vacuous properties.
+                return Vec::new();
+            };
+            manager = recovered;
+        }
+        let (readings, violated) = round_inputs(t, &cluster, Some(&mut chaos));
+        manager.tick(now, &readings, violated, &mut cluster);
     }
-    controller.events().to_vec()
+    manager.controller().events().to_vec()
 }
 
 /// Runs one interleaving standalone (builds a private prefix). The
@@ -265,8 +316,17 @@ pub fn run_case(case: &Case) -> Vec<ControllerEvent> {
     }
 }
 
-/// Every single-fault case followed by every unordered pair of distinct
-/// faults, each over all window combinations.
+/// Window-index combinations explored for each unordered fault pair.
+///
+/// The full 3x3 product only adds phase-shifted copies of the same
+/// temporal relations; these five cover every distinct relation class —
+/// overlapping, A adjacent-before B (and the reverse), and A
+/// gapped-before B (and the reverse) — which keeps the sweep inside the
+/// shared lint+tlc CI budget as the fault catalogue grows.
+const PAIR_COMBOS: [(usize, usize); 5] = [(0, 0), (0, 1), (1, 0), (0, 2), (2, 0)];
+
+/// Every single-fault case over every window, followed by every
+/// unordered pair of distinct faults over [`PAIR_COMBOS`].
 pub fn all_cases() -> Vec<Case> {
     let n = catalogue().len();
     let w = WINDOWS.len();
@@ -280,12 +340,10 @@ pub fn all_cases() -> Vec<Case> {
     }
     for a in 0..n {
         for b in (a + 1)..n {
-            for wa in 0..w {
-                for wb in 0..w {
-                    cases.push(Case {
-                        faults: vec![(a, wa), (b, wb)],
-                    });
-                }
+            for &(wa, wb) in &PAIR_COMBOS {
+                cases.push(Case {
+                    faults: vec![(a, wa), (b, wb)],
+                });
             }
         }
     }
@@ -343,7 +401,13 @@ mod tests {
         let n = catalogue().len();
         let w = WINDOWS.len();
         let cases = all_cases();
-        assert_eq!(cases.len(), n * w + n * (n - 1) / 2 * w * w);
+        assert_eq!(cases.len(), n * w + n * (n - 1) / 2 * PAIR_COMBOS.len());
+        // Pair combos must stay within the window set and cover the
+        // overlap relation plus both orderings.
+        assert!(PAIR_COMBOS.iter().all(|&(wa, wb)| wa < w && wb < w));
+        assert!(PAIR_COMBOS.iter().any(|&(wa, wb)| wa == wb));
+        assert!(PAIR_COMBOS.iter().any(|&(wa, wb)| wa < wb));
+        assert!(PAIR_COMBOS.iter().any(|&(wa, wb)| wa > wb));
         // Every catalogue fault appears in at least one single and one
         // pair case.
         for fi in 0..n {
@@ -404,6 +468,36 @@ mod tests {
         assert!(busy
             .iter()
             .any(|e| matches!(e, ControllerEvent::ActionRetried { .. })));
+    }
+
+    #[test]
+    fn controller_crash_case_recovers_deterministically() {
+        // The last catalogue entry is the controller kill: its case must
+        // actually crash (markers present), recover every crash, keep
+        // checkpointing, and replay byte-identically.
+        let crash_idx = catalogue().len() - 1;
+        assert!(matches!(
+            catalogue()[crash_idx],
+            ChaosKind::ControllerCrash { .. }
+        ));
+        let case = Case {
+            faults: vec![(crash_idx, 1)],
+        };
+        let events = run_case(&case);
+        let crashes = events
+            .iter()
+            .filter(|e| matches!(e, ControllerEvent::ControllerCrashed { .. }))
+            .count();
+        let recoveries = events
+            .iter()
+            .filter(|e| matches!(e, ControllerEvent::RecoveryCompleted { .. }))
+            .count();
+        assert!(crashes > 0, "the crash window must kill the controller");
+        assert_eq!(crashes, recoveries, "every crash must be recovered");
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, ControllerEvent::CheckpointTaken { .. })));
+        assert_eq!(events, run_case(&case), "crash cases must replay exactly");
     }
 
     #[test]

@@ -25,6 +25,9 @@
 //! | `abandon-silences-vm` | after `ActionAbandoned`, the VM stays quiet until its suppression deadline |
 //! | `validation-needs-episode` | validation verdicts only happen inside an open episode |
 //! | `migration-no-flapping` | two migration starts of one VM within the cooldown require an intervening rollback |
+//! | `no-duplicate-actuation` | no action is issued twice with an identical payload — a crash replay must never re-apply an actuation |
+//! | `recovery-follows-crash` | crash and recovery markers strictly alternate, and no crash goes unrecovered |
+//! | `checkpoint-liveness` | on checkpointed runs, consecutive checkpoints (and the trace tail) stay within the liveness window |
 
 use crate::{always, forbidden_between, leads_to, since, Property, Trace, Violation};
 use prepare_core::{
@@ -43,6 +46,13 @@ pub const DECISION_WINDOW_SECS: u64 = 60;
 /// monitoring degradation that parks it) shows up: the backoff cap plus
 /// two sampling rounds of slack.
 pub const RETRY_ANSWER_SECS: u64 = RETRY_BACKOFF_CAP_SECS + 10;
+
+/// Maximum seconds between checkpoints on a run that checkpoints at all
+/// (seen via `CheckpointTaken`), and from the last checkpoint to the end
+/// of the trace. Runs without a recovery manager emit no checkpoint
+/// events and are exempt — the obligation is "if you promise durability,
+/// keep promising it", not "every run must checkpoint".
+pub const CHECKPOINT_LIVENESS_SECS: u64 = 300;
 
 // ---- per-variant views -------------------------------------------------
 
@@ -281,6 +291,24 @@ fn payload_sanity(trace: &Trace<'_>) -> Vec<Violation> {
         ControllerEvent::MonitoringRecovered { .. } => Ok(()),
         ControllerEvent::ValidationSucceeded { .. } => Ok(()),
         ControllerEvent::ValidationIneffective { .. } => Ok(()),
+        ControllerEvent::ControllerCrashed { .. } => Ok(()),
+        ControllerEvent::CheckpointTaken { at: _, bytes } => {
+            if *bytes == 0 {
+                return Err("checkpoint claims zero serialized bytes".into());
+            }
+            Ok(())
+        }
+        ControllerEvent::JournalTruncated { at: _, records } => {
+            // The journal is only truncated right after a checkpoint, and
+            // a checkpoint only lands after at least one journaled round.
+            if *records == 0 {
+                return Err("journal truncated with zero records covered".into());
+            }
+            Ok(())
+        }
+        // `replayed` may legitimately be zero: a crash in the same round
+        // a checkpoint sealed leaves an empty journal suffix.
+        ControllerEvent::RecoveryCompleted { .. } => Ok(()),
     })
 }
 
@@ -588,6 +616,117 @@ fn migration_no_flapping(trace: &Trace<'_>) -> Vec<Violation> {
     out
 }
 
+/// An actuation must never be applied twice: two `ActionIssued` events
+/// with identical payloads (same round, VM, and action text) mean a
+/// crash replay re-executed an action the cluster had already absorbed.
+/// The controller issues at most one action per VM per round, so an
+/// exact duplicate is always a double-application, never a legitimate
+/// repeat.
+fn no_duplicate_actuation(trace: &Trace<'_>) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let mut seen: Vec<(Timestamp, VmId, &str)> = Vec::new();
+    for e in trace.events() {
+        let ControllerEvent::ActionIssued { at, vm, action, .. } = e else {
+            continue;
+        };
+        let key = (*at, *vm, action.as_str());
+        if seen.contains(&key) {
+            out.push(Violation {
+                property: "no-duplicate-actuation",
+                at: *at,
+                message: format!(
+                    "`{action}` issued twice for {vm} at {at} — an actuation crossed \
+                     a crash boundary twice"
+                ),
+            });
+        } else {
+            seen.push(key);
+        }
+    }
+    out
+}
+
+/// Crash/recovery causality: every `RecoveryCompleted` answers exactly
+/// one preceding `ControllerCrashed`, a second crash cannot strike while
+/// one is still unrecovered (the process is already down), and a trace
+/// must not end with a crash left unrecovered.
+fn recovery_follows_crash(trace: &Trace<'_>) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let mut pending: Option<Timestamp> = None;
+    for e in trace.events() {
+        if let ControllerEvent::ControllerCrashed { at } = e {
+            if let Some(prev) = pending {
+                out.push(Violation {
+                    property: "recovery-follows-crash",
+                    at: *at,
+                    message: format!(
+                        "controller crashed again before the crash at {prev} was recovered"
+                    ),
+                });
+            }
+            pending = Some(*at);
+        } else if let ControllerEvent::RecoveryCompleted { at, .. } = e {
+            if pending.take().is_none() {
+                out.push(Violation {
+                    property: "recovery-follows-crash",
+                    at: *at,
+                    message: "recovery completed with no preceding crash".to_string(),
+                });
+            }
+        }
+    }
+    if let Some(at) = pending {
+        out.push(Violation {
+            property: "recovery-follows-crash",
+            at,
+            message: "trace ends with the crash still unrecovered".to_string(),
+        });
+    }
+    out
+}
+
+/// Checkpoint liveness: a run that checkpoints at all must keep doing so
+/// — consecutive `CheckpointTaken` events no more than
+/// [`CHECKPOINT_LIVENESS_SECS`] apart, and the trace must not run past
+/// the last checkpoint by more than that window.
+fn checkpoint_liveness(trace: &Trace<'_>) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let mut last: Option<Timestamp> = None;
+    for e in trace.events() {
+        let ControllerEvent::CheckpointTaken { at, .. } = e else {
+            continue;
+        };
+        if let Some(prev) = last {
+            let gap = at.since(prev).as_secs();
+            if gap > CHECKPOINT_LIVENESS_SECS {
+                out.push(Violation {
+                    property: "checkpoint-liveness",
+                    at: *at,
+                    message: format!(
+                        "{gap}s since the previous checkpoint at {prev} \
+                         (liveness window {CHECKPOINT_LIVENESS_SECS}s)"
+                    ),
+                });
+            }
+        }
+        last = Some(*at);
+    }
+    if let Some(prev) = last {
+        let tail = trace.end().since(prev).as_secs();
+        if tail > CHECKPOINT_LIVENESS_SECS {
+            out.push(Violation {
+                property: "checkpoint-liveness",
+                at: trace.end(),
+                message: format!(
+                    "trace runs {tail}s past the last checkpoint at {prev} \
+                     (liveness window {CHECKPOINT_LIVENESS_SECS}s)"
+                ),
+            });
+        }
+    }
+    out
+}
+
 /// The registered property catalogue, in report order.
 pub fn standard_properties() -> Vec<Property> {
     vec![
@@ -665,6 +804,21 @@ pub fn standard_properties() -> Vec<Property> {
             "migration-no-flapping",
             "re-migrating a VM inside the cooldown requires an intervening rollback",
             migration_no_flapping,
+        ),
+        Property::new(
+            "no-duplicate-actuation",
+            "no action is ever issued twice with an identical payload",
+            no_duplicate_actuation,
+        ),
+        Property::new(
+            "recovery-follows-crash",
+            "crash and recovery markers strictly alternate and every crash is recovered",
+            recovery_follows_crash,
+        ),
+        Property::new(
+            "checkpoint-liveness",
+            "checkpointed runs seal a checkpoint within every liveness window",
+            checkpoint_liveness,
         ),
     ]
 }
@@ -858,6 +1012,85 @@ mod tests {
             },
         ];
         assert_eq!(abandon_silences_vm(&Trace::new(&log)), vec![]);
+    }
+
+    #[test]
+    fn duplicate_actuation_is_flagged() {
+        let issue = |at: u64| ControllerEvent::ActionIssued {
+            at: t(at),
+            vm: VmId(0),
+            action: "scale vm0 mem to 666MB".into(),
+            attribute: Some(AttributeKind::FreeMem),
+        };
+        // The same payload twice: a replayed actuation.
+        let log = vec![issue(100), issue(100)];
+        let v = no_duplicate_actuation(&Trace::new(&log));
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].at, t(100));
+        // Same action at a later round is a legitimate re-issue.
+        let log = vec![issue(100), issue(200)];
+        assert_eq!(no_duplicate_actuation(&Trace::new(&log)), vec![]);
+    }
+
+    #[test]
+    fn crash_recovery_alternation_is_enforced() {
+        let crash = |at: u64| ControllerEvent::ControllerCrashed { at: t(at) };
+        let recovered = |at: u64, replayed: usize| ControllerEvent::RecoveryCompleted {
+            at: t(at),
+            replayed,
+        };
+        // Clean alternation, including a crash with an empty journal.
+        let log = vec![crash(100), recovered(100, 7), crash(200), recovered(200, 0)];
+        assert_eq!(recovery_follows_crash(&Trace::new(&log)), vec![]);
+        // Recovery out of thin air.
+        let log = vec![recovered(100, 1)];
+        assert_eq!(recovery_follows_crash(&Trace::new(&log)).len(), 1);
+        // Double crash with no recovery in between.
+        let log = vec![crash(100), crash(150), recovered(150, 2)];
+        assert_eq!(recovery_follows_crash(&Trace::new(&log)).len(), 1);
+        // A crash the trace never recovers from.
+        let log = vec![crash(100)];
+        let v = recovery_follows_crash(&Trace::new(&log));
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].at, t(100));
+    }
+
+    #[test]
+    fn checkpoint_liveness_bounds_gaps_and_tail() {
+        let ckpt = |at: u64| ControllerEvent::CheckpointTaken {
+            at: t(at),
+            bytes: 4096,
+        };
+        // No checkpoints at all: vacuously fine (unmanaged run).
+        let log = vec![ControllerEvent::MonitoringDegraded {
+            at: t(1000),
+            vm: VmId(0),
+        }];
+        assert_eq!(checkpoint_liveness(&Trace::new(&log)), vec![]);
+        // Gaps inside the window and a short tail: fine.
+        let log = vec![
+            ckpt(100),
+            ckpt(100 + CHECKPOINT_LIVENESS_SECS),
+            ControllerEvent::MonitoringDegraded {
+                at: t(150 + CHECKPOINT_LIVENESS_SECS),
+                vm: VmId(0),
+            },
+        ];
+        assert_eq!(checkpoint_liveness(&Trace::new(&log)), vec![]);
+        // A gap past the window.
+        let log = vec![ckpt(100), ckpt(101 + CHECKPOINT_LIVENESS_SECS)];
+        assert_eq!(checkpoint_liveness(&Trace::new(&log)).len(), 1);
+        // The run outlives its last checkpoint by more than the window.
+        let log = vec![
+            ckpt(100),
+            ControllerEvent::MonitoringDegraded {
+                at: t(101 + CHECKPOINT_LIVENESS_SECS),
+                vm: VmId(0),
+            },
+        ];
+        let v = checkpoint_liveness(&Trace::new(&log));
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].at, t(101 + CHECKPOINT_LIVENESS_SECS));
     }
 
     #[test]

@@ -1,0 +1,468 @@
+//! Checkpoint-coverage rule: every field of a struct marked
+//! `// xtask: checkpoint` must either be written by that struct's own
+//! `store*` serializer in the same file or carry an explicit
+//! `// xtask: ephemeral -- reason` exemption.
+//!
+//! The crash-recovery proofs (`tests/recovery.rs`) compare a restored
+//! controller against an uninterrupted referee byte-for-byte, so a field
+//! silently added to a checkpointed struct without a matching `store`
+//! line is exactly the bug class that turns "recovered" into "quietly
+//! diverged three hundred rounds later". This rule makes the omission a
+//! zero-tolerance lint finding at the field's declaration site instead of
+//! a sweep failure: the author either serializes the field or states, in
+//! the declaration, why derived/cache state may legitimately be dropped
+//! across a crash.
+//!
+//! Marker grammar, mirroring the taint markers in [`crate::items`]:
+//!
+//! - `// xtask: checkpoint` — directly above a named-field struct
+//!   (attributes and visibility may intervene). Attaching to anything
+//!   else is an `orphan-marker` finding.
+//! - `// xtask: ephemeral -- reason` — trailing on a field's line or in
+//!   the comment block directly above the field. The justification after
+//!   `--` is mandatory; a marker that exempts no field of a checkpointed
+//!   struct is an `orphan-marker` finding.
+//!
+//! "Serialized" means the field identifier appears as `self.<field>`
+//! inside the body of a function named `store*` (e.g. `store`,
+//! `store_state`, `store_core`) implemented on the struct in the same
+//! file — the codec convention every `Persist` impl in this workspace
+//! follows.
+
+use crate::items::FileItems;
+use crate::lexer::{comment_body, Token, TokenKind};
+use crate::rules::{matching, push, Category, Finding};
+use crate::scan::SourceFile;
+use std::collections::BTreeSet;
+
+/// Marker naming a struct whose fields must all be stored or exempted.
+pub const CHECKPOINT_MARKER: &str = "xtask: checkpoint";
+
+/// Field-level exemption marker; requires a `-- reason` justification.
+pub const EPHEMERAL_MARKER: &str = "xtask: ephemeral";
+
+/// One `// xtask: ephemeral` comment, by raw-token index.
+struct Ephemeral {
+    /// Index into [`SourceFile::tokens`].
+    tok: usize,
+    /// True once some field's exemption consumed the marker.
+    used: bool,
+}
+
+fn is_comment(kind: TokenKind) -> bool {
+    matches!(kind, TokenKind::LineComment | TokenKind::BlockComment)
+}
+
+/// Runs the checkpoint-coverage rule over every file.
+pub(crate) fn check(files: &[SourceFile], parsed: &[FileItems], findings: &mut Vec<Finding>) {
+    for (f, it) in files.iter().zip(parsed) {
+        check_file(f, it, findings);
+    }
+}
+
+fn check_file(f: &SourceFile, it: &FileItems, findings: &mut Vec<Finding>) {
+    let mut checkpoints: Vec<usize> = Vec::new();
+    let mut ephemerals: Vec<Ephemeral> = Vec::new();
+    for (i, t) in f.tokens.iter().enumerate() {
+        if !is_comment(t.kind) || f.in_test_region(t.start) {
+            continue;
+        }
+        let body = comment_body(t.text(&f.text));
+        if body == CHECKPOINT_MARKER {
+            checkpoints.push(i);
+        } else if let Some(rest) = body.strip_prefix(EPHEMERAL_MARKER) {
+            match rest.trim_start().strip_prefix("--") {
+                Some(reason) if !reason.trim().is_empty() => {
+                    ephemerals.push(Ephemeral {
+                        tok: i,
+                        used: false,
+                    });
+                }
+                _ => findings.push(orphan(
+                    f,
+                    t,
+                    format!("`// {EPHEMERAL_MARKER}` requires a `-- reason` justification"),
+                )),
+            }
+        }
+    }
+    if checkpoints.is_empty() && ephemerals.is_empty() {
+        return;
+    }
+    for &marker in &checkpoints {
+        check_struct(f, it, marker, &mut ephemerals, findings);
+    }
+    for e in &ephemerals {
+        let Some(t) = f.tokens.get(e.tok) else {
+            continue;
+        };
+        if !e.used {
+            findings.push(orphan(
+                f,
+                t,
+                format!("`// {EPHEMERAL_MARKER}` exempts no field of a checkpointed struct"),
+            ));
+        }
+    }
+}
+
+fn orphan(f: &SourceFile, t: &Token, message: String) -> Finding {
+    Finding {
+        file: f.rel_path.clone(),
+        line: t.line,
+        category: Category::Hygiene,
+        rule: "orphan-marker",
+        message,
+    }
+}
+
+/// Audits the struct a `// xtask: checkpoint` marker attaches to.
+fn check_struct(
+    f: &SourceFile,
+    it: &FileItems,
+    marker: usize,
+    ephemerals: &mut [Ephemeral],
+    findings: &mut Vec<Finding>,
+) {
+    let marker_tok = &f.tokens[marker];
+    let bad_attach = |findings: &mut Vec<Finding>| {
+        findings.push(orphan(
+            f,
+            marker_tok,
+            format!("`// {CHECKPOINT_MARKER}` does not attach to a named-field struct"),
+        ));
+    };
+    // First code token after the marker; attributes and visibility may
+    // sit between the marker and the `struct` keyword.
+    let mut j = f
+        .code
+        .partition_point(|&i| f.tokens[i].start < marker_tok.end);
+    loop {
+        if f.cpunct(j, '#') && f.cpunct(j + 1, '[') {
+            j = matching(f, j + 1, '[', ']') + 1;
+        } else if f.cident(j) == Some("pub") {
+            j += 1;
+            if f.cpunct(j, '(') {
+                j = matching(f, j, '(', ')') + 1;
+            }
+        } else if f.cident(j) == Some("struct") {
+            break;
+        } else {
+            return bad_attach(findings);
+        }
+    }
+    let Some(name) = f.cident(j + 1).map(str::to_string) else {
+        return bad_attach(findings);
+    };
+    // Body brace (generics on these structs carry no braces).
+    let mut k = j + 2;
+    let open = loop {
+        if f.ctok(k).is_none() || f.cpunct(k, ';') {
+            return bad_attach(findings);
+        }
+        if f.cpunct(k, '{') {
+            break k;
+        }
+        k += 1;
+    };
+    let close = matching(f, open, '{', '}');
+    let stored = stored_fields(f, it, &name);
+    for (field, pos) in named_fields(f, open, close) {
+        if exempted(f, pos, ephemerals) || stored.contains(&field) {
+            continue;
+        }
+        push(
+            f,
+            findings,
+            pos,
+            Category::Fidelity,
+            "checkpoint-field",
+            format!(
+                "field `{field}` of checkpointed struct `{name}` is neither written by \
+                 `{name}`'s `store*` serializer in this file nor marked \
+                 `// {EPHEMERAL_MARKER} -- reason`"
+            ),
+        );
+    }
+}
+
+/// Named fields of the struct body spanning code positions
+/// `open..close`, as (name, code position of the name).
+fn named_fields(f: &SourceFile, open: usize, close: usize) -> Vec<(String, usize)> {
+    let mut fields = Vec::new();
+    let mut j = open + 1;
+    while j < close {
+        if f.cpunct(j, '#') && f.cpunct(j + 1, '[') {
+            j = matching(f, j + 1, '[', ']') + 1;
+            continue;
+        }
+        if f.cident(j) == Some("pub") {
+            j += 1;
+            if f.cpunct(j, '(') {
+                j = matching(f, j, '(', ')') + 1;
+            }
+            continue;
+        }
+        let name = match f.cident(j) {
+            // `ident :` introduces a field; `ident ::` is a path.
+            Some(id) if f.cpunct(j + 1, ':') && !f.cpunct(j + 2, ':') => id.to_string(),
+            _ => {
+                j += 1;
+                continue;
+            }
+        };
+        fields.push((name, j));
+        // Skip the type: advance to the next comma at bracket depth 0,
+        // ignoring commas inside generics / tuples / arrays.
+        j += 2;
+        let mut depth = 0i64;
+        let mut angle = 0i64;
+        while j < close {
+            if f.cpair(j, '-', '>') {
+                j += 2;
+                continue;
+            }
+            if f.cpunct(j, '(') || f.cpunct(j, '[') || f.cpunct(j, '{') {
+                depth += 1;
+            } else if f.cpunct(j, ')') || f.cpunct(j, ']') || f.cpunct(j, '}') {
+                depth -= 1;
+            } else if f.cpunct(j, '<') {
+                angle += 1;
+            } else if f.cpunct(j, '>') {
+                angle = (angle - 1).max(0);
+            } else if depth == 0 && angle == 0 && f.cpunct(j, ',') {
+                j += 1;
+                break;
+            }
+            j += 1;
+        }
+    }
+    fields
+}
+
+/// True when the field at code position `pos` carries an ephemeral
+/// marker — trailing on the same line, or in the contiguous comment
+/// block directly above the field (attributes and visibility may
+/// intervene). Consumes the marker.
+fn exempted(f: &SourceFile, pos: usize, ephemerals: &mut [Ephemeral]) -> bool {
+    let ri = f.code[pos];
+    let line = f.tokens[ri].line;
+    // Trailing form: `field: Ty, // xtask: ephemeral -- reason`.
+    if let Some(e) = ephemerals
+        .iter_mut()
+        .find(|e| e.tok > ri && f.tokens[e.tok].line == line)
+    {
+        e.used = true;
+        return true;
+    }
+    // Block-above form: walk raw tokens backward over the field's
+    // visibility/attributes and its leading comment block.
+    let mut j = ri;
+    while j > 0 {
+        j -= 1;
+        let Some(t) = f.tokens.get(j) else { break };
+        if is_comment(t.kind) {
+            // A comment sharing its line with preceding code is the
+            // trailing comment of the *previous* field — stop there.
+            let trails_code = j
+                .checked_sub(1)
+                .and_then(|p| f.tokens.get(p))
+                .is_some_and(|prev| !is_comment(prev.kind) && prev.line == t.line);
+            if trails_code {
+                return false;
+            }
+            if let Some(e) = ephemerals.iter_mut().find(|e| e.tok == j) {
+                e.used = true;
+                return true;
+            }
+            continue; // doc comment inside the leading block
+        }
+        match t.text(&f.text) {
+            "pub" | "crate" | "(" | ")" => {}
+            "]" => {
+                // Skip an attribute group (and its `#`) backward.
+                let mut depth = 1i64;
+                while j > 0 && depth > 0 {
+                    j -= 1;
+                    match f.tokens.get(j).map(|t| t.text(&f.text)) {
+                        Some("]") => depth += 1,
+                        Some("[") => depth -= 1,
+                        _ => {}
+                    }
+                }
+                let hash_before = j
+                    .checked_sub(1)
+                    .and_then(|p| f.tokens.get(p))
+                    .is_some_and(|prev| prev.text(&f.text) == "#");
+                if hash_before {
+                    j -= 1;
+                }
+            }
+            _ => return false,
+        }
+    }
+    false
+}
+
+/// Field identifiers written as `self.<field>` inside any `store*`
+/// function implemented on `name` in this file.
+fn stored_fields(f: &SourceFile, it: &FileItems, name: &str) -> BTreeSet<String> {
+    let mut out = BTreeSet::new();
+    for func in &it.fns {
+        if func.self_ty.as_deref() != Some(name) || !func.name.starts_with("store") {
+            continue;
+        }
+        let Some((b0, b1)) = func.body else { continue };
+        for k in b0..=b1 {
+            if f.cident(k) == Some("self") && f.cpunct(k + 1, '.') {
+                if let Some(field) = f.cident(k + 2) {
+                    out.insert(field.to_string());
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::items::parse_file;
+    use crate::scan::{analyze_for_tests, policy_for};
+
+    fn rules_of(text: &str) -> Vec<&'static str> {
+        let rel = "crates/x/src/lib.rs";
+        let f = analyze_for_tests(rel.into(), text.into(), policy_for(rel));
+        let it = parse_file(&f);
+        let mut findings = Vec::new();
+        check(
+            std::slice::from_ref(&f),
+            std::slice::from_ref(&it),
+            &mut findings,
+        );
+        findings.iter().map(|f| f.rule).collect()
+    }
+
+    const COVERED: &str = "// xtask: checkpoint\n\
+        #[derive(Debug, Clone)]\n\
+        pub struct Model {\n    \
+            pub n: usize,\n    \
+            counts: Vec<f64>,\n\
+        }\n\
+        impl Persist for Model {\n    \
+            fn store(&self, w: &mut Writer) {\n        \
+                w.put_usize(self.n);\n        \
+                self.counts.store(w);\n    \
+            }\n\
+        }\n";
+
+    #[test]
+    fn fully_stored_struct_is_clean() {
+        assert!(rules_of(COVERED).is_empty());
+    }
+
+    #[test]
+    fn unstored_field_is_flagged() {
+        let src = COVERED.replace("w.put_usize(self.n);\n        ", "");
+        assert_eq!(rules_of(&src), ["checkpoint-field"]);
+    }
+
+    #[test]
+    fn unmarked_struct_is_ignored() {
+        let src = COVERED.replace("// xtask: checkpoint\n", "");
+        let dropped = src.replace("w.put_usize(self.n);\n        ", "");
+        assert!(rules_of(&dropped).is_empty());
+    }
+
+    #[test]
+    fn ephemeral_markers_exempt_in_both_positions() {
+        let src = "// xtask: checkpoint\n\
+            struct S {\n    \
+                cache: usize, // xtask: ephemeral -- memo, rebuilt on demand\n    \
+                /// Doc line under the marker.\n    \
+                // xtask: ephemeral -- derived, recomputed on restore\n    \
+                #[allow(dead_code)]\n    \
+                table: Vec<f64>,\n\
+            }\n";
+        assert!(rules_of(src).is_empty());
+    }
+
+    #[test]
+    fn trailing_ephemeral_does_not_leak_to_the_next_field() {
+        let src = "// xtask: checkpoint\n\
+            struct S {\n    \
+                cache: usize, // xtask: ephemeral -- memo, rebuilt on demand\n    \
+                /// Documented but neither stored nor exempt.\n    \
+                table: Vec<f64>,\n\
+            }\n";
+        assert_eq!(rules_of(src), ["checkpoint-field"]);
+    }
+
+    #[test]
+    fn ephemeral_requires_a_reason() {
+        let src = "// xtask: checkpoint\n\
+            struct S {\n    \
+                cache: usize, // xtask: ephemeral\n\
+            }\n";
+        assert_eq!(rules_of(src), ["orphan-marker", "checkpoint-field"]);
+    }
+
+    #[test]
+    fn orphaned_markers_are_flagged() {
+        // Checkpoint marker attaching to a fn, ephemeral exempting nothing.
+        let src = "// xtask: checkpoint\n\
+            fn not_a_struct() {}\n\
+            // xtask: ephemeral -- stray\n\
+            struct Unmarked { x: usize }\n";
+        assert_eq!(rules_of(src), ["orphan-marker", "orphan-marker"]);
+    }
+
+    #[test]
+    fn serialization_may_live_in_any_store_fn_of_the_struct() {
+        let src = "// xtask: checkpoint\n\
+            pub struct C {\n    \
+                config: usize,\n    \
+                events: Vec<u64>,\n\
+            }\n\
+            impl C {\n    \
+                fn store_core(&self, w: &mut Writer) {\n        \
+                    w.put_usize(self.config);\n    \
+                }\n    \
+                pub fn store_state(&self, w: &mut Writer) {\n        \
+                    self.store_core(w);\n        \
+                    self.events.store(w);\n    \
+                }\n\
+            }\n\
+            impl Other {\n    \
+                fn store(&self, w: &mut Writer) {\n        \
+                    self.unrelated.store(w);\n    \
+                }\n\
+            }\n";
+        assert!(rules_of(src).is_empty());
+    }
+
+    #[test]
+    fn generic_field_types_do_not_confuse_field_parsing() {
+        let src = "// xtask: checkpoint\n\
+            struct S {\n    \
+                map: BTreeMap<VmId, Vec<(u64, f64)>>,\n    \
+                hidden: Option<usize>,\n\
+            }\n\
+            impl S {\n    \
+                fn store(&self, w: &mut Writer) {\n        \
+                    self.map.store(w);\n    \
+                }\n\
+            }\n";
+        // `hidden` flags; the commas inside `map`'s generics do not
+        // produce phantom fields.
+        assert_eq!(rules_of(src), ["checkpoint-field"]);
+    }
+
+    #[test]
+    fn test_region_structs_are_ignored() {
+        let src = "#[cfg(test)]\nmod tests {\n    \
+            // xtask: checkpoint\n    \
+            struct Fixture { x: usize }\n}\n";
+        assert!(rules_of(src).is_empty());
+    }
+}

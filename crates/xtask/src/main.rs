@@ -9,6 +9,7 @@
 
 mod baseline;
 mod callgraph;
+mod checkpoint;
 mod dataflow;
 mod fidelity;
 mod items;

@@ -33,7 +33,10 @@ pub enum Category {
     HotPath,
     /// Lint hygiene: allow markers that suppress nothing. Zero tolerance.
     Hygiene,
-    /// Drift between DESIGN.md's experiment index and the crates.
+    /// Drift between the artifacts and the code: DESIGN.md's experiment
+    /// index versus the crates, and checkpointed-struct fields that are
+    /// neither serialized nor declared ephemeral
+    /// ([`crate::checkpoint`]). Zero tolerance.
     Fidelity,
     /// Blind spots in the controller-event audit trail: an event variant
     /// no registered temporal property references, or a wildcard match
@@ -101,6 +104,7 @@ pub const ALL_RULES: &[(&str, Category)] = &[
     ("orphan-marker", Category::Hygiene),
     ("event-coverage", Category::EventCoverage),
     ("event-wildcard", Category::EventCoverage),
+    ("checkpoint-field", Category::Fidelity),
     ("determinism-taint", Category::Taint),
     ("exactness-taint", Category::Taint),
     ("shard-purity", Category::Taint),
@@ -156,6 +160,7 @@ pub fn check_workspace(files: &[SourceFile], crate_map: &BTreeMap<String, String
         }
     }
     event_coverage(files, &mut findings);
+    crate::checkpoint::check(files, &parsed, &mut findings);
     unused_allows(files, &mut findings);
     findings
         .sort_by(|a, b| (a.file.as_str(), a.line, a.rule).cmp(&(b.file.as_str(), b.line, b.rule)));
